@@ -1,0 +1,89 @@
+//===- bench/BenchSupport.cpp ---------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "approx/WorkCounter.h"
+#include "core/Sampler.h"
+#include "support/StringUtils.h"
+#include <cstdlib>
+
+using namespace opprox;
+using namespace opprox::bench;
+
+void opprox::bench::banner(const std::string &Id,
+                           const std::string &Description) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s: %s\n", Id.c_str(), Description.c_str());
+  std::printf("==============================================================="
+              "=\n");
+}
+
+void opprox::bench::emit(const std::string &Id, const Table &T) {
+  T.print();
+  std::printf("\n");
+  if (const char *Dir = std::getenv("OPPROX_BENCH_CSV_DIR")) {
+    std::string Path = std::string(Dir) + "/" + Id + ".csv";
+    if (!T.writeCsv(Path))
+      std::fprintf(stderr, "warning: could not write %s\n", Path.c_str());
+  }
+}
+
+std::vector<PhaseProbe> opprox::bench::probePhases(
+    const ApproxApp &App, GoldenCache &Golden,
+    const std::vector<double> &Input,
+    const std::vector<std::vector<int>> &Configs, size_t NumPhases) {
+  const RunResult &Exact = Golden.exactRun(Input);
+  std::vector<PhaseProbe> Out;
+  auto Measure = [&](const std::vector<int> &Levels, int Phase) {
+    PhaseSchedule S =
+        Phase == AllPhases
+            ? PhaseSchedule::uniform(NumPhases, Levels)
+            : PhaseSchedule::singlePhase(NumPhases,
+                                         static_cast<size_t>(Phase), Levels);
+    RunResult R = App.run(Input, S, Exact.OuterIterations);
+    PhaseProbe P;
+    P.Levels = Levels;
+    P.Phase = Phase;
+    P.Speedup = speedupOf(Exact.WorkUnits, R.WorkUnits);
+    P.QosDegradation = App.qosDegradation(Exact, R);
+    if (App.usesPsnr())
+      P.Psnr = App.psnrValue(Exact, R);
+    P.Iterations = R.OuterIterations;
+    return P;
+  };
+  for (const std::vector<int> &Levels : Configs) {
+    for (size_t Phase = 0; Phase < NumPhases; ++Phase)
+      Out.push_back(Measure(Levels, static_cast<int>(Phase)));
+    Out.push_back(Measure(Levels, AllPhases));
+  }
+  return Out;
+}
+
+std::vector<std::vector<int>> opprox::bench::defaultProbeConfigs(
+    const ApproxApp &App, size_t JointCount, uint64_t Seed) {
+  std::vector<std::vector<int>> Configs;
+  std::vector<int> Max = App.maxLevels();
+  for (size_t B = 0; B < Max.size(); ++B)
+    for (int L : {1, 3, 5}) {
+      if (L > Max[B])
+        continue;
+      std::vector<int> Config(Max.size(), 0);
+      Config[B] = L;
+      Configs.push_back(Config);
+    }
+  Rng R(Seed);
+  SamplingPlan Plan = makeSamplingPlan(Max, JointCount, R);
+  for (auto &Config : Plan.JointConfigs)
+    Configs.push_back(std::move(Config));
+  return Configs;
+}
+
+std::string opprox::bench::phaseLabel(int Phase) {
+  if (Phase == AllPhases)
+    return "All";
+  return format("phase-%d", Phase + 1);
+}

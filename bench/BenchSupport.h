@@ -1,0 +1,61 @@
+//===- bench/BenchSupport.h - Shared benchmark harness glue ----*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure/table benchmark binaries: standard
+/// banners, per-phase probing sweeps, and CSV export of every printed
+/// table (so the series can be re-plotted). Each binary regenerates one
+/// table or figure of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_BENCH_BENCHSUPPORT_H
+#define OPPROX_BENCH_BENCHSUPPORT_H
+
+#include "apps/AppRegistry.h"
+#include "core/Opprox.h"
+#include "support/Table.h"
+
+namespace opprox {
+namespace bench {
+
+/// Prints the standard experiment banner.
+void banner(const std::string &Id, const std::string &Description);
+
+/// Prints \p T and, when OPPROX_BENCH_CSV_DIR is set in the environment,
+/// also writes "<dir>/<Id>.csv".
+void emit(const std::string &Id, const Table &T);
+
+/// One probe measurement: a configuration applied to one phase (or all).
+struct PhaseProbe {
+  std::vector<int> Levels;
+  int Phase = AllPhases; ///< AllPhases means uniform application.
+  double Speedup = 1.0;
+  double QosDegradation = 0.0;
+  double Psnr = 0.0; ///< Only for PSNR apps.
+  size_t Iterations = 0;
+};
+
+/// Runs \p Configs against every phase in [0, NumPhases) plus the
+/// uniform all-phase variant, measuring ground truth.
+std::vector<PhaseProbe> probePhases(const ApproxApp &App, GoldenCache &Golden,
+                                    const std::vector<double> &Input,
+                                    const std::vector<std::vector<int>> &Configs,
+                                    size_t NumPhases);
+
+/// A small default set of probe configurations: per-block levels
+/// {1,3,5} plus a few joint combinations.
+std::vector<std::vector<int>> defaultProbeConfigs(const ApproxApp &App,
+                                                  size_t JointCount,
+                                                  uint64_t Seed);
+
+/// Phase label for tables: "phase-1".."phase-N" or "All".
+std::string phaseLabel(int Phase);
+
+} // namespace bench
+} // namespace opprox
+
+#endif // OPPROX_BENCH_BENCHSUPPORT_H

@@ -1,0 +1,56 @@
+//===- bench/ablation_confidence.cpp --------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Ablation (DESIGN.md Sec. 5): the value of the conservative confidence
+// intervals (Sec. 3.6, p = 0.99 upper bound on QoS / lower bound on
+// speedup). Raw point predictions pick more aggressive schedules --
+// sometimes faster, but with more budget violations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "support/StringUtils.h"
+
+using namespace opprox;
+using namespace opprox::bench;
+
+int main() {
+  banner("ablation_confidence",
+         "Conservative bounds (p in {0.5, 0.9, 0.99}) vs raw predictions");
+
+  Table T({"app", "budget_pct", "mode", "speedup", "qos_pct",
+           "violated_budget"});
+  for (const std::string &Name : {"pso", "lulesh", "bodytrack"}) {
+    auto App = createApp(Name);
+    OpproxTrainOptions TrainOpts;
+    TrainOpts.Profiling.RandomJointSamples = 24;
+    Opprox Tuner = Opprox::train(*App, TrainOpts);
+    const std::vector<double> Input = App->defaultInput();
+
+    for (double Budget : {5.0, 20.0}) {
+      auto Report = [&](const std::string &Mode,
+                        const OptimizeOptions &Opts) {
+        PhaseSchedule S = Tuner.optimize(Input, Budget, Opts);
+        EvalOutcome E = evaluateSchedule(*App, Tuner.golden(), Input, S);
+        T.beginRow();
+        T.addCell(Name);
+        T.addCell(Budget, 0);
+        T.addCell(Mode);
+        T.addCell(E.Speedup, 3);
+        T.addCell(E.QosDegradation, 2);
+        T.addCell(std::string(E.QosDegradation > Budget ? "yes" : "no"));
+      };
+      OptimizeOptions Raw;
+      Raw.Conservative = false;
+      Report("raw_prediction", Raw);
+      for (double P : {0.5, 0.9, 0.99}) {
+        OptimizeOptions Opts;
+        Opts.ConfidenceP = P;
+        Report(format("conservative_p%.2f", P), Opts);
+      }
+    }
+  }
+  emit("ablation_confidence", T);
+  return 0;
+}

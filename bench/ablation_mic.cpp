@@ -1,0 +1,51 @@
+//===- bench/ablation_mic.cpp ---------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Ablation (DESIGN.md Sec. 5): MIC feature filtering (Sec. 3.7) on vs
+// off -- effect on model accuracy (cross-validated R^2 of the overall
+// models) and on training time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+using namespace opprox;
+using namespace opprox::bench;
+
+int main() {
+  banner("ablation_mic", "MIC feature filtering on/off: model quality and "
+                         "training cost");
+
+  Table T({"app", "mic_filter", "mean_cv_r2_speedup", "mean_cv_r2_qos",
+           "train_sec"});
+  for (const std::string &Name : {"pso", "ffmpeg"}) {
+    for (bool UseMic : {true, false}) {
+      auto App = createApp(Name);
+      OpproxTrainOptions Opts;
+      Opts.Profiling.RandomJointSamples = 20;
+      Opts.ModelBuild.Selection.MicThreshold = UseMic ? 0.05 : 0.0;
+      Timer Train;
+      Opprox Tuner = Opprox::train(*App, Opts);
+      double Sec = Train.seconds();
+
+      RunningStats SpeedupR2, QosR2;
+      const std::vector<double> Input = App->defaultInput();
+      for (size_t P = 0; P < Tuner.numPhases(); ++P) {
+        const PhaseModels &PM = Tuner.model().phaseModels(Input, P);
+        SpeedupR2.add(PM.speedupCvR2());
+        QosR2.add(PM.qosCvR2());
+      }
+      T.beginRow();
+      T.addCell(Name);
+      T.addCell(std::string(UseMic ? "on" : "off"));
+      T.addCell(SpeedupR2.mean(), 3);
+      T.addCell(QosR2.mean(), 3);
+      T.addCell(Sec, 2);
+    }
+  }
+  emit("ablation_mic", T);
+  return 0;
+}

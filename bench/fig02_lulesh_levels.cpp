@@ -1,0 +1,44 @@
+//===- bench/fig02_lulesh_levels.cpp --------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Fig. 2: both speedup and error increase with the approximation level
+// of each LULESH block (each block swept individually, all others
+// exact, applied uniformly across the run).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "approx/WorkCounter.h"
+
+using namespace opprox;
+using namespace opprox::bench;
+
+int main() {
+  banner("fig02",
+         "LULESH: speedup and QoS degradation vs. per-block approximation "
+         "level (paper Fig. 2)");
+  auto App = createApp("lulesh");
+  GoldenCache Golden(*App);
+  const std::vector<double> Input = App->defaultInput();
+  const RunResult &Exact = Golden.exactRun(Input);
+
+  Table T({"block", "level", "speedup", "qos_degradation_pct",
+           "outer_iterations"});
+  for (size_t B = 0; B < App->numBlocks(); ++B) {
+    for (int L = 0; L <= App->blocks()[B].MaxLevel; ++L) {
+      std::vector<int> Levels(App->numBlocks(), 0);
+      Levels[B] = L;
+      PhaseSchedule S = PhaseSchedule::uniform(1, Levels);
+      RunResult R = App->run(Input, S, Exact.OuterIterations);
+      T.beginRow();
+      T.addCell(App->blocks()[B].Name);
+      T.addCell(static_cast<long>(L));
+      T.addCell(speedupOf(Exact.WorkUnits, R.WorkUnits), 3);
+      T.addCell(App->qosDegradation(Exact, R), 3);
+      T.addCell(R.OuterIterations);
+    }
+  }
+  emit("fig02", T);
+  return 0;
+}

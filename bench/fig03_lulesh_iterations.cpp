@@ -1,0 +1,59 @@
+//===- bench/fig03_lulesh_iterations.cpp ----------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Fig. 3: variation in the number of outer-loop iterations of LULESH
+// under different approximation-level combinations. The exact run is
+// calibrated near the paper's 921; approximate runs move both below and
+// above it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "core/Sampler.h"
+#include "support/Statistics.h"
+
+using namespace opprox;
+using namespace opprox::bench;
+
+int main() {
+  banner("fig03",
+         "LULESH: outer-loop iteration count vs. approximation setting "
+         "(paper Fig. 3; exact run = 921 iterations there)");
+  auto App = createApp("lulesh");
+  GoldenCache Golden(*App);
+  const std::vector<double> Input = App->defaultInput();
+  const RunResult &Exact = Golden.exactRun(Input);
+  std::printf("exact run: %zu iterations\n\n", Exact.OuterIterations);
+
+  Rng R(0xF193);
+  SamplingPlan Plan = makeSamplingPlan(App->maxLevels(), 40, R);
+
+  Table T({"config", "levels", "outer_iterations", "delta_vs_exact"});
+  RunningStats Stats;
+  size_t Above = 0, Below = 0;
+  size_t Index = 0;
+  for (const std::vector<int> &Levels : Plan.all()) {
+    PhaseSchedule S = PhaseSchedule::uniform(1, Levels);
+    RunResult Run = App->run(Input, S, Exact.OuterIterations);
+    long Delta = static_cast<long>(Run.OuterIterations) -
+                 static_cast<long>(Exact.OuterIterations);
+    Above += Delta > 0;
+    Below += Delta < 0;
+    Stats.add(static_cast<double>(Run.OuterIterations));
+    std::string LevelStr;
+    for (size_t B = 0; B < Levels.size(); ++B)
+      LevelStr += (B ? "," : "") + std::to_string(Levels[B]);
+    T.beginRow();
+    T.addCell(static_cast<long>(Index++));
+    T.addCell(LevelStr);
+    T.addCell(Run.OuterIterations);
+    T.addCell(Delta);
+  }
+  emit("fig03", T);
+  std::printf("iteration range across %zu configs: [%.0f, %.0f] "
+              "(exact %zu); %zu configs above, %zu below\n",
+              Stats.count(), Stats.min(), Stats.max(),
+              Exact.OuterIterations, Above, Below);
+  return 0;
+}

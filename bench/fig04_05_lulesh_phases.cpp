@@ -1,0 +1,71 @@
+//===- bench/fig04_05_lulesh_phases.cpp -----------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Figs. 4 and 5: LULESH QoS degradation (Fig. 4) and speedup (Fig. 5)
+// when approximation is confined to one of four phases, vs. applied to
+// the whole run. Each row is one configuration probed in one phase.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "support/Statistics.h"
+
+using namespace opprox;
+using namespace opprox::bench;
+
+int main() {
+  banner("fig04_05",
+         "LULESH: phase-specific QoS degradation (Fig. 4) and speedup "
+         "(Fig. 5)");
+  auto App = createApp("lulesh");
+  GoldenCache Golden(*App);
+  const std::vector<double> Input = App->defaultInput();
+
+  std::vector<std::vector<int>> Configs =
+      defaultProbeConfigs(*App, /*JointCount=*/8, /*Seed=*/0xF45);
+  std::vector<PhaseProbe> Probes =
+      probePhases(*App, Golden, Input, Configs, 4);
+
+  Table T({"phase", "levels", "qos_degradation_pct", "speedup",
+           "iterations"});
+  for (const PhaseProbe &P : Probes) {
+    std::string LevelStr;
+    for (size_t B = 0; B < P.Levels.size(); ++B)
+      LevelStr += (B ? "," : "") + std::to_string(P.Levels[B]);
+    T.beginRow();
+    T.addCell(phaseLabel(P.Phase));
+    T.addCell(LevelStr);
+    T.addCell(P.QosDegradation, 3);
+    T.addCell(P.Speedup, 3);
+    T.addCell(P.Iterations);
+  }
+  emit("fig04_05", T);
+
+  // Per-phase means: the shape the figures show.
+  Table Summary({"phase", "mean_qos_pct", "mean_speedup"});
+  for (int Phase = 0; Phase < 4; ++Phase) {
+    RunningStats Qos, Speedup;
+    for (const PhaseProbe &P : Probes)
+      if (P.Phase == Phase) {
+        Qos.add(P.QosDegradation);
+        Speedup.add(P.Speedup);
+      }
+    Summary.beginRow();
+    Summary.addCell(phaseLabel(Phase));
+    Summary.addCell(Qos.mean(), 3);
+    Summary.addCell(Speedup.mean(), 3);
+  }
+  RunningStats QosAll, SpeedupAll;
+  for (const PhaseProbe &P : Probes)
+    if (P.Phase == AllPhases) {
+      QosAll.add(P.QosDegradation);
+      SpeedupAll.add(P.Speedup);
+    }
+  Summary.beginRow();
+  Summary.addCell(std::string("All"));
+  Summary.addCell(QosAll.mean(), 3);
+  Summary.addCell(SpeedupAll.mean(), 3);
+  emit("fig04_05_summary", Summary);
+  return 0;
+}

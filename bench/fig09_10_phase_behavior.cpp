@@ -1,0 +1,71 @@
+//===- bench/fig09_10_phase_behavior.cpp ----------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Figs. 9a-d and 10a-d: phase-specific QoS degradation (Fig. 9) and
+// speedup (Fig. 10) for CoMD, PSO, Bodytrack, and FFmpeg, four phases
+// plus the all-phase case. FFmpeg reports PSNR (higher = better), the
+// rest percentage QoS degradation (lower = better) -- exactly the
+// paper's presentation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "support/Statistics.h"
+
+using namespace opprox;
+using namespace opprox::bench;
+
+int main() {
+  banner("fig09_10",
+         "Per-phase QoS degradation (Fig. 9) and speedup (Fig. 10) for "
+         "CoMD, PSO, Bodytrack, FFmpeg");
+
+  for (const std::string &Name : {"comd", "pso", "bodytrack", "ffmpeg"}) {
+    auto App = createApp(Name);
+    GoldenCache Golden(*App);
+    const std::vector<double> Input = App->defaultInput();
+    std::vector<std::vector<int>> Configs =
+        defaultProbeConfigs(*App, /*JointCount=*/6, /*Seed=*/0x910);
+    std::vector<PhaseProbe> Probes =
+        probePhases(*App, Golden, Input, Configs, 4);
+
+    std::printf("--- %s (%s) ---\n", Name.c_str(),
+                App->usesPsnr() ? "PSNR dB, higher is better"
+                                : "QoS degradation %, lower is better");
+    Table T({"phase", "levels", App->usesPsnr() ? "psnr_db" : "qos_pct",
+             "speedup", "iterations"});
+    for (const PhaseProbe &P : Probes) {
+      std::string LevelStr;
+      for (size_t B = 0; B < P.Levels.size(); ++B)
+        LevelStr += (B ? "," : "") + std::to_string(P.Levels[B]);
+      T.beginRow();
+      T.addCell(phaseLabel(P.Phase));
+      T.addCell(LevelStr);
+      T.addCell(App->usesPsnr() ? P.Psnr : P.QosDegradation, 3);
+      T.addCell(P.Speedup, 3);
+      T.addCell(P.Iterations);
+    }
+    emit("fig09_10_" + Name, T);
+
+    Table Summary({"phase", App->usesPsnr() ? "mean_psnr_db" : "mean_qos_pct",
+                   "mean_speedup"});
+    auto AddSummary = [&](int Phase) {
+      RunningStats Qos, Speedup;
+      for (const PhaseProbe &P : Probes)
+        if (P.Phase == Phase) {
+          Qos.add(App->usesPsnr() ? P.Psnr : P.QosDegradation);
+          Speedup.add(P.Speedup);
+        }
+      Summary.beginRow();
+      Summary.addCell(phaseLabel(Phase));
+      Summary.addCell(Qos.mean(), 3);
+      Summary.addCell(Speedup.mean(), 3);
+    };
+    for (int Phase = 0; Phase < 4; ++Phase)
+      AddSummary(Phase);
+    AddSummary(AllPhases);
+    emit("fig09_10_" + Name + "_summary", Summary);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- bench/fig11_phase_granularity.cpp ----------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Fig. 11: QoS degradation characteristics when the execution is divided
+// into 2, 4, and 8 phases (Bodytrack and LULESH). With 8 phases the
+// distinction between adjacent phases blurs -- the motivation for
+// Algorithm 1's granularity search, which this bench also runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "core/PhaseDetector.h"
+#include "support/Statistics.h"
+
+using namespace opprox;
+using namespace opprox::bench;
+
+int main() {
+  banner("fig11",
+         "QoS degradation for 2/4/8-phase splits (paper Fig. 11) plus "
+         "Algorithm 1's detected granularity");
+
+  for (const std::string &Name : {"bodytrack", "lulesh"}) {
+    auto App = createApp(Name);
+    GoldenCache Golden(*App);
+    const std::vector<double> Input = App->defaultInput();
+    std::vector<std::vector<int>> Configs =
+        defaultProbeConfigs(*App, /*JointCount=*/4, /*Seed=*/0xF11);
+
+    std::printf("--- %s ---\n", Name.c_str());
+    Table T({"num_phases", "phase", "mean_qos_pct", "max_qos_pct"});
+    for (size_t NumPhases : {2u, 4u, 8u}) {
+      std::vector<PhaseProbe> Probes =
+          probePhases(*App, Golden, Input, Configs, NumPhases);
+      for (size_t Phase = 0; Phase < NumPhases; ++Phase) {
+        RunningStats Qos;
+        for (const PhaseProbe &P : Probes)
+          if (P.Phase == static_cast<int>(Phase))
+            Qos.add(P.QosDegradation);
+        T.beginRow();
+        T.addCell(static_cast<long>(NumPhases));
+        T.addCell(phaseLabel(static_cast<int>(Phase)));
+        T.addCell(Qos.mean(), 3);
+        T.addCell(Qos.max(), 3);
+      }
+    }
+    emit("fig11_" + Name, T);
+
+    // Algorithm 1 on this application.
+    Profiler Prof(*App, Golden);
+    PhaseDetectOptions Opts;
+    Opts.ProbeConfigs = 4;
+    size_t Detected = detectPhaseCount(Prof, Input, Opts);
+    std::printf("Algorithm 1 detected N = %zu phases (threshold %.1f%%)\n\n",
+                Detected, Opts.Threshold);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- bench/fig14_budget_comparison.cpp ----------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Fig. 14 -- the headline experiment: OPPROX's phase-aware optimization
+// vs. the phase-agnostic exhaustive oracle of prior work, at the
+// small/medium/large QoS budgets (5% / 10% / 20%; for FFmpeg the paper
+// uses PSNR targets 30/20/10 dB, which our PSNR<->degradation mapping
+// makes the same three budgets). Speedups are ground truth: the chosen
+// schedule/configuration is actually executed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "core/OracleBaseline.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+using namespace opprox;
+using namespace opprox::bench;
+
+int main() {
+  banner("fig14",
+         "OPPROX (phase-aware) vs. phase-agnostic exhaustive oracle at "
+         "5/10/20% budgets (paper Fig. 14)");
+
+  const std::vector<double> Budgets = {5.0, 10.0, 20.0};
+  Table T({"app", "budget_pct", "opprox_speedup", "opprox_qos_pct",
+           "oracle_speedup", "oracle_qos_pct", "oracle_found"});
+  // speedup-percent = (speedup - 1) * 100, the paper's "X% speedup".
+  std::map<double, RunningStats> OpproxPct, OraclePct;
+
+  for (const std::string &Name : allAppNames()) {
+    auto App = createApp(Name);
+    Timer Train;
+    OpproxTrainOptions Opts;
+    Opprox Tuner = Opprox::train(*App, Opts);
+    std::printf("[%s] trained in %.1fs (%zu runs, %zu phases)\n",
+                Name.c_str(), Train.seconds(), Tuner.trainingRuns(),
+                Tuner.numPhases());
+
+    const std::vector<double> Input = App->defaultInput();
+    Timer OracleTimer;
+    std::vector<MeasuredConfig> Measured =
+        measureAllUniformConfigs(*App, Tuner.golden(), Input);
+    std::printf("[%s] oracle measured %zu uniform configs in %.1fs\n",
+                Name.c_str(), Measured.size(), OracleTimer.seconds());
+
+    for (double Budget : Budgets) {
+      // Validated optimization: per-phase models assume cross-phase
+      // additivity; the validation pass (see Opprox::optimizeValidated)
+      // withdraws over-budget phases using at most a handful of runs.
+      PhaseSchedule S = Tuner.optimizeValidated(Input, Budget);
+      EvalOutcome Truth =
+          evaluateSchedule(*App, Tuner.golden(), Input, S);
+      OracleResult Oracle = selectOracle(Measured, Budget);
+      T.beginRow();
+      T.addCell(Name);
+      T.addCell(Budget, 0);
+      T.addCell(Truth.Speedup, 3);
+      T.addCell(Truth.QosDegradation, 2);
+      T.addCell(Oracle.Best.Speedup, 3);
+      T.addCell(Oracle.Best.QosDegradation, 2);
+      T.addCell(std::string(Oracle.FoundNonTrivial ? "yes" : "no"));
+      OpproxPct[Budget].add(100.0 * (Truth.Speedup - 1.0));
+      OraclePct[Budget].add(100.0 * (Oracle.Best.Speedup - 1.0));
+    }
+  }
+  emit("fig14", T);
+
+  Table Avg({"budget_pct", "opprox_mean_speedup_pct",
+             "oracle_mean_speedup_pct"});
+  for (double Budget : Budgets) {
+    Avg.beginRow();
+    Avg.addCell(Budget, 0);
+    Avg.addCell(OpproxPct[Budget].mean(), 1);
+    Avg.addCell(OraclePct[Budget].mean(), 1);
+  }
+  emit("fig14_average", Avg);
+  std::printf("paper reference: 14%% vs 2%% at the 5%% budget, 42%% vs 37%% "
+              "at the 20%% budget (average across apps)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- bench/micro_components.cpp -----------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Google-benchmark micro-benchmarks for the building blocks whose cost
+// dominates training and optimization: polynomial regression fits,
+// decision trees, MIC, per-application runs, and the per-phase discrete
+// search.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "core/Sampler.h"
+#include "ml/DecisionTree.h"
+#include "ml/Mic.h"
+#include "ml/PolynomialRegression.h"
+#include <benchmark/benchmark.h>
+
+using namespace opprox;
+
+static void BM_PolynomialFit(benchmark::State &State) {
+  Rng R(1);
+  Dataset D({"a", "b", "c"});
+  for (int I = 0; I < 500; ++I) {
+    double A = R.uniform(), B = R.uniform(), C = R.uniform();
+    D.addSample({A, B, C}, A + B * C + R.gaussian(0, 0.01));
+  }
+  PolynomialRegression::Options O;
+  O.Degree = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    PolynomialRegression M = PolynomialRegression::fit(D, O);
+    benchmark::DoNotOptimize(M.predict({0.5, 0.5, 0.5}));
+  }
+}
+BENCHMARK(BM_PolynomialFit)->Arg(2)->Arg(4)->Arg(6);
+
+static void BM_DecisionTreeFit(benchmark::State &State) {
+  Rng R(2);
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  for (int I = 0; I < static_cast<int>(State.range(0)); ++I) {
+    double A = R.uniform(), B = R.uniform();
+    X.push_back({A, B});
+    Y.push_back(A + B > 1.0 ? 1 : 0);
+  }
+  for (auto _ : State) {
+    DecisionTree T = DecisionTree::fit(X, Y);
+    benchmark::DoNotOptimize(T.predict({0.3, 0.3}));
+  }
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(100)->Arg(1000);
+
+static void BM_Mic(benchmark::State &State) {
+  Rng R(3);
+  std::vector<double> X, Y;
+  for (int I = 0; I < static_cast<int>(State.range(0)); ++I) {
+    double V = R.uniform(-2, 2);
+    X.push_back(V);
+    Y.push_back(V * V + R.gaussian(0, 0.1));
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(mic(X, Y));
+}
+BENCHMARK(BM_Mic)->Arg(200)->Arg(1000);
+
+static void BM_AppExactRun(benchmark::State &State,
+                           const std::string &Name) {
+  auto App = createApp(Name);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(App->runExact(App->defaultInput()).WorkUnits);
+}
+BENCHMARK_CAPTURE(BM_AppExactRun, lulesh, std::string("lulesh"));
+BENCHMARK_CAPTURE(BM_AppExactRun, comd, std::string("comd"));
+BENCHMARK_CAPTURE(BM_AppExactRun, ffmpeg, std::string("ffmpeg"));
+BENCHMARK_CAPTURE(BM_AppExactRun, bodytrack, std::string("bodytrack"));
+BENCHMARK_CAPTURE(BM_AppExactRun, pso, std::string("pso"));
+
+static void BM_EnumerateConfigs(benchmark::State &State) {
+  std::vector<int> MaxLevels(static_cast<size_t>(State.range(0)), 5);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(enumerateAllConfigs(MaxLevels).size());
+}
+BENCHMARK(BM_EnumerateConfigs)->Arg(3)->Arg(4);

@@ -1,0 +1,68 @@
+//===- examples/phase_explorer.cpp ----------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Interactive exploration of phase-specific sensitivity for any of the
+// five applications: applies one configuration to each phase in turn
+// and prints the ground-truth speedup / QoS / iteration count -- the raw
+// observation behind the whole paper ("in which phase you approximate
+// matters as much as how much").
+//
+// Build and run:
+//   ./build/examples/phase_explorer --app lulesh --phases 4 --level 3
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "approx/WorkCounter.h"
+#include "support/CommandLine.h"
+#include <cstdio>
+
+using namespace opprox;
+
+int main(int Argc, char **Argv) {
+  std::string Name = "lulesh";
+  long Phases = 4, Level = 3;
+  FlagParser Flags;
+  Flags.addFlag("app", &Name, "lulesh|comd|ffmpeg|bodytrack|pso");
+  Flags.addFlag("phases", &Phases, "number of phases (default 4)");
+  Flags.addFlag("level", &Level,
+                "approximation level applied to every block (default 3)");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+
+  std::unique_ptr<ApproxApp> App = createApp(Name);
+  if (!App) {
+    std::fprintf(stderr, "error: unknown application '%s'\n", Name.c_str());
+    return 1;
+  }
+
+  const std::vector<double> Input = App->defaultInput();
+  RunResult Exact = App->runExact(Input);
+  std::printf("%s exact run: %zu iterations, %llu work units\n\n",
+              Name.c_str(), Exact.OuterIterations,
+              static_cast<unsigned long long>(Exact.WorkUnits));
+
+  std::vector<int> Levels;
+  for (int Max : App->maxLevels())
+    Levels.push_back(std::min<int>(static_cast<int>(Level), Max));
+
+  std::printf("%-10s %-10s %-14s %-12s\n", "phase", "speedup",
+              App->usesPsnr() ? "psnr dB" : "qos %", "iterations");
+  auto Report = [&](const char *Label, const PhaseSchedule &S) {
+    RunResult R = App->run(Input, S, Exact.OuterIterations);
+    double Quality = App->usesPsnr() ? App->psnrValue(Exact, R)
+                                     : App->qosDegradation(Exact, R);
+    std::printf("%-10s %-10.3f %-14.3f %-12zu\n", Label,
+                speedupOf(Exact.WorkUnits, R.WorkUnits), Quality,
+                R.OuterIterations);
+  };
+  for (size_t P = 0; P < static_cast<size_t>(Phases); ++P) {
+    std::string Label = "phase-" + std::to_string(P + 1);
+    Report(Label.c_str(),
+           PhaseSchedule::singlePhase(static_cast<size_t>(Phases), P,
+                                      Levels));
+  }
+  Report("all", PhaseSchedule::uniform(static_cast<size_t>(Phases), Levels));
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- examples/quickstart.cpp --------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Quickstart: the complete OPPROX loop in ~40 lines.
+//
+//   1. Pick an application with tunable approximable blocks (here the
+//      PSO benchmark, the cheapest of the five).
+//   2. Train OPPROX offline: it profiles the app across inputs, levels,
+//      and phases, then learns per-phase speedup/QoS models.
+//   3. Ask for the most profitable phase-aware schedule under a QoS
+//      degradation budget.
+//   4. Run the application under that schedule and verify ground truth.
+//
+// Build and run:   ./build/examples/quickstart [--budget 10]
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "core/Opprox.h"
+#include "support/CommandLine.h"
+#include <cstdio>
+
+using namespace opprox;
+
+int main(int Argc, char **Argv) {
+  double Budget = 10.0; // Percent QoS degradation the user tolerates.
+  FlagParser Flags;
+  Flags.addFlag("budget", &Budget, "QoS degradation budget in percent");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+
+  // 1. The application: particle swarm optimization with three
+  //    approximable blocks (fitness eval, velocity update, position
+  //    update).
+  std::unique_ptr<ApproxApp> App = createApp("pso");
+  std::printf("application: %s with %zu approximable blocks\n",
+              App->name().c_str(), App->numBlocks());
+  for (const ApproximableBlock &AB : App->blocks())
+    std::printf("  - %-18s (%s, levels 0..%d)\n", AB.Name.c_str(),
+                techniqueName(AB.Technique), AB.MaxLevel);
+
+  // 2. Offline training (Fig. 6 of the paper): profiling plus model
+  //    construction. Defaults: 4 phases, the app's own representative
+  //    inputs.
+  std::printf("\ntraining...\n");
+  Opprox Tuner = Opprox::train(*App, OpproxTrainOptions());
+  std::printf("trained on %zu runs across %zu phases\n",
+              Tuner.trainingRuns(), Tuner.numPhases());
+
+  // 3. Optimize for the budget. optimizeValidated() adds a bounded
+  //    ground-truth backoff so cross-phase interactions the per-phase
+  //    models cannot see never bust the budget.
+  const std::vector<double> Input = App->defaultInput();
+  OptimizationResult Result = Tuner.optimizeDetailed(Input, Budget);
+  std::printf("\nbudget %.1f%% -> model-chosen schedule %s\n", Budget,
+              Result.Schedule.toString().c_str());
+  for (size_t P = 0; P < Result.Decisions.size(); ++P)
+    std::printf("  phase %zu: roi share %.3f, predicted speedup %.2f, "
+                "predicted qos %.2f%%\n",
+                P + 1, Result.NormalizedRoi[P],
+                Result.Decisions[P].PredictedSpeedup,
+                Result.Decisions[P].PredictedQos);
+  PhaseSchedule Validated = Tuner.optimizeValidated(Input, Budget);
+  std::printf("validated schedule: %s\n", Validated.toString().c_str());
+
+  // 4. Ground truth.
+  EvalOutcome Truth =
+      evaluateSchedule(*App, Tuner.golden(), Input, Validated);
+  std::printf("\nmeasured: speedup %.2fx, QoS degradation %.2f%% "
+              "(budget %.1f%%)\n",
+              Truth.Speedup, Truth.QosDegradation, Budget);
+  return 0;
+}

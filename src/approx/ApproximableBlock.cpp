@@ -1,0 +1,32 @@
+//===- approx/ApproximableBlock.cpp ---------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "approx/ApproximableBlock.h"
+#include "support/Compiler.h"
+
+using namespace opprox;
+
+const char *opprox::techniqueName(ApproxTechniqueKind Kind) {
+  switch (Kind) {
+  case ApproxTechniqueKind::LoopPerforation:
+    return "loop perforation";
+  case ApproxTechniqueKind::LoopTruncation:
+    return "loop truncation";
+  case ApproxTechniqueKind::Memoization:
+    return "memoization";
+  case ApproxTechniqueKind::ParameterTuning:
+    return "parameter tuning";
+  }
+  OPPROX_UNREACHABLE("unknown technique kind");
+}
+
+unsigned long long opprox::configurationCount(
+    const std::vector<ApproximableBlock> &Blocks) {
+  unsigned long long Count = 1;
+  for (const ApproximableBlock &AB : Blocks)
+    Count *= static_cast<unsigned long long>(AB.numLevels());
+  return Count;
+}

@@ -1,0 +1,50 @@
+//===- approx/ApproximableBlock.h - AB descriptors -------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptors for approximable blocks (ABs): the compute-intensive
+/// kernels a transformation can approximate, each exposing a discrete
+/// approximation-level (AL) knob from 0 (exact) to a maximum (most
+/// approximate) -- paper Secs. 1 and 3.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_APPROX_APPROXIMABLEBLOCK_H
+#define OPPROX_APPROX_APPROXIMABLEBLOCK_H
+
+#include <string>
+#include <vector>
+
+namespace opprox {
+
+/// The four transformations studied in the paper (Sec. 3.2).
+enum class ApproxTechniqueKind {
+  LoopPerforation, ///< Skip a stride-controlled fraction of iterations.
+  LoopTruncation,  ///< Drop trailing iterations.
+  Memoization,     ///< Reuse a cached result for most iterations.
+  ParameterTuning, ///< Reduce an accuracy-controlling input parameter.
+};
+
+/// Human-readable technique name ("loop perforation", ...).
+const char *techniqueName(ApproxTechniqueKind Kind);
+
+/// One approximable block of an application.
+struct ApproximableBlock {
+  std::string Name;
+  ApproxTechniqueKind Technique;
+  /// Levels run 0 (exact) .. MaxLevel (most approximate), inclusive.
+  int MaxLevel = 5;
+
+  int numLevels() const { return MaxLevel + 1; }
+};
+
+/// Product of numLevels over \p Blocks: the per-phase configuration count.
+unsigned long long configurationCount(
+    const std::vector<ApproximableBlock> &Blocks);
+
+} // namespace opprox
+
+#endif // OPPROX_APPROX_APPROXIMABLEBLOCK_H

@@ -1,0 +1,62 @@
+//===- approx/CallContextLog.cpp ------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "approx/CallContextLog.h"
+#include "support/StringUtils.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace opprox;
+
+void CallContextLog::beginIteration() {
+  IterationBlocks.emplace_back();
+  IterationWork.push_back(0);
+}
+
+void CallContextLog::recordBlock(size_t BlockId, uint64_t WorkUnits) {
+  assert(!IterationBlocks.empty() && "recordBlock before beginIteration");
+  IterationBlocks.back().push_back(BlockId);
+  IterationWork.back() += WorkUnits;
+}
+
+const std::vector<size_t> &
+CallContextLog::blocksInIteration(size_t Iter) const {
+  assert(Iter < IterationBlocks.size() && "iteration out of range");
+  return IterationBlocks[Iter];
+}
+
+uint64_t CallContextLog::workInIteration(size_t Iter) const {
+  assert(Iter < IterationWork.size() && "iteration out of range");
+  return IterationWork[Iter];
+}
+
+std::string CallContextLog::signature() const {
+  std::vector<std::string> Distinct;
+  for (const std::vector<size_t> &Blocks : IterationBlocks) {
+    std::string Seq;
+    for (size_t B : Blocks) {
+      if (!Seq.empty())
+        Seq += ",";
+      Seq += format("%zu", B);
+    }
+    if (std::find(Distinct.begin(), Distinct.end(), Seq) == Distinct.end())
+      Distinct.push_back(Seq);
+  }
+  return join(Distinct, ";");
+}
+
+uint64_t CallContextLog::workInRange(size_t Begin, size_t End) const {
+  End = std::min(End, IterationWork.size());
+  uint64_t Sum = 0;
+  for (size_t I = Begin; I < End; ++I)
+    Sum += IterationWork[I];
+  return Sum;
+}
+
+void CallContextLog::clear() {
+  IterationBlocks.clear();
+  IterationWork.clear();
+}

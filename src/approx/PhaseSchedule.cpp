@@ -1,0 +1,101 @@
+//===- approx/PhaseSchedule.cpp -------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "approx/PhaseSchedule.h"
+#include "support/StringUtils.h"
+
+using namespace opprox;
+
+PhaseMap::PhaseMap(size_t NominalIterations, size_t NumPhases)
+    : NominalIterations(NominalIterations), NumPhases(NumPhases) {
+  assert(NumPhases > 0 && "need at least one phase");
+  BaseLength = NumPhases ? std::max<size_t>(1, NominalIterations / NumPhases)
+                         : 1;
+}
+
+size_t PhaseMap::phaseOf(size_t Iteration) const {
+  size_t Phase = Iteration / BaseLength;
+  return Phase >= NumPhases ? NumPhases - 1 : Phase;
+}
+
+std::pair<size_t, size_t> PhaseMap::phaseRange(size_t Phase) const {
+  assert(Phase < NumPhases && "phase out of range");
+  size_t Begin = Phase * BaseLength;
+  size_t End =
+      Phase + 1 == NumPhases ? NominalIterations : (Phase + 1) * BaseLength;
+  return {Begin, End};
+}
+
+PhaseSchedule::PhaseSchedule(size_t NumPhases, size_t NumBlocks)
+    : NumPhases(NumPhases), NumBlocks(NumBlocks),
+      Levels(NumPhases * NumBlocks, 0) {
+  assert(NumPhases > 0 && "need at least one phase");
+}
+
+PhaseSchedule PhaseSchedule::uniform(size_t NumPhases,
+                                     const std::vector<int> &Levels) {
+  PhaseSchedule S(NumPhases, Levels.size());
+  for (size_t P = 0; P < NumPhases; ++P)
+    S.setPhaseLevels(P, Levels);
+  return S;
+}
+
+PhaseSchedule PhaseSchedule::singlePhase(size_t NumPhases, size_t Phase,
+                                         const std::vector<int> &Levels) {
+  PhaseSchedule S(NumPhases, Levels.size());
+  S.setPhaseLevels(Phase, Levels);
+  return S;
+}
+
+void PhaseSchedule::setLevel(size_t Phase, size_t Block, int Level) {
+  assert(Phase < NumPhases && Block < NumBlocks && "index out of range");
+  assert(Level >= 0 && "negative approximation level");
+  Levels[Phase * NumBlocks + Block] = Level;
+}
+
+std::vector<int> PhaseSchedule::phaseLevels(size_t Phase) const {
+  assert(Phase < NumPhases && "phase out of range");
+  auto Begin = Levels.begin() +
+               static_cast<std::ptrdiff_t>(Phase * NumBlocks);
+  return std::vector<int>(Begin, Begin + static_cast<std::ptrdiff_t>(NumBlocks));
+}
+
+void PhaseSchedule::setPhaseLevels(size_t Phase,
+                                   const std::vector<int> &PhaseLevels) {
+  assert(PhaseLevels.size() == NumBlocks && "level count mismatch");
+  for (size_t B = 0; B < NumBlocks; ++B)
+    setLevel(Phase, B, PhaseLevels[B]);
+}
+
+bool PhaseSchedule::isExact() const {
+  for (int L : Levels)
+    if (L != 0)
+      return false;
+  return true;
+}
+
+bool PhaseSchedule::isUniform() const {
+  for (size_t P = 1; P < NumPhases; ++P)
+    for (size_t B = 0; B < NumBlocks; ++B)
+      if (level(P, B) != level(0, B))
+        return false;
+  return true;
+}
+
+std::string PhaseSchedule::toString() const {
+  std::string Out = "[";
+  for (size_t P = 0; P < NumPhases; ++P) {
+    if (P)
+      Out += " | ";
+    for (size_t B = 0; B < NumBlocks; ++B) {
+      if (B)
+        Out += ",";
+      Out += format("%d", level(P, B));
+    }
+  }
+  Out += "]";
+  return Out;
+}

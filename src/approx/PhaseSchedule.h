@@ -1,0 +1,99 @@
+//===- approx/PhaseSchedule.h - Per-phase approximation levels -*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central artifact of phase-aware approximation: an assignment of an
+/// approximation level to every (phase, block) pair, plus the mapping
+/// from outer-loop iterations to phases. Phases split the *nominal*
+/// (exact-run) iteration count into near-equal ranges; when the
+/// approximate run iterates longer than nominal (paper Fig. 3), the
+/// excess iterations belong to the final phase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_APPROX_PHASESCHEDULE_H
+#define OPPROX_APPROX_PHASESCHEDULE_H
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace opprox {
+
+/// Maps outer-loop iteration indices to phase indices. Follows the paper
+/// (Sec. 3.5): I nominal iterations split into N phases of ~I/N, with the
+/// remainder added to the final phase.
+class PhaseMap {
+public:
+  PhaseMap(size_t NominalIterations, size_t NumPhases);
+
+  size_t numPhases() const { return NumPhases; }
+  size_t nominalIterations() const { return NominalIterations; }
+
+  /// Phase of iteration \p Iteration (0-based). Iterations at or past the
+  /// nominal count map to the last phase.
+  size_t phaseOf(size_t Iteration) const;
+
+  /// [begin, end) nominal-iteration range of \p Phase.
+  std::pair<size_t, size_t> phaseRange(size_t Phase) const;
+
+private:
+  size_t NominalIterations;
+  size_t NumPhases;
+  size_t BaseLength; // NominalIterations / NumPhases.
+};
+
+/// An approximation level for every (phase, block) pair.
+class PhaseSchedule {
+public:
+  /// All-exact schedule (level 0 everywhere).
+  PhaseSchedule(size_t NumPhases, size_t NumBlocks);
+
+  /// A schedule applying \p Levels identically in every phase -- the
+  /// phase-agnostic configuration of prior work.
+  static PhaseSchedule uniform(size_t NumPhases,
+                               const std::vector<int> &Levels);
+
+  /// A schedule approximating only \p Phase with \p Levels, all other
+  /// phases exact -- the paper's per-phase probing runs.
+  static PhaseSchedule singlePhase(size_t NumPhases, size_t Phase,
+                                   const std::vector<int> &Levels);
+
+  size_t numPhases() const { return NumPhases; }
+  size_t numBlocks() const { return NumBlocks; }
+
+  int level(size_t Phase, size_t Block) const {
+    assert(Phase < NumPhases && Block < NumBlocks && "index out of range");
+    return Levels[Phase * NumBlocks + Block];
+  }
+  void setLevel(size_t Phase, size_t Block, int Level);
+
+  /// Levels of one phase as a vector (length numBlocks()).
+  std::vector<int> phaseLevels(size_t Phase) const;
+
+  /// Replaces all levels of one phase.
+  void setPhaseLevels(size_t Phase, const std::vector<int> &PhaseLevels);
+
+  /// True when every level is 0.
+  bool isExact() const;
+
+  /// True when every phase carries identical levels.
+  bool isUniform() const;
+
+  /// Compact rendering, e.g. "[2,0,1,0 | 0,0,0,0 | ...]". The runtime
+  /// equivalent of the paper's per-phase environment variables.
+  std::string toString() const;
+
+private:
+  size_t NumPhases;
+  size_t NumBlocks;
+  std::vector<int> Levels; // Row-major: phase-major, block-minor.
+};
+
+} // namespace opprox
+
+#endif // OPPROX_APPROX_PHASESCHEDULE_H

@@ -1,0 +1,97 @@
+//===- approx/Techniques.h - Approximation loop drivers --------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four transformations of paper Sec. 3.2 as reusable loop drivers.
+/// Level 0 always reproduces the exact loop; higher levels approximate
+/// more aggressively. Applications instantiate these over their kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_APPROX_TECHNIQUES_H
+#define OPPROX_APPROX_TECHNIQUES_H
+
+#include <cassert>
+#include <cstddef>
+
+namespace opprox {
+
+/// Loop perforation (Sidiroglou et al.): executes iterations with stride
+/// Level+1, i.e. level 0 runs all N, level 1 every other, ... \p Body is
+/// invoked as Body(I) for executed iterations only; the caller decides
+/// how skipped iterations reuse results (typically: keep stale state).
+template <typename BodyFn>
+void perforatedLoop(size_t N, int Level, BodyFn Body) {
+  assert(Level >= 0 && "negative approximation level");
+  size_t Stride = static_cast<size_t>(Level) + 1;
+  for (size_t I = 0; I < N; I += Stride)
+    Body(I);
+}
+
+/// Rotating-offset perforation: like perforatedLoop, but the starting
+/// offset advances with the outer-loop iteration, so every index is
+/// refreshed at least once every Level+1 outer iterations. This is the
+/// right variant for stateful kernels where a fixed offset would freeze
+/// the skipped indices for an entire phase.
+template <typename BodyFn>
+void rotatingPerforatedLoop(size_t N, int Level, size_t OuterIteration,
+                            BodyFn Body) {
+  assert(Level >= 0 && "negative approximation level");
+  size_t Stride = static_cast<size_t>(Level) + 1;
+  for (size_t I = OuterIteration % Stride; I < N; I += Stride)
+    Body(I);
+}
+
+/// Number of trailing iterations a truncated loop drops: a fraction
+/// Level/(2*MaxLevel) of N, so the maximum level drops half the loop.
+inline size_t truncationDrop(size_t N, int Level, int MaxLevel) {
+  assert(Level >= 0 && Level <= MaxLevel && "level out of range");
+  if (MaxLevel == 0)
+    return 0;
+  return N * static_cast<size_t>(Level) /
+         (2 * static_cast<size_t>(MaxLevel));
+}
+
+/// Loop truncation: drops the last truncationDrop(N, Level, MaxLevel)
+/// iterations (paper: "simply drop last few iterations").
+template <typename BodyFn>
+void truncatedLoop(size_t N, int Level, int MaxLevel, BodyFn Body) {
+  size_t Limit = N - truncationDrop(N, Level, MaxLevel);
+  for (size_t I = 0; I < Limit; ++I)
+    Body(I);
+}
+
+/// Memoization: recomputes on iterations divisible by Level+1 and reuses
+/// the cached result otherwise. \p Compute(I) produces and returns the
+/// fresh value; \p Reuse(I, Cached) consumes the cached one.
+template <typename T, typename ComputeFn, typename ReuseFn>
+void memoizedLoop(size_t N, int Level, ComputeFn Compute, ReuseFn Reuse) {
+  assert(Level >= 0 && "negative approximation level");
+  size_t Period = static_cast<size_t>(Level) + 1;
+  T Cached{};
+  for (size_t I = 0; I < N; ++I) {
+    if (I % Period == 0)
+      Cached = Compute(I);
+    else
+      Reuse(I, Cached);
+  }
+}
+
+/// Parameter tuning: scales an accuracy-controlling count down by 10% per
+/// level (floor 10% of the original), e.g. the min-particles /
+/// annealing-layers knobs the paper tunes in Bodytrack.
+inline size_t tunedParameter(size_t Exact, int Level) {
+  assert(Level >= 0 && "negative approximation level");
+  size_t Scaled = Exact - Exact * static_cast<size_t>(Level) / 10;
+  size_t Floor = Exact / 10;
+  if (Scaled < Floor)
+    Scaled = Floor;
+  return Scaled > 0 ? Scaled : 1;
+}
+
+} // namespace opprox
+
+#endif // OPPROX_APPROX_TECHNIQUES_H

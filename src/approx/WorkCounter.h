@@ -1,0 +1,47 @@
+//===- approx/WorkCounter.h - Deterministic work accounting ----*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper expresses speedup as the ratio of instructions executed in
+/// the accurate vs. approximate run (Sec. 3.6). This counter is our
+/// deterministic stand-in for the instruction count: application kernels
+/// charge abstract work units as they execute, so "speedup" is exactly
+/// reproducible and independent of machine noise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_APPROX_WORKCOUNTER_H
+#define OPPROX_APPROX_WORKCOUNTER_H
+
+#include <cstdint>
+
+namespace opprox {
+
+/// Accumulates abstract work units during one application run.
+class WorkCounter {
+public:
+  void add(uint64_t Units) { Total += Units; }
+  uint64_t total() const { return Total; }
+  void reset() { Total = 0; }
+
+  /// Work since \p Mark; use with total() to attribute work to intervals.
+  uint64_t since(uint64_t Mark) const { return Total - Mark; }
+
+private:
+  uint64_t Total = 0;
+};
+
+/// Speedup of an approximate run relative to the exact run, in the
+/// paper's work-ratio sense. Returns 1 when either count is zero.
+inline double speedupOf(uint64_t ExactWork, uint64_t ApproxWork) {
+  if (ExactWork == 0 || ApproxWork == 0)
+    return 1.0;
+  return static_cast<double>(ExactWork) / static_cast<double>(ApproxWork);
+}
+
+} // namespace opprox
+
+#endif // OPPROX_APPROX_WORKCOUNTER_H

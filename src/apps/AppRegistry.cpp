@@ -1,0 +1,39 @@
+//===- apps/AppRegistry.cpp -----------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "apps/MiniBodytrack.h"
+#include "apps/MiniComd.h"
+#include "apps/MiniFfmpeg.h"
+#include "apps/MiniLulesh.h"
+#include "apps/Pso.h"
+
+using namespace opprox;
+
+std::unique_ptr<ApproxApp> opprox::createApp(const std::string &Name) {
+  if (Name == "lulesh")
+    return std::make_unique<MiniLulesh>();
+  if (Name == "comd")
+    return std::make_unique<MiniComd>();
+  if (Name == "ffmpeg")
+    return std::make_unique<MiniFfmpeg>();
+  if (Name == "bodytrack")
+    return std::make_unique<MiniBodytrack>();
+  if (Name == "pso")
+    return std::make_unique<Pso>();
+  return nullptr;
+}
+
+std::vector<std::string> opprox::allAppNames() {
+  return {"lulesh", "comd", "ffmpeg", "bodytrack", "pso"};
+}
+
+std::vector<std::unique_ptr<ApproxApp>> opprox::createAllApps() {
+  std::vector<std::unique_ptr<ApproxApp>> Apps;
+  for (const std::string &Name : allAppNames())
+    Apps.push_back(createApp(Name));
+  return Apps;
+}

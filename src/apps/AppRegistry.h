@@ -1,0 +1,33 @@
+//===- apps/AppRegistry.h - Application factory ----------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-based access to the five benchmark applications, for tools and
+/// benches that take an application name on the command line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_APPS_APPREGISTRY_H
+#define OPPROX_APPS_APPREGISTRY_H
+
+#include "apps/ApproxApp.h"
+#include <memory>
+
+namespace opprox {
+
+/// Creates the application registered under \p Name ("lulesh", "comd",
+/// "ffmpeg", "bodytrack", "pso"), or null for unknown names.
+std::unique_ptr<ApproxApp> createApp(const std::string &Name);
+
+/// All registered application names, in the paper's presentation order.
+std::vector<std::string> allAppNames();
+
+/// Creates every registered application.
+std::vector<std::unique_ptr<ApproxApp>> createAllApps();
+
+} // namespace opprox
+
+#endif // OPPROX_APPS_APPREGISTRY_H

@@ -1,0 +1,41 @@
+//===- apps/ApproxApp.cpp -------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/ApproxApp.h"
+#include "support/Compiler.h"
+
+using namespace opprox;
+
+ApproxApp::~ApproxApp() = default;
+
+double ApproxApp::psnrValue(const RunResult &Exact,
+                            const RunResult &Approx) const {
+  OPPROX_UNREACHABLE("psnrValue queried on a non-PSNR application");
+}
+
+RunResult ApproxApp::runExact(const std::vector<double> &Input) const {
+  PhaseSchedule Exact(1, numBlocks());
+  return run(Input, Exact, 0);
+}
+
+std::vector<int> ApproxApp::maxLevels() const {
+  std::vector<int> Levels;
+  Levels.reserve(blocks().size());
+  for (const ApproximableBlock &AB : blocks())
+    Levels.push_back(AB.MaxLevel);
+  return Levels;
+}
+
+const RunResult &GoldenCache::exactRun(const std::vector<double> &Input) {
+  auto It = Cache.find(Input);
+  if (It == Cache.end())
+    It = Cache.emplace(Input, App.runExact(Input)).first;
+  return It->second;
+}
+
+size_t GoldenCache::nominalIterations(const std::vector<double> &Input) {
+  return exactRun(Input).OuterIterations;
+}

@@ -1,0 +1,116 @@
+//===- apps/ApproxApp.h - Tunable-application interface --------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract between OPPROX and an application with tunable
+/// approximable blocks (paper Sec. 3.1). An application declares its
+/// input parameters and ABs, and can execute under any PhaseSchedule,
+/// reporting deterministic work, outer-loop iteration count, output
+/// values, and a control-flow signature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_APPS_APPROXAPP_H
+#define OPPROX_APPS_APPROXAPP_H
+
+#include "approx/ApproximableBlock.h"
+#include "approx/PhaseSchedule.h"
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opprox {
+
+/// Everything one application execution produces.
+struct RunResult {
+  /// Abstract work units executed (the paper's "instructions executed").
+  uint64_t WorkUnits = 0;
+  /// Outer-loop iterations performed.
+  size_t OuterIterations = 0;
+  /// Raw output values for QoS computation (energies, pixels, ...).
+  std::vector<double> Output;
+  /// Control-flow signature from the call-context log.
+  std::string ControlFlowSignature;
+  /// Work charged per outer iteration (for phase attribution).
+  std::vector<uint64_t> WorkPerIteration;
+};
+
+/// Abstract application with approximable blocks.
+class ApproxApp {
+public:
+  virtual ~ApproxApp();
+
+  /// Short identifier, e.g. "lulesh".
+  virtual std::string name() const = 0;
+
+  /// The application's approximable blocks, in kernel order.
+  virtual const std::vector<ApproximableBlock> &blocks() const = 0;
+
+  /// Names of the input parameters, in the order run() expects them.
+  virtual std::vector<std::string> parameterNames() const = 0;
+
+  /// Representative training input combinations (paper Sec. 3.3).
+  virtual std::vector<std::vector<double>> trainingInputs() const = 0;
+
+  /// The production input used by the evaluation benches.
+  virtual std::vector<double> defaultInput() const = 0;
+
+  /// Executes under \p Schedule. \p NominalIterations anchors the phase
+  /// boundaries and must be the exact run's iteration count for this
+  /// input; it may be 0 only when the schedule is exact (single golden
+  /// runs) or the application's iteration count is fixed by the input.
+  virtual RunResult run(const std::vector<double> &Input,
+                        const PhaseSchedule &Schedule,
+                        size_t NominalIterations) const = 0;
+
+  /// QoS degradation of \p Approx vs. \p Exact as a percentage
+  /// (0 = identical, larger = worse). PSNR-metric applications convert
+  /// via psnrToDegradationPercent so every app shares this interface.
+  virtual double qosDegradation(const RunResult &Exact,
+                                const RunResult &Approx) const = 0;
+
+  /// True when the native QoS metric is PSNR (higher = better).
+  virtual bool usesPsnr() const { return false; }
+
+  /// Native PSNR in dB; only meaningful when usesPsnr().
+  virtual double psnrValue(const RunResult &Exact,
+                           const RunResult &Approx) const;
+
+  // -- Convenience helpers (non-virtual) -------------------------------
+
+  size_t numBlocks() const { return blocks().size(); }
+
+  /// Runs with the all-exact single-phase schedule.
+  RunResult runExact(const std::vector<double> &Input) const;
+
+  /// Per-block maximum levels, for samplers and search-space counting.
+  std::vector<int> maxLevels() const;
+};
+
+/// Caches exact (golden) runs per input so profilers and evaluators do
+/// not repeat them; the exact run also supplies the nominal iteration
+/// count that anchors phase boundaries.
+class GoldenCache {
+public:
+  explicit GoldenCache(const ApproxApp &App) : App(App) {}
+
+  /// The exact run for \p Input, computing and caching on first use.
+  const RunResult &exactRun(const std::vector<double> &Input);
+
+  /// Nominal (exact-run) outer-loop iteration count for \p Input.
+  size_t nominalIterations(const std::vector<double> &Input);
+
+  size_t numCached() const { return Cache.size(); }
+
+private:
+  const ApproxApp &App;
+  std::map<std::vector<double>, RunResult> Cache;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_APPS_APPROXAPP_H

@@ -1,0 +1,83 @@
+//===- apps/QoSMetrics.cpp ------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/QoSMetrics.h"
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace opprox;
+
+static double clampPercent(double P) {
+  if (!std::isfinite(P))
+    return 1000.0;
+  return std::clamp(P, 0.0, 1000.0);
+}
+
+double opprox::relativeDistortionPercent(const std::vector<double> &Exact,
+                                         const std::vector<double> &Approx) {
+  assert(Exact.size() == Approx.size() && "output length mismatch");
+  if (Exact.empty())
+    return 0.0;
+  // Scale each component by its own magnitude, floored at the mean
+  // magnitude: near-zero components (elements the shock never reached,
+  // converged residuals) must not turn rounding noise into huge
+  // "relative" error.
+  double MeanAbs = 0.0;
+  for (double E : Exact)
+    MeanAbs += std::fabs(E);
+  MeanAbs = std::max(MeanAbs / static_cast<double>(Exact.size()), 1e-12);
+  double Sum = 0.0;
+  for (size_t I = 0; I < Exact.size(); ++I) {
+    double Scale = std::max(std::fabs(Exact[I]), MeanAbs);
+    Sum += std::fabs(Approx[I] - Exact[I]) / Scale;
+  }
+  return clampPercent(100.0 * Sum / static_cast<double>(Exact.size()));
+}
+
+double opprox::weightedDistortionPercent(const std::vector<double> &Exact,
+                                         const std::vector<double> &Approx) {
+  assert(Exact.size() == Approx.size() && "output length mismatch");
+  if (Exact.empty())
+    return 0.0;
+  double WeightSum = 0.0, ErrorSum = 0.0;
+  for (size_t I = 0; I < Exact.size(); ++I) {
+    double W = std::fabs(Exact[I]);
+    WeightSum += W;
+    double Scale = std::max(std::fabs(Exact[I]), 1e-9);
+    ErrorSum += W * std::fabs(Approx[I] - Exact[I]) / Scale;
+  }
+  if (WeightSum <= 0.0)
+    return relativeDistortionPercent(Exact, Approx);
+  return clampPercent(100.0 * ErrorSum / WeightSum);
+}
+
+double opprox::psnr(const std::vector<double> &Reference,
+                    const std::vector<double> &Test, double PeakValue) {
+  assert(Reference.size() == Test.size() && "signal length mismatch");
+  assert(PeakValue > 0.0 && "peak must be positive");
+  if (Reference.empty())
+    return 99.0;
+  double Mse = 0.0;
+  for (size_t I = 0; I < Reference.size(); ++I) {
+    double D = Reference[I] - Test[I];
+    Mse += D * D;
+  }
+  Mse /= static_cast<double>(Reference.size());
+  if (Mse <= 1e-12)
+    return 99.0;
+  double Value = 10.0 * std::log10(PeakValue * PeakValue / Mse);
+  return std::clamp(Value, 0.0, 99.0);
+}
+
+double opprox::psnrToDegradationPercent(double PsnrDb) {
+  return 100.0 * std::pow(10.0, -PsnrDb / 20.0);
+}
+
+double opprox::degradationPercentToPsnr(double Percent) {
+  assert(Percent > 0.0 && "cannot invert zero degradation");
+  return -20.0 * std::log10(Percent / 100.0);
+}

@@ -1,0 +1,51 @@
+//===- apps/QoSMetrics.h - Quality-of-service metrics ----------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The QoS metrics of paper Secs. 3.1 and 4.1: the default relative
+/// distortion (Rinard, ICS 2006) for numeric outputs, PSNR for video,
+/// and a magnitude-weighted distortion for Bodytrack's pose vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_APPS_QOSMETRICS_H
+#define OPPROX_APPS_QOSMETRICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace opprox {
+
+/// Default distortion: mean over outputs of |approx - exact| scaled by
+/// the exact magnitude, as a percentage. Clamped to [0, 1000] to keep
+/// diverged runs finite.
+double relativeDistortionPercent(const std::vector<double> &Exact,
+                                 const std::vector<double> &Approx);
+
+/// Magnitude-weighted distortion (Bodytrack, Sec. 4.1): component errors
+/// weighted by the exact component's magnitude so large body parts count
+/// more. Returned as a percentage.
+double weightedDistortionPercent(const std::vector<double> &Exact,
+                                 const std::vector<double> &Approx);
+
+/// Peak signal-to-noise ratio in dB against \p PeakValue. Identical
+/// signals return 99 dB (a finite stand-in for infinity).
+double psnr(const std::vector<double> &Reference,
+            const std::vector<double> &Test, double PeakValue);
+
+/// Maps PSNR to an equivalent degradation percentage via the normalized
+/// RMSE identity 100 * 10^(-PSNR/20): ~32% at 10 dB, 10% at 20 dB, ~3%
+/// at 30 dB. This lets PSNR-metric applications share the optimizer's
+/// "degradation budget" interface; the paper's PSNR targets 10/20/30
+/// correspond to its large/medium/small budgets the same way.
+double psnrToDegradationPercent(double PsnrDb);
+
+/// Inverse of psnrToDegradationPercent.
+double degradationPercentToPsnr(double Percent);
+
+} // namespace opprox
+
+#endif // OPPROX_APPS_QOSMETRICS_H

@@ -1,0 +1,320 @@
+//===- core/AppModel.cpp --------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AppModel.h"
+#include "support/StringUtils.h"
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+using namespace opprox;
+
+//===----------------------------------------------------------------------===//
+// PhaseModels
+//===----------------------------------------------------------------------===//
+
+std::vector<double>
+PhaseModels::overallFeatures(const std::vector<double> &Input,
+                             const std::vector<int> &Levels) const {
+  assert(Levels.size() == LocalSpeedup.size() && "level count mismatch");
+  std::vector<double> Features;
+  Features.reserve(LocalSpeedup.size() + 1);
+  for (size_t B = 0; B < LocalSpeedup.size(); ++B) {
+    std::vector<double> LocalX = Input;
+    LocalX.push_back(static_cast<double>(Levels[B]));
+    Features.push_back(LocalSpeedup[B].predict(LocalX));
+  }
+  Features.push_back(predictIterations(Input, Levels));
+  return Features;
+}
+
+double PhaseModels::predictIterations(const std::vector<double> &Input,
+                                      const std::vector<int> &Levels) const {
+  assert(IterationModel && "model stack not built");
+  std::vector<double> X = Input;
+  for (int L : Levels)
+    X.push_back(static_cast<double>(L));
+  return IterationModel->predict(X);
+}
+
+double PhaseModels::predictSpeedup(const std::vector<double> &Input,
+                                   const std::vector<int> &Levels) const {
+  assert(OverallSpeedup && "model stack not built");
+  // Models live in log space (see ModelBuilder); transform back, clamped
+  // to a physically meaningful range so extrapolation cannot overflow.
+  double LogPred = OverallSpeedup->predict(overallFeatures(Input, Levels));
+  // Cap at ~50x: no configuration of these transformations can exceed
+  // that, so anything larger is extrapolation noise.
+  return std::clamp(std::exp(std::min(LogPred, 4.0)), 0.01, 50.0);
+}
+
+double PhaseModels::conservativeSpeedup(const std::vector<double> &Input,
+                                        const std::vector<int> &Levels,
+                                        double P) const {
+  assert(OverallSpeedup && "model stack not built");
+  double Lower = OverallSpeedup->lowerBound(overallFeatures(Input, Levels), P);
+  return std::clamp(std::exp(std::min(Lower, 4.0)), 0.01, 50.0);
+}
+
+double PhaseModels::predictQos(const std::vector<double> &Input,
+                               const std::vector<int> &Levels) const {
+  assert(OverallQos && "model stack not built");
+  // The QoS overall model consumes the *QoS* local predictions.
+  std::vector<double> Features;
+  Features.reserve(LocalQos.size() + 1);
+  for (size_t B = 0; B < LocalQos.size(); ++B) {
+    std::vector<double> LocalX = Input;
+    LocalX.push_back(static_cast<double>(Levels[B]));
+    Features.push_back(LocalQos[B].predict(LocalX));
+  }
+  Features.push_back(predictIterations(Input, Levels));
+  double LogPred = std::min(OverallQos->predict(Features), 7.0);
+  return std::clamp(std::expm1(LogPred), 0.0, 1000.0);
+}
+
+double PhaseModels::conservativeQos(const std::vector<double> &Input,
+                                    const std::vector<int> &Levels,
+                                    double P) const {
+  assert(OverallQos && "model stack not built");
+  std::vector<double> Features;
+  Features.reserve(LocalQos.size() + 1);
+  for (size_t B = 0; B < LocalQos.size(); ++B) {
+    std::vector<double> LocalX = Input;
+    LocalX.push_back(static_cast<double>(Levels[B]));
+    Features.push_back(LocalQos[B].predict(LocalX));
+  }
+  Features.push_back(predictIterations(Input, Levels));
+  double LogUpper = std::min(OverallQos->upperBound(Features, P), 7.0);
+  return std::clamp(std::expm1(LogUpper), 0.0, 1000.0);
+}
+
+//===----------------------------------------------------------------------===//
+// AppModel
+//===----------------------------------------------------------------------===//
+
+int AppModel::classOf(const std::vector<double> &Input) const {
+  int ClassId = Classifier.predictClass(Input);
+  // A never-seen class cannot have models; fall back to class 0.
+  if (ClassId < 0 || static_cast<size_t>(ClassId) >= Classes.size())
+    return 0;
+  return ClassId;
+}
+
+const PhaseModels &AppModel::phaseModels(const std::vector<double> &Input,
+                                         size_t Phase) const {
+  return phaseModelsForClass(classOf(Input), Phase);
+}
+
+const PhaseModels &AppModel::phaseModelsForClass(int ClassId,
+                                                 size_t Phase) const {
+  assert(ClassId >= 0 && static_cast<size_t>(ClassId) < Classes.size() &&
+         "unknown control-flow class");
+  assert(Phase < NumPhases && "phase out of range");
+  return Classes[static_cast<size_t>(ClassId)][Phase];
+}
+
+//===----------------------------------------------------------------------===//
+// ModelBuilder
+//===----------------------------------------------------------------------===//
+
+/// Builds the feature-name vector "in_0.., al" used by local models.
+static std::vector<std::string> localFeatureNames(size_t NumInputs) {
+  std::vector<std::string> Names;
+  for (size_t I = 0; I < NumInputs; ++I)
+    Names.push_back(format("in_%zu", I));
+  Names.push_back("al");
+  return Names;
+}
+
+static std::vector<std::string> iterFeatureNames(size_t NumInputs,
+                                                 size_t NumBlocks) {
+  std::vector<std::string> Names;
+  for (size_t I = 0; I < NumInputs; ++I)
+    Names.push_back(format("in_%zu", I));
+  for (size_t B = 0; B < NumBlocks; ++B)
+    Names.push_back(format("al_%zu", B));
+  return Names;
+}
+
+/// True when only block \p B carries a nonzero level.
+static bool onlyBlockApproximated(const TrainingSample &S, size_t B) {
+  for (size_t J = 0; J < S.Levels.size(); ++J) {
+    if (J == B)
+      continue;
+    if (S.Levels[J] != 0)
+      return false;
+  }
+  return true;
+}
+
+AppModel ModelBuilder::build(const TrainingSet &Data, size_t NumPhases,
+                             size_t NumBlocks,
+                             const ModelBuildOptions &Opts) {
+  assert(!Data.empty() && "no training data");
+  size_t NumInputs = Data[0].Input.size();
+  Rng BuildRng(Opts.Seed);
+
+  AppModel Model;
+  Model.NumPhases = NumPhases;
+
+  // Classifier over every sample's (input -> class).
+  {
+    std::vector<std::vector<double>> Inputs;
+    std::vector<int> Labels;
+    for (const TrainingSample &S : Data.samples()) {
+      Inputs.push_back(S.Input);
+      Labels.push_back(S.ControlFlowClass);
+    }
+    Model.Classifier = ControlFlowModel::train(Inputs, Labels);
+  }
+
+  std::set<int> ClassIds;
+  for (const TrainingSample &S : Data.samples())
+    ClassIds.insert(S.ControlFlowClass);
+  assert(!ClassIds.empty() && "no control-flow classes");
+  int MaxClass = *ClassIds.rbegin();
+  Model.Classes.resize(static_cast<size_t>(MaxClass) + 1);
+
+  for (int ClassId : ClassIds) {
+    TrainingSet ClassData = Data.forClass(ClassId);
+    std::vector<PhaseModels> &PerPhase =
+        Model.Classes[static_cast<size_t>(ClassId)];
+    PerPhase.resize(NumPhases);
+
+    // Distinct inputs of this class anchor the level-0 behaviour:
+    // speedup 1, degradation 0, nominal iterations.
+    std::set<std::vector<double>> DistinctInputs;
+    std::map<std::vector<double>, double> NominalIterations;
+    for (const TrainingSample &S : ClassData.samples()) {
+      DistinctInputs.insert(S.Input);
+      // The per-phase nominal count: every exact-phase sample of a
+      // fixed-count app reports it; for adaptive apps the median of
+      // observed counts is a serviceable anchor.
+      NominalIterations[S.Input] = S.OuterIterations;
+    }
+
+    for (size_t Phase = 0; Phase < NumPhases; ++Phase) {
+      TrainingSet PhaseData = ClassData.forPhase(static_cast<int>(Phase));
+      assert(!PhaseData.empty() && "no samples for a (class, phase) pair");
+      PhaseModels &PM = PerPhase[Phase];
+
+      // --- Local per-AB models (step 1 of Sec. 3.6) --------------------
+      for (size_t B = 0; B < NumBlocks; ++B) {
+        Dataset SpeedupData(localFeatureNames(NumInputs));
+        Dataset QosData(localFeatureNames(NumInputs));
+        for (const TrainingSample &S : PhaseData.samples()) {
+          if (!onlyBlockApproximated(S, B))
+            continue;
+          std::vector<double> X = S.Input;
+          X.push_back(static_cast<double>(S.Levels[B]));
+          // Log-space targets: speedups and QoS degradations are
+          // heavy-tailed (premature convergence, saturated instability),
+          // and multiplicative structure is what the overall model
+          // composes anyway.
+          SpeedupData.addSample(X, std::log(std::max(S.Speedup, 1e-3)));
+          QosData.addSample(X, std::log1p(S.QosDegradation));
+        }
+        // Anchor the exact configuration.
+        for (const std::vector<double> &Input : DistinctInputs) {
+          std::vector<double> X = Input;
+          X.push_back(0.0);
+          SpeedupData.addSample(X, 0.0); // log(1)
+          QosData.addSample(X, 0.0);     // log1p(0)
+        }
+        PM.LocalSpeedup.push_back(
+            SelectedModel::train(SpeedupData, Opts.Selection, BuildRng));
+        PM.LocalQos.push_back(
+            SelectedModel::train(QosData, Opts.Selection, BuildRng));
+      }
+
+      // --- Iteration estimator ------------------------------------------
+      {
+        Dataset IterData(iterFeatureNames(NumInputs, NumBlocks));
+        for (const TrainingSample &S : PhaseData.samples()) {
+          std::vector<double> X = S.Input;
+          for (int L : S.Levels)
+            X.push_back(static_cast<double>(L));
+          IterData.addSample(X, S.OuterIterations);
+        }
+        for (const std::vector<double> &Input : DistinctInputs) {
+          std::vector<double> X = Input;
+          X.resize(NumInputs + NumBlocks, 0.0);
+          IterData.addSample(X, NominalIterations[Input]);
+        }
+        PM.IterationModel =
+            SelectedModel::train(IterData, Opts.Selection, BuildRng);
+      }
+
+      // --- Overall models (step 2 of Sec. 3.6) --------------------------
+      {
+        std::vector<std::string> Names;
+        for (size_t B = 0; B < NumBlocks; ++B)
+          Names.push_back(format("local_%zu", B));
+        Names.push_back("iter_est");
+
+        Dataset SpeedupData(Names), QosData(Names);
+        for (const TrainingSample &S : PhaseData.samples()) {
+          // Speedup features: local speedup predictions + iter estimate.
+          std::vector<double> SFeat;
+          std::vector<double> QFeat;
+          for (size_t B = 0; B < NumBlocks; ++B) {
+            std::vector<double> LocalX = S.Input;
+            LocalX.push_back(static_cast<double>(S.Levels[B]));
+            SFeat.push_back(PM.LocalSpeedup[B].predict(LocalX));
+            QFeat.push_back(PM.LocalQos[B].predict(LocalX));
+          }
+          double IterEst = PM.predictIterations(S.Input, S.Levels);
+          SFeat.push_back(IterEst);
+          QFeat.push_back(IterEst);
+          SpeedupData.addSample(SFeat, std::log(std::max(S.Speedup, 1e-3)));
+          QosData.addSample(QFeat, std::log1p(S.QosDegradation));
+        }
+        // Anchor the exact configuration so the polynomial cannot run
+        // wild at the all-zero corner, which joint sampling rarely
+        // visits.
+        std::vector<int> ZeroLevels(NumBlocks, 0);
+        for (const std::vector<double> &Input : DistinctInputs) {
+          std::vector<double> SFeat, QFeat;
+          for (size_t B = 0; B < NumBlocks; ++B) {
+            std::vector<double> LocalX = Input;
+            LocalX.push_back(0.0);
+            SFeat.push_back(PM.LocalSpeedup[B].predict(LocalX));
+            QFeat.push_back(PM.LocalQos[B].predict(LocalX));
+          }
+          double IterEst = PM.predictIterations(Input, ZeroLevels);
+          SFeat.push_back(IterEst);
+          QFeat.push_back(IterEst);
+          for (int Copy = 0; Copy < 3; ++Copy) {
+            SpeedupData.addSample(SFeat, 0.0);
+            QosData.addSample(QFeat, 0.0);
+          }
+        }
+        PM.OverallSpeedup =
+            SelectedModel::train(SpeedupData, Opts.Selection, BuildRng);
+        PM.OverallQos =
+            SelectedModel::train(QosData, Opts.Selection, BuildRng);
+      }
+
+      // --- ROI (Eq. 1) ---------------------------------------------------
+      {
+        double Sum = 0.0;
+        for (const TrainingSample &S : PhaseData.samples())
+          Sum += S.Speedup / std::max(S.QosDegradation, Opts.RoiQosFloor);
+        PM.Roi = Sum / static_cast<double>(PhaseData.size());
+      }
+    }
+  }
+
+  // Classes that never occurred get copies of class 0's models so
+  // phaseModelsForClass never dereferences an empty slot.
+  size_t FirstClass = static_cast<size_t>(*ClassIds.begin());
+  for (auto &PerPhase : Model.Classes)
+    if (PerPhase.empty())
+      PerPhase = Model.Classes[FirstClass];
+
+  return Model;
+}

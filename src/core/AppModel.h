@@ -1,0 +1,128 @@
+//===- core/AppModel.h - Trained speedup/QoS model stack -------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trained model stack of paper Sec. 3.6, per (control-flow class,
+/// phase):
+///
+///  - local per-AB speedup and QoS models s_b(a_b, P), q_b(a_b, P);
+///  - an outer-loop iteration estimator I(A, P);
+///  - overall models S(s_1..s_M, I) and Q(q_1..q_M, I) that take the
+///    local predictions and the iteration estimate as features;
+///  - per-phase ROI (Eq. 1) for budget allocation;
+///
+/// plus the decision-tree control-flow classifier selecting which class's
+/// models apply to a production input (Sec. 3.4). Conservative
+/// predictions use the confidence interval bounds of Sec. 3.6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_APPMODEL_H
+#define OPPROX_CORE_APPMODEL_H
+
+#include "core/ControlFlowModel.h"
+#include "core/TrainingData.h"
+#include "ml/ModelSelection.h"
+#include <optional>
+
+namespace opprox {
+
+/// Models for one (control-flow class, phase) pair.
+class PhaseModels {
+public:
+  /// Point estimate of the application speedup when \p Levels are applied
+  /// in this phase for \p Input.
+  double predictSpeedup(const std::vector<double> &Input,
+                        const std::vector<int> &Levels) const;
+
+  /// Conservative (lower-bound) speedup at confidence \p P.
+  double conservativeSpeedup(const std::vector<double> &Input,
+                             const std::vector<int> &Levels, double P) const;
+
+  /// Point estimate of the QoS degradation.
+  double predictQos(const std::vector<double> &Input,
+                    const std::vector<int> &Levels) const;
+
+  /// Conservative (upper-bound) QoS degradation at confidence \p P.
+  double conservativeQos(const std::vector<double> &Input,
+                         const std::vector<int> &Levels, double P) const;
+
+  /// Predicted outer-loop iteration count.
+  double predictIterations(const std::vector<double> &Input,
+                           const std::vector<int> &Levels) const;
+
+  /// ROI of this phase: mean speedup-per-unit-QoS over its training
+  /// samples (Eq. 1).
+  double roi() const { return Roi; }
+
+  /// Cross-validated R^2 of the overall models (introspection).
+  double speedupCvR2() const { return OverallSpeedup->cvR2(); }
+  double qosCvR2() const { return OverallQos->cvR2(); }
+
+private:
+  friend class ModelBuilder;
+
+  /// Features for the overall models: local predictions + iteration
+  /// estimate.
+  std::vector<double> overallFeatures(const std::vector<double> &Input,
+                                      const std::vector<int> &Levels) const;
+
+  std::vector<SelectedModel> LocalSpeedup; // One per AB.
+  std::vector<SelectedModel> LocalQos;     // One per AB.
+  std::optional<SelectedModel> IterationModel;
+  std::optional<SelectedModel> OverallSpeedup;
+  std::optional<SelectedModel> OverallQos;
+  double Roi = 1.0;
+};
+
+/// All models for one application: classifier + per-class per-phase
+/// model stacks.
+class AppModel {
+public:
+  size_t numPhases() const { return NumPhases; }
+  size_t numClasses() const { return Classes.size(); }
+
+  /// Control-flow class predicted for \p Input.
+  int classOf(const std::vector<double> &Input) const;
+
+  /// Models of (class predicted for \p Input, \p Phase).
+  const PhaseModels &phaseModels(const std::vector<double> &Input,
+                                 size_t Phase) const;
+
+  /// Models of an explicit class id (introspection, benches).
+  const PhaseModels &phaseModelsForClass(int ClassId, size_t Phase) const;
+
+private:
+  friend class ModelBuilder;
+
+  size_t NumPhases = 0;
+  ControlFlowModel Classifier;
+  // Classes[ClassId][Phase].
+  std::vector<std::vector<PhaseModels>> Classes;
+};
+
+/// Options controlling model construction.
+struct ModelBuildOptions {
+  ModelSelectOptions Selection;
+  /// Floor applied to QoS degradation in the ROI denominator so
+  /// error-free phases get large-but-finite ROI.
+  double RoiQosFloor = 0.05;
+  uint64_t Seed = 0xB111D;
+};
+
+/// Builds an AppModel from profiled training data (Secs. 3.4, 3.6, 3.7).
+class ModelBuilder {
+public:
+  /// \p Data must contain per-phase samples for every phase in
+  /// [0, NumPhases). All-phase (uniform) samples are ignored here; they
+  /// serve the oracle comparison.
+  static AppModel build(const TrainingSet &Data, size_t NumPhases,
+                        size_t NumBlocks, const ModelBuildOptions &Opts);
+};
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_APPMODEL_H

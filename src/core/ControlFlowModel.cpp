@@ -1,0 +1,24 @@
+//===- core/ControlFlowModel.cpp ------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ControlFlowModel.h"
+#include <cassert>
+
+using namespace opprox;
+
+ControlFlowModel
+ControlFlowModel::train(const std::vector<std::vector<double>> &Inputs,
+                        const std::vector<int> &Classes) {
+  assert(!Inputs.empty() && Inputs.size() == Classes.size() &&
+         "empty or mismatched classifier data");
+  ControlFlowModel Model;
+  Model.Tree = DecisionTree::fit(Inputs, Classes);
+  return Model;
+}
+
+int ControlFlowModel::predictClass(const std::vector<double> &Input) const {
+  return Tree.predict(Input);
+}

@@ -1,0 +1,50 @@
+//===- core/ControlFlowModel.h - Input -> control-flow class ---*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decision-tree prediction of the control-flow class an input will take
+/// (paper Sec. 3.4): OPPROX builds one set of speedup/QoS models per
+/// distinct control flow, and at optimization time uses this classifier
+/// to pick the right set for a production input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_CONTROLFLOWMODEL_H
+#define OPPROX_CORE_CONTROLFLOWMODEL_H
+
+#include "ml/DecisionTree.h"
+#include <vector>
+
+namespace opprox {
+
+/// Wraps a DecisionTree specialized to (input parameters -> class id).
+class ControlFlowModel {
+public:
+  ControlFlowModel() = default;
+
+  /// Trains on (input, class) pairs; one pair per training input is
+  /// enough when inputs repeat per class.
+  static ControlFlowModel train(const std::vector<std::vector<double>> &Inputs,
+                                const std::vector<int> &Classes);
+
+  /// Predicted control-flow class for \p Input.
+  int predictClass(const std::vector<double> &Input) const;
+
+  /// Training accuracy, as a sanity check.
+  double accuracy(const std::vector<std::vector<double>> &Inputs,
+                  const std::vector<int> &Classes) const {
+    return Tree.accuracy(Inputs, Classes);
+  }
+
+  size_t numNodes() const { return Tree.numNodes(); }
+
+private:
+  DecisionTree Tree;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_CONTROLFLOWMODEL_H

@@ -1,0 +1,25 @@
+//===- core/Evaluator.cpp -------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Evaluator.h"
+#include "approx/WorkCounter.h"
+
+using namespace opprox;
+
+EvalOutcome opprox::evaluateSchedule(const ApproxApp &App, GoldenCache &Golden,
+                                     const std::vector<double> &Input,
+                                     const PhaseSchedule &Schedule) {
+  const RunResult &Exact = Golden.exactRun(Input);
+  RunResult Approx = App.run(Input, Schedule, Exact.OuterIterations);
+
+  EvalOutcome Out;
+  Out.Speedup = speedupOf(Exact.WorkUnits, Approx.WorkUnits);
+  Out.QosDegradation = App.qosDegradation(Exact, Approx);
+  Out.OuterIterations = Approx.OuterIterations;
+  if (App.usesPsnr())
+    Out.Psnr = App.psnrValue(Exact, Approx);
+  return Out;
+}

@@ -1,0 +1,37 @@
+//===- core/Evaluator.h - Ground-truth schedule evaluation -----*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs an application under a concrete PhaseSchedule and reports the
+/// true speedup and QoS degradation -- the measurements the evaluation
+/// figures plot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_EVALUATOR_H
+#define OPPROX_CORE_EVALUATOR_H
+
+#include "apps/ApproxApp.h"
+
+namespace opprox {
+
+/// Ground-truth outcome of running one schedule.
+struct EvalOutcome {
+  double Speedup = 1.0;
+  double QosDegradation = 0.0;
+  size_t OuterIterations = 0;
+  /// Native PSNR for PSNR-metric apps; 0 otherwise.
+  double Psnr = 0.0;
+};
+
+/// Executes \p Schedule on \p Input and measures against the golden run.
+EvalOutcome evaluateSchedule(const ApproxApp &App, GoldenCache &Golden,
+                             const std::vector<double> &Input,
+                             const PhaseSchedule &Schedule);
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_EVALUATOR_H

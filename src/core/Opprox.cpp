@@ -1,0 +1,95 @@
+//===- core/Opprox.cpp ----------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Opprox.h"
+
+using namespace opprox;
+
+Opprox Opprox::train(const ApproxApp &App, const OpproxTrainOptions &Opts) {
+  Opprox Instance;
+  Instance.App = &App;
+  Instance.Golden = std::make_unique<GoldenCache>(App);
+
+  Profiler Prof(App, *Instance.Golden);
+
+  std::vector<std::vector<double>> Inputs = Opts.TrainingInputs.empty()
+                                                ? App.trainingInputs()
+                                                : Opts.TrainingInputs;
+  assert(!Inputs.empty() && "no training inputs");
+
+  // Phase count: fixed or detected via Algorithm 1 on the first
+  // representative input.
+  size_t NumPhases = Opts.NumPhases;
+  if (NumPhases == 0)
+    NumPhases = detectPhaseCount(Prof, Inputs.front(), Opts.PhaseDetection);
+
+  ProfileOptions ProfileOpts = Opts.Profiling;
+  ProfileOpts.NumPhases = NumPhases;
+  Instance.Data = Prof.collect(Inputs, ProfileOpts);
+  Instance.TrainingRuns = Prof.runsPerformed();
+
+  Instance.Model = ModelBuilder::build(Instance.Data, NumPhases,
+                                       App.numBlocks(), Opts.ModelBuild);
+  return Instance;
+}
+
+PhaseSchedule Opprox::optimize(const std::vector<double> &Input,
+                               double QosBudget,
+                               const OptimizeOptions &Opts) const {
+  return optimizeDetailed(Input, QosBudget, Opts).Schedule;
+}
+
+OptimizationResult
+Opprox::optimizeDetailed(const std::vector<double> &Input, double QosBudget,
+                         const OptimizeOptions &Opts) const {
+  assert(App && "optimize on an untrained Opprox");
+  return optimizeSchedule(Model, Input, App->maxLevels(), QosBudget, Opts);
+}
+
+PhaseSchedule Opprox::optimizeValidated(const std::vector<double> &Input,
+                                        double QosBudget,
+                                        const OptimizeOptions &Opts) const {
+  assert(App && "optimize on an untrained Opprox");
+  PhaseSchedule Schedule = optimize(Input, QosBudget, Opts);
+
+  // Backoff bound: in the worst case every (phase, block) level steps
+  // down to zero one notch at a time.
+  size_t MaxAttempts = 0;
+  for (size_t P = 0; P < Schedule.numPhases(); ++P)
+    for (size_t B = 0; B < Schedule.numBlocks(); ++B)
+      MaxAttempts += static_cast<size_t>(Schedule.level(P, B));
+
+  for (size_t Attempt = 0; Attempt <= MaxAttempts; ++Attempt) {
+    if (Schedule.isExact())
+      break;
+    EvalOutcome Truth = evaluateSchedule(*App, *Golden, Input, Schedule);
+    if (Truth.QosDegradation <= QosBudget && Truth.Speedup >= 1.0)
+      break;
+    // De-escalate the approximated phase with the lowest ROI by one
+    // level notch per block: least predicted benefit per unit of error,
+    // and in practice the error-dominant early phase.
+    size_t Worst = Model.numPhases();
+    double WorstRoi = 0.0;
+    for (size_t P = 0; P < Model.numPhases(); ++P) {
+      bool Approximated = false;
+      for (size_t B = 0; B < Schedule.numBlocks(); ++B)
+        Approximated |= Schedule.level(P, B) != 0;
+      if (!Approximated)
+        continue;
+      double Roi = Model.phaseModels(Input, P).roi();
+      if (Worst == Model.numPhases() || Roi < WorstRoi) {
+        Worst = P;
+        WorstRoi = Roi;
+      }
+    }
+    if (Worst == Model.numPhases())
+      break;
+    for (size_t B = 0; B < Schedule.numBlocks(); ++B)
+      Schedule.setLevel(Worst, B,
+                        std::max(0, Schedule.level(Worst, B) - 1));
+  }
+  return Schedule;
+}

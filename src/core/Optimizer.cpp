@@ -1,0 +1,100 @@
+//===- core/Optimizer.cpp -------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Optimizer.h"
+#include "core/Sampler.h"
+#include <algorithm>
+#include <numeric>
+
+using namespace opprox;
+
+PhaseDecision opprox::optimizePhase(const PhaseModels &Models,
+                                    const std::vector<double> &Input,
+                                    const std::vector<int> &MaxLevels,
+                                    double Budget,
+                                    const OptimizeOptions &Opts,
+                                    size_t &ConfigsEvaluated) {
+  PhaseDecision Best;
+  Best.Levels.assign(MaxLevels.size(), 0);
+  Best.AllocatedBudget = Budget;
+
+  for (const std::vector<int> &Levels : enumerateAllConfigs(MaxLevels)) {
+    ++ConfigsEvaluated;
+    // The all-exact configuration is the baseline Best already (known
+    // speedup 1, QoS 0); never route it through the models.
+    if (std::all_of(Levels.begin(), Levels.end(),
+                    [](int L) { return L == 0; }))
+      continue;
+    double Qos = Opts.Conservative
+                     ? Models.conservativeQos(Input, Levels, Opts.ConfidenceP)
+                     : Models.predictQos(Input, Levels);
+    if (Qos > Budget)
+      continue;
+    double Speedup =
+        Opts.Conservative
+            ? Models.conservativeSpeedup(Input, Levels, Opts.ConfidenceP)
+            : Models.predictSpeedup(Input, Levels);
+    if (Speedup > Best.PredictedSpeedup) {
+      Best.Levels = Levels;
+      Best.PredictedSpeedup = Speedup;
+      Best.PredictedQos = Qos;
+    }
+  }
+  return Best;
+}
+
+OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
+                                            const std::vector<double> &Input,
+                                            const std::vector<int> &MaxLevels,
+                                            double QosBudget,
+                                            const OptimizeOptions &Opts) {
+  assert(QosBudget >= 0.0 && "negative QoS budget");
+  size_t NumPhases = Model.numPhases();
+
+  OptimizationResult Result;
+  Result.Schedule = PhaseSchedule(NumPhases, MaxLevels.size());
+  Result.Decisions.resize(NumPhases);
+
+  // Phase ROIs and the initial normalized shares the paper reports.
+  std::vector<double> Roi(NumPhases);
+  double RoiSum = 0.0;
+  for (size_t P = 0; P < NumPhases; ++P) {
+    Roi[P] = std::max(Model.phaseModels(Input, P).roi(), 0.0);
+    RoiSum += Roi[P];
+  }
+  Result.NormalizedRoi.resize(NumPhases, 1.0 / static_cast<double>(NumPhases));
+  if (RoiSum > 0.0)
+    for (size_t P = 0; P < NumPhases; ++P)
+      Result.NormalizedRoi[P] = Roi[P] / RoiSum;
+
+  // Visit phases in decreasing ROI; each gets the share of the budget
+  // still unspent, proportional to its ROI among the remaining phases.
+  // Unused allocation therefore flows to later (lower-ROI) phases.
+  std::vector<size_t> Order(NumPhases);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](size_t A, size_t B) { return Roi[A] > Roi[B]; });
+
+  double RemainingBudget = QosBudget;
+  double RemainingRoiSum = RoiSum;
+  for (size_t Rank = 0; Rank < Order.size(); ++Rank) {
+    size_t Phase = Order[Rank];
+    double Share = RemainingRoiSum > 0.0
+                       ? Roi[Phase] / RemainingRoiSum
+                       : 1.0 / static_cast<double>(NumPhases - Rank);
+    double PhaseBudget = RemainingBudget * Share;
+
+    PhaseDecision Decision =
+        optimizePhase(Model.phaseModels(Input, Phase), Input, MaxLevels,
+                      PhaseBudget, Opts, Result.ConfigsEvaluated);
+    Result.Schedule.setPhaseLevels(Phase, Decision.Levels);
+    Result.Decisions[Phase] = Decision;
+
+    RemainingBudget = std::max(0.0, RemainingBudget - Decision.PredictedQos);
+    RemainingRoiSum -= Roi[Phase];
+  }
+  return Result;
+}

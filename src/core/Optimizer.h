@@ -1,0 +1,69 @@
+//===- core/Optimizer.h - Budget allocation + phase search -----*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 2 of the paper: sort phases by ROI, hand each a share of
+/// the remaining QoS degradation budget proportional to its normalized
+/// ROI, exhaustively search that phase's discrete level space for the
+/// predicted-speedup-maximizing configuration whose conservative QoS
+/// stays within the sub-budget, and let unused budget flow to later
+/// phases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_OPTIMIZER_H
+#define OPPROX_CORE_OPTIMIZER_H
+
+#include "core/AppModel.h"
+#include "approx/PhaseSchedule.h"
+
+namespace opprox {
+
+struct OptimizeOptions {
+  /// Confidence level for the conservative bounds (paper: p = 0.99).
+  double ConfidenceP = 0.99;
+  /// Use conservative bounds (upper QoS / lower speedup). Turning this
+  /// off is the ablation of Sec. "confidence analysis".
+  bool Conservative = true;
+};
+
+/// What the optimizer decided for one phase.
+struct PhaseDecision {
+  std::vector<int> Levels;
+  double PredictedSpeedup = 1.0;
+  double PredictedQos = 0.0;
+  double AllocatedBudget = 0.0;
+};
+
+/// Full optimization outcome.
+struct OptimizationResult {
+  PhaseSchedule Schedule{1, 1};
+  std::vector<PhaseDecision> Decisions; // Indexed by phase.
+  /// Initial normalized ROI share per phase (the paper reports these,
+  /// e.g. 0.166/0.17/0.265/0.399 for LULESH).
+  std::vector<double> NormalizedRoi;
+  size_t ConfigsEvaluated = 0;
+};
+
+/// Searches one phase: maximize predicted speedup subject to the
+/// conservative QoS staying within \p Budget. Returns the all-exact
+/// decision when nothing fits.
+PhaseDecision optimizePhase(const PhaseModels &Models,
+                            const std::vector<double> &Input,
+                            const std::vector<int> &MaxLevels, double Budget,
+                            const OptimizeOptions &Opts,
+                            size_t &ConfigsEvaluated);
+
+/// Algorithm 2 over all phases.
+OptimizationResult optimizeSchedule(const AppModel &Model,
+                                    const std::vector<double> &Input,
+                                    const std::vector<int> &MaxLevels,
+                                    double QosBudget,
+                                    const OptimizeOptions &Opts);
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_OPTIMIZER_H

@@ -1,0 +1,59 @@
+//===- core/OracleBaseline.cpp --------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OracleBaseline.h"
+#include "approx/WorkCounter.h"
+#include "core/Sampler.h"
+
+using namespace opprox;
+
+std::vector<MeasuredConfig>
+opprox::measureAllUniformConfigs(const ApproxApp &App, GoldenCache &Golden,
+                                 const std::vector<double> &Input) {
+  const RunResult &Exact = Golden.exactRun(Input);
+  std::vector<MeasuredConfig> Out;
+  for (const std::vector<int> &Levels :
+       enumerateAllConfigs(App.maxLevels())) {
+    MeasuredConfig M;
+    M.Levels = Levels;
+    bool AllZero = true;
+    for (int L : Levels)
+      AllZero = AllZero && L == 0;
+    if (AllZero) {
+      M.Speedup = 1.0;
+      M.QosDegradation = 0.0;
+      M.OuterIterations = Exact.OuterIterations;
+    } else {
+      PhaseSchedule Schedule = PhaseSchedule::uniform(1, Levels);
+      RunResult R = App.run(Input, Schedule, Exact.OuterIterations);
+      M.Speedup = speedupOf(Exact.WorkUnits, R.WorkUnits);
+      M.QosDegradation = App.qosDegradation(Exact, R);
+      M.OuterIterations = R.OuterIterations;
+    }
+    Out.push_back(std::move(M));
+  }
+  return Out;
+}
+
+OracleResult opprox::selectOracle(const std::vector<MeasuredConfig> &Measured,
+                                  double QosBudget) {
+  OracleResult Result;
+  Result.ConfigsSearched = Measured.size();
+  Result.Best.Speedup = 1.0;
+  Result.Best.QosDegradation = 0.0;
+  if (!Measured.empty())
+    Result.Best.Levels.assign(Measured.front().Levels.size(), 0);
+
+  for (const MeasuredConfig &M : Measured) {
+    if (M.QosDegradation > QosBudget)
+      continue;
+    if (M.Speedup > Result.Best.Speedup) {
+      Result.Best = M;
+      Result.FoundNonTrivial = true;
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,54 @@
+//===- core/OracleBaseline.h - Phase-agnostic oracle search ----*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison baseline of paper Sec. 5.3: a phase-agnostic
+/// exhaustive search (as in Sidiroglou et al. and Capri) that *actually
+/// runs* every level combination uniformly across the whole execution
+/// and picks the best true speedup whose true QoS degradation fits the
+/// budget. It is an oracle -- it sees ground truth, not models -- so
+/// beating it at tight budgets demonstrates the value of phase
+/// awareness, not of better prediction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_ORACLEBASELINE_H
+#define OPPROX_CORE_ORACLEBASELINE_H
+
+#include "apps/ApproxApp.h"
+
+namespace opprox {
+
+/// Ground-truth measurement of one uniform configuration.
+struct MeasuredConfig {
+  std::vector<int> Levels;
+  double Speedup = 1.0;
+  double QosDegradation = 0.0;
+  size_t OuterIterations = 0;
+};
+
+/// Runs every level combination uniformly (phase-agnostic) and records
+/// ground truth. The all-exact configuration comes first. Expensive:
+/// one application run per configuration.
+std::vector<MeasuredConfig>
+measureAllUniformConfigs(const ApproxApp &App, GoldenCache &Golden,
+                         const std::vector<double> &Input);
+
+/// Result of the oracle selection.
+struct OracleResult {
+  bool FoundNonTrivial = false; ///< A config beating speedup 1 fit.
+  MeasuredConfig Best;          ///< All-exact when nothing fit.
+  size_t ConfigsSearched = 0;
+};
+
+/// Picks the measured configuration with maximum speedup subject to
+/// QosDegradation <= \p QosBudget.
+OracleResult selectOracle(const std::vector<MeasuredConfig> &Measured,
+                          double QosBudget);
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_ORACLEBASELINE_H

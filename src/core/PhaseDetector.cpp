@@ -1,0 +1,53 @@
+//===- core/PhaseDetector.cpp ---------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PhaseDetector.h"
+#include "support/Statistics.h"
+#include <cmath>
+
+using namespace opprox;
+
+double opprox::maxQosDiff(Profiler &Prof, const std::vector<double> &Input,
+                          size_t NumPhases, const PhaseDetectOptions &Opts) {
+  // Use the same probe configurations in every phase so phase-to-phase
+  // differences reflect the phase, not the configuration.
+  Rng ProbeRng(Opts.Seed);
+  SamplingPlan Plan =
+      makeSamplingPlan(Prof.app().maxLevels(), Opts.ProbeConfigs, ProbeRng);
+  const std::vector<std::vector<int>> &Configs = Plan.JointConfigs;
+
+  std::vector<double> MeanQosPerPhase(NumPhases, 0.0);
+  for (size_t Phase = 0; Phase < NumPhases; ++Phase) {
+    RunningStats Stats;
+    for (const std::vector<int> &Levels : Configs) {
+      TrainingSample S =
+          Prof.measure(Input, Levels, static_cast<int>(Phase), NumPhases);
+      Stats.add(S.QosDegradation);
+    }
+    MeanQosPerPhase[Phase] = Stats.mean();
+  }
+
+  double MaxDiff = 0.0;
+  for (size_t Phase = 0; Phase + 1 < NumPhases; ++Phase)
+    MaxDiff = std::max(MaxDiff, std::fabs(MeanQosPerPhase[Phase + 1] -
+                                          MeanQosPerPhase[Phase]));
+  return MaxDiff;
+}
+
+size_t opprox::detectPhaseCount(Profiler &Prof,
+                                const std::vector<double> &Input,
+                                const PhaseDetectOptions &Opts) {
+  size_t N = 2;
+  double PrevDiff = maxQosDiff(Prof, Input, N, Opts);
+  while (2 * N <= Opts.MaxPhases) {
+    double NewDiff = maxQosDiff(Prof, Input, 2 * N, Opts);
+    if (std::fabs(PrevDiff - NewDiff) <= Opts.Threshold)
+      break;
+    N *= 2;
+    PrevDiff = NewDiff;
+  }
+  return N;
+}

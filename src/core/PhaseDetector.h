@@ -1,0 +1,46 @@
+//===- core/PhaseDetector.h - Phase-granularity search ---------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1 of the paper: starting from N=2 phases, keep doubling
+/// while the "max difference between mean QoS degradations of
+/// consecutive phases" still moves by more than a threshold. Large N
+/// captures phase structure at finer grain but inflates the search space
+/// exponentially, so the search stops as soon as refinement stops paying.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_PHASEDETECTOR_H
+#define OPPROX_CORE_PHASEDETECTOR_H
+
+#include "core/Profiler.h"
+
+namespace opprox {
+
+struct PhaseDetectOptions {
+  /// Stop when |maxDiff(N) - maxDiff(2N)| falls below this (percent QoS).
+  double Threshold = 2.0;
+  /// Hard cap on phases (the paper explores up to 8).
+  size_t MaxPhases = 8;
+  /// Probe configurations per phase for getMaxQoSDiff.
+  size_t ProbeConfigs = 5;
+  uint64_t Seed = 0xA160;
+};
+
+/// Helper of Algorithm 1: with \p NumPhases phases, probes a few
+/// configurations in each phase and returns the maximum difference
+/// between the mean QoS degradations of consecutive phases.
+double maxQosDiff(Profiler &Prof, const std::vector<double> &Input,
+                  size_t NumPhases, const PhaseDetectOptions &Opts);
+
+/// Algorithm 1: the phase count at which refinement stops changing the
+/// inter-phase QoS contrast.
+size_t detectPhaseCount(Profiler &Prof, const std::vector<double> &Input,
+                        const PhaseDetectOptions &Opts);
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_PHASEDETECTOR_H

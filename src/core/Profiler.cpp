@@ -1,0 +1,75 @@
+//===- core/Profiler.cpp --------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Profiler.h"
+#include "approx/WorkCounter.h"
+
+using namespace opprox;
+
+int SignatureRegistry::classOf(const std::string &Signature) {
+  auto It = Classes.find(Signature);
+  if (It != Classes.end())
+    return It->second;
+  int Id = static_cast<int>(Classes.size());
+  Classes.emplace(Signature, Id);
+  return Id;
+}
+
+int SignatureRegistry::lookup(const std::string &Signature) const {
+  auto It = Classes.find(Signature);
+  return It == Classes.end() ? -1 : It->second;
+}
+
+TrainingSample Profiler::measure(const std::vector<double> &Input,
+                                 const std::vector<int> &Levels, int Phase,
+                                 size_t NumPhases) {
+  const RunResult &Exact = Golden.exactRun(Input);
+  size_t Nominal = Exact.OuterIterations;
+
+  PhaseSchedule Schedule =
+      Phase == AllPhases
+          ? PhaseSchedule::uniform(NumPhases, Levels)
+          : PhaseSchedule::singlePhase(NumPhases,
+                                       static_cast<size_t>(Phase), Levels);
+  RunResult Approx = App.run(Input, Schedule, Nominal);
+  ++RunCount;
+
+  TrainingSample S;
+  S.Input = Input;
+  S.Levels = Levels;
+  S.Phase = Phase;
+  S.Speedup = speedupOf(Exact.WorkUnits, Approx.WorkUnits);
+  S.QosDegradation = App.qosDegradation(Exact, Approx);
+  S.OuterIterations = static_cast<double>(Approx.OuterIterations);
+  S.ControlFlowClass = Registry.classOf(Exact.ControlFlowSignature);
+  return S;
+}
+
+TrainingSet Profiler::collect(const std::vector<std::vector<double>> &Inputs,
+                              const ProfileOptions &Opts) {
+  assert(Opts.NumPhases >= 1 && "need at least one phase");
+  TrainingSet Set;
+  Rng SampleRng(Opts.Seed);
+
+  for (const std::vector<double> &Input : Inputs) {
+    // Register this input's control flow up front so classifier training
+    // sees every class even if a config crashes out later.
+    (void)Registry.classOf(Golden.exactRun(Input).ControlFlowSignature);
+
+    SamplingPlan Plan = makeSamplingPlan(App.maxLevels(),
+                                         Opts.RandomJointSamples, SampleRng);
+    std::vector<std::vector<int>> Configs = Plan.all();
+
+    for (const std::vector<int> &Levels : Configs) {
+      for (size_t Phase = 0; Phase < Opts.NumPhases; ++Phase)
+        Set.add(measure(Input, Levels, static_cast<int>(Phase),
+                        Opts.NumPhases));
+      if (Opts.IncludeAllPhaseRuns)
+        Set.add(measure(Input, Levels, AllPhases, Opts.NumPhases));
+    }
+  }
+  return Set;
+}

@@ -1,0 +1,85 @@
+//===- core/Profiler.h - Training-data collection --------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs an application across (training inputs x sampled configurations
+/// x phases) and materializes TrainingSamples (paper Secs. 3.3 and
+/// Fig. 6's "phase based sampling of configurations"). Also maintains the
+/// signature registry mapping call-context signatures to control-flow
+/// class ids (Sec. 3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_PROFILER_H
+#define OPPROX_CORE_PROFILER_H
+
+#include "apps/ApproxApp.h"
+#include "core/Sampler.h"
+#include "core/TrainingData.h"
+#include <map>
+
+namespace opprox {
+
+/// Maps control-flow signatures to dense class ids in first-seen order.
+class SignatureRegistry {
+public:
+  /// Class id of \p Signature, registering it when new.
+  int classOf(const std::string &Signature);
+
+  /// Class id if registered, otherwise -1.
+  int lookup(const std::string &Signature) const;
+
+  size_t numClasses() const { return Classes.size(); }
+
+private:
+  std::map<std::string, int> Classes;
+};
+
+struct ProfileOptions {
+  /// Phases to attribute approximation to.
+  size_t NumPhases = 4;
+  /// Random joint configurations per (input, phase).
+  size_t RandomJointSamples = 32;
+  /// Also collect uniform (all-phase) samples, one per configuration.
+  bool IncludeAllPhaseRuns = true;
+  /// Seed for the sampling RNG.
+  uint64_t Seed = 0x0991;
+};
+
+/// Profiling driver. Holds the golden cache and signature registry so
+/// repeated collections share exact runs and class ids.
+class Profiler {
+public:
+  Profiler(const ApproxApp &App, GoldenCache &Golden)
+      : App(App), Golden(Golden) {}
+
+  /// Collects training data for every input in \p Inputs.
+  TrainingSet collect(const std::vector<std::vector<double>> &Inputs,
+                      const ProfileOptions &Opts);
+
+  /// Executes one configuration in one phase (or AllPhases) and builds
+  /// the sample. Exposed for tests and the phase detector.
+  TrainingSample measure(const std::vector<double> &Input,
+                         const std::vector<int> &Levels, int Phase,
+                         size_t NumPhases);
+
+  SignatureRegistry &signatures() { return Registry; }
+  GoldenCache &golden() { return Golden; }
+  const ApproxApp &app() const { return App; }
+
+  /// Total application runs performed so far (golden runs excluded).
+  size_t runsPerformed() const { return RunCount; }
+
+private:
+  const ApproxApp &App;
+  GoldenCache &Golden;
+  SignatureRegistry Registry;
+  size_t RunCount = 0;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_PROFILER_H

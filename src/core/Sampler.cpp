@@ -1,0 +1,78 @@
+//===- core/Sampler.cpp ---------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Sampler.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace opprox;
+
+std::vector<std::vector<int>> SamplingPlan::all() const {
+  std::vector<std::vector<int>> Out = LocalConfigs;
+  Out.insert(Out.end(), JointConfigs.begin(), JointConfigs.end());
+  return Out;
+}
+
+SamplingPlan opprox::makeSamplingPlan(const std::vector<int> &MaxLevels,
+                                      size_t NumRandomJoint, Rng &Rng) {
+  assert(!MaxLevels.empty() && "no blocks to sample");
+  SamplingPlan Plan;
+
+  for (size_t B = 0; B < MaxLevels.size(); ++B) {
+    assert(MaxLevels[B] >= 1 && "block without approximation levels");
+    for (int L = 1; L <= MaxLevels[B]; ++L) {
+      std::vector<int> Config(MaxLevels.size(), 0);
+      Config[B] = L;
+      Plan.LocalConfigs.push_back(std::move(Config));
+    }
+  }
+
+  for (size_t I = 0; I < NumRandomJoint; ++I) {
+    std::vector<int> Config(MaxLevels.size(), 0);
+    bool AllZero = true;
+    do {
+      AllZero = true;
+      for (size_t B = 0; B < MaxLevels.size(); ++B) {
+        Config[B] = static_cast<int>(Rng.range(0, MaxLevels[B]));
+        AllZero = AllZero && Config[B] == 0;
+      }
+    } while (AllZero);
+    Plan.JointConfigs.push_back(std::move(Config));
+  }
+  return Plan;
+}
+
+std::vector<std::vector<int>>
+opprox::enumerateAllConfigs(const std::vector<int> &MaxLevels, size_t Limit) {
+  size_t Total = 1;
+  for (int M : MaxLevels) {
+    assert(M >= 0 && "negative max level");
+    Total *= static_cast<size_t>(M) + 1;
+    assert(Total <= Limit && "configuration space too large to enumerate");
+  }
+  std::vector<std::vector<int>> Out;
+  Out.reserve(Total);
+  std::vector<int> Current(MaxLevels.size(), 0);
+  for (;;) {
+    Out.push_back(Current);
+    // Odometer increment.
+    size_t B = 0;
+    while (B < Current.size()) {
+      if (Current[B] < MaxLevels[B]) {
+        ++Current[B];
+        std::fill(Current.begin(), Current.begin() +
+                                       static_cast<std::ptrdiff_t>(B),
+                  0);
+        break;
+      }
+      ++B;
+    }
+    if (B == Current.size())
+      break;
+  }
+  assert(Out.size() == Total && "enumeration miscounted");
+  return Out;
+}

@@ -1,0 +1,54 @@
+//===- core/Sampler.h - AL-space sampling plans ----------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sampling strategy of paper Sec. 3.3: exhaustively cover each block's
+/// own level range while every other block stays exact (for the local
+/// models), then add sparse random joint configurations (to capture
+/// interactions for the overall models).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_SAMPLER_H
+#define OPPROX_CORE_SAMPLER_H
+
+#include "support/Random.h"
+#include <vector>
+
+namespace opprox {
+
+/// The configurations one profiling pass will execute.
+struct SamplingPlan {
+  /// One block approximated at a time, every level 1..max (exhaustive
+  /// local coverage). The all-exact configuration is not included; the
+  /// golden run covers it.
+  std::vector<std::vector<int>> LocalConfigs;
+
+  /// Random joint configurations with arbitrary levels in every block.
+  std::vector<std::vector<int>> JointConfigs;
+
+  /// Local followed by joint configurations.
+  std::vector<std::vector<int>> all() const;
+
+  size_t size() const { return LocalConfigs.size() + JointConfigs.size(); }
+};
+
+/// Builds a plan over blocks with the given per-block maximum levels.
+/// \p NumRandomJoint random joint configs are drawn via \p Rng (all-zero
+/// draws are rerolled).
+SamplingPlan makeSamplingPlan(const std::vector<int> &MaxLevels,
+                              size_t NumRandomJoint, Rng &Rng);
+
+/// Enumerates every level combination (cartesian product), all-exact
+/// first -- the phase-agnostic oracle's search space. Asserts the space
+/// stays under \p Limit configurations.
+std::vector<std::vector<int>>
+enumerateAllConfigs(const std::vector<int> &MaxLevels,
+                    size_t Limit = 2'000'000);
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_SAMPLER_H

@@ -1,0 +1,106 @@
+//===- core/TrainingData.cpp ----------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TrainingData.h"
+#include "support/StringUtils.h"
+#include <cassert>
+
+using namespace opprox;
+
+TrainingSet TrainingSet::filter(
+    const std::function<bool(const TrainingSample &)> &Keep) const {
+  TrainingSet Out;
+  for (const TrainingSample &S : Samples)
+    if (Keep(S))
+      Out.add(S);
+  return Out;
+}
+
+TrainingSet TrainingSet::forPhase(int Phase) const {
+  return filter([Phase](const TrainingSample &S) { return S.Phase == Phase; });
+}
+
+TrainingSet TrainingSet::forClass(int ControlFlowClass) const {
+  return filter([ControlFlowClass](const TrainingSample &S) {
+    return S.ControlFlowClass == ControlFlowClass;
+  });
+}
+
+std::string
+TrainingSet::toCsv(const std::vector<std::string> &InputNames,
+                   const std::vector<std::string> &BlockNames) const {
+  std::vector<std::string> Header;
+  for (const std::string &Name : InputNames)
+    Header.push_back("in_" + Name);
+  for (const std::string &Name : BlockNames)
+    Header.push_back("al_" + Name);
+  Header.push_back("phase");
+  Header.push_back("speedup");
+  Header.push_back("qos_degradation");
+  Header.push_back("outer_iterations");
+  Header.push_back("cf_class");
+
+  std::string Out = join(Header, ",") + "\n";
+  for (const TrainingSample &S : Samples) {
+    assert(S.Input.size() == InputNames.size() && "input width mismatch");
+    assert(S.Levels.size() == BlockNames.size() && "level width mismatch");
+    std::vector<std::string> Row;
+    for (double V : S.Input)
+      Row.push_back(format("%.17g", V));
+    for (int L : S.Levels)
+      Row.push_back(format("%d", L));
+    Row.push_back(format("%d", S.Phase));
+    Row.push_back(format("%.17g", S.Speedup));
+    Row.push_back(format("%.17g", S.QosDegradation));
+    Row.push_back(format("%.17g", S.OuterIterations));
+    Row.push_back(format("%d", S.ControlFlowClass));
+    Out += join(Row, ",") + "\n";
+  }
+  return Out;
+}
+
+Expected<TrainingSet> TrainingSet::fromCsv(const std::string &Csv,
+                                           size_t NumInputs,
+                                           size_t NumBlocks) {
+  TrainingSet Out;
+  std::vector<std::string> Lines = split(Csv, '\n');
+  size_t ExpectedCols = NumInputs + NumBlocks + 5;
+  for (size_t LineNo = 1; LineNo < Lines.size(); ++LineNo) {
+    const std::string &Line = Lines[LineNo];
+    if (trim(Line).empty())
+      continue;
+    std::vector<std::string> Cols = split(Line, ',');
+    if (Cols.size() != ExpectedCols)
+      return makeError("line %zu: expected %zu columns, found %zu", LineNo + 1,
+                       ExpectedCols, Cols.size());
+    TrainingSample S;
+    size_t C = 0;
+    auto TakeDouble = [&](double &Target) {
+      return parseDouble(Cols[C++], Target);
+    };
+    auto TakeInt = [&](int &Target) {
+      long L;
+      if (!parseInt(Cols[C++], L))
+        return false;
+      Target = static_cast<int>(L);
+      return true;
+    };
+    bool Ok = true;
+    S.Input.resize(NumInputs);
+    for (size_t I = 0; I < NumInputs && Ok; ++I)
+      Ok = TakeDouble(S.Input[I]);
+    S.Levels.resize(NumBlocks);
+    for (size_t I = 0; I < NumBlocks && Ok; ++I)
+      Ok = TakeInt(S.Levels[I]);
+    Ok = Ok && TakeInt(S.Phase) && TakeDouble(S.Speedup) &&
+         TakeDouble(S.QosDegradation) && TakeDouble(S.OuterIterations) &&
+         TakeInt(S.ControlFlowClass);
+    if (!Ok)
+      return makeError("line %zu: malformed numeric field", LineNo + 1);
+    Out.add(std::move(S));
+  }
+  return Out;
+}

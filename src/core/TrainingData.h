@@ -1,0 +1,74 @@
+//===- core/TrainingData.h - Profiling samples -----------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The training records OPPROX collects while profiling an application
+/// (paper Sec. 3.3): per run, the input parameters, the approximation
+/// levels applied, the phase they were applied in, and the measured
+/// speedup / QoS degradation / outer-loop iteration count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_TRAININGDATA_H
+#define OPPROX_CORE_TRAININGDATA_H
+
+#include "support/Error.h"
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace opprox {
+
+/// Phase value meaning "approximation applied across all phases".
+constexpr int AllPhases = -1;
+
+/// One profiled run.
+struct TrainingSample {
+  std::vector<double> Input; ///< Application input parameters.
+  std::vector<int> Levels;   ///< ALs applied in the approximated phase.
+  int Phase = AllPhases;     ///< Phase approximated; AllPhases = uniform.
+  double Speedup = 1.0;
+  double QosDegradation = 0.0;
+  double OuterIterations = 0.0;
+  int ControlFlowClass = 0;
+};
+
+/// A bag of training samples with filtering and CSV round-trip.
+class TrainingSet {
+public:
+  void add(TrainingSample Sample) { Samples.push_back(std::move(Sample)); }
+
+  size_t size() const { return Samples.size(); }
+  bool empty() const { return Samples.empty(); }
+  const TrainingSample &operator[](size_t I) const { return Samples[I]; }
+  const std::vector<TrainingSample> &samples() const { return Samples; }
+
+  /// Samples satisfying \p Keep, as a new set.
+  TrainingSet filter(
+      const std::function<bool(const TrainingSample &)> &Keep) const;
+
+  /// Samples approximated in \p Phase (use AllPhases for uniform runs).
+  TrainingSet forPhase(int Phase) const;
+
+  /// Samples with the given control-flow class.
+  TrainingSet forClass(int ControlFlowClass) const;
+
+  /// CSV with a header naming every column. \p InputNames and
+  /// \p BlockNames label the input and level columns.
+  std::string toCsv(const std::vector<std::string> &InputNames,
+                    const std::vector<std::string> &BlockNames) const;
+
+  /// Parses a CSV produced by toCsv. Fails on malformed rows.
+  static Expected<TrainingSet> fromCsv(const std::string &Csv,
+                                       size_t NumInputs, size_t NumBlocks);
+
+private:
+  std::vector<TrainingSample> Samples;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_TRAININGDATA_H

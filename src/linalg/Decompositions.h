@@ -1,0 +1,64 @@
+//===- linalg/Decompositions.h - QR and Cholesky ---------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Householder QR and Cholesky factorizations. QR backs the least-squares
+/// solver used by polynomial regression; Cholesky backs the ridge normal
+/// equations and doubles as a positive-definiteness check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_LINALG_DECOMPOSITIONS_H
+#define OPPROX_LINALG_DECOMPOSITIONS_H
+
+#include "linalg/Matrix.h"
+#include <optional>
+
+namespace opprox {
+
+/// Householder QR of an m x n matrix with m >= n. Stores the factors in
+/// compact form and exposes the operations least-squares needs.
+class QrDecomposition {
+public:
+  /// Factorizes \p A (copied). Requires A.rows() >= A.cols().
+  explicit QrDecomposition(const Matrix &A);
+
+  /// True when A had (numerically) full column rank.
+  bool isFullRank() const { return FullRank; }
+
+  /// Applies Q^T to \p B (length m), returning a length-m vector.
+  std::vector<double> applyQTranspose(const std::vector<double> &B) const;
+
+  /// Solves R x = y for the top n entries of \p Y by back substitution.
+  /// Returns std::nullopt when R is singular.
+  std::optional<std::vector<double>>
+  solveUpper(const std::vector<double> &Y) const;
+
+  /// Convenience: least-squares solution of A x ~= B, or nullopt when A is
+  /// rank deficient.
+  std::optional<std::vector<double>>
+  solve(const std::vector<double> &B) const;
+
+  /// Reconstructs the explicit R factor (n x n upper triangle).
+  Matrix rFactor() const;
+
+private:
+  Matrix Factors;              // Householder vectors below diag, R on/above.
+  std::vector<double> TauDiag; // Diagonal of R (signed).
+  bool FullRank = true;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite
+/// matrix. Returns std::nullopt when A is not positive definite.
+std::optional<Matrix> cholesky(const Matrix &A);
+
+/// Solves A x = B given the Cholesky factor \p L of A.
+std::vector<double> choleskySolve(const Matrix &L,
+                                  const std::vector<double> &B);
+
+} // namespace opprox
+
+#endif // OPPROX_LINALG_DECOMPOSITIONS_H

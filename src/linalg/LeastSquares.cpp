@@ -1,0 +1,45 @@
+//===- linalg/LeastSquares.cpp --------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/LeastSquares.h"
+#include "linalg/Decompositions.h"
+
+using namespace opprox;
+
+std::optional<std::vector<double>>
+opprox::solveLeastSquares(const Matrix &A, const std::vector<double> &B) {
+  assert(A.rows() == B.size() && "rhs length mismatch");
+  if (A.rows() < A.cols())
+    return std::nullopt;
+  QrDecomposition Qr(A);
+  return Qr.solve(B);
+}
+
+std::vector<double> opprox::solveRidge(const Matrix &A,
+                                       const std::vector<double> &B,
+                                       double Lambda) {
+  assert(A.rows() == B.size() && "rhs length mismatch");
+  assert(Lambda > 0.0 && "ridge penalty must be positive");
+  size_t N = A.cols();
+  // Normal equations: (A^T A + Lambda I) x = A^T B.
+  Matrix At = A.transposed();
+  Matrix AtA = At.multiply(A);
+  for (size_t I = 0; I < N; ++I)
+    AtA.at(I, I) += Lambda;
+  std::vector<double> AtB = At.multiply(B);
+  std::optional<Matrix> L = cholesky(AtA);
+  // Lambda > 0 makes AtA positive definite up to rounding; if rounding
+  // still defeats Cholesky, escalate the penalty rather than crash.
+  double Penalty = Lambda;
+  while (!L) {
+    Penalty *= 10.0;
+    Matrix Regularized = AtA;
+    for (size_t I = 0; I < N; ++I)
+      Regularized.at(I, I) += Penalty;
+    L = cholesky(Regularized);
+  }
+  return choleskySolve(*L, AtB);
+}

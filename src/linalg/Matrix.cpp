@@ -1,0 +1,111 @@
+//===- linalg/Matrix.cpp --------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Matrix.h"
+#include <cmath>
+
+using namespace opprox;
+
+Matrix Matrix::fromRows(const std::vector<std::vector<double>> &Rows) {
+  if (Rows.empty())
+    return Matrix();
+  Matrix M(Rows.size(), Rows.front().size());
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    assert(Rows[R].size() == M.cols() && "ragged rows");
+    for (size_t C = 0; C < M.cols(); ++C)
+      M.at(R, C) = Rows[R][C];
+  }
+  return M;
+}
+
+Matrix Matrix::identity(size_t N) {
+  Matrix M(N, N);
+  for (size_t I = 0; I < N; ++I)
+    M.at(I, I) = 1.0;
+  return M;
+}
+
+std::vector<double> Matrix::row(size_t R) const {
+  const double *Begin = rowData(R);
+  return std::vector<double>(Begin, Begin + NumCols);
+}
+
+std::vector<double> Matrix::col(size_t C) const {
+  assert(C < NumCols && "column out of range");
+  std::vector<double> Column(NumRows);
+  for (size_t R = 0; R < NumRows; ++R)
+    Column[R] = at(R, C);
+  return Column;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix T(NumCols, NumRows);
+  for (size_t R = 0; R < NumRows; ++R)
+    for (size_t C = 0; C < NumCols; ++C)
+      T.at(C, R) = at(R, C);
+  return T;
+}
+
+Matrix Matrix::multiply(const Matrix &Other) const {
+  assert(NumCols == Other.rows() && "inner dimension mismatch");
+  Matrix Out(NumRows, Other.cols());
+  for (size_t R = 0; R < NumRows; ++R) {
+    for (size_t K = 0; K < NumCols; ++K) {
+      double V = at(R, K);
+      if (V == 0.0)
+        continue;
+      const double *OtherRow = Other.rowData(K);
+      double *OutRow = Out.rowData(R);
+      for (size_t C = 0; C < Other.cols(); ++C)
+        OutRow[C] += V * OtherRow[C];
+    }
+  }
+  return Out;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double> &V) const {
+  assert(V.size() == NumCols && "vector length mismatch");
+  std::vector<double> Out(NumRows, 0.0);
+  for (size_t R = 0; R < NumRows; ++R) {
+    const double *Row = rowData(R);
+    double Sum = 0.0;
+    for (size_t C = 0; C < NumCols; ++C)
+      Sum += Row[C] * V[C];
+    Out[R] = Sum;
+  }
+  return Out;
+}
+
+double Matrix::maxAbsDiff(const Matrix &Other) const {
+  assert(NumRows == Other.rows() && NumCols == Other.cols() &&
+         "shape mismatch");
+  double Max = 0.0;
+  for (size_t I = 0; I < Data.size(); ++I)
+    Max = std::max(Max, std::fabs(Data[I] - Other.Data[I]));
+  return Max;
+}
+
+double opprox::dot(const std::vector<double> &A,
+                   const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dot length mismatch");
+  double Sum = 0.0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+double opprox::norm2(const std::vector<double> &V) {
+  return std::sqrt(dot(V, V));
+}
+
+std::vector<double> opprox::axpy(const std::vector<double> &A,
+                                 const std::vector<double> &B, double Scale) {
+  assert(A.size() == B.size() && "axpy length mismatch");
+  std::vector<double> Out(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    Out[I] = A[I] + Scale * B[I];
+  return Out;
+}

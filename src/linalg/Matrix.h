@@ -1,0 +1,97 @@
+//===- linalg/Matrix.h - Dense matrices and vectors ------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense row-major double matrix and free vector helpers. Sized for the
+/// regression problems OPPROX solves (hundreds to a few thousand rows,
+/// tens of columns), so the implementation favours clarity over blocking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_LINALG_MATRIX_H
+#define OPPROX_LINALG_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace opprox {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+
+  /// Creates a Rows x Cols matrix initialized to \p Fill.
+  Matrix(size_t Rows, size_t Cols, double Fill = 0.0)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+  /// Builds a matrix from rows; every row must have equal length.
+  static Matrix fromRows(const std::vector<std::vector<double>> &Rows);
+
+  /// The N x N identity matrix.
+  static Matrix identity(size_t N);
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  bool empty() const { return Data.empty(); }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// Pointer to the start of row \p R (contiguous NumCols doubles).
+  double *rowData(size_t R) {
+    assert(R < NumRows && "row out of range");
+    return Data.data() + R * NumCols;
+  }
+  const double *rowData(size_t R) const {
+    assert(R < NumRows && "row out of range");
+    return Data.data() + R * NumCols;
+  }
+
+  /// Copies row \p R into a vector.
+  std::vector<double> row(size_t R) const;
+
+  /// Copies column \p C into a vector.
+  std::vector<double> col(size_t C) const;
+
+  /// Matrix transpose.
+  Matrix transposed() const;
+
+  /// Matrix product; cols() must equal Other.rows().
+  Matrix multiply(const Matrix &Other) const;
+
+  /// Matrix-vector product; V.size() must equal cols().
+  std::vector<double> multiply(const std::vector<double> &V) const;
+
+  /// Max absolute element difference against \p Other (same shape).
+  double maxAbsDiff(const Matrix &Other) const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// Dot product of equal-length vectors.
+double dot(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Euclidean norm.
+double norm2(const std::vector<double> &V);
+
+/// Component-wise A + Scale * B.
+std::vector<double> axpy(const std::vector<double> &A,
+                         const std::vector<double> &B, double Scale);
+
+} // namespace opprox
+
+#endif // OPPROX_LINALG_MATRIX_H

@@ -1,0 +1,35 @@
+//===- ml/ConfidenceInterval.cpp ------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/ConfidenceInterval.h"
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace opprox;
+
+ConfidenceInterval
+ConfidenceInterval::fromResiduals(const std::vector<double> &Residuals) {
+  ConfidenceInterval CI;
+  CI.SortedAbsResiduals.reserve(Residuals.size());
+  for (double R : Residuals)
+    CI.SortedAbsResiduals.push_back(std::fabs(R));
+  std::sort(CI.SortedAbsResiduals.begin(), CI.SortedAbsResiduals.end());
+  return CI;
+}
+
+double ConfidenceInterval::halfWidth(double P) const {
+  assert(P >= 0.0 && P <= 1.0 && "coverage outside [0,1]");
+  if (SortedAbsResiduals.empty())
+    return 0.0;
+  // Smallest e covering ceil(P * n) residuals.
+  size_t N = SortedAbsResiduals.size();
+  size_t Need = static_cast<size_t>(
+      std::ceil(P * static_cast<double>(N)));
+  if (Need == 0)
+    return 0.0;
+  return SortedAbsResiduals[Need - 1];
+}

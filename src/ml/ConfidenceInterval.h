@@ -1,0 +1,58 @@
+//===- ml/ConfidenceInterval.h - Empirical prediction intervals -*- C++ -*-=//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Empirical confidence intervals around model predictions (paper
+/// Sec. 3.6, adapting Mitra et al., PACT 2015): if p fraction of the
+/// modeling error stays within e, the true value lies in
+/// [prediction - e, prediction + e]. OPPROX uses the p=0.99 upper bound
+/// for QoS degradation (conservative) and the lower bound for speedup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_ML_CONFIDENCEINTERVAL_H
+#define OPPROX_ML_CONFIDENCEINTERVAL_H
+
+#include <cstddef>
+#include <vector>
+
+namespace opprox {
+
+/// Distribution of absolute modeling residuals; answers "how wide must an
+/// interval be to cover fraction p of the observed errors".
+class ConfidenceInterval {
+public:
+  ConfidenceInterval() = default;
+
+  /// Builds from prediction residuals (prediction - actual).
+  static ConfidenceInterval fromResiduals(const std::vector<double> &Residuals);
+
+  /// Half-width e such that fraction \p P of |residuals| were <= e.
+  /// Returns 0 when no residuals were recorded.
+  double halfWidth(double P) const;
+
+  /// Conservative upper bound on the true value: Prediction +
+  /// halfWidth(P). Use for QoS degradation so the optimizer never
+  /// underestimates error.
+  double upperBound(double Prediction, double P) const {
+    return Prediction + halfWidth(P);
+  }
+
+  /// Conservative lower bound: Prediction - halfWidth(P). Use for
+  /// speedup so the optimizer never overestimates benefit.
+  double lowerBound(double Prediction, double P) const {
+    return Prediction - halfWidth(P);
+  }
+
+  size_t numResiduals() const { return SortedAbsResiduals.size(); }
+
+private:
+  std::vector<double> SortedAbsResiduals;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_ML_CONFIDENCEINTERVAL_H

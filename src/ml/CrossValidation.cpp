@@ -1,0 +1,71 @@
+//===- ml/CrossValidation.cpp ---------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/CrossValidation.h"
+#include "support/Statistics.h"
+#include <numeric>
+
+using namespace opprox;
+
+std::vector<std::vector<size_t>> opprox::kFoldIndices(size_t N, size_t K,
+                                                      Rng &Rng) {
+  assert(N > 0 && K > 0 && "empty fold request");
+  K = std::min(K, N);
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  Rng.shuffle(Order);
+  std::vector<std::vector<size_t>> Folds(K);
+  for (size_t I = 0; I < N; ++I)
+    Folds[I % K].push_back(Order[I]);
+  return Folds;
+}
+
+double opprox::crossValidatedR2(const Dataset &Data,
+                                const PolynomialRegression::Options &Opts,
+                                size_t K, Rng &Rng) {
+  size_t N = Data.numSamples();
+  if (N < 3)
+    return -1e9;
+  std::vector<std::vector<size_t>> Folds = kFoldIndices(N, K, Rng);
+
+  std::vector<double> Actual, Predicted;
+  Actual.reserve(N);
+  Predicted.reserve(N);
+  for (const std::vector<size_t> &TestFold : Folds) {
+    std::vector<bool> InTest(N, false);
+    for (size_t I : TestFold)
+      InTest[I] = true;
+    std::vector<size_t> TrainIdx;
+    TrainIdx.reserve(N - TestFold.size());
+    for (size_t I = 0; I < N; ++I)
+      if (!InTest[I])
+        TrainIdx.push_back(I);
+    if (TrainIdx.empty())
+      continue;
+    PolynomialRegression Model =
+        PolynomialRegression::fit(Data.selectRows(TrainIdx), Opts);
+    for (size_t I : TestFold) {
+      Actual.push_back(Data.target(I));
+      Predicted.push_back(Model.predict(Data.sample(I)));
+    }
+  }
+  if (Actual.empty())
+    return -1e9;
+  return r2Score(Actual, Predicted);
+}
+
+void opprox::trainTestSplit(size_t N, double TestFraction, Rng &Rng,
+                            std::vector<size_t> &TrainIdx,
+                            std::vector<size_t> &TestIdx) {
+  assert(TestFraction >= 0.0 && TestFraction <= 1.0 &&
+         "test fraction outside [0,1]");
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  Rng.shuffle(Order);
+  size_t NumTest = static_cast<size_t>(TestFraction * static_cast<double>(N));
+  TestIdx.assign(Order.begin(), Order.begin() + NumTest);
+  TrainIdx.assign(Order.begin() + NumTest, Order.end());
+}

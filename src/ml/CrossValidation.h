@@ -1,0 +1,42 @@
+//===- ml/CrossValidation.h - K-fold cross-validation ----------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic k-fold cross-validation (paper Sec. 3.7 uses 10-fold to
+/// pick the polynomial degree). The pooled out-of-fold R^2 is the score:
+/// every sample is predicted exactly once by a model that never saw it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_ML_CROSSVALIDATION_H
+#define OPPROX_ML_CROSSVALIDATION_H
+
+#include "ml/Dataset.h"
+#include "ml/PolynomialRegression.h"
+#include "support/Random.h"
+
+namespace opprox {
+
+/// Partitions [0, N) into \p K near-equal shuffled folds. K is clamped to
+/// N so every fold is nonempty.
+std::vector<std::vector<size_t>> kFoldIndices(size_t N, size_t K, Rng &Rng);
+
+/// Pooled out-of-fold R^2 of polynomial regression with \p Opts on
+/// \p Data. Returns a large negative value when Data is too small to
+/// split (fewer than 3 samples).
+double crossValidatedR2(const Dataset &Data,
+                        const PolynomialRegression::Options &Opts, size_t K,
+                        Rng &Rng);
+
+/// Splits row indices of a dataset into train/test of the given test
+/// fraction (deterministic shuffle).
+void trainTestSplit(size_t N, double TestFraction, Rng &Rng,
+                    std::vector<size_t> &TrainIdx,
+                    std::vector<size_t> &TestIdx);
+
+} // namespace opprox
+
+#endif // OPPROX_ML_CROSSVALIDATION_H

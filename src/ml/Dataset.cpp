@@ -1,0 +1,59 @@
+//===- ml/Dataset.cpp -----------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Dataset.h"
+#include "support/Compiler.h"
+
+using namespace opprox;
+
+void Dataset::addSample(std::vector<double> Features, double Target) {
+  assert(Features.size() == FeatureNames.size() &&
+         "feature count mismatch");
+  Rows.push_back(std::move(Features));
+  Targets.push_back(Target);
+}
+
+std::vector<double> Dataset::featureColumn(size_t Feature) const {
+  assert(Feature < FeatureNames.size() && "feature index out of range");
+  std::vector<double> Column(Rows.size());
+  for (size_t I = 0; I < Rows.size(); ++I)
+    Column[I] = Rows[I][Feature];
+  return Column;
+}
+
+Dataset Dataset::selectFeatures(const std::vector<size_t> &Keep) const {
+  std::vector<std::string> Names;
+  Names.reserve(Keep.size());
+  for (size_t F : Keep) {
+    assert(F < FeatureNames.size() && "feature index out of range");
+    Names.push_back(FeatureNames[F]);
+  }
+  Dataset Out(std::move(Names));
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    std::vector<double> Features;
+    Features.reserve(Keep.size());
+    for (size_t F : Keep)
+      Features.push_back(Rows[I][F]);
+    Out.addSample(std::move(Features), Targets[I]);
+  }
+  return Out;
+}
+
+Dataset Dataset::selectRows(const std::vector<size_t> &RowIndices) const {
+  Dataset Out(FeatureNames);
+  for (size_t I : RowIndices) {
+    assert(I < Rows.size() && "row index out of range");
+    Out.addSample(Rows[I], Targets[I]);
+  }
+  return Out;
+}
+
+size_t Dataset::featureIndex(const std::string &Name) const {
+  for (size_t I = 0; I < FeatureNames.size(); ++I)
+    if (FeatureNames[I] == Name)
+      return I;
+  OPPROX_UNREACHABLE("unknown feature name");
+}

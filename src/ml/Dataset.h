@@ -1,0 +1,70 @@
+//===- ml/Dataset.h - Feature matrix plus target ---------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A supervised-learning dataset: named feature columns and one numeric
+/// target. The profiling pipeline materializes TrainingSample records
+/// into Datasets before model fitting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_ML_DATASET_H
+#define OPPROX_ML_DATASET_H
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace opprox {
+
+/// Rows of features plus a target value per row.
+class Dataset {
+public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> FeatureNames)
+      : FeatureNames(std::move(FeatureNames)) {}
+
+  size_t numSamples() const { return Targets.size(); }
+  size_t numFeatures() const { return FeatureNames.size(); }
+  bool empty() const { return Targets.empty(); }
+
+  const std::vector<std::string> &featureNames() const { return FeatureNames; }
+
+  /// Appends one sample. \p Features must match numFeatures().
+  void addSample(std::vector<double> Features, double Target);
+
+  const std::vector<double> &sample(size_t I) const {
+    assert(I < Rows.size() && "sample index out of range");
+    return Rows[I];
+  }
+  double target(size_t I) const {
+    assert(I < Targets.size() && "sample index out of range");
+    return Targets[I];
+  }
+  const std::vector<std::vector<double>> &samples() const { return Rows; }
+  const std::vector<double> &targets() const { return Targets; }
+
+  /// One feature as a column vector.
+  std::vector<double> featureColumn(size_t Feature) const;
+
+  /// A new dataset keeping only the features in \p Keep (order preserved).
+  Dataset selectFeatures(const std::vector<size_t> &Keep) const;
+
+  /// A new dataset keeping only the rows in \p RowIndices.
+  Dataset selectRows(const std::vector<size_t> &RowIndices) const;
+
+  /// Index of the named feature; asserts if absent.
+  size_t featureIndex(const std::string &Name) const;
+
+private:
+  std::vector<std::string> FeatureNames;
+  std::vector<std::vector<double>> Rows;
+  std::vector<double> Targets;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_ML_DATASET_H

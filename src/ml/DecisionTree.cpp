@@ -1,0 +1,199 @@
+//===- ml/DecisionTree.cpp ------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DecisionTree.h"
+#include "support/StringUtils.h"
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+using namespace opprox;
+
+/// Gini impurity of the label multiset described by \p Counts over
+/// \p Total samples.
+static double giniFromCounts(const std::map<int, size_t> &Counts,
+                             size_t Total) {
+  if (Total == 0)
+    return 0.0;
+  double Sum = 0.0;
+  for (const auto &[Label, Count] : Counts) {
+    double P = static_cast<double>(Count) / static_cast<double>(Total);
+    Sum += P * P;
+  }
+  return 1.0 - Sum;
+}
+
+static int majorityLabel(const std::map<int, size_t> &Counts) {
+  assert(!Counts.empty() && "majority of empty node");
+  int Best = Counts.begin()->first;
+  size_t BestCount = 0;
+  for (const auto &[Label, Count] : Counts) {
+    if (Count > BestCount) {
+      Best = Label;
+      BestCount = Count;
+    }
+  }
+  return Best;
+}
+
+DecisionTree DecisionTree::fit(const std::vector<std::vector<double>> &X,
+                               const std::vector<int> &Labels,
+                               const Options &Opts) {
+  assert(!X.empty() && X.size() == Labels.size() &&
+         "empty or mismatched training data");
+  DecisionTree Tree;
+  Tree.NumFeatures = X.front().size();
+  std::vector<size_t> AllIndices(X.size());
+  std::iota(AllIndices.begin(), AllIndices.end(), 0);
+  Tree.buildNode(X, Labels, AllIndices, 0, Opts);
+  return Tree;
+}
+
+int DecisionTree::buildNode(const std::vector<std::vector<double>> &X,
+                            const std::vector<int> &Labels,
+                            const std::vector<size_t> &Indices, size_t Depth,
+                            const Options &Opts) {
+  std::map<int, size_t> Counts;
+  for (size_t I : Indices)
+    ++Counts[Labels[I]];
+  double Impurity = giniFromCounts(Counts, Indices.size());
+
+  int NodeIdx = static_cast<int>(Nodes.size());
+  Nodes.emplace_back();
+  Nodes[NodeIdx].Label = majorityLabel(Counts);
+
+  if (Depth >= Opts.MaxDepth || Impurity <= Opts.MinImpurity ||
+      Indices.size() < 2 * Opts.MinSamplesLeaf)
+    return NodeIdx;
+
+  // Find the (feature, threshold) split minimizing weighted child Gini.
+  double BestScore = Impurity;
+  int BestFeature = -1;
+  double BestThreshold = 0.0;
+  for (size_t F = 0; F < NumFeatures; ++F) {
+    // Sort this node's samples by the feature value.
+    std::vector<size_t> Sorted = Indices;
+    std::sort(Sorted.begin(), Sorted.end(), [&](size_t A, size_t B) {
+      return X[A][F] < X[B][F];
+    });
+    std::map<int, size_t> LeftCounts;
+    std::map<int, size_t> RightCounts = Counts;
+    for (size_t Pos = 0; Pos + 1 < Sorted.size(); ++Pos) {
+      int Label = Labels[Sorted[Pos]];
+      ++LeftCounts[Label];
+      auto It = RightCounts.find(Label);
+      if (--It->second == 0)
+        RightCounts.erase(It);
+      double Lo = X[Sorted[Pos]][F], Hi = X[Sorted[Pos + 1]][F];
+      if (Lo == Hi)
+        continue; // No threshold separates equal values.
+      size_t NL = Pos + 1, NR = Sorted.size() - NL;
+      if (NL < Opts.MinSamplesLeaf || NR < Opts.MinSamplesLeaf)
+        continue;
+      double Score =
+          (static_cast<double>(NL) * giniFromCounts(LeftCounts, NL) +
+           static_cast<double>(NR) * giniFromCounts(RightCounts, NR)) /
+          static_cast<double>(Sorted.size());
+      if (Score + 1e-12 < BestScore) {
+        BestScore = Score;
+        BestFeature = static_cast<int>(F);
+        BestThreshold = 0.5 * (Lo + Hi);
+      }
+    }
+  }
+
+  if (BestFeature < 0)
+    return NodeIdx; // No useful split; stay a leaf.
+
+  std::vector<size_t> LeftIdx, RightIdx;
+  for (size_t I : Indices) {
+    if (X[I][static_cast<size_t>(BestFeature)] <= BestThreshold)
+      LeftIdx.push_back(I);
+    else
+      RightIdx.push_back(I);
+  }
+  assert(!LeftIdx.empty() && !RightIdx.empty() && "degenerate split");
+
+  Nodes[NodeIdx].Feature = BestFeature;
+  Nodes[NodeIdx].Threshold = BestThreshold;
+  int Left = buildNode(X, Labels, LeftIdx, Depth + 1, Opts);
+  int Right = buildNode(X, Labels, RightIdx, Depth + 1, Opts);
+  Nodes[NodeIdx].Left = Left;
+  Nodes[NodeIdx].Right = Right;
+  return NodeIdx;
+}
+
+int DecisionTree::predict(const std::vector<double> &X) const {
+  assert(!Nodes.empty() && "predict on unfitted tree");
+  assert(X.size() == NumFeatures && "feature count mismatch");
+  int Idx = 0;
+  while (Nodes[static_cast<size_t>(Idx)].Feature >= 0) {
+    const Node &N = Nodes[static_cast<size_t>(Idx)];
+    Idx = X[static_cast<size_t>(N.Feature)] <= N.Threshold ? N.Left : N.Right;
+  }
+  return Nodes[static_cast<size_t>(Idx)].Label;
+}
+
+double DecisionTree::accuracy(const std::vector<std::vector<double>> &X,
+                              const std::vector<int> &Labels) const {
+  assert(X.size() == Labels.size() && "mismatched data");
+  if (X.empty())
+    return 1.0;
+  size_t Correct = 0;
+  for (size_t I = 0; I < X.size(); ++I)
+    if (predict(X[I]) == Labels[I])
+      ++Correct;
+  return static_cast<double>(Correct) / static_cast<double>(X.size());
+}
+
+size_t DecisionTree::numLeaves() const {
+  size_t Leaves = 0;
+  for (const Node &N : Nodes)
+    if (N.Feature < 0)
+      ++Leaves;
+  return Leaves;
+}
+
+size_t DecisionTree::depthFrom(int NodeIdx) const {
+  const Node &N = Nodes[static_cast<size_t>(NodeIdx)];
+  if (N.Feature < 0)
+    return 0;
+  return 1 + std::max(depthFrom(N.Left), depthFrom(N.Right));
+}
+
+size_t DecisionTree::depth() const {
+  return Nodes.empty() ? 0 : depthFrom(0);
+}
+
+std::string
+DecisionTree::dump(const std::vector<std::string> &FeatureNames) const {
+  std::string Out;
+  // Depth-first dump mirroring predict()'s traversal order.
+  struct StackEntry {
+    int Idx;
+    size_t Indent;
+  };
+  std::vector<StackEntry> Stack = {{0, 0}};
+  while (!Stack.empty()) {
+    auto [Idx, Indent] = Stack.back();
+    Stack.pop_back();
+    const Node &N = Nodes[static_cast<size_t>(Idx)];
+    Out += std::string(Indent * 2, ' ');
+    if (N.Feature < 0) {
+      Out += format("leaf -> class %d\n", N.Label);
+      continue;
+    }
+    std::string Name =
+        static_cast<size_t>(N.Feature) < FeatureNames.size()
+            ? FeatureNames[static_cast<size_t>(N.Feature)]
+            : format("f%d", N.Feature);
+    Out += format("%s <= %.6g ?\n", Name.c_str(), N.Threshold);
+    Stack.push_back({N.Right, Indent + 1});
+    Stack.push_back({N.Left, Indent + 1});
+  }
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- ml/DecisionTree.h - CART classifier ---------------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CART-style decision-tree classifier over numeric features with Gini
+/// impurity splits. OPPROX uses it to predict the control-flow class (the
+/// call-context signature of approximable blocks) from input parameters
+/// (paper Sec. 3.4, citing Quinlan's induction of decision trees).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_ML_DECISIONTREE_H
+#define OPPROX_ML_DECISIONTREE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace opprox {
+
+/// A fitted classification tree. Labels are small non-negative ints.
+class DecisionTree {
+public:
+  struct Options {
+    size_t MaxDepth = 12;
+    size_t MinSamplesLeaf = 1;
+    /// Stop splitting when a node's Gini impurity is below this.
+    double MinImpurity = 1e-9;
+  };
+
+  /// Learns a tree from rows of numeric features and integer labels.
+  static DecisionTree fit(const std::vector<std::vector<double>> &X,
+                          const std::vector<int> &Labels,
+                          const Options &Opts);
+  static DecisionTree fit(const std::vector<std::vector<double>> &X,
+                          const std::vector<int> &Labels) {
+    return fit(X, Labels, Options());
+  }
+
+  /// Predicted label for one feature vector.
+  int predict(const std::vector<double> &X) const;
+
+  /// Fraction of rows in (X, Labels) predicted correctly.
+  double accuracy(const std::vector<std::vector<double>> &X,
+                  const std::vector<int> &Labels) const;
+
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numLeaves() const;
+  size_t depth() const;
+
+  /// Indented textual dump for debugging, one node per line.
+  std::string dump(const std::vector<std::string> &FeatureNames = {}) const;
+
+private:
+  struct Node {
+    // Leaf when Feature < 0; then Label holds the prediction.
+    int Feature = -1;
+    double Threshold = 0.0;
+    int Label = 0;
+    int Left = -1;  // Index of the <= Threshold child.
+    int Right = -1; // Index of the > Threshold child.
+  };
+
+  int buildNode(const std::vector<std::vector<double>> &X,
+                const std::vector<int> &Labels,
+                const std::vector<size_t> &Indices, size_t Depth,
+                const Options &Opts);
+  size_t depthFrom(int NodeIdx) const;
+
+  std::vector<Node> Nodes;
+  size_t NumFeatures = 0;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_ML_DECISIONTREE_H

@@ -1,0 +1,108 @@
+//===- ml/Mic.cpp ---------------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Mic.h"
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace opprox;
+
+std::vector<size_t> opprox::equalFrequencyBins(
+    const std::vector<double> &Values, size_t NumBins, size_t &BinsUsed) {
+  assert(NumBins >= 1 && "need at least one bin");
+  size_t N = Values.size();
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(),
+            [&](size_t A, size_t B) { return Values[A] < Values[B]; });
+
+  std::vector<size_t> Bins(N, 0);
+  size_t Base = N / NumBins;
+  size_t Extra = N % NumBins;
+  auto TargetFor = [&](size_t Bin) {
+    return std::max<size_t>(1, Base + (Bin < Extra ? 1 : 0));
+  };
+  size_t CurrentBin = 0;
+  size_t FilledInBin = 0;
+  for (size_t Pos = 0; Pos < N; ++Pos) {
+    // Ties must share a bin so equal values stay in one cell.
+    bool TieWithPrev =
+        Pos > 0 && Values[Order[Pos]] == Values[Order[Pos - 1]];
+    if (FilledInBin >= TargetFor(CurrentBin) && !TieWithPrev &&
+        CurrentBin + 1 < NumBins) {
+      ++CurrentBin;
+      FilledInBin = 0;
+    }
+    Bins[Order[Pos]] = CurrentBin;
+    ++FilledInBin;
+  }
+  BinsUsed = CurrentBin + 1;
+  return Bins;
+}
+
+double opprox::mutualInformation(const std::vector<size_t> &BinsX,
+                                 const std::vector<size_t> &BinsY,
+                                 size_t NumBinsX, size_t NumBinsY) {
+  assert(BinsX.size() == BinsY.size() && "mismatched series");
+  size_t N = BinsX.size();
+  if (N == 0)
+    return 0.0;
+  std::vector<double> Joint(NumBinsX * NumBinsY, 0.0);
+  std::vector<double> MarginalX(NumBinsX, 0.0), MarginalY(NumBinsY, 0.0);
+  double W = 1.0 / static_cast<double>(N);
+  for (size_t I = 0; I < N; ++I) {
+    assert(BinsX[I] < NumBinsX && BinsY[I] < NumBinsY && "bin out of range");
+    Joint[BinsX[I] * NumBinsY + BinsY[I]] += W;
+    MarginalX[BinsX[I]] += W;
+    MarginalY[BinsY[I]] += W;
+  }
+  double Info = 0.0;
+  for (size_t BX = 0; BX < NumBinsX; ++BX) {
+    for (size_t BY = 0; BY < NumBinsY; ++BY) {
+      double P = Joint[BX * NumBinsY + BY];
+      if (P <= 0.0)
+        continue;
+      Info += P * std::log2(P / (MarginalX[BX] * MarginalY[BY]));
+    }
+  }
+  return std::max(Info, 0.0);
+}
+
+double opprox::mic(const std::vector<double> &X, const std::vector<double> &Y,
+                   const MicOptions &Opts) {
+  assert(X.size() == Y.size() && "mismatched series");
+  size_t N = X.size();
+  if (N < 8)
+    return 0.0;
+
+  double Budget = std::pow(static_cast<double>(N), Opts.Alpha);
+  size_t MaxAxis =
+      std::min<size_t>(Opts.MaxBins, static_cast<size_t>(Budget / 2.0));
+  if (MaxAxis < 2)
+    MaxAxis = 2;
+
+  double Best = 0.0;
+  for (size_t A = 2; A <= MaxAxis; ++A) {
+    for (size_t B = 2; B <= MaxAxis; ++B) {
+      if (static_cast<double>(A) * static_cast<double>(B) > Budget)
+        continue;
+      size_t UsedA = 0, UsedB = 0;
+      std::vector<size_t> BinsX = equalFrequencyBins(X, A, UsedA);
+      std::vector<size_t> BinsY = equalFrequencyBins(Y, B, UsedB);
+      if (UsedA < 2 || UsedB < 2)
+        continue; // A constant axis carries no information.
+      double Info = mutualInformation(BinsX, BinsY, UsedA, UsedB);
+      double Normalizer = std::log2(static_cast<double>(std::min(UsedA,
+                                                                 UsedB)));
+      if (Normalizer <= 0.0)
+        continue;
+      Best = std::max(Best, Info / Normalizer);
+    }
+  }
+  return std::min(Best, 1.0);
+}

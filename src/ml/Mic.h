@@ -1,0 +1,57 @@
+//===- ml/Mic.h - Maximal Information Coefficient --------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maximal Information Coefficient (Reshef et al., Science 2011). OPPROX
+/// uses MIC to drop input features with no association to the modeling
+/// target before polynomial regression (paper Sec. 3.7).
+///
+/// This is the standard grid-search approximation: for every grid shape
+/// (a, b) with a*b <= B(n) = n^Alpha we place equal-frequency bins on
+/// each axis and take max I(a,b) / log2(min(a,b)). The exact MINE
+/// dynamic-programming partition optimization is replaced by
+/// equal-frequency partitions -- a slight underestimate of MIC that
+/// preserves the property needed here: ~0 for independent variables and
+/// near 1 for (noiseless) functional relationships.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_ML_MIC_H
+#define OPPROX_ML_MIC_H
+
+#include <cstddef>
+#include <vector>
+
+namespace opprox {
+
+struct MicOptions {
+  /// Grid budget exponent: B(n) = n^Alpha.
+  double Alpha = 0.6;
+  /// Hard cap on bins per axis.
+  size_t MaxBins = 16;
+};
+
+/// MIC score in [0, 1] between two equal-length series. Returns 0 for
+/// fewer than 8 samples or a constant series.
+double mic(const std::vector<double> &X, const std::vector<double> &Y,
+           const MicOptions &Opts = MicOptions());
+
+/// Mutual information (in bits) of the discrete joint distribution given
+/// by pre-binned labels in [0, NumBinsX) x [0, NumBinsY). Exposed for
+/// testing.
+double mutualInformation(const std::vector<size_t> &BinsX,
+                         const std::vector<size_t> &BinsY, size_t NumBinsX,
+                         size_t NumBinsY);
+
+/// Equal-frequency binning of \p Values into at most \p NumBins bins.
+/// Ties share a bin; the actual number of bins used is written to
+/// \p BinsUsed. Exposed for testing.
+std::vector<size_t> equalFrequencyBins(const std::vector<double> &Values,
+                                       size_t NumBins, size_t &BinsUsed);
+
+} // namespace opprox
+
+#endif // OPPROX_ML_MIC_H

@@ -1,0 +1,193 @@
+//===- ml/ModelSelection.cpp ----------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/ModelSelection.h"
+#include "ml/CrossValidation.h"
+#include "ml/Mic.h"
+#include "support/Statistics.h"
+#include <algorithm>
+#include <numeric>
+
+using namespace opprox;
+
+/// Picks the best degree by cross-validated R^2, stopping early once the
+/// target is reached. Returns (degree, cvR2).
+static std::pair<int, double> pickDegree(const Dataset &Data,
+                                         const ModelSelectOptions &Opts,
+                                         Rng &Rng) {
+  int BestDegree = Opts.MinDegree;
+  double BestR2 = -1e18;
+  for (int Degree = Opts.MinDegree; Degree <= Opts.MaxDegree; ++Degree) {
+    // Guard against combinatorial blow-up of the basis.
+    if (PolynomialFeatures::countTerms(Data.numFeatures(), Degree) >
+        std::max<size_t>(Data.numSamples(), 64))
+      break;
+    PolynomialRegression::Options FitOpts;
+    FitOpts.Degree = Degree;
+    double R2 = crossValidatedR2(Data, FitOpts, Opts.Folds, Rng);
+    if (R2 > BestR2) {
+      BestR2 = R2;
+      BestDegree = Degree;
+    }
+    if (R2 >= Opts.TargetR2)
+      break;
+  }
+  return {BestDegree, BestR2};
+}
+
+SelectedModel SelectedModel::train(const Dataset &Data,
+                                   const ModelSelectOptions &Opts, Rng &Rng) {
+  assert(!Data.empty() && "cannot train on empty data");
+  SelectedModel Model;
+
+  // Step 1: MIC feature filtering. Keep every feature whose association
+  // with the target clears the threshold; if none does (pathological),
+  // keep them all rather than fit a constant.
+  std::vector<double> MicScores(Data.numFeatures(), 1.0);
+  if (Opts.MicThreshold > 0.0) {
+    for (size_t F = 0; F < Data.numFeatures(); ++F)
+      MicScores[F] = mic(Data.featureColumn(F), Data.targets());
+  }
+  for (size_t F = 0; F < Data.numFeatures(); ++F)
+    if (MicScores[F] >= Opts.MicThreshold)
+      Model.KeptFeatures.push_back(F);
+  if (Model.KeptFeatures.empty()) {
+    Model.KeptFeatures.resize(Data.numFeatures());
+    std::iota(Model.KeptFeatures.begin(), Model.KeptFeatures.end(), 0);
+  }
+  Dataset Filtered = Data.selectFeatures(Model.KeptFeatures);
+
+  // Step 2: degree escalation with cross-validation.
+  auto [Degree, CvR2] = pickDegree(Filtered, Opts, Rng);
+  Model.BestCvR2 = CvR2;
+
+  PolynomialRegression::Options FitOpts;
+  FitOpts.Degree = Degree;
+
+  // Step 3: subcategory splitting when the global model is weak. Split
+  // along the filtered feature with the highest MIC into magnitude-ordered
+  // subsets (Sec. 3.7: "splits the values of a feature put in magnitude
+  // order into k subsets").
+  bool TrySplit =
+      CvR2 < Opts.TargetR2 && Opts.MaxSubcategories >= 2 &&
+      Filtered.numSamples() >=
+          Opts.MaxSubcategories * Opts.MinSubcategorySamples &&
+      Filtered.numFeatures() >= 1;
+  if (TrySplit) {
+    // Most informative kept feature.
+    size_t BestF = 0;
+    double BestMic = -1.0;
+    for (size_t F = 0; F < Model.KeptFeatures.size(); ++F) {
+      double Score = MicScores[Model.KeptFeatures[F]];
+      if (Score > BestMic) {
+        BestMic = Score;
+        BestF = F;
+      }
+    }
+    std::vector<double> Column = Filtered.featureColumn(BestF);
+    std::vector<double> Sorted = Column;
+    std::sort(Sorted.begin(), Sorted.end());
+    size_t K = Opts.MaxSubcategories;
+    std::vector<double> Boundaries;
+    for (size_t I = 1; I < K; ++I) {
+      double Boundary = Sorted[I * Sorted.size() / K];
+      if (Boundaries.empty() || Boundary > Boundaries.back())
+        Boundaries.push_back(Boundary);
+    }
+    if (!Boundaries.empty()) {
+      // Partition rows by boundary.
+      std::vector<std::vector<size_t>> Parts(Boundaries.size() + 1);
+      for (size_t I = 0; I < Column.size(); ++I) {
+        size_t Part = Boundaries.size();
+        for (size_t B = 0; B < Boundaries.size(); ++B) {
+          if (Column[I] < Boundaries[B]) {
+            Part = B;
+            break;
+          }
+        }
+        Parts[Part].push_back(I);
+      }
+      bool AllViable = true;
+      for (const auto &Part : Parts)
+        AllViable = AllViable && Part.size() >= Opts.MinSubcategorySamples;
+      if (AllViable) {
+        Model.SplitFeature = BestF;
+        Model.SplitBoundaries = Boundaries;
+        for (const auto &Part : Parts)
+          Model.Submodels.push_back(
+              PolynomialRegression::fit(Filtered.selectRows(Part), FitOpts));
+      }
+    }
+  }
+
+  // Single global model when no split happened.
+  if (Model.Submodels.empty())
+    Model.Submodels.push_back(PolynomialRegression::fit(Filtered, FitOpts));
+
+  // Step 4: the confidence interval comes from *out-of-fold* residuals
+  // (each sample predicted by a model that never saw it). Training
+  // residuals would be optimistically small and the optimizer, which
+  // picks the most favourable-looking configurations, would
+  // systematically bust its QoS budget (winner's curse).
+  std::vector<double> Residuals;
+  Residuals.reserve(Data.numSamples());
+  if (Data.numSamples() >= 6) {
+    for (const std::vector<size_t> &TestFold :
+         kFoldIndices(Data.numSamples(), Opts.Folds, Rng)) {
+      std::vector<bool> InTest(Data.numSamples(), false);
+      for (size_t I : TestFold)
+        InTest[I] = true;
+      std::vector<size_t> TrainIdx;
+      for (size_t I = 0; I < Data.numSamples(); ++I)
+        if (!InTest[I])
+          TrainIdx.push_back(I);
+      if (TrainIdx.empty())
+        continue;
+      PolynomialRegression FoldModel =
+          PolynomialRegression::fit(Filtered.selectRows(TrainIdx), FitOpts);
+      for (size_t I : TestFold)
+        Residuals.push_back(FoldModel.predict(Filtered.sample(I)) -
+                            Data.target(I));
+    }
+  } else {
+    for (size_t I = 0; I < Data.numSamples(); ++I)
+      Residuals.push_back(Model.predict(Data.sample(I)) - Data.target(I));
+  }
+  Model.Interval = ConfidenceInterval::fromResiduals(Residuals);
+  return Model;
+}
+
+std::vector<double>
+SelectedModel::filterFeatures(const std::vector<double> &X) const {
+  std::vector<double> Filtered;
+  Filtered.reserve(KeptFeatures.size());
+  for (size_t F : KeptFeatures) {
+    assert(F < X.size() && "feature vector too short");
+    Filtered.push_back(X[F]);
+  }
+  return Filtered;
+}
+
+size_t SelectedModel::submodelFor(const std::vector<double> &Filtered) const {
+  if (SplitBoundaries.empty())
+    return 0;
+  double Value = Filtered[SplitFeature];
+  for (size_t B = 0; B < SplitBoundaries.size(); ++B)
+    if (Value < SplitBoundaries[B])
+      return B;
+  return SplitBoundaries.size();
+}
+
+double SelectedModel::predict(const std::vector<double> &X) const {
+  assert(!Submodels.empty() && "predict on untrained model");
+  std::vector<double> Filtered = filterFeatures(X);
+  return Submodels[submodelFor(Filtered)].predict(Filtered);
+}
+
+int SelectedModel::degree() const {
+  assert(!Submodels.empty() && "degree of untrained model");
+  return Submodels.front().degree();
+}

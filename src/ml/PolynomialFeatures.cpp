@@ -1,0 +1,83 @@
+//===- ml/PolynomialFeatures.cpp ------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/PolynomialFeatures.h"
+#include "support/StringUtils.h"
+#include <cassert>
+#include <cmath>
+
+using namespace opprox;
+
+static void enumerateExponents(size_t Feature, size_t NumFeatures,
+                               int Remaining, std::vector<int> &Current,
+                               std::vector<std::vector<int>> &Out) {
+  if (Feature == NumFeatures) {
+    Out.push_back(Current);
+    return;
+  }
+  for (int E = 0; E <= Remaining; ++E) {
+    Current[Feature] = E;
+    enumerateExponents(Feature + 1, NumFeatures, Remaining - E, Current, Out);
+  }
+  Current[Feature] = 0;
+}
+
+PolynomialFeatures::PolynomialFeatures(size_t NumFeatures, int Degree,
+                                       size_t MaxTerms)
+    : NumFeatures(NumFeatures), Degree(Degree) {
+  assert(Degree >= 0 && "negative polynomial degree");
+  assert(countTerms(NumFeatures, Degree) <= MaxTerms &&
+         "polynomial basis too large; lower the degree or filter features");
+  std::vector<int> Current(NumFeatures, 0);
+  enumerateExponents(0, NumFeatures, Degree, Current, Exponents);
+}
+
+std::vector<double>
+PolynomialFeatures::expand(const std::vector<double> &X) const {
+  assert(X.size() == NumFeatures && "input length mismatch");
+  std::vector<double> Out;
+  Out.reserve(Exponents.size());
+  for (const std::vector<int> &Exp : Exponents) {
+    double Term = 1.0;
+    for (size_t F = 0; F < NumFeatures; ++F) {
+      for (int E = 0; E < Exp[F]; ++E)
+        Term *= X[F];
+    }
+    Out.push_back(Term);
+  }
+  return Out;
+}
+
+std::string
+PolynomialFeatures::termName(size_t Term,
+                             const std::vector<std::string> &Names) const {
+  assert(Term < Exponents.size() && "term index out of range");
+  const std::vector<int> &Exp = Exponents[Term];
+  std::string Out;
+  for (size_t F = 0; F < NumFeatures; ++F) {
+    if (Exp[F] == 0)
+      continue;
+    if (!Out.empty())
+      Out += "*";
+    std::string Var =
+        F < Names.size() ? Names[F] : format("x%zu", F);
+    Out += Var;
+    if (Exp[F] > 1)
+      Out += format("^%d", Exp[F]);
+  }
+  return Out.empty() ? "1" : Out;
+}
+
+size_t PolynomialFeatures::countTerms(size_t NumFeatures, int Degree) {
+  // C(NumFeatures + Degree, Degree), computed incrementally to stay exact
+  // for the small arguments we use.
+  size_t Count = 1;
+  for (int I = 1; I <= Degree; ++I) {
+    Count = Count * (NumFeatures + static_cast<size_t>(I)) /
+            static_cast<size_t>(I);
+  }
+  return Count;
+}

@@ -1,0 +1,59 @@
+//===- ml/PolynomialFeatures.h - Multivariate monomial expansion -*- C++ -*-=//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expands raw feature vectors into all monomials of total degree up to a
+/// bound, e.g. degree-2 over (s1, s2) yields 1, s1, s2, s1*s2, s1^2, s2^2
+/// -- exactly the basis the paper's degree-2 speedup model example uses
+/// (Sec. 3.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_ML_POLYNOMIALFEATURES_H
+#define OPPROX_ML_POLYNOMIALFEATURES_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace opprox {
+
+/// The monomial basis of total degree <= Degree over NumFeatures inputs.
+class PolynomialFeatures {
+public:
+  /// Builds the exponent table. Term count is C(NumFeatures+Degree,
+  /// Degree); asserts it stays under \p MaxTerms to catch runaway bases.
+  PolynomialFeatures(size_t NumFeatures, int Degree, size_t MaxTerms = 4096);
+
+  size_t numInputs() const { return NumFeatures; }
+  size_t numTerms() const { return Exponents.size(); }
+  int degree() const { return Degree; }
+
+  /// Evaluates every monomial at \p X (length numInputs()).
+  std::vector<double> expand(const std::vector<double> &X) const;
+
+  /// Exponent vector of term \p Term (length numInputs()).
+  const std::vector<int> &exponents(size_t Term) const {
+    return Exponents[Term];
+  }
+
+  /// Human-readable monomial, e.g. "x0^2*x1", using \p Names when given.
+  std::string termName(size_t Term,
+                       const std::vector<std::string> &Names = {}) const;
+
+  /// Number of monomials of total degree <= Degree over NumFeatures
+  /// variables: C(NumFeatures + Degree, Degree).
+  static size_t countTerms(size_t NumFeatures, int Degree);
+
+private:
+  size_t NumFeatures;
+  int Degree;
+  std::vector<std::vector<int>> Exponents;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_ML_POLYNOMIALFEATURES_H

@@ -1,0 +1,85 @@
+//===- ml/PolynomialRegression.cpp ----------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/PolynomialRegression.h"
+#include "linalg/LeastSquares.h"
+#include "support/Statistics.h"
+#include <cmath>
+
+using namespace opprox;
+
+PolynomialRegression PolynomialRegression::fit(const Dataset &Data,
+                                               const Options &Opts) {
+  assert(!Data.empty() && "cannot fit on an empty dataset");
+  size_t NumInputs = Data.numFeatures();
+  PolynomialRegression Model(Opts, NumInputs);
+
+  // Standardization statistics.
+  Model.Mean.assign(NumInputs, 0.0);
+  Model.Scale.assign(NumInputs, 1.0);
+  if (Opts.Standardize) {
+    for (size_t F = 0; F < NumInputs; ++F) {
+      RunningStats S;
+      for (const auto &Row : Data.samples())
+        S.add(Row[F]);
+      Model.Mean[F] = S.mean();
+      double Sd = S.stddev();
+      Model.Scale[F] = Sd > 1e-12 ? Sd : 1.0;
+    }
+  }
+
+  // Design matrix in the expanded basis.
+  size_t N = Data.numSamples();
+  size_t Terms = Model.Basis.numTerms();
+  Matrix A(N, Terms);
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<double> Expanded =
+        Model.Basis.expand(Model.standardize(Data.sample(I)));
+    for (size_t T = 0; T < Terms; ++T)
+      A.at(I, T) = Expanded[T];
+  }
+
+  if (N >= Terms) {
+    if (std::optional<std::vector<double>> Beta =
+            solveLeastSquares(A, Data.targets())) {
+      Model.Coefficients = std::move(*Beta);
+      return Model;
+    }
+  }
+  // Underdetermined or rank deficient: ridge keeps the fit well-posed.
+  Model.Coefficients = solveRidge(A, Data.targets(), Opts.Ridge);
+  return Model;
+}
+
+std::vector<double>
+PolynomialRegression::standardize(const std::vector<double> &X) const {
+  assert(X.size() == Mean.size() && "feature count mismatch");
+  std::vector<double> Z(X.size());
+  for (size_t F = 0; F < X.size(); ++F)
+    Z[F] = (X[F] - Mean[F]) / Scale[F];
+  return Z;
+}
+
+double PolynomialRegression::predict(const std::vector<double> &X) const {
+  std::vector<double> Expanded = Basis.expand(standardize(X));
+  double Sum = 0.0;
+  for (size_t T = 0; T < Expanded.size(); ++T)
+    Sum += Coefficients[T] * Expanded[T];
+  return Sum;
+}
+
+std::vector<double>
+PolynomialRegression::predictAll(const Dataset &Data) const {
+  std::vector<double> Out;
+  Out.reserve(Data.numSamples());
+  for (const auto &Row : Data.samples())
+    Out.push_back(predict(Row));
+  return Out;
+}
+
+double PolynomialRegression::r2(const Dataset &Data) const {
+  return r2Score(Data.targets(), predictAll(Data));
+}

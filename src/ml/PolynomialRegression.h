@@ -1,0 +1,68 @@
+//===- ml/PolynomialRegression.h - Polynomial regression -------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Polynomial regression (paper Sec. 3.6): raw features are standardized,
+/// expanded into the monomial basis of a chosen total degree, and fit by
+/// least squares (QR with a small ridge fallback for collinear bases).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_ML_POLYNOMIALREGRESSION_H
+#define OPPROX_ML_POLYNOMIALREGRESSION_H
+
+#include "ml/Dataset.h"
+#include "ml/PolynomialFeatures.h"
+#include <memory>
+
+namespace opprox {
+
+/// A fitted polynomial regression model.
+class PolynomialRegression {
+public:
+  struct Options {
+    /// Total degree of the monomial basis.
+    int Degree = 2;
+    /// Ridge penalty used when plain least squares is rank deficient.
+    double Ridge = 1e-6;
+    /// Standardize raw features to zero mean / unit variance before
+    /// expansion; improves conditioning for high degrees.
+    bool Standardize = true;
+  };
+
+  /// Fits on \p Data. Requires at least one sample; degenerate bases fall
+  /// back to ridge so fitting always succeeds.
+  static PolynomialRegression fit(const Dataset &Data, const Options &Opts);
+
+  /// Predicts the target for one raw feature vector.
+  double predict(const std::vector<double> &X) const;
+
+  /// Predicts every row of \p Data.
+  std::vector<double> predictAll(const Dataset &Data) const;
+
+  /// R^2 of this model on \p Data (can be negative on unseen data).
+  double r2(const Dataset &Data) const;
+
+  int degree() const { return Opts.Degree; }
+  const std::vector<double> &coefficients() const { return Coefficients; }
+  size_t numInputs() const { return Mean.size(); }
+
+private:
+  PolynomialRegression(Options Opts, size_t NumInputs)
+      : Opts(Opts), Basis(NumInputs, Opts.Degree) {}
+
+  std::vector<double> standardize(const std::vector<double> &X) const;
+
+  Options Opts;
+  PolynomialFeatures Basis;
+  std::vector<double> Mean;     // Per-raw-feature standardization mean.
+  std::vector<double> Scale;    // Per-raw-feature standardization scale.
+  std::vector<double> Coefficients; // One per basis term.
+};
+
+} // namespace opprox
+
+#endif // OPPROX_ML_POLYNOMIALREGRESSION_H

@@ -1,0 +1,116 @@
+//===- support/CommandLine.cpp --------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include <cassert>
+#include <cstdio>
+
+using namespace opprox;
+
+void FlagParser::addFlag(const std::string &Name, double *Target,
+                         const std::string &Help) {
+  assert(!Flags.count(Name) && "duplicate flag");
+  Flags[Name] = {KindTy::Double, Target, Help};
+}
+
+void FlagParser::addFlag(const std::string &Name, long *Target,
+                         const std::string &Help) {
+  assert(!Flags.count(Name) && "duplicate flag");
+  Flags[Name] = {KindTy::Int, Target, Help};
+}
+
+void FlagParser::addFlag(const std::string &Name, std::string *Target,
+                         const std::string &Help) {
+  assert(!Flags.count(Name) && "duplicate flag");
+  Flags[Name] = {KindTy::String, Target, Help};
+}
+
+void FlagParser::addFlag(const std::string &Name, bool *Target,
+                         const std::string &Help) {
+  assert(!Flags.count(Name) && "duplicate flag");
+  Flags[Name] = {KindTy::Bool, Target, Help};
+}
+
+bool FlagParser::parse(int Argc, const char *const *Argv) {
+  std::string Program = Argc > 0 ? Argv[0] : "program";
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (!startsWith(Arg, "--")) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    if (Arg == "--help") {
+      printUsage(Program);
+      return false;
+    }
+    std::string Name = Arg.substr(2);
+    std::string Value;
+    bool HasValue = false;
+    size_t Eq = Name.find('=');
+    if (Eq != std::string::npos) {
+      Value = Name.substr(Eq + 1);
+      Name = Name.substr(0, Eq);
+      HasValue = true;
+    }
+    auto It = Flags.find(Name);
+    if (It == Flags.end()) {
+      std::fprintf(stderr, "error: unknown flag '--%s'\n", Name.c_str());
+      printUsage(Program);
+      return false;
+    }
+    FlagInfo &Info = It->second;
+    if (Info.Kind == KindTy::Bool && !HasValue) {
+      *static_cast<bool *>(Info.Target) = true;
+      continue;
+    }
+    if (!HasValue) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: flag '--%s' expects a value\n",
+                     Name.c_str());
+        return false;
+      }
+      Value = Argv[++I];
+    }
+    switch (Info.Kind) {
+    case KindTy::Double: {
+      double D;
+      if (!parseDouble(Value, D)) {
+        std::fprintf(stderr, "error: flag '--%s' expects a number, got '%s'\n",
+                     Name.c_str(), Value.c_str());
+        return false;
+      }
+      *static_cast<double *>(Info.Target) = D;
+      break;
+    }
+    case KindTy::Int: {
+      long L;
+      if (!parseInt(Value, L)) {
+        std::fprintf(stderr,
+                     "error: flag '--%s' expects an integer, got '%s'\n",
+                     Name.c_str(), Value.c_str());
+        return false;
+      }
+      *static_cast<long *>(Info.Target) = L;
+      break;
+    }
+    case KindTy::String:
+      *static_cast<std::string *>(Info.Target) = Value;
+      break;
+    case KindTy::Bool:
+      *static_cast<bool *>(Info.Target) =
+          Value == "1" || Value == "true" || Value == "yes";
+      break;
+    }
+  }
+  return true;
+}
+
+void FlagParser::printUsage(const std::string &Program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", Program.c_str());
+  for (const auto &[Name, Info] : Flags)
+    std::fprintf(stderr, "  --%-24s %s\n", Name.c_str(), Info.Help.c_str());
+}

@@ -1,0 +1,57 @@
+//===- support/CommandLine.h - Minimal flag parsing ------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny --flag=value / --flag value parser for the example and benchmark
+/// binaries. Unknown flags are an error so typos do not silently change an
+/// experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_COMMANDLINE_H
+#define OPPROX_SUPPORT_COMMANDLINE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace opprox {
+
+/// Declarative flag registry. Register flags, then parse argv; values are
+/// written straight into the bound variables.
+class FlagParser {
+public:
+  void addFlag(const std::string &Name, double *Target,
+               const std::string &Help);
+  void addFlag(const std::string &Name, long *Target, const std::string &Help);
+  void addFlag(const std::string &Name, std::string *Target,
+               const std::string &Help);
+  void addFlag(const std::string &Name, bool *Target, const std::string &Help);
+
+  /// Parses argv. On error prints a diagnostic and usage to stderr and
+  /// returns false. "--help" prints usage and returns false with no
+  /// diagnostic.
+  bool parse(int Argc, const char *const *Argv);
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  void printUsage(const std::string &Program) const;
+
+private:
+  enum class KindTy { Double, Int, String, Bool };
+  struct FlagInfo {
+    KindTy Kind;
+    void *Target;
+    std::string Help;
+  };
+  std::map<std::string, FlagInfo> Flags;
+  std::vector<std::string> Positional;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_COMMANDLINE_H

@@ -1,0 +1,35 @@
+//===- support/Compiler.h - Portability and diagnostics macros -*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability macros shared across the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_COMPILER_H
+#define OPPROX_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a point in code that must never be reached. Prints the message and
+/// aborts; used instead of assert(false) so release builds still trap.
+#define OPPROX_UNREACHABLE(Msg)                                                \
+  do {                                                                         \
+    std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", __FILE__,      \
+                 __LINE__, Msg);                                               \
+    std::abort();                                                              \
+  } while (false)
+
+#if defined(__GNUC__) || defined(__clang__)
+#define OPPROX_LIKELY(Expr) __builtin_expect(!!(Expr), 1)
+#define OPPROX_UNLIKELY(Expr) __builtin_expect(!!(Expr), 0)
+#else
+#define OPPROX_LIKELY(Expr) (Expr)
+#define OPPROX_UNLIKELY(Expr) (Expr)
+#endif
+
+#endif // OPPROX_SUPPORT_COMPILER_H

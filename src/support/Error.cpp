@@ -1,0 +1,25 @@
+//===- support/Error.cpp --------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include <cstdarg>
+#include <vector>
+
+using namespace opprox;
+
+Error opprox::makeError(const char *Fmt, ...) {
+  std::va_list Args;
+  va_start(Args, Fmt);
+  std::va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  assert(Size >= 0 && "vsnprintf failed on error format string");
+  std::vector<char> Buf(static_cast<size_t>(Size) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Error(std::string(Buf.data(), static_cast<size_t>(Size)));
+}

@@ -1,0 +1,91 @@
+//===- support/Error.h - Lightweight error propagation ---------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free error handling in the spirit of llvm::Expected. Library
+/// code returns Expected<T> (a value or an error message); callers must
+/// check before dereferencing. Errors are plain strings -- rich error
+/// taxonomies are overkill for an autotuning library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_ERROR_H
+#define OPPROX_SUPPORT_ERROR_H
+
+#include "support/Compiler.h"
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace opprox {
+
+/// A failure description. An empty message means "success" is not
+/// representable: construct only for real failures.
+class Error {
+public:
+  explicit Error(std::string Message) : Message(std::move(Message)) {
+    assert(!this->Message.empty() && "errors must carry a message");
+  }
+
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Either a value of type T or an Error. Modeled on llvm::Expected but
+/// without the checked-flag machinery; asserts guard misuse in debug
+/// builds.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Expected(Error E) : Err(std::move(E)) {}
+
+  /// True when a value is present.
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &get() {
+    assert(Value && "getting value from errored Expected");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value && "getting value from errored Expected");
+    return *Value;
+  }
+
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// The error; only valid when operator bool() is false.
+  const Error &error() const {
+    assert(Err && "no error present");
+    return *Err;
+  }
+
+  /// Returns the contained value or aborts with the error message. For
+  /// tool code where failure is fatal anyway.
+  T &getOrDie() {
+    if (OPPROX_UNLIKELY(!Value)) {
+      std::fprintf(stderr, "fatal error: %s\n", Err->message().c_str());
+      std::abort();
+    }
+    return *Value;
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<Error> Err;
+};
+
+/// Creates an Error with a printf-style formatted message.
+Error makeError(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_ERROR_H

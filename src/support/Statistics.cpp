@@ -1,0 +1,132 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace opprox;
+
+void RunningStats::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStats::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  assert(N > 0 && "min of empty accumulator");
+  return Min;
+}
+
+double RunningStats::max() const {
+  assert(N > 0 && "max of empty accumulator");
+  return Max;
+}
+
+void RunningStats::merge(const RunningStats &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  size_t Total = N + Other.N;
+  double Delta = Other.Mean - Mean;
+  double NewMean =
+      Mean + Delta * static_cast<double>(Other.N) / static_cast<double>(Total);
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(N) *
+                       static_cast<double>(Other.N) /
+                       static_cast<double>(Total);
+  Mean = NewMean;
+  N = Total;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+}
+
+double opprox::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double opprox::stddev(const std::vector<double> &Values) {
+  RunningStats S;
+  for (double V : Values)
+    S.add(V);
+  return S.stddev();
+}
+
+double opprox::quantile(std::vector<double> Values, double Q) {
+  assert(!Values.empty() && "quantile of empty vector");
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile outside [0,1]");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Pos = Q * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+double opprox::median(std::vector<double> Values) {
+  return quantile(std::move(Values), 0.5);
+}
+
+double opprox::pearson(const std::vector<double> &X,
+                       const std::vector<double> &Y) {
+  assert(X.size() == Y.size() && "mismatched series");
+  size_t N = X.size();
+  if (N < 2)
+    return 0.0;
+  double MeanX = mean(X), MeanY = mean(Y);
+  double Cov = 0.0, VarX = 0.0, VarY = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    double DX = X[I] - MeanX, DY = Y[I] - MeanY;
+    Cov += DX * DY;
+    VarX += DX * DX;
+    VarY += DY * DY;
+  }
+  if (VarX <= 0.0 || VarY <= 0.0)
+    return 0.0;
+  return Cov / std::sqrt(VarX * VarY);
+}
+
+double opprox::r2Score(const std::vector<double> &Actual,
+                       const std::vector<double> &Predicted) {
+  assert(Actual.size() == Predicted.size() && "mismatched series");
+  assert(!Actual.empty() && "r2 of empty series");
+  double MeanA = mean(Actual);
+  double SSRes = 0.0, SSTot = 0.0;
+  for (size_t I = 0; I < Actual.size(); ++I) {
+    double R = Actual[I] - Predicted[I];
+    double D = Actual[I] - MeanA;
+    SSRes += R * R;
+    SSTot += D * D;
+  }
+  if (SSTot <= 0.0)
+    return SSRes <= 1e-12 ? 1.0 : 0.0;
+  return 1.0 - SSRes / SSTot;
+}

@@ -1,0 +1,76 @@
+//===- support/Statistics.h - Descriptive statistics -----------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming and batch descriptive statistics. Used for ROI computation
+/// (Eq. 1 in the paper), confidence intervals (Sec. 3.6), and benchmark
+/// reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_STATISTICS_H
+#define OPPROX_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace opprox {
+
+/// Welford-style streaming accumulator for mean/variance/min/max.
+class RunningStats {
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  bool empty() const { return N == 0; }
+
+  /// Mean of the observed values; 0 when empty.
+  double mean() const { return N ? Mean : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  double min() const;
+  double max() const;
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats &Other);
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Arithmetic mean of \p Values; 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Sample standard deviation of \p Values.
+double stddev(const std::vector<double> &Values);
+
+/// The \p Q quantile (0 <= Q <= 1) using linear interpolation between
+/// order statistics. Copies and sorts internally.
+double quantile(std::vector<double> Values, double Q);
+
+/// Median shorthand for quantile(Values, 0.5).
+double median(std::vector<double> Values);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+double pearson(const std::vector<double> &X, const std::vector<double> &Y);
+
+/// Coefficient of determination of predictions vs. truth. Returns 1 for a
+/// perfect fit; can be negative for fits worse than predicting the mean.
+double r2Score(const std::vector<double> &Actual,
+               const std::vector<double> &Predicted);
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_STATISTICS_H

@@ -1,0 +1,90 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+#include <cassert>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace opprox;
+
+std::vector<std::string> opprox::split(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Parts.push_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+std::string opprox::join(const std::vector<std::string> &Parts,
+                         const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string opprox::trim(const std::string &Text) {
+  size_t Begin = 0, End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string opprox::format(const char *Fmt, ...) {
+  std::va_list Args;
+  va_start(Args, Fmt);
+  std::va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  assert(Size >= 0 && "vsnprintf failed");
+  std::vector<char> Buf(static_cast<size_t>(Size) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return std::string(Buf.data(), static_cast<size_t>(Size));
+}
+
+bool opprox::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool opprox::parseDouble(const std::string &Text, double &Out) {
+  std::string Trimmed = trim(Text);
+  if (Trimmed.empty())
+    return false;
+  char *End = nullptr;
+  double Value = std::strtod(Trimmed.c_str(), &End);
+  if (End != Trimmed.c_str() + Trimmed.size())
+    return false;
+  Out = Value;
+  return true;
+}
+
+bool opprox::parseInt(const std::string &Text, long &Out) {
+  std::string Trimmed = trim(Text);
+  if (Trimmed.empty())
+    return false;
+  char *End = nullptr;
+  long Value = std::strtol(Trimmed.c_str(), &End, 10);
+  if (End != Trimmed.c_str() + Trimmed.size())
+    return false;
+  Out = Value;
+  return true;
+}

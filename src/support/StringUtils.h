@@ -1,0 +1,49 @@
+//===- support/StringUtils.h - String helpers ------------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers: split/join/trim and printf-style formatting into
+/// std::string. Nothing clever -- just what log parsing and table printing
+/// need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_STRINGUTILS_H
+#define OPPROX_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace opprox {
+
+/// Splits \p Text on \p Sep. Adjacent separators yield empty fields;
+/// splitting the empty string yields one empty field.
+std::vector<std::string> split(const std::string &Text, char Sep);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(const std::string &Text);
+
+/// printf-style formatting into a std::string.
+std::string format(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True when \p Text begins with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// Parses a double; returns false (leaving \p Out untouched) on any
+/// trailing garbage or empty input.
+bool parseDouble(const std::string &Text, double &Out);
+
+/// Parses a decimal integer with the same strictness as parseDouble.
+bool parseInt(const std::string &Text, long &Out);
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_STRINGUTILS_H

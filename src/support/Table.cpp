@@ -1,0 +1,105 @@
+//===- support/Table.cpp --------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+#include "support/StringUtils.h"
+#include <cassert>
+
+using namespace opprox;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table needs at least one column");
+}
+
+void Table::beginRow() {
+  assert((Rows.empty() || Rows.back().size() == Header.size()) &&
+         "previous row not fully populated");
+  Rows.emplace_back();
+}
+
+void Table::addCell(std::string Text) {
+  assert(!Rows.empty() && "addCell before beginRow");
+  assert(Rows.back().size() < Header.size() && "row already full");
+  Rows.back().push_back(std::move(Text));
+}
+
+void Table::addCell(double Value, int Precision) {
+  addCell(format("%.*f", Precision, Value));
+}
+
+void Table::addCell(long Value) { addCell(format("%ld", Value)); }
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row width mismatch");
+  beginRow();
+  for (std::string &Cell : Cells)
+    addCell(std::move(Cell));
+}
+
+void Table::print(std::FILE *Out) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C)
+      std::fprintf(Out, "%s%-*s", C ? "  " : "",
+                   static_cast<int>(Widths[C]), Cells[C].c_str());
+    std::fprintf(Out, "\n");
+  };
+
+  PrintRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  for (size_t I = 0; I + 2 < Total; ++I)
+    std::fputc('-', Out);
+  std::fputc('\n', Out);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+static std::string csvEscape(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Escaped = "\"";
+  for (char Ch : Cell) {
+    if (Ch == '"')
+      Escaped += '"';
+    Escaped += Ch;
+  }
+  Escaped += '"';
+  return Escaped;
+}
+
+std::string Table::toCsv() const {
+  std::string Out;
+  auto AppendRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      if (C)
+        Out += ',';
+      Out += csvEscape(Cells[C]);
+    }
+    Out += '\n';
+  };
+  AppendRow(Header);
+  for (const auto &Row : Rows)
+    AppendRow(Row);
+  return Out;
+}
+
+bool Table::writeCsv(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Csv = toCsv();
+  size_t Written = std::fwrite(Csv.data(), 1, Csv.size(), F);
+  std::fclose(F);
+  return Written == Csv.size();
+}

@@ -1,0 +1,60 @@
+//===- support/Table.h - Console tables and CSV output ---------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned console tables (for the benchmark harnesses that
+/// regenerate the paper's tables and figure series) plus CSV export so
+/// the series can be re-plotted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_TABLE_H
+#define OPPROX_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace opprox {
+
+/// A simple row/column table with a header. Cells are strings; numeric
+/// convenience adders format with sensible precision.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Starts a new row. Must be filled with exactly one cell per column.
+  void beginRow();
+
+  void addCell(std::string Text);
+  void addCell(double Value, int Precision = 4);
+  void addCell(long Value);
+  void addCell(int Value) { addCell(static_cast<long>(Value)); }
+  void addCell(size_t Value) { addCell(static_cast<long>(Value)); }
+
+  /// Convenience: adds a full row at once.
+  void addRow(std::vector<std::string> Cells);
+
+  size_t numRows() const { return Rows.size(); }
+  size_t numColumns() const { return Header.size(); }
+
+  /// Renders with aligned columns to \p Out (default stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Renders as CSV (header + rows). Commas inside cells are quoted.
+  std::string toCsv() const;
+
+  /// Writes the CSV rendering to \p Path; returns false on I/O failure.
+  bool writeCsv(const std::string &Path) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_TABLE_H

@@ -1,0 +1,43 @@
+//===- support/Timer.h - Wall-clock timing ---------------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timer. Used only where the paper reports real time
+/// (Table 2: training and optimization overhead); everywhere else the
+/// project measures deterministic work units.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_TIMER_H
+#define OPPROX_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace opprox {
+
+/// Measures elapsed wall-clock time from construction or the last reset.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction/reset.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_TIMER_H

@@ -1,0 +1,144 @@
+//===- tests/AppModelTests.cpp - model-stack tests ------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "core/AppModel.h"
+#include "core/Profiler.h"
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace opprox;
+
+namespace {
+
+/// One shared PSO training pass for the whole file (cheap but real).
+struct TrainedFixture {
+  std::unique_ptr<ApproxApp> App;
+  std::unique_ptr<GoldenCache> Golden;
+  TrainingSet Data;
+  AppModel Model;
+
+  TrainedFixture() {
+    App = createApp("pso");
+    Golden = std::make_unique<GoldenCache>(*App);
+    Profiler Prof(*App, *Golden);
+    ProfileOptions Opts;
+    Opts.NumPhases = 4;
+    Opts.RandomJointSamples = 16;
+    Data = Prof.collect(App->trainingInputs(), Opts);
+    Model = ModelBuilder::build(Data, 4, App->numBlocks(),
+                                ModelBuildOptions());
+  }
+};
+
+TrainedFixture &fixture() {
+  static TrainedFixture F;
+  return F;
+}
+
+} // namespace
+
+TEST(AppModelTest, ShapeMatchesTraining) {
+  const AppModel &M = fixture().Model;
+  EXPECT_EQ(M.numPhases(), 4u);
+  EXPECT_GE(M.numClasses(), 1u);
+}
+
+TEST(AppModelTest, PredictionsAreFinite) {
+  const TrainedFixture &F = fixture();
+  const std::vector<double> In = F.App->defaultInput();
+  Rng R(5);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    std::vector<int> Levels;
+    for (int Max : F.App->maxLevels())
+      Levels.push_back(static_cast<int>(R.range(0, Max)));
+    for (size_t P = 0; P < 4; ++P) {
+      const PhaseModels &PM = F.Model.phaseModels(In, P);
+      EXPECT_TRUE(std::isfinite(PM.predictSpeedup(In, Levels)));
+      EXPECT_TRUE(std::isfinite(PM.predictQos(In, Levels)));
+      EXPECT_TRUE(std::isfinite(PM.predictIterations(In, Levels)));
+      EXPECT_GE(PM.predictQos(In, Levels), 0.0);
+      EXPECT_GT(PM.predictSpeedup(In, Levels), 0.0);
+    }
+  }
+}
+
+TEST(AppModelTest, ConservativeBoundsBracketPointEstimates) {
+  const TrainedFixture &F = fixture();
+  const std::vector<double> In = F.App->defaultInput();
+  std::vector<int> Levels = {2, 1, 3};
+  for (size_t P = 0; P < 4; ++P) {
+    const PhaseModels &PM = F.Model.phaseModels(In, P);
+    EXPECT_LE(PM.conservativeSpeedup(In, Levels, 0.99),
+              PM.predictSpeedup(In, Levels) + 1e-9);
+    EXPECT_GE(PM.conservativeQos(In, Levels, 0.99),
+              PM.predictQos(In, Levels) - 1e-9);
+  }
+}
+
+TEST(AppModelTest, HigherCoverageIsMoreConservative) {
+  const TrainedFixture &F = fixture();
+  const std::vector<double> In = F.App->defaultInput();
+  std::vector<int> Levels = {3, 3, 3};
+  const PhaseModels &PM = F.Model.phaseModels(In, 0);
+  EXPECT_LE(PM.conservativeQos(In, Levels, 0.5),
+            PM.conservativeQos(In, Levels, 0.99) + 1e-9);
+  EXPECT_GE(PM.conservativeSpeedup(In, Levels, 0.5),
+            PM.conservativeSpeedup(In, Levels, 0.99) - 1e-9);
+}
+
+TEST(AppModelTest, RoiFavorsLatePhases) {
+  // For PSO (and every app here) later phases deliver more speedup per
+  // unit error, so ROI must increase with the phase index -- this is
+  // what drives the paper's budget allocation (LULESH example:
+  // 0.166/0.17/0.265/0.399).
+  const TrainedFixture &F = fixture();
+  const std::vector<double> In = F.App->defaultInput();
+  double First = F.Model.phaseModels(In, 0).roi();
+  double Last = F.Model.phaseModels(In, 3).roi();
+  EXPECT_GT(Last, First);
+}
+
+TEST(AppModelTest, CrossValidatedQualityIsReasonable) {
+  const TrainedFixture &F = fixture();
+  const std::vector<double> In = F.App->defaultInput();
+  for (size_t P = 0; P < 4; ++P) {
+    const PhaseModels &PM = F.Model.phaseModels(In, P);
+    EXPECT_GT(PM.speedupCvR2(), 0.0) << "phase " << P;
+    EXPECT_GT(PM.qosCvR2(), 0.0) << "phase " << P;
+  }
+}
+
+TEST(AppModelTest, ExactConfigPredictsNearBaseline) {
+  const TrainedFixture &F = fixture();
+  const std::vector<double> In = F.App->defaultInput();
+  std::vector<int> Zero(F.App->numBlocks(), 0);
+  for (size_t P = 0; P < 4; ++P) {
+    const PhaseModels &PM = F.Model.phaseModels(In, P);
+    EXPECT_NEAR(PM.predictSpeedup(In, Zero), 1.0, 0.35);
+    EXPECT_LT(PM.predictQos(In, Zero), 10.0);
+  }
+}
+
+TEST(AppModelTest, IterationModelTracksNominal) {
+  const TrainedFixture &F = fixture();
+  const std::vector<double> In = F.App->defaultInput();
+  std::vector<int> Zero(F.App->numBlocks(), 0);
+  double Nominal = static_cast<double>(
+      F.Golden->nominalIterations(In));
+  for (size_t P = 0; P < 4; ++P) {
+    double Est = F.Model.phaseModels(In, P).predictIterations(In, Zero);
+    EXPECT_NEAR(Est, Nominal, 0.5 * Nominal) << "phase " << P;
+  }
+}
+
+TEST(AppModelTest, UnknownClassFallsBackToZero) {
+  const TrainedFixture &F = fixture();
+  // classOf never returns an out-of-range id even for weird inputs.
+  int C = F.Model.classOf({1e9, 1e9});
+  EXPECT_GE(C, 0);
+  EXPECT_LT(static_cast<size_t>(C), std::max<size_t>(F.Model.numClasses(), 1));
+}

@@ -1,0 +1,291 @@
+//===- tests/ApproxTests.cpp - approximation runtime tests ----------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "approx/ApproximableBlock.h"
+#include "approx/CallContextLog.h"
+#include "approx/PhaseSchedule.h"
+#include "approx/Techniques.h"
+#include "approx/WorkCounter.h"
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace opprox;
+
+//===----------------------------------------------------------------------===//
+// PhaseMap
+//===----------------------------------------------------------------------===//
+
+TEST(PhaseMapTest, EqualSplitWithRemainderToLast) {
+  // 10 iterations, 4 phases: base length 2, remainder in the last.
+  PhaseMap PM(10, 4);
+  EXPECT_EQ(PM.phaseOf(0), 0u);
+  EXPECT_EQ(PM.phaseOf(1), 0u);
+  EXPECT_EQ(PM.phaseOf(2), 1u);
+  EXPECT_EQ(PM.phaseOf(5), 2u);
+  EXPECT_EQ(PM.phaseOf(6), 3u);
+  EXPECT_EQ(PM.phaseOf(9), 3u);
+  EXPECT_EQ(PM.phaseRange(0), (std::pair<size_t, size_t>{0, 2}));
+  EXPECT_EQ(PM.phaseRange(3), (std::pair<size_t, size_t>{6, 10}));
+}
+
+TEST(PhaseMapTest, OverrunIterationsLandInLastPhase) {
+  // The paper's Fig. 3: approximate runs may exceed the nominal count.
+  PhaseMap PM(100, 4);
+  EXPECT_EQ(PM.phaseOf(99), 3u);
+  EXPECT_EQ(PM.phaseOf(100), 3u);
+  EXPECT_EQ(PM.phaseOf(500), 3u);
+}
+
+TEST(PhaseMapTest, SinglePhaseCoversEverything) {
+  PhaseMap PM(50, 1);
+  EXPECT_EQ(PM.phaseOf(0), 0u);
+  EXPECT_EQ(PM.phaseOf(49), 0u);
+  EXPECT_EQ(PM.phaseRange(0), (std::pair<size_t, size_t>{0, 50}));
+}
+
+TEST(PhaseMapTest, MorePhasesThanIterations) {
+  PhaseMap PM(2, 8);
+  for (size_t I = 0; I < 2; ++I)
+    EXPECT_LT(PM.phaseOf(I), 8u);
+}
+
+TEST(PhaseMapTest, PhasesPartitionNominalRange) {
+  PhaseMap PM(923, 4);
+  size_t Covered = 0;
+  for (size_t P = 0; P < 4; ++P) {
+    auto [Begin, End] = PM.phaseRange(P);
+    EXPECT_EQ(Begin, Covered);
+    Covered = End;
+  }
+  EXPECT_EQ(Covered, 923u);
+}
+
+//===----------------------------------------------------------------------===//
+// PhaseSchedule
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduleTest, DefaultIsExact) {
+  PhaseSchedule S(4, 3);
+  EXPECT_TRUE(S.isExact());
+  EXPECT_TRUE(S.isUniform());
+  EXPECT_EQ(S.level(2, 1), 0);
+}
+
+TEST(ScheduleTest, UniformSetsEveryPhase) {
+  PhaseSchedule S = PhaseSchedule::uniform(3, {1, 2});
+  EXPECT_TRUE(S.isUniform());
+  EXPECT_FALSE(S.isExact());
+  for (size_t P = 0; P < 3; ++P) {
+    EXPECT_EQ(S.level(P, 0), 1);
+    EXPECT_EQ(S.level(P, 1), 2);
+  }
+}
+
+TEST(ScheduleTest, SinglePhaseLeavesOthersExact) {
+  PhaseSchedule S = PhaseSchedule::singlePhase(4, 2, {3, 0, 5});
+  EXPECT_FALSE(S.isUniform());
+  EXPECT_EQ(S.level(2, 0), 3);
+  EXPECT_EQ(S.level(2, 2), 5);
+  for (size_t P : {0u, 1u, 3u})
+    for (size_t B = 0; B < 3; ++B)
+      EXPECT_EQ(S.level(P, B), 0);
+}
+
+TEST(ScheduleTest, PhaseLevelsRoundTrip) {
+  PhaseSchedule S(2, 3);
+  S.setPhaseLevels(1, {4, 5, 6});
+  EXPECT_EQ(S.phaseLevels(1), (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(S.phaseLevels(0), (std::vector<int>{0, 0, 0}));
+}
+
+TEST(ScheduleTest, ToStringFormat) {
+  PhaseSchedule S = PhaseSchedule::singlePhase(2, 0, {1, 2});
+  EXPECT_EQ(S.toString(), "[1,2 | 0,0]");
+}
+
+//===----------------------------------------------------------------------===//
+// Techniques
+//===----------------------------------------------------------------------===//
+
+TEST(TechniqueTest, PerforationLevelZeroRunsAll) {
+  std::vector<size_t> Ran;
+  perforatedLoop(7, 0, [&](size_t I) { Ran.push_back(I); });
+  EXPECT_EQ(Ran.size(), 7u);
+}
+
+TEST(TechniqueTest, PerforationStride) {
+  std::vector<size_t> Ran;
+  perforatedLoop(10, 2, [&](size_t I) { Ran.push_back(I); });
+  EXPECT_EQ(Ran, (std::vector<size_t>{0, 3, 6, 9}));
+}
+
+TEST(TechniqueTest, RotatingPerforationCoversAllWithinStride) {
+  // Over Level+1 consecutive outer iterations, every index executes
+  // exactly once.
+  int Level = 3;
+  std::set<size_t> Seen;
+  for (size_t Outer = 0; Outer < 4; ++Outer)
+    rotatingPerforatedLoop(20, Level, Outer,
+                           [&](size_t I) { EXPECT_TRUE(Seen.insert(I).second); });
+  EXPECT_EQ(Seen.size(), 20u);
+}
+
+TEST(TechniqueTest, RotatingMatchesPlainAtLevelZero) {
+  std::vector<size_t> A, B;
+  perforatedLoop(9, 0, [&](size_t I) { A.push_back(I); });
+  rotatingPerforatedLoop(9, 0, 5, [&](size_t I) { B.push_back(I); });
+  EXPECT_EQ(A, B);
+}
+
+TEST(TechniqueTest, TruncationDropCounts) {
+  EXPECT_EQ(truncationDrop(100, 0, 5), 0u);
+  EXPECT_EQ(truncationDrop(100, 5, 5), 50u); // Max level drops half.
+  EXPECT_EQ(truncationDrop(100, 1, 5), 10u);
+  EXPECT_EQ(truncationDrop(10, 3, 5), 3u);
+}
+
+TEST(TechniqueTest, TruncatedLoopDropsTail) {
+  std::vector<size_t> Ran;
+  truncatedLoop(10, 5, 5, [&](size_t I) { Ran.push_back(I); });
+  EXPECT_EQ(Ran, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(TechniqueTest, MemoizationRecomputePattern) {
+  std::vector<size_t> Computed, Reused;
+  memoizedLoop<int>(
+      10, 2,
+      [&](size_t I) {
+        Computed.push_back(I);
+        return static_cast<int>(I);
+      },
+      [&](size_t I, int Cached) {
+        Reused.push_back(I);
+        EXPECT_EQ(Cached, static_cast<int>(Computed.back()));
+      });
+  EXPECT_EQ(Computed, (std::vector<size_t>{0, 3, 6, 9}));
+  EXPECT_EQ(Reused.size(), 6u);
+}
+
+TEST(TechniqueTest, MemoizationLevelZeroAlwaysComputes) {
+  size_t Computes = 0, Reuses = 0;
+  memoizedLoop<int>(
+      5, 0, [&](size_t) { return ++Computes, 0; },
+      [&](size_t, int) { ++Reuses; });
+  EXPECT_EQ(Computes, 5u);
+  EXPECT_EQ(Reuses, 0u);
+}
+
+TEST(TechniqueTest, TunedParameterScalesDown) {
+  EXPECT_EQ(tunedParameter(100, 0), 100u);
+  EXPECT_EQ(tunedParameter(100, 3), 70u);
+  EXPECT_EQ(tunedParameter(100, 5), 50u);
+  EXPECT_GE(tunedParameter(10, 5), 1u);
+  EXPECT_EQ(tunedParameter(1, 5), 1u); // Never reaches zero.
+}
+
+//===----------------------------------------------------------------------===//
+// WorkCounter
+//===----------------------------------------------------------------------===//
+
+TEST(WorkTest, AccumulatesAndMarks) {
+  WorkCounter WC;
+  WC.add(5);
+  uint64_t Mark = WC.total();
+  WC.add(7);
+  EXPECT_EQ(WC.total(), 12u);
+  EXPECT_EQ(WC.since(Mark), 7u);
+  WC.reset();
+  EXPECT_EQ(WC.total(), 0u);
+}
+
+TEST(WorkTest, SpeedupRatio) {
+  EXPECT_DOUBLE_EQ(speedupOf(100, 50), 2.0);
+  EXPECT_DOUBLE_EQ(speedupOf(100, 200), 0.5);
+  EXPECT_DOUBLE_EQ(speedupOf(0, 50), 1.0);
+  EXPECT_DOUBLE_EQ(speedupOf(50, 0), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// ApproximableBlock
+//===----------------------------------------------------------------------===//
+
+TEST(BlockTest, ConfigurationCount) {
+  std::vector<ApproximableBlock> Blocks = {
+      {"a", ApproxTechniqueKind::LoopPerforation, 5},
+      {"b", ApproxTechniqueKind::Memoization, 3},
+  };
+  EXPECT_EQ(configurationCount(Blocks), 24ull);
+  EXPECT_EQ(Blocks[0].numLevels(), 6);
+}
+
+TEST(BlockTest, TechniqueNames) {
+  EXPECT_STREQ(techniqueName(ApproxTechniqueKind::LoopPerforation),
+               "loop perforation");
+  EXPECT_STREQ(techniqueName(ApproxTechniqueKind::LoopTruncation),
+               "loop truncation");
+  EXPECT_STREQ(techniqueName(ApproxTechniqueKind::Memoization), "memoization");
+  EXPECT_STREQ(techniqueName(ApproxTechniqueKind::ParameterTuning),
+               "parameter tuning");
+}
+
+//===----------------------------------------------------------------------===//
+// CallContextLog
+//===----------------------------------------------------------------------===//
+
+TEST(LogTest, IterationAccounting) {
+  CallContextLog Log;
+  Log.beginIteration();
+  Log.recordBlock(0, 10);
+  Log.recordBlock(1, 5);
+  Log.beginIteration();
+  Log.recordBlock(0, 3);
+  EXPECT_EQ(Log.numIterations(), 2u);
+  EXPECT_EQ(Log.workInIteration(0), 15u);
+  EXPECT_EQ(Log.workInIteration(1), 3u);
+  EXPECT_EQ(Log.blocksInIteration(0), (std::vector<size_t>{0, 1}));
+}
+
+TEST(LogTest, SignatureOfStableFlow) {
+  CallContextLog Log;
+  for (int I = 0; I < 3; ++I) {
+    Log.beginIteration();
+    Log.recordBlock(0, 1);
+    Log.recordBlock(2, 1);
+  }
+  EXPECT_EQ(Log.signature(), "0,2");
+}
+
+TEST(LogTest, SignatureCapturesDistinctFlows) {
+  CallContextLog Log;
+  Log.beginIteration();
+  Log.recordBlock(0, 1);
+  Log.recordBlock(1, 1);
+  Log.beginIteration();
+  Log.recordBlock(1, 1);
+  Log.recordBlock(0, 1);
+  EXPECT_EQ(Log.signature(), "0,1;1,0");
+}
+
+TEST(LogTest, WorkInRangeClamps) {
+  CallContextLog Log;
+  for (uint64_t W : {2u, 3u, 5u}) {
+    Log.beginIteration();
+    Log.recordBlock(0, W);
+  }
+  EXPECT_EQ(Log.workInRange(0, 3), 10u);
+  EXPECT_EQ(Log.workInRange(1, 2), 3u);
+  EXPECT_EQ(Log.workInRange(1, 100), 8u);
+  EXPECT_EQ(Log.workInRange(5, 9), 0u);
+}
+
+TEST(LogTest, ClearResets) {
+  CallContextLog Log;
+  Log.beginIteration();
+  Log.recordBlock(0, 1);
+  Log.clear();
+  EXPECT_EQ(Log.numIterations(), 0u);
+  EXPECT_EQ(Log.signature(), "");
+}

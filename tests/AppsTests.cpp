@@ -1,0 +1,349 @@
+//===- tests/AppsTests.cpp - benchmark application tests ------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "apps/MiniFfmpeg.h"
+#include "apps/MiniLulesh.h"
+#include "apps/QoSMetrics.h"
+#include "approx/WorkCounter.h"
+#include <cmath>
+#include <gtest/gtest.h>
+#include <map>
+
+using namespace opprox;
+
+namespace {
+
+/// Shared exact runs so the suite does not redo golden executions for
+/// every assertion.
+RunResult &exactRunOf(const std::string &Name) {
+  static std::map<std::string, RunResult> Cache;
+  auto It = Cache.find(Name);
+  if (It == Cache.end()) {
+    auto App = createApp(Name);
+    It = Cache.emplace(Name, App->runExact(App->defaultInput())).first;
+  }
+  return It->second;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(RegistryTest, AllFiveAppsPresent) {
+  EXPECT_EQ(allAppNames(),
+            (std::vector<std::string>{"lulesh", "comd", "ffmpeg", "bodytrack",
+                                      "pso"}));
+  for (const std::string &Name : allAppNames()) {
+    auto App = createApp(Name);
+    ASSERT_NE(App, nullptr);
+    EXPECT_EQ(App->name(), Name);
+  }
+  EXPECT_EQ(createApp("nope"), nullptr);
+  EXPECT_EQ(createAllApps().size(), 5u);
+}
+
+TEST(RegistryTest, BlockCountsMatchPaper) {
+  // Table 1: 4 ABs for LULESH and Bodytrack, 3 for CoMD, PSO, FFmpeg.
+  EXPECT_EQ(createApp("lulesh")->numBlocks(), 4u);
+  EXPECT_EQ(createApp("bodytrack")->numBlocks(), 4u);
+  EXPECT_EQ(createApp("comd")->numBlocks(), 3u);
+  EXPECT_EQ(createApp("pso")->numBlocks(), 3u);
+  EXPECT_EQ(createApp("ffmpeg")->numBlocks(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-application invariants
+//===----------------------------------------------------------------------===//
+
+class AppInvariantTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(AppInvariantTest, MetadataIsConsistent) {
+  auto App = createApp(GetParam());
+  EXPECT_FALSE(App->blocks().empty());
+  EXPECT_EQ(App->defaultInput().size(), App->parameterNames().size());
+  for (const auto &Input : App->trainingInputs())
+    EXPECT_EQ(Input.size(), App->parameterNames().size());
+  EXPECT_GE(App->trainingInputs().size(), 5u);
+  for (const ApproximableBlock &AB : App->blocks()) {
+    EXPECT_FALSE(AB.Name.empty());
+    EXPECT_GE(AB.MaxLevel, 1);
+  }
+}
+
+TEST_P(AppInvariantTest, ExactRunIsDeterministic) {
+  auto App = createApp(GetParam());
+  const RunResult &A = exactRunOf(GetParam());
+  RunResult B = App->runExact(App->defaultInput());
+  EXPECT_EQ(A.WorkUnits, B.WorkUnits);
+  EXPECT_EQ(A.OuterIterations, B.OuterIterations);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.ControlFlowSignature, B.ControlFlowSignature);
+}
+
+TEST_P(AppInvariantTest, ExactRunProducesOutput) {
+  const RunResult &R = exactRunOf(GetParam());
+  EXPECT_GT(R.WorkUnits, 0u);
+  EXPECT_GT(R.OuterIterations, 0u);
+  EXPECT_FALSE(R.Output.empty());
+  EXPECT_FALSE(R.ControlFlowSignature.empty());
+  EXPECT_EQ(R.WorkPerIteration.size(), R.OuterIterations);
+  for (double V : R.Output)
+    EXPECT_TRUE(std::isfinite(V));
+}
+
+TEST_P(AppInvariantTest, ExactVsExactQosIsNegligible) {
+  auto App = createApp(GetParam());
+  const RunResult &R = exactRunOf(GetParam());
+  // PSNR apps saturate at 99 dB, which maps to ~0.001%, not exactly 0.
+  EXPECT_LT(App->qosDegradation(R, R), 0.01);
+}
+
+TEST_P(AppInvariantTest, ExactScheduleAcrossPhasesIsIdentical) {
+  // A 4-phase all-exact schedule must reproduce the 1-phase exact run.
+  auto App = createApp(GetParam());
+  const RunResult &A = exactRunOf(GetParam());
+  PhaseSchedule S(4, App->numBlocks());
+  RunResult B = App->run(App->defaultInput(), S, A.OuterIterations);
+  EXPECT_EQ(A.WorkUnits, B.WorkUnits);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST_P(AppInvariantTest, MaxApproximationReducesWork) {
+  auto App = createApp(GetParam());
+  const RunResult &Exact = exactRunOf(GetParam());
+  PhaseSchedule S = PhaseSchedule::uniform(1, App->maxLevels());
+  RunResult R = App->run(App->defaultInput(), S, Exact.OuterIterations);
+  EXPECT_LT(R.WorkUnits, Exact.WorkUnits);
+  EXPECT_GT(speedupOf(Exact.WorkUnits, R.WorkUnits), 1.2);
+}
+
+TEST_P(AppInvariantTest, ApproximationIsDeterministicToo) {
+  auto App = createApp(GetParam());
+  const RunResult &Exact = exactRunOf(GetParam());
+  std::vector<int> Levels(App->numBlocks(), 2);
+  PhaseSchedule S = PhaseSchedule::singlePhase(4, 1, Levels);
+  RunResult A = App->run(App->defaultInput(), S, Exact.OuterIterations);
+  RunResult B = App->run(App->defaultInput(), S, Exact.OuterIterations);
+  EXPECT_EQ(A.WorkUnits, B.WorkUnits);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST_P(AppInvariantTest, ApproximationCausesSomeError) {
+  auto App = createApp(GetParam());
+  const RunResult &Exact = exactRunOf(GetParam());
+  PhaseSchedule S = PhaseSchedule::uniform(1, App->maxLevels());
+  RunResult R = App->run(App->defaultInput(), S, Exact.OuterIterations);
+  EXPECT_GT(App->qosDegradation(Exact, R), 0.1);
+}
+
+TEST_P(AppInvariantTest, LastPhaseGentlerThanFirst) {
+  // The paper's core observation (Figs. 4 and 9): approximating the
+  // final phase degrades QoS less than approximating the first.
+  auto App = createApp(GetParam());
+  const RunResult &Exact = exactRunOf(GetParam());
+  std::vector<int> Levels(App->numBlocks(), 2);
+  RunResult First =
+      App->run(App->defaultInput(),
+               PhaseSchedule::singlePhase(4, 0, Levels),
+               Exact.OuterIterations);
+  RunResult Last =
+      App->run(App->defaultInput(),
+               PhaseSchedule::singlePhase(4, 3, Levels),
+               Exact.OuterIterations);
+  EXPECT_LT(App->qosDegradation(Exact, Last),
+            App->qosDegradation(Exact, First) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppInvariantTest,
+                         testing::ValuesIn(allAppNames()),
+                         [](const auto &Info) { return Info.param; });
+
+//===----------------------------------------------------------------------===//
+// LULESH specifics
+//===----------------------------------------------------------------------===//
+
+TEST(LuleshTest, NominalIterationsNearPaper) {
+  // Calibrated to the paper's 921 exact outer-loop iterations.
+  const RunResult &R = exactRunOf("lulesh");
+  EXPECT_NEAR(static_cast<double>(R.OuterIterations), 921.0, 15.0);
+}
+
+TEST(LuleshTest, IterationCountRespondsToApproximation) {
+  // Fig. 3: approximation changes the outer-loop iteration count.
+  MiniLulesh App;
+  const RunResult &Exact = exactRunOf("lulesh");
+  PhaseSchedule S = PhaseSchedule::uniform(4, {3, 3, 3, 3});
+  RunResult R = App.run(App.defaultInput(), S, Exact.OuterIterations);
+  EXPECT_NE(R.OuterIterations, Exact.OuterIterations);
+}
+
+TEST(LuleshTest, MeshSizeScalesWork) {
+  MiniLulesh App;
+  RunResult Small = App.runExact({20, 11});
+  RunResult Large = App.runExact({40, 11});
+  EXPECT_GT(Large.WorkUnits, Small.WorkUnits);
+}
+
+TEST(LuleshTest, RegionsScaleForceCost) {
+  MiniLulesh App;
+  RunResult Few = App.runExact({30, 8});
+  RunResult Many = App.runExact({30, 16});
+  EXPECT_GT(Many.WorkUnits, Few.WorkUnits);
+}
+
+TEST(LuleshTest, EnergyConcentratedNearBlast) {
+  const RunResult &R = exactRunOf("lulesh");
+  // The first output bin (closest to the blast) carries the most energy.
+  double MaxE = 0;
+  for (double E : R.Output)
+    MaxE = std::max(MaxE, E);
+  EXPECT_DOUBLE_EQ(R.Output.front(), MaxE);
+}
+
+//===----------------------------------------------------------------------===//
+// CoMD specifics
+//===----------------------------------------------------------------------===//
+
+TEST(ComdTest, IterationsFixedByInput) {
+  auto App = createApp("comd");
+  const RunResult &Exact = exactRunOf("comd");
+  EXPECT_EQ(Exact.OuterIterations, 200u); // num_timesteps of the default.
+  PhaseSchedule S = PhaseSchedule::uniform(4, App->maxLevels());
+  RunResult R = App->run(App->defaultInput(), S, Exact.OuterIterations);
+  EXPECT_EQ(R.OuterIterations, Exact.OuterIterations);
+}
+
+TEST(ComdTest, SpeedupPhaseInvariant) {
+  // Fig. 10a: which phase is approximated barely changes CoMD's speedup.
+  auto App = createApp("comd");
+  const RunResult &Exact = exactRunOf("comd");
+  std::vector<int> Levels(3, 3);
+  std::vector<double> Speedups;
+  for (size_t P = 0; P < 4; ++P) {
+    RunResult R = App->run(App->defaultInput(),
+                           PhaseSchedule::singlePhase(4, P, Levels),
+                           Exact.OuterIterations);
+    Speedups.push_back(speedupOf(Exact.WorkUnits, R.WorkUnits));
+  }
+  for (size_t P = 1; P < 4; ++P)
+    EXPECT_NEAR(Speedups[P], Speedups[0], 0.12);
+}
+
+//===----------------------------------------------------------------------===//
+// FFmpeg specifics
+//===----------------------------------------------------------------------===//
+
+TEST(FfmpegTest, FrameCountFromFpsAndDuration) {
+  auto App = createApp("ffmpeg");
+  EXPECT_EQ(exactRunOf("ffmpeg").OuterIterations, 150u); // 30 fps x 5 s.
+  RunResult Short = App->runExact({15, 4, 4, 0});
+  EXPECT_EQ(Short.OuterIterations, 60u);
+}
+
+TEST(FfmpegTest, FilterOrderChangesControlFlow) {
+  // Fig. 7 / Sec. 3.4: swapping deflate and edge detection is a distinct
+  // control flow with a distinct result.
+  auto App = createApp("ffmpeg");
+  RunResult A = App->runExact({30, 3, 4, 0});
+  RunResult B = App->runExact({30, 3, 4, 1});
+  EXPECT_NE(A.ControlFlowSignature, B.ControlFlowSignature);
+  EXPECT_NE(A.Output, B.Output);
+}
+
+TEST(FfmpegTest, UsesPsnrMetric) {
+  auto App = createApp("ffmpeg");
+  EXPECT_TRUE(App->usesPsnr());
+  const RunResult &Exact = exactRunOf("ffmpeg");
+  EXPECT_DOUBLE_EQ(App->psnrValue(Exact, Exact), 99.0);
+  PhaseSchedule S = PhaseSchedule::uniform(1, {2, 2, 2});
+  RunResult R = App->run(App->defaultInput(), S, Exact.OuterIterations);
+  double Db = App->psnrValue(Exact, R);
+  EXPECT_GT(Db, 5.0);
+  EXPECT_LT(Db, 99.0);
+  // qosDegradation is the documented transform of PSNR.
+  EXPECT_NEAR(App->qosDegradation(Exact, R), psnrToDegradationPercent(Db),
+              1e-9);
+}
+
+TEST(FfmpegTest, EarlyPhaseErrorPersists) {
+  // Fig. 9d: the delta encoder propagates first-phase errors, so PSNR for
+  // phase-0 approximation is worse (lower) than for phase-3.
+  auto App = createApp("ffmpeg");
+  const RunResult &Exact = exactRunOf("ffmpeg");
+  std::vector<int> Levels = {3, 3, 3};
+  RunResult P0 = App->run(App->defaultInput(),
+                          PhaseSchedule::singlePhase(4, 0, Levels),
+                          Exact.OuterIterations);
+  RunResult P3 = App->run(App->defaultInput(),
+                          PhaseSchedule::singlePhase(4, 3, Levels),
+                          Exact.OuterIterations);
+  EXPECT_LT(App->psnrValue(Exact, P0), App->psnrValue(Exact, P3));
+}
+
+//===----------------------------------------------------------------------===//
+// Bodytrack specifics
+//===----------------------------------------------------------------------===//
+
+TEST(BodytrackTest, IterationsAreFramesTimesLayers) {
+  EXPECT_EQ(exactRunOf("bodytrack").OuterIterations, 48u); // 12 x 4.
+  auto App = createApp("bodytrack");
+  RunResult R = App->runExact({3, 96, 10});
+  EXPECT_EQ(R.OuterIterations, 30u);
+}
+
+TEST(BodytrackTest, OutputIsPoseSequence) {
+  const RunResult &R = exactRunOf("bodytrack");
+  EXPECT_EQ(R.Output.size(), 12u * 5u); // frames x pose components.
+}
+
+TEST(BodytrackTest, MinParticlesKnobSavesWork) {
+  auto App = createApp("bodytrack");
+  const RunResult &Exact = exactRunOf("bodytrack");
+  PhaseSchedule S = PhaseSchedule::uniform(1, {0, 0, 0, 5});
+  RunResult R = App->run(App->defaultInput(), S, Exact.OuterIterations);
+  EXPECT_LT(R.WorkUnits, Exact.WorkUnits);
+}
+
+//===----------------------------------------------------------------------===//
+// PSO specifics
+//===----------------------------------------------------------------------===//
+
+TEST(PsoTest, ConvergesBeforeIterationCap) {
+  const RunResult &R = exactRunOf("pso");
+  EXPECT_LT(R.OuterIterations, 400u);
+  EXPECT_GT(R.OuterIterations, 50u);
+}
+
+TEST(PsoTest, EarlyApproximationTriggersPrematureConvergence) {
+  // Figs. 9b/10b: stale fitness in the first phase stalls the stagnation
+  // detector -- the run stops much earlier, with a large error.
+  auto App = createApp("pso");
+  const RunResult &Exact = exactRunOf("pso");
+  std::vector<int> Levels(3, 3);
+  RunResult P0 = App->run(App->defaultInput(),
+                          PhaseSchedule::singlePhase(4, 0, Levels),
+                          Exact.OuterIterations);
+  EXPECT_LT(P0.OuterIterations, Exact.OuterIterations / 2);
+  EXPECT_GT(App->qosDegradation(Exact, P0), 10.0);
+}
+
+TEST(PsoTest, LatePhaseSpeedupSmallerThanEarly) {
+  // Fig. 10b: speedup shrinks for later phases.
+  auto App = createApp("pso");
+  const RunResult &Exact = exactRunOf("pso");
+  std::vector<int> Levels(3, 3);
+  RunResult P0 = App->run(App->defaultInput(),
+                          PhaseSchedule::singlePhase(4, 0, Levels),
+                          Exact.OuterIterations);
+  RunResult P3 = App->run(App->defaultInput(),
+                          PhaseSchedule::singlePhase(4, 3, Levels),
+                          Exact.OuterIterations);
+  EXPECT_GT(speedupOf(Exact.WorkUnits, P0.WorkUnits),
+            speedupOf(Exact.WorkUnits, P3.WorkUnits));
+}

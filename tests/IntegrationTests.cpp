@@ -1,0 +1,104 @@
+//===- tests/IntegrationTests.cpp - end-to-end pipeline tests -------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "core/Opprox.h"
+#include "core/OracleBaseline.h"
+#include <gtest/gtest.h>
+
+using namespace opprox;
+
+TEST(IntegrationTest, TrainOptimizeEvaluatePso) {
+  auto App = createApp("pso");
+  OpproxTrainOptions Opts;
+  Opts.Profiling.RandomJointSamples = 12;
+  Opprox Tuner = Opprox::train(*App, Opts);
+  EXPECT_EQ(Tuner.numPhases(), 4u);
+  EXPECT_GT(Tuner.trainingRuns(), 100u);
+  EXPECT_EQ(Tuner.trainingData().size(), Tuner.trainingRuns());
+
+  const std::vector<double> In = App->defaultInput();
+  PhaseSchedule S = Tuner.optimize(In, 20.0);
+  EvalOutcome Truth = evaluateSchedule(*App, Tuner.golden(), In, S);
+  EXPECT_GT(Truth.Speedup, 1.0);
+  // Ground truth may exceed the budget by model error, but not wildly.
+  EXPECT_LT(Truth.QosDegradation, 60.0);
+}
+
+TEST(IntegrationTest, AutoPhaseDetectionPath) {
+  auto App = createApp("pso");
+  OpproxTrainOptions Opts;
+  Opts.NumPhases = 0; // Run Algorithm 1.
+  Opts.PhaseDetection.ProbeConfigs = 3;
+  Opts.Profiling.RandomJointSamples = 8;
+  Opprox Tuner = Opprox::train(*App, Opts);
+  EXPECT_TRUE(Tuner.numPhases() == 2 || Tuner.numPhases() == 4 ||
+              Tuner.numPhases() == 8);
+}
+
+TEST(IntegrationTest, ExplicitTrainingInputsRespected) {
+  auto App = createApp("pso");
+  OpproxTrainOptions Opts;
+  Opts.TrainingInputs = {{30, 5}, {60, 8}};
+  Opts.Profiling.RandomJointSamples = 6;
+  Opprox Tuner = Opprox::train(*App, Opts);
+  // (3 blocks x 5 local + 6 joint) x 5 schedules x 2 inputs = 210.
+  EXPECT_EQ(Tuner.trainingData().size(), 210u);
+}
+
+TEST(IntegrationTest, TrainingDataCsvRoundTripsExactly) {
+  auto App = createApp("pso");
+  OpproxTrainOptions Opts;
+  Opts.TrainingInputs = {App->defaultInput()};
+  Opts.Profiling.RandomJointSamples = 4;
+  Opprox Tuner = Opprox::train(*App, Opts);
+
+  std::vector<std::string> BlockNames;
+  for (const ApproximableBlock &AB : App->blocks())
+    BlockNames.push_back(AB.Name);
+  std::string Csv =
+      Tuner.trainingData().toCsv(App->parameterNames(), BlockNames);
+  Expected<TrainingSet> Back =
+      TrainingSet::fromCsv(Csv, App->parameterNames().size(),
+                           App->numBlocks());
+  ASSERT_TRUE(static_cast<bool>(Back));
+  ASSERT_EQ(Back->size(), Tuner.trainingData().size());
+  for (size_t I = 0; I < Back->size(); ++I) {
+    EXPECT_EQ((*Back)[I].Levels, Tuner.trainingData()[I].Levels);
+    EXPECT_EQ((*Back)[I].Phase, Tuner.trainingData()[I].Phase);
+    EXPECT_NEAR((*Back)[I].Speedup, Tuner.trainingData()[I].Speedup, 1e-9);
+  }
+}
+
+TEST(IntegrationTest, PhaseAwareBeatsOracleAtTightBudgetOnPso) {
+  // The paper's headline (Fig. 14): under tight budgets, phase-aware
+  // schedules reach speedups the phase-agnostic oracle cannot, because
+  // late-phase-only approximation is cheap in error. PSO is our
+  // strongest instance of this effect.
+  auto App = createApp("pso");
+  OpproxTrainOptions Opts;
+  Opts.Profiling.RandomJointSamples = 16;
+  Opprox Tuner = Opprox::train(*App, Opts);
+  const std::vector<double> In = App->defaultInput();
+
+  auto Measured = measureAllUniformConfigs(*App, Tuner.golden(), In);
+  OracleResult Oracle = selectOracle(Measured, 20.0);
+  PhaseSchedule S = Tuner.optimize(In, 20.0);
+  EvalOutcome Truth = evaluateSchedule(*App, Tuner.golden(), In, S);
+  EXPECT_GT(Truth.Speedup, Oracle.Best.Speedup);
+}
+
+TEST(IntegrationTest, TrainedModelsCoverEveryClassAndPhase) {
+  auto App = createApp("ffmpeg"); // Two control-flow classes.
+  OpproxTrainOptions Opts;
+  Opts.TrainingInputs = {{15, 2, 4, 0}, {15, 2, 4, 1}};
+  Opts.Profiling.RandomJointSamples = 4;
+  Opprox Tuner = Opprox::train(*App, Opts);
+  EXPECT_EQ(Tuner.model().numClasses(), 2u);
+  for (int C = 0; C < 2; ++C)
+    for (size_t P = 0; P < Tuner.numPhases(); ++P)
+      EXPECT_GE(Tuner.model().phaseModelsForClass(C, P).roi(), 0.0);
+}

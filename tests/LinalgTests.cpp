@@ -1,0 +1,228 @@
+//===- tests/LinalgTests.cpp - linear algebra tests -----------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Decompositions.h"
+#include "linalg/LeastSquares.h"
+#include "linalg/Matrix.h"
+#include "support/Random.h"
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace opprox;
+
+//===----------------------------------------------------------------------===//
+// Matrix
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix M(2, 3, 1.5);
+  EXPECT_EQ(M.rows(), 2u);
+  EXPECT_EQ(M.cols(), 3u);
+  EXPECT_DOUBLE_EQ(M.at(1, 2), 1.5);
+  M.at(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(M.at(0, 0), -2.0);
+}
+
+TEST(MatrixTest, FromRowsAndRowCol) {
+  Matrix M = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(M.row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(M.col(0), (std::vector<double>{1, 3, 5}));
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Matrix M = Matrix::fromRows({{1, 2}, {3, 4}});
+  Matrix I = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(M.multiply(I).maxAbsDiff(M), 0.0);
+  EXPECT_DOUBLE_EQ(I.multiply(M).maxAbsDiff(M), 0.0);
+}
+
+TEST(MatrixTest, KnownProduct) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}});
+  Matrix B = Matrix::fromRows({{5, 6}, {7, 8}});
+  Matrix C = A.multiply(B);
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 50);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix A = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix T = A.transposed();
+  EXPECT_EQ(T.rows(), 3u);
+  EXPECT_EQ(T.cols(), 2u);
+  EXPECT_DOUBLE_EQ(T.at(2, 1), 6);
+  EXPECT_DOUBLE_EQ(T.transposed().maxAbsDiff(A), 0.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix A = Matrix::fromRows({{1, 2}, {3, 4}});
+  std::vector<double> Y = A.multiply(std::vector<double>{1.0, -1.0});
+  EXPECT_DOUBLE_EQ(Y[0], -1);
+  EXPECT_DOUBLE_EQ(Y[1], -1);
+}
+
+TEST(MatrixTest, VectorHelpers) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5);
+  EXPECT_EQ(axpy({1, 1}, {2, 3}, 2.0), (std::vector<double>{5, 7}));
+}
+
+//===----------------------------------------------------------------------===//
+// QR decomposition
+//===----------------------------------------------------------------------===//
+
+TEST(QrTest, SolvesSquareSystem) {
+  Matrix A = Matrix::fromRows({{2, 1}, {1, 3}});
+  std::vector<double> X0 = {1.0, -2.0};
+  auto X = QrDecomposition(A).solve(A.multiply(X0));
+  ASSERT_TRUE(X.has_value());
+  EXPECT_NEAR((*X)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*X)[1], -2.0, 1e-12);
+}
+
+TEST(QrTest, OverdeterminedConsistent) {
+  Matrix A = Matrix::fromRows({{2, 1}, {1, 3}, {0, 1}});
+  std::vector<double> X0 = {1.0, 2.0};
+  auto X = QrDecomposition(A).solve(A.multiply(X0));
+  ASSERT_TRUE(X.has_value());
+  EXPECT_NEAR((*X)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*X)[1], 2.0, 1e-12);
+}
+
+TEST(QrTest, LeastSquaresMinimizesResidual) {
+  // Inconsistent system: the LS solution of x = b over rows (1),(1) is
+  // the mean.
+  Matrix A = Matrix::fromRows({{1.0}, {1.0}});
+  auto X = QrDecomposition(A).solve({1.0, 3.0});
+  ASSERT_TRUE(X.has_value());
+  EXPECT_NEAR((*X)[0], 2.0, 1e-12);
+}
+
+TEST(QrTest, DetectsRankDeficiency) {
+  Matrix A = Matrix::fromRows({{1, 2}, {2, 4}, {3, 6}});
+  QrDecomposition Qr(A);
+  EXPECT_FALSE(Qr.isFullRank());
+  EXPECT_FALSE(Qr.solve({1, 2, 3}).has_value());
+}
+
+TEST(QrTest, RFactorIsUpperTriangular) {
+  Rng R(10);
+  Matrix A(6, 4);
+  for (size_t I = 0; I < 6; ++I)
+    for (size_t J = 0; J < 4; ++J)
+      A.at(I, J) = R.gaussian();
+  Matrix RF = QrDecomposition(A).rFactor();
+  for (size_t I = 0; I < 4; ++I)
+    for (size_t J = 0; J < I; ++J)
+      EXPECT_DOUBLE_EQ(RF.at(I, J), 0.0);
+}
+
+TEST(QrTest, RFactorReproducesNormalEquations) {
+  // R^T R must equal A^T A for a full-rank A.
+  Rng Rand(20);
+  Matrix A(8, 3);
+  for (size_t I = 0; I < 8; ++I)
+    for (size_t J = 0; J < 3; ++J)
+      A.at(I, J) = Rand.gaussian();
+  Matrix R = QrDecomposition(A).rFactor();
+  Matrix RtR = R.transposed().multiply(R);
+  Matrix AtA = A.transposed().multiply(A);
+  EXPECT_LT(RtR.maxAbsDiff(AtA), 1e-10);
+}
+
+/// Property sweep: random full-rank systems of several shapes solve to
+/// high accuracy.
+class QrPropertyTest : public testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrPropertyTest, RandomSystemsRecoverSolution) {
+  auto [M, N] = GetParam();
+  Rng Rand(static_cast<uint64_t>(M * 1000 + N));
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    Matrix A(static_cast<size_t>(M), static_cast<size_t>(N));
+    for (int I = 0; I < M; ++I)
+      for (int J = 0; J < N; ++J)
+        A.at(static_cast<size_t>(I), static_cast<size_t>(J)) =
+            Rand.gaussian();
+    std::vector<double> X0(static_cast<size_t>(N));
+    for (double &V : X0)
+      V = Rand.uniform(-5, 5);
+    auto X = QrDecomposition(A).solve(A.multiply(X0));
+    ASSERT_TRUE(X.has_value());
+    for (int J = 0; J < N; ++J)
+      EXPECT_NEAR((*X)[static_cast<size_t>(J)], X0[static_cast<size_t>(J)],
+                  1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrPropertyTest,
+                         testing::Values(std::pair{3, 3}, std::pair{5, 2},
+                                         std::pair{10, 4}, std::pair{30, 7},
+                                         std::pair{100, 12}));
+
+//===----------------------------------------------------------------------===//
+// Cholesky
+//===----------------------------------------------------------------------===//
+
+TEST(CholeskyTest, FactorizesSpd) {
+  Matrix A = Matrix::fromRows({{4, 2}, {2, 3}});
+  auto L = cholesky(A);
+  ASSERT_TRUE(L.has_value());
+  Matrix Rebuilt = L->multiply(L->transposed());
+  EXPECT_LT(Rebuilt.maxAbsDiff(A), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix A = Matrix::fromRows({{1, 2}, {2, 1}}); // Eigenvalues 3, -1.
+  EXPECT_FALSE(cholesky(A).has_value());
+}
+
+TEST(CholeskyTest, SolveMatchesKnown) {
+  Matrix A = Matrix::fromRows({{4, 2}, {2, 3}});
+  std::vector<double> X0 = {1, 2};
+  auto L = cholesky(A);
+  ASSERT_TRUE(L.has_value());
+  std::vector<double> X = choleskySolve(*L, A.multiply(X0));
+  EXPECT_NEAR(X[0], 1.0, 1e-12);
+  EXPECT_NEAR(X[1], 2.0, 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Least squares front-end
+//===----------------------------------------------------------------------===//
+
+TEST(LeastSquaresTest, QrAndRidgeAgreeOnWellPosed) {
+  Rng Rand(33);
+  Matrix A(20, 3);
+  for (size_t I = 0; I < 20; ++I)
+    for (size_t J = 0; J < 3; ++J)
+      A.at(I, J) = Rand.gaussian();
+  std::vector<double> B = A.multiply(std::vector<double>{1, -2, 0.5});
+  auto X = solveLeastSquares(A, B);
+  ASSERT_TRUE(X.has_value());
+  std::vector<double> XR = solveRidge(A, B, 1e-10);
+  for (size_t J = 0; J < 3; ++J)
+    EXPECT_NEAR((*X)[J], XR[J], 1e-6);
+}
+
+TEST(LeastSquaresTest, RidgeHandlesCollinear) {
+  // Two identical columns: plain LS refuses, ridge returns a finite
+  // solution that still fits.
+  Matrix A = Matrix::fromRows({{1, 1}, {2, 2}, {3, 3}});
+  std::vector<double> B = {2, 4, 6};
+  EXPECT_FALSE(solveLeastSquares(A, B).has_value());
+  std::vector<double> X = solveRidge(A, B, 1e-6);
+  std::vector<double> Fit = A.multiply(X);
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_NEAR(Fit[I], B[I], 1e-3);
+}
+
+TEST(LeastSquaresTest, UnderdeterminedUsesRidgePath) {
+  Matrix A = Matrix::fromRows({{1, 0, 1}});
+  EXPECT_FALSE(solveLeastSquares(A, {2}).has_value());
+  std::vector<double> X = solveRidge(A, {2}, 1e-8);
+  EXPECT_NEAR(X[0] + X[2], 2.0, 1e-4);
+}

@@ -1,0 +1,247 @@
+//===- tests/PropertyTests.cpp - parameterized property sweeps ------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// Property-style invariants swept over sizes/levels/shapes with TEST_P,
+// complementing the example-based tests elsewhere.
+//
+//===----------------------------------------------------------------------===//
+
+#include "approx/PhaseSchedule.h"
+#include "approx/Techniques.h"
+#include "core/Sampler.h"
+#include "linalg/Decompositions.h"
+#include "ml/Mic.h"
+#include "ml/PolynomialRegression.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numeric>
+
+using namespace opprox;
+
+//===----------------------------------------------------------------------===//
+// PhaseMap properties over many (iterations, phases) shapes
+//===----------------------------------------------------------------------===//
+
+class PhaseMapProperty
+    : public testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(PhaseMapProperty, PhasesAreMonotoneAndExhaustive) {
+  auto [Iters, Phases] = GetParam();
+  PhaseMap PM(Iters, Phases);
+  size_t Prev = 0;
+  for (size_t I = 0; I < Iters; ++I) {
+    size_t P = PM.phaseOf(I);
+    EXPECT_GE(P, Prev) << "phase index must never decrease";
+    EXPECT_LT(P, Phases);
+    Prev = P;
+  }
+  // phaseOf agrees with phaseRange.
+  for (size_t P = 0; P < Phases; ++P) {
+    auto [Begin, End] = PM.phaseRange(P);
+    for (size_t I = Begin; I < End && I < Iters; ++I) {
+      EXPECT_EQ(PM.phaseOf(I), P);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PhaseMapProperty,
+    testing::Values(std::pair<size_t, size_t>{1, 1},
+                    std::pair<size_t, size_t>{7, 2},
+                    std::pair<size_t, size_t>{8, 8},
+                    std::pair<size_t, size_t>{100, 3},
+                    std::pair<size_t, size_t>{923, 4},
+                    std::pair<size_t, size_t>{5, 8},
+                    std::pair<size_t, size_t>{1000, 7}));
+
+//===----------------------------------------------------------------------===//
+// Technique coverage properties over levels
+//===----------------------------------------------------------------------===//
+
+class LevelProperty : public testing::TestWithParam<int> {};
+
+TEST_P(LevelProperty, PerforationExecutesCeilDiv) {
+  int Level = GetParam();
+  for (size_t N : {1u, 2u, 10u, 97u}) {
+    size_t Count = 0;
+    perforatedLoop(N, Level, [&](size_t) { ++Count; });
+    size_t Stride = static_cast<size_t>(Level) + 1;
+    EXPECT_EQ(Count, (N + Stride - 1) / Stride);
+  }
+}
+
+TEST_P(LevelProperty, RotatingPerforationSameCountEveryIteration) {
+  int Level = GetParam();
+  size_t Stride = static_cast<size_t>(Level) + 1;
+  for (size_t Outer = 0; Outer < 3 * Stride; ++Outer) {
+    size_t Count = 0;
+    rotatingPerforatedLoop(60, Level, Outer, [&](size_t) { ++Count; });
+    // 60 is divisible by 1..6, so every offset executes 60/stride.
+    EXPECT_EQ(Count, 60u / Stride);
+  }
+}
+
+TEST_P(LevelProperty, TruncationNeverDropsMoreThanHalf) {
+  int Level = GetParam();
+  for (size_t N : {4u, 10u, 1000u}) {
+    size_t Drop = truncationDrop(N, Level, 5);
+    EXPECT_LE(Drop, N / 2);
+    if (Level == 0) {
+      EXPECT_EQ(Drop, 0u);
+    }
+  }
+}
+
+TEST_P(LevelProperty, MemoizationComputeFractionMatchesPeriod) {
+  int Level = GetParam();
+  size_t Computes = 0, Reuses = 0;
+  memoizedLoop<int>(
+      120, Level, [&](size_t) { return static_cast<int>(++Computes); },
+      [&](size_t, int) { ++Reuses; });
+  EXPECT_EQ(Computes + Reuses, 120u);
+  size_t Period = static_cast<size_t>(Level) + 1;
+  EXPECT_EQ(Computes, (120 + Period - 1) / Period);
+}
+
+TEST_P(LevelProperty, TunedParameterMonotoneInLevel) {
+  int Level = GetParam();
+  if (Level == 0)
+    return;
+  EXPECT_LE(tunedParameter(100, Level), tunedParameter(100, Level - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, LevelProperty, testing::Range(0, 6));
+
+//===----------------------------------------------------------------------===//
+// Schedule properties
+//===----------------------------------------------------------------------===//
+
+class ScheduleProperty : public testing::TestWithParam<size_t> {};
+
+TEST_P(ScheduleProperty, UniformOfExactLevelsIsExact) {
+  size_t Phases = GetParam();
+  std::vector<int> Zero(3, 0);
+  EXPECT_TRUE(PhaseSchedule::uniform(Phases, Zero).isExact());
+}
+
+TEST_P(ScheduleProperty, SinglePhaseTouchesOnlyThatPhase) {
+  size_t Phases = GetParam();
+  for (size_t Target = 0; Target < Phases; ++Target) {
+    PhaseSchedule S = PhaseSchedule::singlePhase(Phases, Target, {1, 2, 3});
+    for (size_t P = 0; P < Phases; ++P)
+      for (size_t B = 0; B < 3; ++B)
+        EXPECT_EQ(S.level(P, B), P == Target ? static_cast<int>(B) + 1 : 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PhaseCounts, ScheduleProperty,
+                         testing::Values(1u, 2u, 4u, 8u));
+
+//===----------------------------------------------------------------------===//
+// Sampler properties over block shapes
+//===----------------------------------------------------------------------===//
+
+class SamplerProperty
+    : public testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(SamplerProperty, LocalCountIsSumOfLevels) {
+  Rng R(99);
+  const std::vector<int> &Max = GetParam();
+  SamplingPlan Plan = makeSamplingPlan(Max, 7, R);
+  EXPECT_EQ(Plan.LocalConfigs.size(),
+            static_cast<size_t>(std::accumulate(Max.begin(), Max.end(), 0)));
+  EXPECT_EQ(Plan.JointConfigs.size(), 7u);
+}
+
+TEST_P(SamplerProperty, EnumerationMatchesProduct) {
+  const std::vector<int> &Max = GetParam();
+  size_t Want = 1;
+  for (int M : Max)
+    Want *= static_cast<size_t>(M) + 1;
+  EXPECT_EQ(enumerateAllConfigs(Max).size(), Want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockShapes, SamplerProperty,
+    testing::Values(std::vector<int>{1}, std::vector<int>{5, 5},
+                    std::vector<int>{5, 5, 5}, std::vector<int>{2, 3, 4},
+                    std::vector<int>{5, 5, 5, 5}));
+
+//===----------------------------------------------------------------------===//
+// QR round-trip property under scaling
+//===----------------------------------------------------------------------===//
+
+class QrScaleProperty : public testing::TestWithParam<double> {};
+
+TEST_P(QrScaleProperty, SolutionInvariantUnderRhsScaling) {
+  double Scale = GetParam();
+  Rng R(7);
+  Matrix A(12, 4);
+  for (size_t I = 0; I < 12; ++I)
+    for (size_t J = 0; J < 4; ++J)
+      A.at(I, J) = R.gaussian();
+  std::vector<double> X0 = {1, -1, 2, 0.5};
+  std::vector<double> B = A.multiply(X0);
+  for (double &V : B)
+    V *= Scale;
+  auto X = QrDecomposition(A).solve(B);
+  ASSERT_TRUE(X.has_value());
+  for (size_t J = 0; J < 4; ++J)
+    EXPECT_NEAR((*X)[J], X0[J] * Scale, 1e-8 * std::max(1.0, Scale));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, QrScaleProperty,
+                         testing::Values(1e-6, 1.0, 1e6));
+
+//===----------------------------------------------------------------------===//
+// MIC invariance properties
+//===----------------------------------------------------------------------===//
+
+TEST(MicProperty, InvariantUnderMonotoneTransforms) {
+  // MIC of (x, y) equals MIC of (f(x), y) for strictly monotone f,
+  // because equal-frequency bins only see order.
+  Rng R(21);
+  std::vector<double> X, Y, X3;
+  for (int I = 0; I < 300; ++I) {
+    double V = R.uniform(0.1, 3.0);
+    X.push_back(V);
+    X3.push_back(V * V * V);
+    Y.push_back(std::sin(2.0 * V));
+  }
+  EXPECT_NEAR(mic(X, Y), mic(X3, Y), 1e-12);
+}
+
+TEST(MicProperty, SymmetricInArguments) {
+  Rng R(22);
+  std::vector<double> X, Y;
+  for (int I = 0; I < 200; ++I) {
+    double V = R.uniform(-1, 1);
+    X.push_back(V);
+    Y.push_back(V * V + R.gaussian(0, 0.05));
+  }
+  EXPECT_NEAR(mic(X, Y), mic(Y, X), 0.15); // Grid budget differs per axis.
+}
+
+//===----------------------------------------------------------------------===//
+// Regression scaling property
+//===----------------------------------------------------------------------===//
+
+TEST(RegressionProperty, PredictionScalesWithTarget) {
+  Rng R(31);
+  Dataset D({"x"}), D10({"x"});
+  for (int I = 0; I < 60; ++I) {
+    double X = R.uniform(-2, 2);
+    double T = 1 + X + X * X;
+    D.addSample({X}, T);
+    D10.addSample({X}, 10 * T);
+  }
+  PolynomialRegression::Options O;
+  O.Degree = 2;
+  PolynomialRegression M = PolynomialRegression::fit(D, O);
+  PolynomialRegression M10 = PolynomialRegression::fit(D10, O);
+  for (double X : {-1.5, 0.0, 0.7})
+    EXPECT_NEAR(10 * M.predict({X}), M10.predict({X}), 1e-6);
+}

@@ -1,0 +1,88 @@
+//===- tests/QoSMetricsTests.cpp - QoS metric tests -----------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/QoSMetrics.h"
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace opprox;
+
+TEST(DistortionTest, IdenticalIsZero) {
+  std::vector<double> V = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(relativeDistortionPercent(V, V), 0.0);
+  EXPECT_DOUBLE_EQ(weightedDistortionPercent(V, V), 0.0);
+}
+
+TEST(DistortionTest, KnownRelativeError) {
+  // 10% error on every equal-magnitude component -> 10%.
+  std::vector<double> E = {10, 10, 10};
+  std::vector<double> A = {11, 11, 11};
+  EXPECT_NEAR(relativeDistortionPercent(E, A), 10.0, 1e-9);
+}
+
+TEST(DistortionTest, MeanFloorShieldsTinyComponents) {
+  // One near-zero exact component with small absolute error must not
+  // blow up the metric: its scale is floored at the mean magnitude.
+  std::vector<double> E = {100.0, 1e-12};
+  std::vector<double> A = {100.0, 0.5};
+  EXPECT_LT(relativeDistortionPercent(E, A), 5.0);
+}
+
+TEST(DistortionTest, ClampsAtThousand) {
+  std::vector<double> E = {1.0};
+  std::vector<double> A = {1e9};
+  EXPECT_DOUBLE_EQ(relativeDistortionPercent(E, A), 1000.0);
+}
+
+TEST(DistortionTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(relativeDistortionPercent({}, {}), 0.0);
+}
+
+TEST(DistortionTest, WeightedEmphasizesLargeComponents) {
+  // Same relative error everywhere: weighted == unweighted.
+  std::vector<double> E = {10, 1};
+  std::vector<double> A = {11, 1.1};
+  EXPECT_NEAR(weightedDistortionPercent(E, A), 10.0, 1e-9);
+  // An error on the large component counts more under weighting (the
+  // paper: bigger body parts influence the metric more).
+  std::vector<double> A3 = {11, 1};
+  EXPECT_GT(weightedDistortionPercent(E, A3),
+            relativeDistortionPercent(E, A3));
+}
+
+TEST(PsnrTest, IdenticalIsCeiling) {
+  std::vector<double> V = {0, 128, 255};
+  EXPECT_DOUBLE_EQ(psnr(V, V, 255.0), 99.0);
+}
+
+TEST(PsnrTest, KnownMse) {
+  // Uniform error of 25.5 on peak 255: PSNR = 20*log10(255/25.5) = 20 dB.
+  std::vector<double> E = {100, 100};
+  std::vector<double> A = {125.5, 74.5};
+  EXPECT_NEAR(psnr(E, A, 255.0), 20.0, 1e-9);
+}
+
+TEST(PsnrTest, MoreErrorLowerPsnr) {
+  std::vector<double> E = {100, 100, 100};
+  std::vector<double> Small = {101, 99, 100};
+  std::vector<double> Big = {150, 50, 100};
+  EXPECT_GT(psnr(E, Small, 255.0), psnr(E, Big, 255.0));
+}
+
+TEST(PsnrTest, DegradationConversionRoundTrip) {
+  for (double Db : {10.0, 20.0, 30.0, 45.0}) {
+    double Pct = psnrToDegradationPercent(Db);
+    EXPECT_NEAR(degradationPercentToPsnr(Pct), Db, 1e-9);
+  }
+}
+
+TEST(PsnrTest, ConversionAnchors) {
+  // The budget mapping used throughout: 20 dB ~ 10% degradation.
+  EXPECT_NEAR(psnrToDegradationPercent(20.0), 10.0, 1e-9);
+  EXPECT_NEAR(psnrToDegradationPercent(40.0), 1.0, 1e-9);
+  // Higher PSNR always means less degradation.
+  EXPECT_LT(psnrToDegradationPercent(30.0), psnrToDegradationPercent(10.0));
+}

@@ -1,0 +1,394 @@
+//===- tests/SupportTests.cpp - support library tests ---------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/Error.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace opprox;
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform(-3.5, 2.5);
+    EXPECT_GE(U, -3.5);
+    EXPECT_LT(U, 2.5);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng R(99);
+  double Sum = 0;
+  for (int I = 0; I < 20000; ++I)
+    Sum += R.uniform();
+  EXPECT_NEAR(Sum / 20000, 0.5, 0.01);
+}
+
+TEST(RngTest, BelowStaysBelowBound) {
+  Rng R(3);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(RngTest, BelowCoversAllValues) {
+  Rng R(3);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.below(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng R(5);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 500; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng R(11);
+  RunningStats S;
+  for (int I = 0; I < 50000; ++I)
+    S.add(R.gaussian());
+  EXPECT_NEAR(S.mean(), 0.0, 0.02);
+  EXPECT_NEAR(S.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng R(12);
+  RunningStats S;
+  for (int I = 0; I < 50000; ++I)
+    S.add(R.gaussian(5.0, 2.0));
+  EXPECT_NEAR(S.mean(), 5.0, 0.05);
+  EXPECT_NEAR(S.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng R(1);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> Shuffled = V;
+  R.shuffle(Shuffled);
+  std::multiset<int> A(V.begin(), V.end()), B(Shuffled.begin(),
+                                              Shuffled.end());
+  EXPECT_EQ(A, B);
+}
+
+TEST(RngTest, SplitIndependentStream) {
+  Rng A(42);
+  Rng B = A.split();
+  // The split stream is deterministic but distinct.
+  Rng A2(42);
+  Rng B2 = A2.split();
+  EXPECT_EQ(B.next(), B2.next());
+  Rng C(42);
+  EXPECT_NE(B.next(), C.next());
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng R(8);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.chance(0.0));
+    EXPECT_TRUE(R.chance(1.0));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(StatsTest, RunningBasics) {
+  RunningStats S;
+  EXPECT_TRUE(S.empty());
+  for (double X : {1.0, 2.0, 3.0, 4.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 4u);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.5);
+  EXPECT_NEAR(S.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 4.0);
+}
+
+TEST(StatsTest, RunningMergeMatchesCombined) {
+  Rng R(2);
+  RunningStats A, B, All;
+  for (int I = 0; I < 100; ++I) {
+    double X = R.gaussian(3, 2);
+    (I % 2 ? A : B).add(X);
+    All.add(X);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_NEAR(A.mean(), All.mean(), 1e-10);
+  EXPECT_NEAR(A.variance(), All.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(A.min(), All.min());
+  EXPECT_DOUBLE_EQ(A.max(), All.max());
+}
+
+TEST(StatsTest, MergeWithEmpty) {
+  RunningStats A, B;
+  A.add(1.0);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 1u);
+  B.merge(A);
+  EXPECT_EQ(B.count(), 1u);
+  EXPECT_DOUBLE_EQ(B.mean(), 1.0);
+}
+
+TEST(StatsTest, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> V = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(V), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+}
+
+TEST(StatsTest, PearsonKnownValues) {
+  std::vector<double> X = {1, 2, 3, 4, 5};
+  std::vector<double> Y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(X, Y), 1.0, 1e-12);
+  std::vector<double> Z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(X, Z), -1.0, 1e-12);
+  std::vector<double> C = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(pearson(X, C), 0.0);
+}
+
+TEST(StatsTest, R2PerfectAndMean) {
+  std::vector<double> A = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r2Score(A, A), 1.0);
+  std::vector<double> MeanPred(4, 2.5);
+  EXPECT_NEAR(r2Score(A, MeanPred), 0.0, 1e-12);
+}
+
+TEST(StatsTest, R2NegativeForBadFit) {
+  std::vector<double> A = {1, 2, 3, 4};
+  std::vector<double> Bad = {4, 3, 2, 1};
+  EXPECT_LT(r2Score(A, Bad), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringTest, SplitBasics) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(StringTest, JoinInvertsSplit) {
+  std::string S = "x|yy|zzz";
+  EXPECT_EQ(join(split(S, '|'), "|"), S);
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringTest, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(StringTest, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringTest, StartsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(StringTest, ParseDouble) {
+  double D = 0;
+  EXPECT_TRUE(parseDouble(" 3.5 ", D));
+  EXPECT_DOUBLE_EQ(D, 3.5);
+  EXPECT_TRUE(parseDouble("-1e3", D));
+  EXPECT_DOUBLE_EQ(D, -1000.0);
+  EXPECT_FALSE(parseDouble("3.5x", D));
+  EXPECT_FALSE(parseDouble("", D));
+  EXPECT_DOUBLE_EQ(D, -1000.0); // Untouched on failure.
+}
+
+TEST(StringTest, ParseInt) {
+  long L = 0;
+  EXPECT_TRUE(parseInt("42", L));
+  EXPECT_EQ(L, 42);
+  EXPECT_TRUE(parseInt(" -7 ", L));
+  EXPECT_EQ(L, -7);
+  EXPECT_FALSE(parseInt("7.5", L));
+  EXPECT_FALSE(parseInt("abc", L));
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+TEST(TableTest, RowsAndCells) {
+  Table T({"a", "b"});
+  T.addRow({"1", "2"});
+  T.beginRow();
+  T.addCell(3.14159, 2);
+  T.addCell(7L);
+  EXPECT_EQ(T.numRows(), 2u);
+  EXPECT_EQ(T.numColumns(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table T({"x", "y"});
+  T.addRow({"1", "hello"});
+  EXPECT_EQ(T.toCsv(), "x,y\n1,hello\n");
+}
+
+TEST(TableTest, CsvEscapesCommasAndQuotes) {
+  Table T({"v"});
+  T.addRow({"a,b"});
+  T.addRow({"say \"hi\""});
+  std::string Csv = T.toCsv();
+  EXPECT_NE(Csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(Csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table T({"k", "v"});
+  T.addRow({"alpha", "1"});
+  std::string Path = testing::TempDir() + "/opprox_table_test.csv";
+  ASSERT_TRUE(T.writeCsv(Path));
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[256] = {};
+  size_t Read = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  EXPECT_EQ(std::string(Buf, Read), "k,v\nalpha,1\n");
+}
+
+//===----------------------------------------------------------------------===//
+// CommandLine
+//===----------------------------------------------------------------------===//
+
+TEST(FlagsTest, ParsesAllKinds) {
+  double D = 0;
+  long L = 0;
+  std::string S;
+  bool B = false;
+  FlagParser P;
+  P.addFlag("d", &D, "");
+  P.addFlag("l", &L, "");
+  P.addFlag("s", &S, "");
+  P.addFlag("b", &B, "");
+  const char *Argv[] = {"prog", "--d=1.5", "--l", "7", "--s=hi", "--b",
+                        "positional"};
+  ASSERT_TRUE(P.parse(7, Argv));
+  EXPECT_DOUBLE_EQ(D, 1.5);
+  EXPECT_EQ(L, 7);
+  EXPECT_EQ(S, "hi");
+  EXPECT_TRUE(B);
+  ASSERT_EQ(P.positional().size(), 1u);
+  EXPECT_EQ(P.positional()[0], "positional");
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagParser P;
+  const char *Argv[] = {"prog", "--nope"};
+  EXPECT_FALSE(P.parse(2, Argv));
+}
+
+TEST(FlagsTest, RejectsBadNumber) {
+  double D = 0;
+  FlagParser P;
+  P.addFlag("d", &D, "");
+  const char *Argv[] = {"prog", "--d=abc"};
+  EXPECT_FALSE(P.parse(2, Argv));
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  long L = 0;
+  FlagParser P;
+  P.addFlag("l", &L, "");
+  const char *Argv[] = {"prog", "--l"};
+  EXPECT_FALSE(P.parse(2, Argv));
+}
+
+//===----------------------------------------------------------------------===//
+// Error / Expected
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorTest, ExpectedValuePath) {
+  Expected<int> E(42);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(*E, 42);
+  EXPECT_EQ(E.getOrDie(), 42);
+}
+
+TEST(ErrorTest, ExpectedErrorPath) {
+  Expected<int> E(makeError("bad thing %d", 7));
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.error().message(), "bad thing 7");
+}
+
+TEST(ErrorTest, MakeErrorFormats) {
+  Error E = makeError("%s=%d", "x", 3);
+  EXPECT_EQ(E.message(), "x=3");
+}
+
+//===----------------------------------------------------------------------===//
+// Timer
+//===----------------------------------------------------------------------===//
+
+TEST(TimerTest, MonotoneNonNegative) {
+  Timer T;
+  double A = T.seconds();
+  EXPECT_GE(A, 0.0);
+  double B = T.seconds();
+  EXPECT_GE(B, A);
+  T.reset();
+  EXPECT_LT(T.seconds(), 1.0);
+}
