@@ -3,12 +3,19 @@
 // Part of the OPPROX reproduction project, under the MIT License.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the shared benchmark harness: banners, CSV export,
+/// ground-truth phase probing, and the profiling progress observer.
+///
+//===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
 #include "approx/WorkCounter.h"
 #include "core/Sampler.h"
 #include "support/StringUtils.h"
 #include <cstdlib>
+#include <memory>
 
 using namespace opprox;
 using namespace opprox::bench;
@@ -86,4 +93,20 @@ std::string opprox::bench::phaseLabel(int Phase) {
   if (Phase == AllPhases)
     return "All";
   return format("phase-%d", Phase + 1);
+}
+
+ProfileObserver opprox::bench::progressObserver(const std::string &Label) {
+  // ProfileObserver is copyable, so the throttle lives behind a
+  // shared_ptr. The profiler serializes calls; no lock needed here.
+  auto LastDecile = std::make_shared<size_t>(0);
+  return [Label, LastDecile](const ProfileProgress &P) {
+    size_t Decile =
+        P.TotalRuns == 0 ? 10 : P.RunsCompleted * 10 / P.TotalRuns;
+    if (Decile <= *LastDecile && P.RunsCompleted != P.TotalRuns)
+      return;
+    *LastDecile = Decile;
+    std::fprintf(stderr, "  [%s] %zu/%zu runs, %zu golden-cache hits, %.2fs\n",
+                 Label.c_str(), P.RunsCompleted, P.TotalRuns,
+                 P.GoldenCacheHits, P.ElapsedSeconds);
+  };
 }

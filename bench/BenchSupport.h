@@ -55,6 +55,13 @@ std::vector<std::vector<int>> defaultProbeConfigs(const ApproxApp &App,
 /// Phase label for tables: "phase-1".."phase-N" or "All".
 std::string phaseLabel(int Phase);
 
+/// Returns a ProfileObserver that prints a throttled progress line to
+/// stderr (roughly every 10% of the sweep, plus the final run):
+/// "  [label] 120/540 runs, 37 golden-cache hits, 1.24s". Assign it to
+/// ProfileOptions::Observer to watch long profiling sweeps; the profiler
+/// serializes observer calls, so the shared throttle state needs no lock.
+ProfileObserver progressObserver(const std::string &Label);
+
 } // namespace bench
 } // namespace opprox
 

@@ -1,0 +1,125 @@
+//===- bench/micro_parallel_profiling.cpp ---------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Micro-benchmark for the parallel training pipeline: wall-clock time of
+/// Profiler::collect and ModelBuilder::build at 1 executor vs. N, with a
+/// bit-identity check that the parallel sweep produced exactly the serial
+/// TrainingSet. This is the scaling evidence behind the README's
+/// "Performance" section; Table 2 reports the absolute overhead numbers.
+///
+/// Run:   ./build/bench/micro_parallel_profiling [--app pso]
+///            [--threads 0] [--samples 24] [--phases 4] [--repeats 3]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+#include <algorithm>
+
+using namespace opprox;
+using namespace opprox::bench;
+
+namespace {
+
+struct Measurement {
+  double CollectSeconds = 0.0;
+  double BuildSeconds = 0.0;
+  std::string Csv; // Serialized TrainingSet for the bit-identity check.
+  size_t Runs = 0;
+};
+
+Measurement measureOnce(const ApproxApp &App, size_t NumThreads,
+                        size_t Samples, size_t Phases, size_t Repeats) {
+  Measurement M;
+  for (size_t R = 0; R < Repeats; ++R) {
+    // Fresh cache per repeat so every trial pays the same golden runs.
+    GoldenCache Golden(App);
+    Profiler Prof(App, Golden);
+    ProfileOptions POpts;
+    POpts.NumPhases = Phases;
+    POpts.RandomJointSamples = Samples;
+    POpts.NumThreads = NumThreads;
+    Timer Clock;
+    TrainingSet Set = Prof.collect(App.trainingInputs(), POpts);
+    M.CollectSeconds += Clock.seconds();
+
+    ModelBuildOptions BOpts;
+    BOpts.NumThreads = NumThreads;
+    Clock.reset();
+    AppModel Model =
+        ModelBuilder::build(Set, Phases, App.numBlocks(), BOpts);
+    M.BuildSeconds += Clock.seconds();
+    (void)Model;
+
+    M.Runs = Set.size();
+    std::vector<std::string> BlockNames;
+    for (const ApproximableBlock &AB : App.blocks())
+      BlockNames.push_back(AB.Name);
+    M.Csv = Set.toCsv(App.parameterNames(), BlockNames);
+  }
+  M.CollectSeconds /= static_cast<double>(Repeats);
+  M.BuildSeconds /= static_cast<double>(Repeats);
+  return M;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string AppName = "pso";
+  long Threads = 0; // 0 = auto (OPPROX_THREADS, else hardware).
+  long Samples = 24;
+  long Phases = 4;
+  long Repeats = 3;
+  FlagParser Flags;
+  Flags.addFlag("app", &AppName, "application to profile");
+  Flags.addFlag("threads", &Threads, "parallel executor count (0 = auto)");
+  Flags.addFlag("samples", &Samples, "random joint samples per input");
+  Flags.addFlag("phases", &Phases, "phase count for the sweep");
+  Flags.addFlag("repeats", &Repeats, "trials to average per configuration");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+
+  std::unique_ptr<ApproxApp> App = createApp(AppName);
+  if (!App) {
+    std::fprintf(stderr, "error: unknown application '%s'\n", AppName.c_str());
+    return 1;
+  }
+  size_t Parallel = ThreadPool::resolveWorkers(
+                        static_cast<size_t>(std::max(0l, Threads))) +
+                    1;
+  banner("micro_parallel_profiling",
+         format("training-pipeline scaling on %s: 1 vs %zu executors",
+                App->name().c_str(), Parallel));
+
+  Measurement Serial = measureOnce(*App, 1, Samples, Phases, Repeats);
+  Measurement Wide =
+      measureOnce(*App, Parallel, Samples, Phases, Repeats);
+
+  if (Serial.Csv != Wide.Csv) {
+    std::fprintf(stderr,
+                 "FAIL: parallel TrainingSet differs from serial sweep\n");
+    return 1;
+  }
+  std::printf("determinism: %zu-executor TrainingSet is bit-identical to "
+              "serial (%zu runs)\n\n",
+              Parallel, Serial.Runs);
+
+  Table T({"stage", "serial_s", "parallel_s", "speedup"});
+  auto Row = [&](const char *Stage, double S, double P) {
+    T.addRow({Stage, format("%.3f", S), format("%.3f", P),
+              format("%.2fx", S / P)});
+  };
+  Row("profile_collect", Serial.CollectSeconds, Wide.CollectSeconds);
+  Row("model_build", Serial.BuildSeconds, Wide.BuildSeconds);
+  Row("total", Serial.CollectSeconds + Serial.BuildSeconds,
+      Wide.CollectSeconds + Wide.BuildSeconds);
+  emit("micro_parallel_profiling", T);
+  return 0;
+}

@@ -2,17 +2,20 @@
 //
 // Part of the OPPROX reproduction project, under the MIT License.
 //
-// The paper's running example (Sec. 2): phase-aware autotuning of the
-// LULESH shock-hydrodynamics miniapp. Reproduces the Sec. 2 narrative:
-//
-//   - profile LULESH, build per-phase models;
-//   - show the ROI-proportional budget shares (the paper reports
-//     0.166/0.17/0.265/0.399 -- later phases earn more budget);
-//   - sweep error budgets 20%/10%/5% and report the achieved speedups
-//     (the paper: 1.28 / 1.21 / 1.17).
-//
-// Build and run:   ./build/examples/lulesh_autotune [--mesh 30 --regions 11]
-//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example (Sec. 2): phase-aware autotuning of the
+/// LULESH shock-hydrodynamics miniapp. Reproduces the Sec. 2 narrative:
+///
+/// - profile LULESH, build per-phase models;
+/// - show the ROI-proportional budget shares (the paper reports
+///   0.166/0.17/0.265/0.399 -- later phases earn more budget);
+/// - sweep error budgets 20%/10%/5% and report the achieved speedups
+///   (the paper: 1.28 / 1.21 / 1.17).
+///
+/// Build and run:   ./build/examples/lulesh_autotune [--mesh 30 --regions 11]
+///
 //===----------------------------------------------------------------------===//
 
 #include "apps/AppRegistry.h"

@@ -2,15 +2,18 @@
 //
 // Part of the OPPROX reproduction project, under the MIT License.
 //
-// Interactive exploration of phase-specific sensitivity for any of the
-// five applications: applies one configuration to each phase in turn
-// and prints the ground-truth speedup / QoS / iteration count -- the raw
-// observation behind the whole paper ("in which phase you approximate
-// matters as much as how much").
-//
-// Build and run:
-//   ./build/examples/phase_explorer --app lulesh --phases 4 --level 3
-//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interactive exploration of phase-specific sensitivity for any of the
+/// five applications: applies one configuration to each phase in turn
+/// and prints the ground-truth speedup / QoS / iteration count -- the raw
+/// observation behind the whole paper ("in which phase you approximate
+/// matters as much as how much").
+///
+/// Build and run:
+/// ./build/examples/phase_explorer --app lulesh --phases 4 --level 3
+///
 //===----------------------------------------------------------------------===//
 
 #include "apps/AppRegistry.h"

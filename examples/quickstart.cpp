@@ -2,31 +2,38 @@
 //
 // Part of the OPPROX reproduction project, under the MIT License.
 //
-// Quickstart: the complete OPPROX loop in ~40 lines.
-//
-//   1. Pick an application with tunable approximable blocks (here the
-//      PSO benchmark, the cheapest of the five).
-//   2. Train OPPROX offline: it profiles the app across inputs, levels,
-//      and phases, then learns per-phase speedup/QoS models.
-//   3. Ask for the most profitable phase-aware schedule under a QoS
-//      degradation budget.
-//   4. Run the application under that schedule and verify ground truth.
-//
-// Build and run:   ./build/examples/quickstart [--budget 10]
-//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: the complete OPPROX loop in ~40 lines.
+///
+/// 1. Pick an application with tunable approximable blocks (here the
+///    PSO benchmark, the cheapest of the five).
+/// 2. Train OPPROX offline: it profiles the app across inputs, levels,
+///    and phases, then learns per-phase speedup/QoS models.
+/// 3. Ask for the most profitable phase-aware schedule under a QoS
+///    degradation budget.
+/// 4. Run the application under that schedule and verify ground truth.
+///
+/// Build and run:   ./build/examples/quickstart [--budget 10] [--threads 0]
+///
 //===----------------------------------------------------------------------===//
 
 #include "apps/AppRegistry.h"
 #include "core/Opprox.h"
 #include "support/CommandLine.h"
+#include <algorithm>
 #include <cstdio>
 
 using namespace opprox;
 
 int main(int Argc, char **Argv) {
   double Budget = 10.0; // Percent QoS degradation the user tolerates.
+  long Threads = 0;     // 0 = auto: OPPROX_THREADS, else all cores.
   FlagParser Flags;
   Flags.addFlag("budget", &Budget, "QoS degradation budget in percent");
+  Flags.addFlag("threads", &Threads,
+                "training parallelism (0 = auto, 1 = serial)");
   if (!Flags.parse(Argc, Argv))
     return 1;
 
@@ -42,9 +49,20 @@ int main(int Argc, char **Argv) {
 
   // 2. Offline training (Fig. 6 of the paper): profiling plus model
   //    construction. Defaults: 4 phases, the app's own representative
-  //    inputs.
+  //    inputs. Training fans out across executors, and the progress
+  //    observer reports the sweep as it runs; results are identical for
+  //    any thread count.
+  OpproxTrainOptions TrainOpts;
+  TrainOpts.Profiling.NumThreads = static_cast<size_t>(std::max(0l, Threads));
+  TrainOpts.ModelBuild.NumThreads = TrainOpts.Profiling.NumThreads;
+  TrainOpts.Profiling.Observer = [](const ProfileProgress &P) {
+    if (P.RunsCompleted % 50 == 0 || P.RunsCompleted == P.TotalRuns)
+      std::printf("  profiled %zu/%zu runs (%zu cache hits, %.2fs)\n",
+                  P.RunsCompleted, P.TotalRuns, P.GoldenCacheHits,
+                  P.ElapsedSeconds);
+  };
   std::printf("\ntraining...\n");
-  Opprox Tuner = Opprox::train(*App, OpproxTrainOptions());
+  Opprox Tuner = Opprox::train(*App, TrainOpts);
   std::printf("trained on %zu runs across %zu phases\n",
               Tuner.trainingRuns(), Tuner.numPhases());
 

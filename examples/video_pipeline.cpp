@@ -2,19 +2,22 @@
 //
 // Part of the OPPROX reproduction project, under the MIT License.
 //
-// Streaming-analytics scenario: the FFmpeg-style filter pipeline with a
-// PSNR quality target. Demonstrates two things the paper highlights:
-//
-//   1. control-flow-aware modeling: the filter order (deflate->edge vs
-//      edge->deflate) is an input parameter that changes the control
-//      flow; OPPROX's decision-tree classifier routes each input to its
-//      own model set (Sec. 3.4, Fig. 7);
-//   2. PSNR budgets: the paper's large/medium/small budgets for FFmpeg
-//      are PSNR targets 10/20/30 dB; our psnrToDegradationPercent maps
-//      them onto the shared budget interface.
-//
-// Build and run:   ./build/examples/video_pipeline [--order 0]
-//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming-analytics scenario: the FFmpeg-style filter pipeline with a
+/// PSNR quality target. Demonstrates two things the paper highlights:
+///
+/// 1. control-flow-aware modeling: the filter order (deflate->edge vs
+///    edge->deflate) is an input parameter that changes the control
+///    flow; OPPROX's decision-tree classifier routes each input to its
+///    own model set (Sec. 3.4, Fig. 7);
+/// 2. PSNR budgets: the paper's large/medium/small budgets for FFmpeg
+///    are PSNR targets 10/20/30 dB; our psnrToDegradationPercent maps
+///    them onto the shared budget interface.
+///
+/// Build and run:   ./build/examples/video_pipeline [--order 0]
+///
 //===----------------------------------------------------------------------===//
 
 #include "apps/AppRegistry.h"

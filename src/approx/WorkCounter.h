@@ -21,6 +21,15 @@
 namespace opprox {
 
 /// Accumulates abstract work units during one application run.
+///
+/// Concurrency audit (parallel profiling): every WorkCounter is a local
+/// of exactly one ApproxApp::run() invocation and is never shared across
+/// threads, so its counter stays intentionally non-atomic -- making it
+/// atomic would tax every kernel inner loop for a race that cannot
+/// occur. Cross-run counters that *are* mutated from several worker
+/// threads (Profiler::RunCount, GoldenCache hit/miss counters) are
+/// std::atomic instead. Do not hoist a WorkCounter into shared state
+/// without revisiting this.
 class WorkCounter {
 public:
   void add(uint64_t Units) { Total += Units; }

@@ -30,10 +30,31 @@ std::vector<int> ApproxApp::maxLevels() const {
 }
 
 const RunResult &GoldenCache::exactRun(const std::vector<double> &Input) {
-  auto It = Cache.find(Input);
-  if (It == Cache.end())
-    It = Cache.emplace(Input, App.runExact(Input)).first;
-  return It->second;
+  Entry *E;
+  bool Created = false;
+  {
+    std::lock_guard<std::mutex> Lock(MapMutex);
+    std::unique_ptr<Entry> &Slot = Cache[Input];
+    if (!Slot) {
+      Slot = std::make_unique<Entry>();
+      Created = true;
+    }
+    E = Slot.get();
+  }
+  // The application runs outside the map lock: distinct inputs compute
+  // concurrently, and racers on the same input block here until the
+  // first caller's run completes.
+  std::call_once(E->Once, [&] { E->Result = App.runExact(Input); });
+  if (Created)
+    Misses.fetch_add(1, std::memory_order_relaxed);
+  else
+    Hits.fetch_add(1, std::memory_order_relaxed);
+  return E->Result;
+}
+
+size_t GoldenCache::numCached() const {
+  std::lock_guard<std::mutex> Lock(MapMutex);
+  return Cache.size();
 }
 
 size_t GoldenCache::nominalIterations(const std::vector<double> &Input) {

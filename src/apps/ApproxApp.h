@@ -18,8 +18,11 @@
 
 #include "approx/ApproximableBlock.h"
 #include "approx/PhaseSchedule.h"
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -94,6 +97,13 @@ public:
 /// Caches exact (golden) runs per input so profilers and evaluators do
 /// not repeat them; the exact run also supplies the nominal iteration
 /// count that anchors phase boundaries.
+///
+/// Thread-safe: concurrent exactRun() calls for *different* inputs
+/// compute their golden runs in parallel, while concurrent calls for the
+/// *same* input compute it exactly once -- the first caller runs the
+/// application under a per-entry std::call_once latch and everyone else
+/// blocks until the result is ready. Returned references stay valid for
+/// the cache's lifetime (entries are heap-allocated and never evicted).
 class GoldenCache {
 public:
   explicit GoldenCache(const ApproxApp &App) : App(App) {}
@@ -104,11 +114,27 @@ public:
   /// Nominal (exact-run) outer-loop iteration count for \p Input.
   size_t nominalIterations(const std::vector<double> &Input);
 
-  size_t numCached() const { return Cache.size(); }
+  size_t numCached() const;
+
+  /// Lookups served from an already-latched entry (no application run).
+  size_t hits() const { return Hits.load(std::memory_order_relaxed); }
+
+  /// Lookups that created the entry and ran the application.
+  size_t misses() const { return Misses.load(std::memory_order_relaxed); }
 
 private:
+  /// A cached run with its compute-once latch. The latch lives outside
+  /// the map lock so a slow golden run never blocks unrelated lookups.
+  struct Entry {
+    std::once_flag Once;
+    RunResult Result;
+  };
+
   const ApproxApp &App;
-  std::map<std::vector<double>, RunResult> Cache;
+  mutable std::mutex MapMutex; ///< Guards Cache structure, not entries.
+  std::map<std::vector<double>, std::unique_ptr<Entry>> Cache;
+  std::atomic<size_t> Hits{0};
+  std::atomic<size_t> Misses{0};
 };
 
 } // namespace opprox

@@ -6,6 +6,7 @@
 
 #include "core/AppModel.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include <algorithm>
 #include <cmath>
 #include <map>
@@ -156,7 +157,6 @@ AppModel ModelBuilder::build(const TrainingSet &Data, size_t NumPhases,
                              const ModelBuildOptions &Opts) {
   assert(!Data.empty() && "no training data");
   size_t NumInputs = Data[0].Input.size();
-  Rng BuildRng(Opts.Seed);
 
   AppModel Model;
   Model.NumPhases = NumPhases;
@@ -179,28 +179,56 @@ AppModel ModelBuilder::build(const TrainingSet &Data, size_t NumPhases,
   int MaxClass = *ClassIds.rbegin();
   Model.Classes.resize(static_cast<size_t>(MaxClass) + 1);
 
-  for (int ClassId : ClassIds) {
-    TrainingSet ClassData = Data.forClass(ClassId);
-    std::vector<PhaseModels> &PerPhase =
-        Model.Classes[static_cast<size_t>(ClassId)];
-    PerPhase.resize(NumPhases);
-
-    // Distinct inputs of this class anchor the level-0 behaviour:
-    // speedup 1, degradation 0, nominal iterations.
+  // Per-class context shared by that class's phase tasks, precomputed
+  // serially so the parallel section below only reads it.
+  struct ClassContext {
+    TrainingSet ClassData;
+    /// Distinct inputs of the class anchor the level-0 behaviour:
+    /// speedup 1, degradation 0, nominal iterations.
     std::set<std::vector<double>> DistinctInputs;
     std::map<std::vector<double>, double> NominalIterations;
-    for (const TrainingSample &S : ClassData.samples()) {
-      DistinctInputs.insert(S.Input);
+  };
+  std::map<int, ClassContext> Contexts;
+  for (int ClassId : ClassIds) {
+    ClassContext &Ctx = Contexts[ClassId];
+    Ctx.ClassData = Data.forClass(ClassId);
+    Model.Classes[static_cast<size_t>(ClassId)].resize(NumPhases);
+    for (const TrainingSample &S : Ctx.ClassData.samples()) {
+      Ctx.DistinctInputs.insert(S.Input);
       // The per-phase nominal count: every exact-phase sample of a
       // fixed-count app reports it; for adaptive apps the median of
       // observed counts is a serviceable anchor.
-      NominalIterations[S.Input] = S.OuterIterations;
+      Ctx.NominalIterations[S.Input] = S.OuterIterations;
     }
+  }
 
-    for (size_t Phase = 0; Phase < NumPhases; ++Phase) {
-      TrainingSet PhaseData = ClassData.forPhase(static_cast<int>(Phase));
+  // Every (class, phase) model stack fits independently into its
+  // preallocated slot, each with an RNG derived from (Seed, ClassId,
+  // Phase) -- identical results for any worker count.
+  struct FitTask {
+    int ClassId;
+    size_t Phase;
+  };
+  std::vector<FitTask> Fits;
+  for (int ClassId : ClassIds)
+    for (size_t Phase = 0; Phase < NumPhases; ++Phase)
+      Fits.push_back({ClassId, Phase});
+
+  ThreadPool Pool(ThreadPool::resolveWorkers(Opts.NumThreads));
+  Pool.parallelFor(Fits.size(), [&](size_t T) {
+    int ClassId = Fits[T].ClassId;
+    size_t Phase = Fits[T].Phase;
+    const ClassContext &Ctx = Contexts.at(ClassId);
+    const std::set<std::vector<double>> &DistinctInputs = Ctx.DistinctInputs;
+    const std::map<std::vector<double>, double> &NominalIterations =
+        Ctx.NominalIterations;
+    Rng BuildRng(deriveSeed(Opts.Seed, static_cast<uint64_t>(ClassId), Phase));
+
+    {
+      TrainingSet PhaseData = Ctx.ClassData.forPhase(static_cast<int>(Phase));
       assert(!PhaseData.empty() && "no samples for a (class, phase) pair");
-      PhaseModels &PM = PerPhase[Phase];
+      PhaseModels &PM =
+          Model.Classes[static_cast<size_t>(ClassId)][Phase];
 
       // --- Local per-AB models (step 1 of Sec. 3.6) --------------------
       for (size_t B = 0; B < NumBlocks; ++B) {
@@ -226,9 +254,9 @@ AppModel ModelBuilder::build(const TrainingSet &Data, size_t NumPhases,
           QosData.addSample(X, 0.0);     // log1p(0)
         }
         PM.LocalSpeedup.push_back(
-            SelectedModel::train(SpeedupData, Opts.Selection, BuildRng));
+            SelectedModel::train(SpeedupData, Opts.Selection, BuildRng, &Pool));
         PM.LocalQos.push_back(
-            SelectedModel::train(QosData, Opts.Selection, BuildRng));
+            SelectedModel::train(QosData, Opts.Selection, BuildRng, &Pool));
       }
 
       // --- Iteration estimator ------------------------------------------
@@ -243,10 +271,10 @@ AppModel ModelBuilder::build(const TrainingSet &Data, size_t NumPhases,
         for (const std::vector<double> &Input : DistinctInputs) {
           std::vector<double> X = Input;
           X.resize(NumInputs + NumBlocks, 0.0);
-          IterData.addSample(X, NominalIterations[Input]);
+          IterData.addSample(X, NominalIterations.at(Input));
         }
         PM.IterationModel =
-            SelectedModel::train(IterData, Opts.Selection, BuildRng);
+            SelectedModel::train(IterData, Opts.Selection, BuildRng, &Pool);
       }
 
       // --- Overall models (step 2 of Sec. 3.6) --------------------------
@@ -294,9 +322,9 @@ AppModel ModelBuilder::build(const TrainingSet &Data, size_t NumPhases,
           }
         }
         PM.OverallSpeedup =
-            SelectedModel::train(SpeedupData, Opts.Selection, BuildRng);
+            SelectedModel::train(SpeedupData, Opts.Selection, BuildRng, &Pool);
         PM.OverallQos =
-            SelectedModel::train(QosData, Opts.Selection, BuildRng);
+            SelectedModel::train(QosData, Opts.Selection, BuildRng, &Pool);
       }
 
       // --- ROI (Eq. 1) ---------------------------------------------------
@@ -307,7 +335,7 @@ AppModel ModelBuilder::build(const TrainingSet &Data, size_t NumPhases,
         PM.Roi = Sum / static_cast<double>(PhaseData.size());
       }
     }
-  }
+  });
 
   // Classes that never occurred get copies of class 0's models so
   // phaseModelsForClass never dereferences an empty slot.

@@ -106,11 +106,21 @@ private:
 
 /// Options controlling model construction.
 struct ModelBuildOptions {
+  /// Model-selection policy (degrees, folds, MIC threshold; Sec. 3.7).
   ModelSelectOptions Selection;
   /// Floor applied to QoS degradation in the ROI denominator so
   /// error-free phases get large-but-finite ROI.
   double RoiQosFloor = 0.05;
-  uint64_t Seed = 0xB111D;
+  /// Base seed for fold shuffling. The (class, phase) model-fit task
+  /// draws its RNG from deriveSeed(Seed, ClassId, Phase), so each task's
+  /// stream is independent of scheduling and worker count. (The "2"
+  /// marks the per-task derivation scheme that replaced the old shared
+  /// sequential stream.)
+  uint64_t Seed = 0xB111D2;
+  /// Fit parallelism across (class, phase) tasks: 1 = serial, 0 = auto
+  /// (OPPROX_THREADS, else hardware concurrency). The built model is
+  /// identical for any value.
+  size_t NumThreads = 0;
 };
 
 /// Builds an AppModel from profiled training data (Secs. 3.4, 3.6, 3.7).
@@ -118,7 +128,8 @@ class ModelBuilder {
 public:
   /// \p Data must contain per-phase samples for every phase in
   /// [0, NumPhases). All-phase (uniform) samples are ignored here; they
-  /// serve the oracle comparison.
+  /// serve the oracle comparison. Fits the per-(class, phase) model
+  /// stacks concurrently across Opts.NumThreads executors.
   static AppModel build(const TrainingSet &Data, size_t NumPhases,
                         size_t NumBlocks, const ModelBuildOptions &Opts);
 };

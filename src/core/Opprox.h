@@ -38,8 +38,16 @@ namespace opprox {
 struct OpproxTrainOptions {
   /// Phase count; 0 runs Algorithm 1 to detect it automatically.
   size_t NumPhases = 4;
+  /// Algorithm 1 settings, used only when NumPhases == 0.
   PhaseDetectOptions PhaseDetection;
+  /// Profiling-sweep settings: sampling density, base seed, measurement
+  /// parallelism (ProfileOptions::NumThreads / OPPROX_THREADS), and the
+  /// optional ProfileObserver progress hook.
   ProfileOptions Profiling;
+  /// Model-construction settings: Sec.-3.7 selection policy, ROI floor,
+  /// fold-shuffle seed, and fit parallelism. Seeds are derived per task
+  /// (see deriveSeed), so training is deterministic for any thread
+  /// count.
   ModelBuildOptions ModelBuild;
   /// Training inputs; empty uses the application's own representative
   /// set.

@@ -6,6 +6,7 @@
 
 #include "core/PhaseDetector.h"
 #include "support/Statistics.h"
+#include "support/ThreadPool.h"
 #include <cmath>
 
 using namespace opprox;
@@ -19,14 +20,24 @@ double opprox::maxQosDiff(Profiler &Prof, const std::vector<double> &Input,
       makeSamplingPlan(Prof.app().maxLevels(), Opts.ProbeConfigs, ProbeRng);
   const std::vector<std::vector<int>> &Configs = Plan.JointConfigs;
 
+  // Probe every (phase, config) pair concurrently into indexed slots,
+  // then reduce serially in index order so the means are bit-identical
+  // to the serial sweep.
+  std::vector<double> ProbeQos(NumPhases * Configs.size(), 0.0);
+  ThreadPool Pool(ThreadPool::resolveWorkers(Opts.NumThreads));
+  Pool.parallelFor(ProbeQos.size(), [&](size_t T) {
+    size_t Phase = T / Configs.size();
+    const std::vector<int> &Levels = Configs[T % Configs.size()];
+    ProbeQos[T] =
+        Prof.measure(Input, Levels, static_cast<int>(Phase), NumPhases)
+            .QosDegradation;
+  });
+
   std::vector<double> MeanQosPerPhase(NumPhases, 0.0);
   for (size_t Phase = 0; Phase < NumPhases; ++Phase) {
     RunningStats Stats;
-    for (const std::vector<int> &Levels : Configs) {
-      TrainingSample S =
-          Prof.measure(Input, Levels, static_cast<int>(Phase), NumPhases);
-      Stats.add(S.QosDegradation);
-    }
+    for (size_t C = 0; C < Configs.size(); ++C)
+      Stats.add(ProbeQos[Phase * Configs.size() + C]);
     MeanQosPerPhase[Phase] = Stats.mean();
   }
 

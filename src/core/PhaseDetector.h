@@ -27,7 +27,13 @@ struct PhaseDetectOptions {
   size_t MaxPhases = 8;
   /// Probe configurations per phase for getMaxQoSDiff.
   size_t ProbeConfigs = 5;
+  /// Seed for the probe-configuration RNG (one stream per maxQosDiff
+  /// call, so every phase granularity probes the same configurations).
   uint64_t Seed = 0xA160;
+  /// Probe parallelism: 1 = serial, 0 = auto (OPPROX_THREADS, else
+  /// hardware concurrency). The detected phase count is identical for
+  /// any value; see docs/ARCHITECTURE.md.
+  size_t NumThreads = 0;
 };
 
 /// Helper of Algorithm 1: with \p NumPhases phases, probes a few

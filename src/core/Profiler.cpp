@@ -6,10 +6,13 @@
 
 #include "core/Profiler.h"
 #include "approx/WorkCounter.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
 
 using namespace opprox;
 
 int SignatureRegistry::classOf(const std::string &Signature) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Classes.find(Signature);
   if (It != Classes.end())
     return It->second;
@@ -19,8 +22,14 @@ int SignatureRegistry::classOf(const std::string &Signature) {
 }
 
 int SignatureRegistry::lookup(const std::string &Signature) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Classes.find(Signature);
   return It == Classes.end() ? -1 : It->second;
+}
+
+size_t SignatureRegistry::numClasses() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Classes.size();
 }
 
 TrainingSample Profiler::measure(const std::vector<double> &Input,
@@ -35,7 +44,7 @@ TrainingSample Profiler::measure(const std::vector<double> &Input,
           : PhaseSchedule::singlePhase(NumPhases,
                                        static_cast<size_t>(Phase), Levels);
   RunResult Approx = App.run(Input, Schedule, Nominal);
-  ++RunCount;
+  RunCount.fetch_add(1, std::memory_order_relaxed);
 
   TrainingSample S;
   S.Input = Input;
@@ -51,25 +60,65 @@ TrainingSample Profiler::measure(const std::vector<double> &Input,
 TrainingSet Profiler::collect(const std::vector<std::vector<double>> &Inputs,
                               const ProfileOptions &Opts) {
   assert(Opts.NumPhases >= 1 && "need at least one phase");
-  TrainingSet Set;
-  Rng SampleRng(Opts.Seed);
+  Timer WallClock;
+  ThreadPool Pool(ThreadPool::resolveWorkers(Opts.NumThreads));
 
-  for (const std::vector<double> &Input : Inputs) {
-    // Register this input's control flow up front so classifier training
-    // sees every class even if a config crashes out later.
+  // Golden runs first, in parallel across inputs: they are the serial
+  // bottleneck of the sweep (every measurement needs its input's exact
+  // run) and each is computed once under the cache's entry latch.
+  Pool.parallelFor(Inputs.size(),
+                   [&](size_t I) { (void)Golden.exactRun(Inputs[I]); });
+
+  // Register control flow in input order so class ids are deterministic
+  // (first-seen order must not depend on worker interleaving). This also
+  // ensures classifier training sees every class even if a config
+  // crashes out later.
+  for (const std::vector<double> &Input : Inputs)
     (void)Registry.classOf(Golden.exactRun(Input).ControlFlowSignature);
 
-    SamplingPlan Plan = makeSamplingPlan(App.maxLevels(),
-                                         Opts.RandomJointSamples, SampleRng);
-    std::vector<std::vector<int>> Configs = Plan.all();
-
-    for (const std::vector<int> &Levels : Configs) {
+  // Materialize the whole sweep as an indexed task list, consuming the
+  // sampling RNG sequentially in input order. Plans are fixed before any
+  // measurement runs, so they cannot depend on execution order.
+  struct MeasureTask {
+    const std::vector<double> *Input;
+    std::vector<int> Levels;
+    int Phase;
+  };
+  std::vector<MeasureTask> Tasks;
+  Rng SampleRng(Opts.Seed);
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    SamplingPlan Plan =
+        makeSamplingPlan(App.maxLevels(), Opts.RandomJointSamples, SampleRng);
+    for (std::vector<int> &Levels : Plan.all()) {
       for (size_t Phase = 0; Phase < Opts.NumPhases; ++Phase)
-        Set.add(measure(Input, Levels, static_cast<int>(Phase),
-                        Opts.NumPhases));
+        Tasks.push_back({&Inputs[I], Levels, static_cast<int>(Phase)});
       if (Opts.IncludeAllPhaseRuns)
-        Set.add(measure(Input, Levels, AllPhases, Opts.NumPhases));
+        Tasks.push_back({&Inputs[I], std::move(Levels), AllPhases});
     }
   }
+
+  // Fan the measurements out. Each task writes its preassigned slot, so
+  // the assembled set is in task order regardless of completion order.
+  std::vector<TrainingSample> Samples(Tasks.size());
+  std::atomic<size_t> Completed{0};
+  std::mutex ObserverMutex;
+  Pool.parallelFor(Tasks.size(), [&](size_t T) {
+    const MeasureTask &Task = Tasks[T];
+    Samples[T] = measure(*Task.Input, Task.Levels, Task.Phase, Opts.NumPhases);
+    if (Opts.Observer) {
+      size_t Done = Completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      ProfileProgress Progress;
+      Progress.RunsCompleted = Done;
+      Progress.TotalRuns = Tasks.size();
+      Progress.GoldenCacheHits = Golden.hits();
+      Progress.ElapsedSeconds = WallClock.seconds();
+      std::lock_guard<std::mutex> Lock(ObserverMutex);
+      Opts.Observer(Progress);
+    }
+  });
+
+  TrainingSet Set;
+  for (TrainingSample &S : Samples)
+    Set.add(std::move(S));
   return Set;
 }

@@ -11,6 +11,12 @@
 /// signature registry mapping call-context signatures to control-flow
 /// class ids (Sec. 3.4).
 ///
+/// The sweep is embarrassingly parallel and collect() fans it across a
+/// ThreadPool: every (input, configuration, phase) measurement is an
+/// independent task whose result lands in a preassigned slot, so the
+/// returned TrainingSet is bit-identical for any worker count (see
+/// docs/ARCHITECTURE.md, "Determinism contract").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPPROX_CORE_PROFILER_H
@@ -19,11 +25,19 @@
 #include "apps/ApproxApp.h"
 #include "core/Sampler.h"
 #include "core/TrainingData.h"
+#include <atomic>
+#include <functional>
 #include <map>
+#include <mutex>
 
 namespace opprox {
 
 /// Maps control-flow signatures to dense class ids in first-seen order.
+/// Thread-safe: concurrent classOf()/lookup() calls are serialized by an
+/// internal mutex. Id determinism under parallel profiling is arranged
+/// by the caller (Profiler::collect registers every golden signature in
+/// input order *before* fanning out measurements, so worker interleaving
+/// can only re-observe already-registered signatures).
 class SignatureRegistry {
 public:
   /// Class id of \p Signature, registering it when new.
@@ -32,11 +46,27 @@ public:
   /// Class id if registered, otherwise -1.
   int lookup(const std::string &Signature) const;
 
-  size_t numClasses() const { return Classes.size(); }
+  size_t numClasses() const;
 
 private:
+  mutable std::mutex Mutex;
   std::map<std::string, int> Classes;
 };
+
+/// Progress snapshot handed to a ProfileObserver after each completed
+/// measurement run.
+struct ProfileProgress {
+  size_t RunsCompleted = 0;   ///< Measurement runs finished so far.
+  size_t TotalRuns = 0;       ///< Runs the sweep will perform in total.
+  size_t GoldenCacheHits = 0; ///< Golden-cache hits so far (cheap reuses).
+  double ElapsedSeconds = 0;  ///< Wall-clock since collect() started.
+};
+
+/// Progress/trace hook for long profiling sweeps. Called after every
+/// completed run, serialized under a mutex (the callback itself need not
+/// be thread-safe) but from worker threads -- keep it fast and do not
+/// call back into the profiler from it.
+using ProfileObserver = std::function<void(const ProfileProgress &)>;
 
 struct ProfileOptions {
   /// Phases to attribute approximation to.
@@ -45,8 +75,16 @@ struct ProfileOptions {
   size_t RandomJointSamples = 32;
   /// Also collect uniform (all-phase) samples, one per configuration.
   bool IncludeAllPhaseRuns = true;
-  /// Seed for the sampling RNG.
+  /// Base seed for the sampling RNG. Input number I draws its sampling
+  /// plan from deriveSeed(Seed, I), so each input's plan is independent
+  /// of every other input's and of the worker count.
   uint64_t Seed = 0x0991;
+  /// Measurement parallelism: 1 = serial, N = N executors, 0 = auto
+  /// (the OPPROX_THREADS environment variable when set, otherwise
+  /// hardware concurrency). Any value produces identical TrainingSets.
+  size_t NumThreads = 0;
+  /// Optional progress hook; see ProfileObserver.
+  ProfileObserver Observer;
 };
 
 /// Profiling driver. Holds the golden cache and signature registry so
@@ -56,12 +94,15 @@ public:
   Profiler(const ApproxApp &App, GoldenCache &Golden)
       : App(App), Golden(Golden) {}
 
-  /// Collects training data for every input in \p Inputs.
+  /// Collects training data for every input in \p Inputs, fanning the
+  /// (input, configuration, phase) sweep across Opts.NumThreads
+  /// executors. The result is identical for every thread count.
   TrainingSet collect(const std::vector<std::vector<double>> &Inputs,
                       const ProfileOptions &Opts);
 
   /// Executes one configuration in one phase (or AllPhases) and builds
-  /// the sample. Exposed for tests and the phase detector.
+  /// the sample. Exposed for tests and the phase detector. Thread-safe:
+  /// may be called concurrently from pool workers.
   TrainingSample measure(const std::vector<double> &Input,
                          const std::vector<int> &Levels, int Phase,
                          size_t NumPhases);
@@ -71,13 +112,16 @@ public:
   const ApproxApp &app() const { return App; }
 
   /// Total application runs performed so far (golden runs excluded).
-  size_t runsPerformed() const { return RunCount; }
+  size_t runsPerformed() const {
+    return RunCount.load(std::memory_order_relaxed);
+  }
 
 private:
   const ApproxApp &App;
   GoldenCache &Golden;
   SignatureRegistry Registry;
-  size_t RunCount = 0;
+  /// Incremented from worker threads during parallel collection.
+  std::atomic<size_t> RunCount{0};
 };
 
 } // namespace opprox

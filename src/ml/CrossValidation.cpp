@@ -6,6 +6,7 @@
 
 #include "ml/CrossValidation.h"
 #include "support/Statistics.h"
+#include "support/ThreadPool.h"
 #include <numeric>
 
 using namespace opprox;
@@ -25,16 +26,21 @@ std::vector<std::vector<size_t>> opprox::kFoldIndices(size_t N, size_t K,
 
 double opprox::crossValidatedR2(const Dataset &Data,
                                 const PolynomialRegression::Options &Opts,
-                                size_t K, Rng &Rng) {
+                                size_t K, Rng &Rng, ThreadPool *Pool) {
   size_t N = Data.numSamples();
   if (N < 3)
     return -1e9;
   std::vector<std::vector<size_t>> Folds = kFoldIndices(N, K, Rng);
 
-  std::vector<double> Actual, Predicted;
-  Actual.reserve(N);
-  Predicted.reserve(N);
-  for (const std::vector<size_t> &TestFold : Folds) {
+  // Each fold fits and predicts independently into its own slot; the
+  // slots are pooled in fold order below, so the score is identical
+  // whether the fits ran serially or across a pool.
+  struct FoldResult {
+    std::vector<double> Actual, Predicted;
+  };
+  std::vector<FoldResult> Results(Folds.size());
+  auto RunFold = [&](size_t F) {
+    const std::vector<size_t> &TestFold = Folds[F];
     std::vector<bool> InTest(N, false);
     for (size_t I : TestFold)
       InTest[I] = true;
@@ -44,13 +50,26 @@ double opprox::crossValidatedR2(const Dataset &Data,
       if (!InTest[I])
         TrainIdx.push_back(I);
     if (TrainIdx.empty())
-      continue;
+      return;
     PolynomialRegression Model =
         PolynomialRegression::fit(Data.selectRows(TrainIdx), Opts);
     for (size_t I : TestFold) {
-      Actual.push_back(Data.target(I));
-      Predicted.push_back(Model.predict(Data.sample(I)));
+      Results[F].Actual.push_back(Data.target(I));
+      Results[F].Predicted.push_back(Model.predict(Data.sample(I)));
     }
+  };
+  if (Pool)
+    Pool->parallelFor(Folds.size(), RunFold);
+  else
+    for (size_t F = 0; F < Folds.size(); ++F)
+      RunFold(F);
+
+  std::vector<double> Actual, Predicted;
+  Actual.reserve(N);
+  Predicted.reserve(N);
+  for (const FoldResult &R : Results) {
+    Actual.insert(Actual.end(), R.Actual.begin(), R.Actual.end());
+    Predicted.insert(Predicted.end(), R.Predicted.begin(), R.Predicted.end());
   }
   if (Actual.empty())
     return -1e9;

@@ -20,16 +20,21 @@
 
 namespace opprox {
 
+class ThreadPool;
+
 /// Partitions [0, N) into \p K near-equal shuffled folds. K is clamped to
 /// N so every fold is nonempty.
 std::vector<std::vector<size_t>> kFoldIndices(size_t N, size_t K, Rng &Rng);
 
 /// Pooled out-of-fold R^2 of polynomial regression with \p Opts on
 /// \p Data. Returns a large negative value when Data is too small to
-/// split (fewer than 3 samples).
+/// split (fewer than 3 samples). Fold assignment draws from \p Rng
+/// up front; when \p Pool is non-null the per-fold fits then run
+/// concurrently (results are pooled in fold order, so the score is
+/// identical with or without a pool).
 double crossValidatedR2(const Dataset &Data,
                         const PolynomialRegression::Options &Opts, size_t K,
-                        Rng &Rng);
+                        Rng &Rng, ThreadPool *Pool = nullptr);
 
 /// Splits row indices of a dataset into train/test of the given test
 /// fraction (deterministic shuffle).

@@ -8,6 +8,7 @@
 #include "ml/CrossValidation.h"
 #include "ml/Mic.h"
 #include "support/Statistics.h"
+#include "support/ThreadPool.h"
 #include <algorithm>
 #include <numeric>
 
@@ -17,7 +18,7 @@ using namespace opprox;
 /// target is reached. Returns (degree, cvR2).
 static std::pair<int, double> pickDegree(const Dataset &Data,
                                          const ModelSelectOptions &Opts,
-                                         Rng &Rng) {
+                                         Rng &Rng, ThreadPool *Pool) {
   int BestDegree = Opts.MinDegree;
   double BestR2 = -1e18;
   for (int Degree = Opts.MinDegree; Degree <= Opts.MaxDegree; ++Degree) {
@@ -27,7 +28,7 @@ static std::pair<int, double> pickDegree(const Dataset &Data,
       break;
     PolynomialRegression::Options FitOpts;
     FitOpts.Degree = Degree;
-    double R2 = crossValidatedR2(Data, FitOpts, Opts.Folds, Rng);
+    double R2 = crossValidatedR2(Data, FitOpts, Opts.Folds, Rng, Pool);
     if (R2 > BestR2) {
       BestR2 = R2;
       BestDegree = Degree;
@@ -39,7 +40,8 @@ static std::pair<int, double> pickDegree(const Dataset &Data,
 }
 
 SelectedModel SelectedModel::train(const Dataset &Data,
-                                   const ModelSelectOptions &Opts, Rng &Rng) {
+                                   const ModelSelectOptions &Opts, Rng &Rng,
+                                   ThreadPool *Pool) {
   assert(!Data.empty() && "cannot train on empty data");
   SelectedModel Model;
 
@@ -61,7 +63,7 @@ SelectedModel SelectedModel::train(const Dataset &Data,
   Dataset Filtered = Data.selectFeatures(Model.KeptFeatures);
 
   // Step 2: degree escalation with cross-validation.
-  auto [Degree, CvR2] = pickDegree(Filtered, Opts, Rng);
+  auto [Degree, CvR2] = pickDegree(Filtered, Opts, Rng, Pool);
   Model.BestCvR2 = CvR2;
 
   PolynomialRegression::Options FitOpts;

@@ -45,13 +45,19 @@ struct ModelSelectOptions {
   size_t MinSubcategorySamples = 20;
 };
 
+class ThreadPool;
+
 /// A trained predictor: possibly several polynomial sub-models selected by
 /// a split feature, plus feature filtering and a confidence interval.
 class SelectedModel {
 public:
-  /// Trains per the Sec. 3.7 policy. \p Rng drives fold shuffling.
+  /// Trains per the Sec. 3.7 policy. \p Rng drives fold shuffling. A
+  /// non-null \p Pool parallelizes the cross-validation folds (identical
+  /// result either way; when called from inside a pool task the folds
+  /// simply stay serial within that task).
   static SelectedModel train(const Dataset &Data,
-                             const ModelSelectOptions &Opts, Rng &Rng);
+                             const ModelSelectOptions &Opts, Rng &Rng,
+                             ThreadPool *Pool = nullptr);
 
   /// Point prediction for a raw (unfiltered) feature vector.
   double predict(const std::vector<double> &X) const;

@@ -89,3 +89,15 @@ double Rng::gaussian(double Mean, double Stddev) {
 }
 
 Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+uint64_t opprox::deriveSeed(uint64_t Base, uint64_t Stream,
+                            uint64_t Substream) {
+  // Run each identifier through a full SplitMix64 round so adjacent
+  // stream ids (0, 1, 2, ...) land in unrelated regions of seed space.
+  uint64_t X = Base;
+  (void)splitMix64(X);
+  X ^= Stream + 0x632be59bd9b4e019ULL;
+  (void)splitMix64(X);
+  X ^= Substream + 0x9e6c63d0a9de2b43ULL;
+  return splitMix64(X);
+}

@@ -72,6 +72,19 @@ private:
   bool HasSpareGaussian = false;
 };
 
+/// Derives an independent seed from \p Base and up to two stream
+/// identifiers by SplitMix64-style mixing. This is how parallel code
+/// hands every task its own reproducible RNG stream without any task
+/// observing another's consumption: seed(task) depends only on
+/// (Base, Stream, Substream), never on execution order or worker count.
+/// Established derivations (docs/ARCHITECTURE.md, "Determinism
+/// contract"):
+///  - Profiler::collect: deriveSeed(ProfileOptions::Seed, InputIndex)
+///    seeds input InputIndex's sampling plan;
+///  - ModelBuilder::build: deriveSeed(ModelBuildOptions::Seed, ClassId,
+///    Phase) seeds the (control-flow class, phase) model-fit task.
+uint64_t deriveSeed(uint64_t Base, uint64_t Stream, uint64_t Substream = 0);
+
 } // namespace opprox
 
 #endif // OPPROX_SUPPORT_RANDOM_H

@@ -1,0 +1,236 @@
+//===- tests/ThreadPoolTests.cpp - thread-pool substrate tests ------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the ThreadPool substrate (task ordering, exception
+/// propagation, degenerate worker counts, nested parallelism) and the
+/// determinism contract of the parallel training pipeline: profiling and
+/// model building must produce bit-identical results for any worker
+/// count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "core/AppModel.h"
+#include "core/Profiler.h"
+#include "support/Random.h"
+#include "support/ThreadPool.h"
+#include <atomic>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <stdexcept>
+
+using namespace opprox;
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t Workers : {0u, 1u, 4u, 8u}) {
+    ThreadPool Pool(Workers);
+    constexpr size_t N = 1000;
+    std::vector<std::atomic<int>> Counts(N);
+    Pool.parallelFor(N, [&](size_t I) {
+      Counts[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t I = 0; I < N; ++I)
+      ASSERT_EQ(Counts[I].load(), 1) << "index " << I << " with " << Workers
+                                     << " workers";
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOneElementRanges) {
+  ThreadPool Pool(3);
+  Pool.parallelFor(0, [](size_t) { FAIL() << "body called for empty range"; });
+  size_t Calls = 0;
+  Pool.parallelFor(1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    ++Calls; // Single-element ranges run inline on the caller.
+  });
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.numWorkers(), 0u);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::vector<std::thread::id> Seen(5);
+  Pool.parallelFor(5, [&](size_t I) { Seen[I] = std::this_thread::get_id(); });
+  for (const std::thread::id &Id : Seen)
+    EXPECT_EQ(Id, Caller);
+  bool Ran = false;
+  std::future<void> F = Pool.submit([&] { Ran = true; });
+  EXPECT_TRUE(Ran) << "0-worker submit completes before returning";
+  F.get();
+}
+
+TEST(ThreadPoolTest, SubmittedTasksCompleteViaFutures) {
+  ThreadPool Pool(2);
+  std::atomic<int> Sum{0};
+  std::vector<std::future<void>> Futures;
+  for (int I = 1; I <= 10; ++I)
+    Futures.push_back(Pool.submit([&Sum, I] { Sum.fetch_add(I); }));
+  for (std::future<void> &F : Futures)
+    F.get();
+  EXPECT_EQ(Sum.load(), 55);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool Pool(1);
+  std::future<void> F =
+      Pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(F.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  for (size_t Workers : {0u, 4u}) {
+    ThreadPool Pool(Workers);
+    std::atomic<size_t> Executed{0};
+    try {
+      Pool.parallelFor(100, [&](size_t I) {
+        Executed.fetch_add(1, std::memory_order_relaxed);
+        if (I == 7)
+          throw std::runtime_error("boom");
+      });
+      FAIL() << "exception not propagated with " << Workers << " workers";
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "boom");
+    }
+    // Unclaimed indices are abandoned after the throw; everything that
+    // started still finished (no torn state, no hang).
+    EXPECT_GE(Executed.load(), 1u);
+    EXPECT_LE(Executed.load(), 100u);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool Pool(2);
+  std::atomic<int> Inner{0};
+  // Outer tasks occupy every worker; a queue-blocking nested fan-out
+  // would deadlock here. The inline rule makes it finish.
+  Pool.parallelFor(8, [&](size_t) {
+    Pool.parallelFor(8, [&](size_t) {
+      Inner.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(Inner.load(), 64);
+}
+
+TEST(ThreadPoolTest, ResolveWorkersLeavesRoomForTheCaller) {
+  EXPECT_EQ(ThreadPool::resolveWorkers(1), 0u); // Serial: caller only.
+  EXPECT_EQ(ThreadPool::resolveWorkers(4), 3u); // 3 workers + caller.
+  EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism contract
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects PSO training data with the given thread count.
+TrainingSet collectWith(size_t NumThreads) {
+  auto App = createApp("pso");
+  GoldenCache Golden(*App);
+  Profiler Prof(*App, Golden);
+  ProfileOptions Opts;
+  Opts.NumPhases = 2;
+  Opts.RandomJointSamples = 6;
+  Opts.NumThreads = NumThreads;
+  return Prof.collect(App->trainingInputs(), Opts);
+}
+
+std::string csvOf(const TrainingSet &Set) {
+  return Set.toCsv({"swarm_size", "dimension"},
+                   {"fitness_eval", "velocity_update", "position_update"});
+}
+
+} // namespace
+
+TEST(DeterminismTest, ParallelCollectMatchesSerialBitForBit) {
+  TrainingSet Serial = collectWith(1);
+  TrainingSet Parallel = collectWith(8);
+  ASSERT_EQ(Serial.size(), Parallel.size());
+  // CSV serializes every field with %.17g, so string equality is
+  // bit-identity of the whole set, in order.
+  EXPECT_EQ(csvOf(Serial), csvOf(Parallel));
+}
+
+TEST(DeterminismTest, ParallelModelBuildMatchesSerial) {
+  TrainingSet Data = collectWith(1);
+  ModelBuildOptions Opts;
+  Opts.NumThreads = 1;
+  AppModel Serial = ModelBuilder::build(Data, 2, 3, Opts);
+  Opts.NumThreads = 8;
+  AppModel Parallel = ModelBuilder::build(Data, 2, 3, Opts);
+
+  const std::vector<double> Input = {45, 6};
+  for (size_t Phase = 0; Phase < 2; ++Phase) {
+    const PhaseModels &S = Serial.phaseModelsForClass(0, Phase);
+    const PhaseModels &P = Parallel.phaseModelsForClass(0, Phase);
+    EXPECT_DOUBLE_EQ(S.roi(), P.roi());
+    EXPECT_DOUBLE_EQ(S.speedupCvR2(), P.speedupCvR2());
+    EXPECT_DOUBLE_EQ(S.qosCvR2(), P.qosCvR2());
+    for (int Level : {0, 2, 5}) {
+      std::vector<int> Levels(3, Level);
+      EXPECT_DOUBLE_EQ(S.predictSpeedup(Input, Levels),
+                       P.predictSpeedup(Input, Levels));
+      EXPECT_DOUBLE_EQ(S.predictQos(Input, Levels),
+                       P.predictQos(Input, Levels));
+      EXPECT_DOUBLE_EQ(S.predictIterations(Input, Levels),
+                       P.predictIterations(Input, Levels));
+    }
+  }
+}
+
+TEST(DeterminismTest, GoldenCacheComputesEachInputOnceUnderContention) {
+  auto App = createApp("pso");
+  GoldenCache Golden(*App);
+  const std::vector<double> Input = App->defaultInput();
+  ThreadPool Pool(8);
+  std::vector<const RunResult *> Results(16);
+  Pool.parallelFor(Results.size(),
+                   [&](size_t I) { Results[I] = &Golden.exactRun(Input); });
+  for (const RunResult *R : Results)
+    EXPECT_EQ(R, Results[0]) << "all callers must see the same entry";
+  EXPECT_EQ(Golden.numCached(), 1u);
+  EXPECT_EQ(Golden.misses(), 1u);
+  EXPECT_EQ(Golden.hits(), Results.size() - 1);
+}
+
+TEST(DeterminismTest, ObserverSeesMonotonicProgressAndFinalTotal) {
+  auto App = createApp("pso");
+  GoldenCache Golden(*App);
+  Profiler Prof(*App, Golden);
+  ProfileOptions Opts;
+  Opts.NumPhases = 2;
+  Opts.RandomJointSamples = 2;
+  Opts.NumThreads = 4;
+  size_t LastCompleted = 0;
+  size_t Calls = 0;
+  bool Monotonic = true;
+  Opts.Observer = [&](const ProfileProgress &P) {
+    // Serialized under the profiler's observer mutex, but completion
+    // counts may arrive slightly out of order; only the envelope is
+    // guaranteed.
+    Monotonic = Monotonic && P.RunsCompleted >= 1 &&
+                P.RunsCompleted <= P.TotalRuns && P.ElapsedSeconds >= 0.0;
+    LastCompleted = std::max(LastCompleted, P.RunsCompleted);
+    ++Calls;
+  };
+  TrainingSet Set = Prof.collect({App->defaultInput()}, Opts);
+  EXPECT_TRUE(Monotonic);
+  EXPECT_EQ(Calls, Set.size());
+  EXPECT_EQ(LastCompleted, Set.size());
+}
+
+TEST(DeterminismTest, DeriveSeedSeparatesStreams) {
+  EXPECT_NE(deriveSeed(1, 0), deriveSeed(1, 1));
+  EXPECT_NE(deriveSeed(1, 0), deriveSeed(2, 0));
+  EXPECT_NE(deriveSeed(1, 0, 0), deriveSeed(1, 0, 1));
+  EXPECT_EQ(deriveSeed(7, 3, 2), deriveSeed(7, 3, 2));
+}
