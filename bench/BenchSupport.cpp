@@ -13,12 +13,66 @@
 #include "BenchSupport.h"
 #include "approx/WorkCounter.h"
 #include "core/Sampler.h"
+#include "support/CommandLine.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include <cstdlib>
 #include <memory>
 
 using namespace opprox;
 using namespace opprox::bench;
+
+bool opprox::bench::parseBenchFlags(int Argc, const char *const *Argv,
+                                    BenchOptions &Opts) {
+  if (const char *Dir = std::getenv("OPPROX_ARTIFACT_DIR"))
+    Opts.ArtifactDir = Dir;
+  long Threads = static_cast<long>(Opts.Threads);
+  FlagParser Flags;
+  Flags.addFlag("threads", &Threads,
+                "measurement/fit parallelism (0 = auto via OPPROX_THREADS, "
+                "1 = serial)");
+  Flags.addFlag("artifact-dir", &Opts.ArtifactDir,
+                "cache trained models here as versioned artifacts");
+  if (!Flags.parse(Argc, Argv))
+    return false;
+  Opts.Threads = static_cast<size_t>(Threads < 0 ? 0 : Threads);
+  return true;
+}
+
+void opprox::bench::applyBenchOptions(OpproxTrainOptions &Train,
+                                      const BenchOptions &Opts) {
+  Train.Profiling.NumThreads = Opts.Threads;
+  Train.ModelBuild.NumThreads = Opts.Threads;
+}
+
+Opprox opprox::bench::trainBench(const ApproxApp &App,
+                                 OpproxTrainOptions Train,
+                                 const BenchOptions &Opts) {
+  applyBenchOptions(Train, Opts);
+  if (Opts.ArtifactDir.empty())
+    return Opprox::train(App, Train);
+  // Cache key: every option that changes the trained model. Thread
+  // counts are deliberately absent -- results are identical across them.
+  std::string Key = format(
+      "%s-p%zu-s%zu-mic%g-ps%llu-ms%llu%s", App.name().c_str(),
+      Train.NumPhases, Train.Profiling.RandomJointSamples,
+      Train.ModelBuild.Selection.MicThreshold,
+      static_cast<unsigned long long>(Train.Profiling.Seed),
+      static_cast<unsigned long long>(Train.ModelBuild.Seed),
+      Train.Profiling.IncludeAllPhaseRuns ? "" : "-nouni");
+  std::string Path = Opts.ArtifactDir + "/" + Key + ".opprox.json";
+  Expected<Opprox> Tuner = Opprox::trainCached(App, Train, Path);
+  if (!Tuner) {
+    std::fprintf(stderr, "warning: artifact cache %s unusable (%s); "
+                 "training without cache\n",
+                 Path.c_str(), Tuner.error().message().c_str());
+    return Opprox::train(App, Train);
+  }
+  if (Tuner->trainingData().empty())
+    std::fprintf(stderr, "  [%s] loaded cached artifact %s\n",
+                 App.name().c_str(), Path.c_str());
+  return std::move(*Tuner);
+}
 
 void opprox::bench::banner(const std::string &Id,
                            const std::string &Description) {
@@ -42,9 +96,9 @@ void opprox::bench::emit(const std::string &Id, const Table &T) {
 std::vector<PhaseProbe> opprox::bench::probePhases(
     const ApproxApp &App, GoldenCache &Golden,
     const std::vector<double> &Input,
-    const std::vector<std::vector<int>> &Configs, size_t NumPhases) {
+    const std::vector<std::vector<int>> &Configs, size_t NumPhases,
+    size_t NumThreads) {
   const RunResult &Exact = Golden.exactRun(Input);
-  std::vector<PhaseProbe> Out;
   auto Measure = [&](const std::vector<int> &Levels, int Phase) {
     PhaseSchedule S =
         Phase == AllPhases
@@ -62,11 +116,17 @@ std::vector<PhaseProbe> opprox::bench::probePhases(
     P.Iterations = R.OuterIterations;
     return P;
   };
-  for (const std::vector<int> &Levels : Configs) {
-    for (size_t Phase = 0; Phase < NumPhases; ++Phase)
-      Out.push_back(Measure(Levels, static_cast<int>(Phase)));
-    Out.push_back(Measure(Levels, AllPhases));
-  }
+  // One slot per (config, phase-or-All) measurement, filled by index:
+  // output order and values are independent of scheduling.
+  std::vector<PhaseProbe> Out(Configs.size() * (NumPhases + 1));
+  ThreadPool Pool(ThreadPool::resolveWorkers(NumThreads));
+  Pool.parallelFor(Out.size(), [&](size_t I) {
+    size_t Config = I / (NumPhases + 1);
+    size_t Phase = I % (NumPhases + 1);
+    Out[I] = Measure(Configs[Config], Phase == NumPhases
+                                          ? AllPhases
+                                          : static_cast<int>(Phase));
+  });
   return Out;
 }
 

@@ -22,6 +22,34 @@
 namespace opprox {
 namespace bench {
 
+/// Command-line options shared by every per-figure binary.
+struct BenchOptions {
+  /// Measurement and model-fit parallelism: 0 = auto (OPPROX_THREADS,
+  /// else hardware concurrency), 1 = serial. Results are bit-identical
+  /// for any value.
+  size_t Threads = 0;
+  /// Directory for cached model artifacts; empty (the default, unless
+  /// OPPROX_ARTIFACT_DIR is set) trains from scratch every run.
+  std::string ArtifactDir;
+};
+
+/// Parses the shared flags (--threads, --artifact-dir) from argv.
+/// Returns false when the binary should exit (bad flag or --help).
+bool parseBenchFlags(int Argc, const char *const *Argv, BenchOptions &Opts);
+
+/// Applies the shared options to training options (thread counts).
+void applyBenchOptions(OpproxTrainOptions &Train, const BenchOptions &Opts);
+
+/// Opprox::train with the shared options applied and, when an artifact
+/// directory is configured, transparent caching: the model is stored as
+/// "<dir>/<app>-<key>.opprox.json" where the key encodes every training
+/// option that changes the model, so distinct sweeps (phase counts,
+/// sampling densities, MIC settings) get distinct cache entries. A
+/// stale or unwritable cache degrades to plain training with a warning,
+/// never a failure.
+Opprox trainBench(const ApproxApp &App, OpproxTrainOptions Train,
+                  const BenchOptions &Opts);
+
 /// Prints the standard experiment banner.
 void banner(const std::string &Id, const std::string &Description);
 
@@ -40,11 +68,14 @@ struct PhaseProbe {
 };
 
 /// Runs \p Configs against every phase in [0, NumPhases) plus the
-/// uniform all-phase variant, measuring ground truth.
+/// uniform all-phase variant, measuring ground truth. \p NumThreads
+/// parallelizes the measurements (0 = auto per the OPPROX_THREADS
+/// convention); every probe writes an indexed slot, so the result is
+/// bit-identical for any thread count.
 std::vector<PhaseProbe> probePhases(const ApproxApp &App, GoldenCache &Golden,
                                     const std::vector<double> &Input,
                                     const std::vector<std::vector<int>> &Configs,
-                                    size_t NumPhases);
+                                    size_t NumPhases, size_t NumThreads = 1);
 
 /// A small default set of probe configurations: per-block levels
 /// {1,3,5} plus a few joint combinations.

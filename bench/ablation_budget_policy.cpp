@@ -41,7 +41,10 @@ PhaseSchedule optimizeWithShares(const Opprox &Tuner,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("ablation_budget_policy",
          "Budget-split policies: ROI-proportional (paper) vs uniform vs "
          "greedy, ground-truth outcomes");
@@ -51,7 +54,7 @@ int main() {
     auto App = createApp(Name);
     OpproxTrainOptions Opts;
     Opts.Profiling.RandomJointSamples = 24;
-    Opprox Tuner = Opprox::train(*App, Opts);
+    Opprox Tuner = trainBench(*App, Opts, Bench);
     const std::vector<double> Input = App->defaultInput();
     size_t N = Tuner.numPhases();
 

@@ -15,7 +15,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("ablation_confidence",
          "Conservative bounds (p in {0.5, 0.9, 0.99}) vs raw predictions");
 
@@ -25,7 +28,7 @@ int main() {
     auto App = createApp(Name);
     OpproxTrainOptions TrainOpts;
     TrainOpts.Profiling.RandomJointSamples = 24;
-    Opprox Tuner = Opprox::train(*App, TrainOpts);
+    Opprox Tuner = trainBench(*App, TrainOpts, Bench);
     const std::vector<double> Input = App->defaultInput();
 
     for (double Budget : {5.0, 20.0}) {

@@ -15,7 +15,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("ablation_mic", "MIC feature filtering on/off: model quality and "
                          "training cost");
 
@@ -27,6 +30,9 @@ int main() {
       OpproxTrainOptions Opts;
       Opts.Profiling.RandomJointSamples = 20;
       Opts.ModelBuild.Selection.MicThreshold = UseMic ? 0.05 : 0.0;
+      // train_sec is the measured quantity here, so no artifact cache:
+      // a cached load would report load time as training cost.
+      applyBenchOptions(Opts, Bench);
       Timer Train;
       Opprox Tuner = Opprox::train(*App, Opts);
       double Sec = Train.seconds();

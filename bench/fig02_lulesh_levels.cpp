@@ -14,7 +14,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("fig02",
          "LULESH: speedup and QoS degradation vs. per-block approximation "
          "level (paper Fig. 2)");

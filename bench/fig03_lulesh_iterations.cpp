@@ -16,7 +16,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("fig03",
          "LULESH: outer-loop iteration count vs. approximation setting "
          "(paper Fig. 3; exact run = 921 iterations there)");

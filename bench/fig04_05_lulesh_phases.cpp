@@ -14,7 +14,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("fig04_05",
          "LULESH: phase-specific QoS degradation (Fig. 4) and speedup "
          "(Fig. 5)");
@@ -25,7 +28,7 @@ int main() {
   std::vector<std::vector<int>> Configs =
       defaultProbeConfigs(*App, /*JointCount=*/8, /*Seed=*/0xF45);
   std::vector<PhaseProbe> Probes =
-      probePhases(*App, Golden, Input, Configs, 4);
+      probePhases(*App, Golden, Input, Configs, 4, Bench.Threads);
 
   Table T({"phase", "levels", "qos_degradation_pct", "speedup",
            "iterations"});

@@ -15,7 +15,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("fig07",
          "FFmpeg: swapping deflate and edge-detection changes QoS for the "
          "same approximation settings (paper Fig. 7)");

@@ -16,7 +16,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("fig09_10",
          "Per-phase QoS degradation (Fig. 9) and speedup (Fig. 10) for "
          "CoMD, PSO, Bodytrack, FFmpeg");
@@ -28,7 +31,7 @@ int main() {
     std::vector<std::vector<int>> Configs =
         defaultProbeConfigs(*App, /*JointCount=*/6, /*Seed=*/0x910);
     std::vector<PhaseProbe> Probes =
-        probePhases(*App, Golden, Input, Configs, 4);
+        probePhases(*App, Golden, Input, Configs, 4, Bench.Threads);
 
     std::printf("--- %s (%s) ---\n", Name.c_str(),
                 App->usesPsnr() ? "PSNR dB, higher is better"

@@ -16,7 +16,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("fig11",
          "QoS degradation for 2/4/8-phase splits (paper Fig. 11) plus "
          "Algorithm 1's detected granularity");
@@ -32,7 +35,8 @@ int main() {
     Table T({"num_phases", "phase", "mean_qos_pct", "max_qos_pct"});
     for (size_t NumPhases : {2u, 4u, 8u}) {
       std::vector<PhaseProbe> Probes =
-          probePhases(*App, Golden, Input, Configs, NumPhases);
+          probePhases(*App, Golden, Input, Configs, NumPhases,
+                      Bench.Threads);
       for (size_t Phase = 0; Phase < NumPhases; ++Phase) {
         RunningStats Qos;
         for (const PhaseProbe &P : Probes)
@@ -51,6 +55,7 @@ int main() {
     Profiler Prof(*App, Golden);
     PhaseDetectOptions Opts;
     Opts.ProbeConfigs = 4;
+    Opts.NumThreads = Bench.Threads;
     size_t Detected = detectPhaseCount(Prof, Input, Opts);
     std::printf("Algorithm 1 detected N = %zu phases (threshold %.1f%%)\n\n",
                 Detected, Opts.Threshold);

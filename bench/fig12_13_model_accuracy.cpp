@@ -19,7 +19,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("fig12_13",
          "Actual vs. predicted QoS degradation (Fig. 12) and speedup "
          "(Fig. 13), 50/50 train/test split");
@@ -33,6 +36,7 @@ int main() {
     ProfileOptions POpts;
     POpts.NumPhases = 4;
     POpts.RandomJointSamples = 24;
+    POpts.NumThreads = Bench.Threads;
     TrainingSet All = Prof.collect(App->trainingInputs(), POpts);
 
     // 50/50 split, per the paper's Sec. 5.2.

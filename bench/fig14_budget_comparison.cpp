@@ -19,7 +19,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("fig14",
          "OPPROX (phase-aware) vs. phase-agnostic exhaustive oracle at "
          "5/10/20% budgets (paper Fig. 14)");
@@ -34,7 +37,7 @@ int main() {
     auto App = createApp(Name);
     Timer Train;
     OpproxTrainOptions Opts;
-    Opprox Tuner = Opprox::train(*App, Opts);
+    Opprox Tuner = trainBench(*App, Opts, Bench);
     std::printf("[%s] trained in %.1fs (%zu runs, %zu phases)\n",
                 Name.c_str(), Train.seconds(), Tuner.trainingRuns(),
                 Tuner.numPhases());

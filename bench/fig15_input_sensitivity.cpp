@@ -16,7 +16,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("fig15",
          "Phase behaviour across four input combinations (paper Fig. 15)");
 
@@ -35,7 +38,7 @@ int main() {
       for (size_t I = 0; I < Input.size(); ++I)
         InputStr += (I ? "/" : "") + format("%g", Input[I]);
       std::vector<PhaseProbe> Probes =
-          probePhases(*App, Golden, Input, Configs, 4);
+          probePhases(*App, Golden, Input, Configs, 4, Bench.Threads);
       for (int Phase = 0; Phase < 4; ++Phase) {
         RunningStats Qos, Speedup;
         for (const PhaseProbe &P : Probes)

@@ -16,7 +16,10 @@
 using namespace opprox;
 using namespace opprox::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Bench;
+  if (!parseBenchFlags(Argc, Argv, Bench))
+    return 1;
   banner("table1",
          "Input parameters, techniques, and search-space sizes (paper "
          "Table 1)");

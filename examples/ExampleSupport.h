@@ -1,0 +1,100 @@
+//===- examples/ExampleSupport.h - Shared example scaffolding --*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The boilerplate every example shares, so each .cpp stays focused on
+/// the concept it demonstrates: common flags (--threads, --artifact),
+/// application lookup with a friendly error, a progress observer, and
+/// train-or-load-from-artifact plumbing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_EXAMPLES_EXAMPLESUPPORT_H
+#define OPPROX_EXAMPLES_EXAMPLESUPPORT_H
+
+#include "apps/AppRegistry.h"
+#include "core/Opprox.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace opprox {
+namespace examples {
+
+/// Flags every example accepts alongside its own.
+struct CommonFlags {
+  /// Training parallelism: 0 = auto (OPPROX_THREADS, else hardware),
+  /// 1 = serial. Results are identical for any value.
+  long Threads = 0;
+  /// When set, the trained model is cached here as a versioned artifact
+  /// and reloaded on the next run instead of retraining.
+  std::string Artifact;
+};
+
+inline void addCommonFlags(FlagParser &Flags, CommonFlags &Common) {
+  Flags.addFlag("threads", &Common.Threads,
+                "training parallelism (0 = auto, 1 = serial)");
+  Flags.addFlag("artifact", &Common.Artifact,
+                "artifact cache path: load the model from here if "
+                "present, else train and save");
+}
+
+/// createApp() with a friendly diagnostic-and-exit on unknown names.
+inline std::unique_ptr<ApproxApp> createAppOrExit(const std::string &Name) {
+  std::unique_ptr<ApproxApp> App = createApp(Name);
+  if (!App) {
+    std::fprintf(stderr, "error: unknown application '%s' (known: %s)\n",
+                 Name.c_str(), join(allAppNames(), ", ").c_str());
+    std::exit(1);
+  }
+  return App;
+}
+
+/// A progress observer printing a line every ~50 profiling runs.
+inline ProfileObserver stdoutObserver() {
+  return [](const ProfileProgress &P) {
+    if (P.RunsCompleted % 50 == 0 || P.RunsCompleted == P.TotalRuns)
+      std::printf("  profiled %zu/%zu runs (%zu cache hits, %.2fs)\n",
+                  P.RunsCompleted, P.TotalRuns, P.GoldenCacheHits,
+                  P.ElapsedSeconds);
+  };
+}
+
+/// Applies the common flags to training options.
+inline void applyCommonFlags(OpproxTrainOptions &Opts,
+                             const CommonFlags &Common) {
+  size_t Threads = static_cast<size_t>(std::max(0l, Common.Threads));
+  Opts.Profiling.NumThreads = Threads;
+  Opts.ModelBuild.NumThreads = Threads;
+}
+
+/// Trains, or reuses the artifact cache when --artifact was given.
+/// Exits with a diagnostic when the cache path cannot be written.
+inline Opprox trainOrLoad(const ApproxApp &App, const OpproxTrainOptions &Opts,
+                          const CommonFlags &Common) {
+  if (Common.Artifact.empty())
+    return Opprox::train(App, Opts);
+  Expected<Opprox> Tuner = Opprox::trainCached(App, Opts, Common.Artifact);
+  if (!Tuner) {
+    std::fprintf(stderr, "error: %s\n", Tuner.error().message().c_str());
+    std::exit(1);
+  }
+  if (Tuner->trainingData().empty())
+    std::printf("loaded cached artifact %s (trained by %s)\n",
+                Common.Artifact.c_str(),
+                Tuner->artifact().Provenance.LibraryVersion.c_str());
+  else
+    std::printf("artifact cached to %s\n", Common.Artifact.c_str());
+  return std::move(*Tuner);
+}
+
+} // namespace examples
+} // namespace opprox
+
+#endif // OPPROX_EXAMPLES_EXAMPLESUPPORT_H

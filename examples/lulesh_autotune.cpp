@@ -18,28 +18,31 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "apps/AppRegistry.h"
-#include "core/Opprox.h"
-#include "support/CommandLine.h"
+#include "ExampleSupport.h"
 #include <cstdio>
 
 using namespace opprox;
+using namespace opprox::examples;
 
 int main(int Argc, char **Argv) {
   long Mesh = 30, Regions = 11;
+  CommonFlags Common;
   FlagParser Flags;
   Flags.addFlag("mesh", &Mesh, "length of cube mesh (default 30)");
   Flags.addFlag("regions", &Regions, "number of material regions");
+  addCommonFlags(Flags, Common);
   if (!Flags.parse(Argc, Argv))
     return 1;
 
-  std::unique_ptr<ApproxApp> App = createApp("lulesh");
+  std::unique_ptr<ApproxApp> App = createAppOrExit("lulesh");
   std::vector<double> Input = {static_cast<double>(Mesh),
                                static_cast<double>(Regions)};
 
   std::printf("profiling LULESH (this runs the hydro a few hundred "
               "times)...\n");
-  Opprox Tuner = Opprox::train(*App, OpproxTrainOptions());
+  OpproxTrainOptions TrainOpts;
+  applyCommonFlags(TrainOpts, Common);
+  Opprox Tuner = trainOrLoad(*App, TrainOpts, Common);
   const RunResult &Exact = Tuner.golden().exactRun(Input);
   std::printf("exact run: %zu outer-loop iterations (paper: 921)\n\n",
               Exact.OuterIterations);

@@ -16,12 +16,12 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "apps/AppRegistry.h"
+#include "ExampleSupport.h"
 #include "approx/WorkCounter.h"
-#include "support/CommandLine.h"
 #include <cstdio>
 
 using namespace opprox;
+using namespace opprox::examples;
 
 int main(int Argc, char **Argv) {
   std::string Name = "lulesh";
@@ -34,11 +34,7 @@ int main(int Argc, char **Argv) {
   if (!Flags.parse(Argc, Argv))
     return 1;
 
-  std::unique_ptr<ApproxApp> App = createApp(Name);
-  if (!App) {
-    std::fprintf(stderr, "error: unknown application '%s'\n", Name.c_str());
-    return 1;
-  }
+  std::unique_ptr<ApproxApp> App = createAppOrExit(Name);
 
   const std::vector<double> Input = App->defaultInput();
   RunResult Exact = App->runExact(Input);

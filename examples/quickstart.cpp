@@ -19,28 +19,25 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "apps/AppRegistry.h"
-#include "core/Opprox.h"
-#include "support/CommandLine.h"
-#include <algorithm>
+#include "ExampleSupport.h"
 #include <cstdio>
 
 using namespace opprox;
+using namespace opprox::examples;
 
 int main(int Argc, char **Argv) {
   double Budget = 10.0; // Percent QoS degradation the user tolerates.
-  long Threads = 0;     // 0 = auto: OPPROX_THREADS, else all cores.
+  CommonFlags Common;
   FlagParser Flags;
   Flags.addFlag("budget", &Budget, "QoS degradation budget in percent");
-  Flags.addFlag("threads", &Threads,
-                "training parallelism (0 = auto, 1 = serial)");
+  addCommonFlags(Flags, Common);
   if (!Flags.parse(Argc, Argv))
     return 1;
 
   // 1. The application: particle swarm optimization with three
   //    approximable blocks (fitness eval, velocity update, position
   //    update).
-  std::unique_ptr<ApproxApp> App = createApp("pso");
+  std::unique_ptr<ApproxApp> App = createAppOrExit("pso");
   std::printf("application: %s with %zu approximable blocks\n",
               App->name().c_str(), App->numBlocks());
   for (const ApproximableBlock &AB : App->blocks())
@@ -53,16 +50,10 @@ int main(int Argc, char **Argv) {
   //    observer reports the sweep as it runs; results are identical for
   //    any thread count.
   OpproxTrainOptions TrainOpts;
-  TrainOpts.Profiling.NumThreads = static_cast<size_t>(std::max(0l, Threads));
-  TrainOpts.ModelBuild.NumThreads = TrainOpts.Profiling.NumThreads;
-  TrainOpts.Profiling.Observer = [](const ProfileProgress &P) {
-    if (P.RunsCompleted % 50 == 0 || P.RunsCompleted == P.TotalRuns)
-      std::printf("  profiled %zu/%zu runs (%zu cache hits, %.2fs)\n",
-                  P.RunsCompleted, P.TotalRuns, P.GoldenCacheHits,
-                  P.ElapsedSeconds);
-  };
+  applyCommonFlags(TrainOpts, Common);
+  TrainOpts.Profiling.Observer = stdoutObserver();
   std::printf("\ntraining...\n");
-  Opprox Tuner = Opprox::train(*App, TrainOpts);
+  Opprox Tuner = trainOrLoad(*App, TrainOpts, Common);
   std::printf("trained on %zu runs across %zu phases\n",
               Tuner.trainingRuns(), Tuner.numPhases());
 

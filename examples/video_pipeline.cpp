@@ -20,25 +20,28 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "apps/AppRegistry.h"
+#include "ExampleSupport.h"
 #include "apps/QoSMetrics.h"
-#include "core/Opprox.h"
-#include "support/CommandLine.h"
 #include <cstdio>
 
 using namespace opprox;
+using namespace opprox::examples;
 
 int main(int Argc, char **Argv) {
   long Order = 0;
+  CommonFlags Common;
   FlagParser Flags;
   Flags.addFlag("order", &Order,
                 "filter order: 0 = deflate->edge, 1 = edge->deflate");
+  addCommonFlags(Flags, Common);
   if (!Flags.parse(Argc, Argv))
     return 1;
 
-  std::unique_ptr<ApproxApp> App = createApp("ffmpeg");
+  std::unique_ptr<ApproxApp> App = createAppOrExit("ffmpeg");
   std::printf("training on both filter orders...\n");
-  Opprox Tuner = Opprox::train(*App, OpproxTrainOptions());
+  OpproxTrainOptions TrainOpts;
+  applyCommonFlags(TrainOpts, Common);
+  Opprox Tuner = trainOrLoad(*App, TrainOpts, Common);
 
   // 30 fps, 5 s, bitrate 4, chosen filter order = 150 frames.
   std::vector<double> Input = {30, 5, 4, static_cast<double>(Order)};

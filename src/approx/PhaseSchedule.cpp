@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "approx/PhaseSchedule.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 
 using namespace opprox;
@@ -83,6 +84,41 @@ bool PhaseSchedule::isUniform() const {
       if (level(P, B) != level(0, B))
         return false;
   return true;
+}
+
+Json PhaseSchedule::toJson() const {
+  Json Out = Json::object();
+  Out.set("num_phases", NumPhases);
+  Out.set("num_blocks", NumBlocks);
+  Out.set("levels", Json::numberArray(Levels));
+  return Out;
+}
+
+Expected<PhaseSchedule> PhaseSchedule::fromJson(const Json &Value) {
+  Expected<size_t> NumPhases = getSize(Value, "num_phases");
+  if (!NumPhases)
+    return NumPhases.error();
+  Expected<size_t> NumBlocks = getSize(Value, "num_blocks");
+  if (!NumBlocks)
+    return NumBlocks.error();
+  Expected<std::vector<int>> Levels = getIntVector(Value, "levels");
+  if (!Levels)
+    return Levels.error();
+  if (*NumPhases == 0)
+    return Error("schedule needs at least one phase");
+  if (*NumPhases > 4096 || *NumBlocks > 4096)
+    return Error("schedule dimensions exceed the supported maximum");
+  if (Levels->size() != *NumPhases * *NumBlocks)
+    return Error(format("schedule of %zu phases x %zu blocks expects %zu "
+                        "levels, found %zu",
+                        *NumPhases, *NumBlocks, *NumPhases * *NumBlocks,
+                        Levels->size()));
+  for (int L : *Levels)
+    if (L < 0)
+      return Error("negative approximation level in schedule");
+  PhaseSchedule Schedule(*NumPhases, *NumBlocks);
+  Schedule.Levels = std::move(*Levels);
+  return Schedule;
 }
 
 std::string PhaseSchedule::toString() const {

@@ -17,12 +17,15 @@
 #ifndef OPPROX_APPROX_PHASESCHEDULE_H
 #define OPPROX_APPROX_PHASESCHEDULE_H
 
+#include "support/Error.h"
 #include <cassert>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 namespace opprox {
+
+class Json;
 
 /// Maps outer-loop iteration indices to phase indices. Follows the paper
 /// (Sec. 3.5): I nominal iterations split into N phases of ~I/N, with the
@@ -87,6 +90,11 @@ public:
   /// Compact rendering, e.g. "[2,0,1,0 | 0,0,0,0 | ...]". The runtime
   /// equivalent of the paper's per-phase environment variables.
   std::string toString() const;
+
+  /// Artifact serialization: phase/block counts plus the row-major level
+  /// matrix. fromJson rejects dimension mismatches and negative levels.
+  Json toJson() const;
+  static Expected<PhaseSchedule> fromJson(const Json &Value);
 
 private:
   size_t NumPhases;

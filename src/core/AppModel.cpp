@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/AppModel.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include <algorithm>
@@ -93,6 +94,91 @@ double PhaseModels::conservativeQos(const std::vector<double> &Input,
   return std::clamp(std::expm1(LogUpper), 0.0, 1000.0);
 }
 
+Json PhaseModels::toJson() const {
+  Json Out = Json::object();
+  Json Speedups = Json::array();
+  for (const SelectedModel &M : LocalSpeedup)
+    Speedups.push(M.toJson());
+  Out.set("local_speedup", std::move(Speedups));
+  Json Qos = Json::array();
+  for (const SelectedModel &M : LocalQos)
+    Qos.push(M.toJson());
+  Out.set("local_qos", std::move(Qos));
+  assert(IterationModel && OverallSpeedup && OverallQos &&
+         "serializing an unbuilt model stack");
+  Out.set("iterations", IterationModel->toJson());
+  Out.set("overall_speedup", OverallSpeedup->toJson());
+  Out.set("overall_qos", OverallQos->toJson());
+  Out.set("roi", Roi);
+  return Out;
+}
+
+/// Parses an array of SelectedModel values from member \p Key of \p Obj.
+static Expected<std::vector<SelectedModel>>
+modelVector(const Json &Obj, const std::string &Key) {
+  Expected<const Json *> List = getArray(Obj, Key);
+  if (!List)
+    return List.error();
+  std::vector<SelectedModel> Models;
+  for (size_t I = 0; I < (*List)->size(); ++I) {
+    Expected<SelectedModel> M = SelectedModel::fromJson((*List)->at(I));
+    if (!M)
+      return Error(format("%s[%zu]: %s", Key.c_str(), I,
+                          M.error().message().c_str()));
+    Models.push_back(std::move(*M));
+  }
+  return Models;
+}
+
+/// Parses one SelectedModel from object member \p Key of \p Obj.
+static Expected<SelectedModel> modelMember(const Json &Obj,
+                                           const std::string &Key) {
+  Expected<const Json *> Member = getObject(Obj, Key);
+  if (!Member)
+    return Member.error();
+  Expected<SelectedModel> M = SelectedModel::fromJson(**Member);
+  if (!M)
+    return Error(format("%s: %s", Key.c_str(), M.error().message().c_str()));
+  return M;
+}
+
+Expected<PhaseModels> PhaseModels::fromJson(const Json &Value) {
+  Expected<std::vector<SelectedModel>> LocalSpeedup =
+      modelVector(Value, "local_speedup");
+  if (!LocalSpeedup)
+    return LocalSpeedup.error();
+  Expected<std::vector<SelectedModel>> LocalQos =
+      modelVector(Value, "local_qos");
+  if (!LocalQos)
+    return LocalQos.error();
+  Expected<SelectedModel> Iterations = modelMember(Value, "iterations");
+  if (!Iterations)
+    return Iterations.error();
+  Expected<SelectedModel> OverallSpeedup =
+      modelMember(Value, "overall_speedup");
+  if (!OverallSpeedup)
+    return OverallSpeedup.error();
+  Expected<SelectedModel> OverallQos = modelMember(Value, "overall_qos");
+  if (!OverallQos)
+    return OverallQos.error();
+  Expected<double> Roi = getNumber(Value, "roi");
+  if (!Roi)
+    return Roi.error();
+
+  if (LocalSpeedup->size() != LocalQos->size())
+    return Error(format("model stack has %zu local speedup models but %zu "
+                        "local QoS models",
+                        LocalSpeedup->size(), LocalQos->size()));
+  PhaseModels PM;
+  PM.LocalSpeedup = std::move(*LocalSpeedup);
+  PM.LocalQos = std::move(*LocalQos);
+  PM.IterationModel = std::move(*Iterations);
+  PM.OverallSpeedup = std::move(*OverallSpeedup);
+  PM.OverallQos = std::move(*OverallQos);
+  PM.Roi = *Roi;
+  return PM;
+}
+
 //===----------------------------------------------------------------------===//
 // AppModel
 //===----------------------------------------------------------------------===//
@@ -116,6 +202,78 @@ const PhaseModels &AppModel::phaseModelsForClass(int ClassId,
          "unknown control-flow class");
   assert(Phase < NumPhases && "phase out of range");
   return Classes[static_cast<size_t>(ClassId)][Phase];
+}
+
+size_t AppModel::numBlocks() const {
+  assert(!Classes.empty() && !Classes.front().empty() && "empty model");
+  return Classes.front().front().numBlocks();
+}
+
+Json AppModel::toJson() const {
+  Json Out = Json::object();
+  Out.set("num_phases", NumPhases);
+  Out.set("classifier", Classifier.toJson());
+  Json ClassList = Json::array();
+  for (const std::vector<PhaseModels> &PerPhase : Classes) {
+    Json PhaseList = Json::array();
+    for (const PhaseModels &PM : PerPhase)
+      PhaseList.push(PM.toJson());
+    ClassList.push(std::move(PhaseList));
+  }
+  Out.set("classes", std::move(ClassList));
+  return Out;
+}
+
+Expected<AppModel> AppModel::fromJson(const Json &Value) {
+  Expected<size_t> NumPhases = getSize(Value, "num_phases");
+  if (!NumPhases)
+    return NumPhases.error();
+  Expected<const Json *> ClassifierJson = getObject(Value, "classifier");
+  if (!ClassifierJson)
+    return ClassifierJson.error();
+  Expected<const Json *> ClassList = getArray(Value, "classes");
+  if (!ClassList)
+    return ClassList.error();
+
+  if (*NumPhases == 0)
+    return Error("model needs at least one phase");
+  Expected<ControlFlowModel> Classifier =
+      ControlFlowModel::fromJson(**ClassifierJson);
+  if (!Classifier)
+    return Error(format("classifier: %s",
+                        Classifier.error().message().c_str()));
+  if ((*ClassList)->size() == 0)
+    return Error("model has no control-flow classes");
+
+  AppModel Model;
+  Model.NumPhases = *NumPhases;
+  Model.Classifier = std::move(*Classifier);
+  for (size_t C = 0; C < (*ClassList)->size(); ++C) {
+    const Json &PhaseList = (*ClassList)->at(C);
+    if (!PhaseList.isArray())
+      return Error(format("class %zu is not an array of phase models", C));
+    if (PhaseList.size() != *NumPhases)
+      return Error(format("class %zu has %zu phase stacks, expected %zu", C,
+                          PhaseList.size(), *NumPhases));
+    std::vector<PhaseModels> PerPhase;
+    for (size_t P = 0; P < PhaseList.size(); ++P) {
+      Expected<PhaseModels> PM = PhaseModels::fromJson(PhaseList.at(P));
+      if (!PM)
+        return Error(format("class %zu phase %zu: %s", C, P,
+                            PM.error().message().c_str()));
+      PerPhase.push_back(std::move(*PM));
+    }
+    Model.Classes.push_back(std::move(PerPhase));
+  }
+
+  // The optimizer indexes every stack with one block count; a ragged
+  // grid would fault at prediction time, so reject it at load time.
+  size_t Blocks = Model.Classes.front().front().numBlocks();
+  for (const std::vector<PhaseModels> &PerPhase : Model.Classes)
+    for (const PhaseModels &PM : PerPhase)
+      if (PM.numBlocks() != Blocks)
+        return Error("inconsistent block counts across model stacks");
+  return Model;
 }
 
 //===----------------------------------------------------------------------===//

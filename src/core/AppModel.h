@@ -62,6 +62,13 @@ public:
   double speedupCvR2() const { return OverallSpeedup->cvR2(); }
   double qosCvR2() const { return OverallQos->cvR2(); }
 
+  /// Number of approximable blocks this stack models.
+  size_t numBlocks() const { return LocalSpeedup.size(); }
+
+  /// Artifact serialization: all five model groups plus the phase ROI.
+  Json toJson() const;
+  static Expected<PhaseModels> fromJson(const Json &Value);
+
 private:
   friend class ModelBuilder;
 
@@ -94,6 +101,15 @@ public:
 
   /// Models of an explicit class id (introspection, benches).
   const PhaseModels &phaseModelsForClass(int ClassId, size_t Phase) const;
+
+  /// Number of approximable blocks (from any class's phase-0 stack).
+  size_t numBlocks() const;
+
+  /// Artifact serialization: classifier + the full per-(class, phase)
+  /// model grid. fromJson enforces a rectangular grid with a consistent
+  /// block count so a loaded model can never index out of range.
+  Json toJson() const;
+  static Expected<AppModel> fromJson(const Json &Value);
 
 private:
   friend class ModelBuilder;

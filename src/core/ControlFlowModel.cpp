@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/ControlFlowModel.h"
+#include "support/Json.h"
 #include <cassert>
 
 using namespace opprox;
@@ -21,4 +22,15 @@ ControlFlowModel::train(const std::vector<std::vector<double>> &Inputs,
 
 int ControlFlowModel::predictClass(const std::vector<double> &Input) const {
   return Tree.predict(Input);
+}
+
+Json ControlFlowModel::toJson() const { return Tree.toJson(); }
+
+Expected<ControlFlowModel> ControlFlowModel::fromJson(const Json &Value) {
+  Expected<DecisionTree> Tree = DecisionTree::fromJson(Value);
+  if (!Tree)
+    return Tree.error();
+  ControlFlowModel Model;
+  Model.Tree = std::move(*Tree);
+  return Model;
 }

@@ -41,6 +41,10 @@ public:
 
   size_t numNodes() const { return Tree.numNodes(); }
 
+  /// Artifact serialization: delegates to the underlying tree.
+  Json toJson() const;
+  static Expected<ControlFlowModel> fromJson(const Json &Value);
+
 private:
   DecisionTree Tree;
 };

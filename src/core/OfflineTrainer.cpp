@@ -1,0 +1,47 @@
+//===- core/OfflineTrainer.cpp --------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OfflineTrainer.h"
+#include "support/Version.h"
+
+using namespace opprox;
+
+OfflineTrainer::Result OfflineTrainer::train(const ApproxApp &App,
+                                             const OpproxTrainOptions &Opts) {
+  Result R;
+  R.Golden = std::make_unique<GoldenCache>(App);
+
+  Profiler Prof(App, *R.Golden);
+
+  std::vector<std::vector<double>> Inputs = Opts.TrainingInputs.empty()
+                                                ? App.trainingInputs()
+                                                : Opts.TrainingInputs;
+  assert(!Inputs.empty() && "no training inputs");
+
+  // Phase count: fixed or detected via Algorithm 1 on the first
+  // representative input.
+  size_t NumPhases = Opts.NumPhases;
+  if (NumPhases == 0)
+    NumPhases = detectPhaseCount(Prof, Inputs.front(), Opts.PhaseDetection);
+
+  ProfileOptions ProfileOpts = Opts.Profiling;
+  ProfileOpts.NumPhases = NumPhases;
+  R.Data = Prof.collect(Inputs, ProfileOpts);
+
+  R.Artifact.AppName = App.name();
+  R.Artifact.ParameterNames = App.parameterNames();
+  R.Artifact.MaxLevels = App.maxLevels();
+  R.Artifact.DefaultInput = App.defaultInput();
+  R.Artifact.Model = ModelBuilder::build(R.Data, NumPhases, App.numBlocks(),
+                                         Opts.ModelBuild);
+  R.Artifact.Provenance.LibraryVersion = opproxVersion();
+  R.Artifact.Provenance.ProfileSeed = Opts.Profiling.Seed;
+  R.Artifact.Provenance.ModelSeed = Opts.ModelBuild.Seed;
+  R.Artifact.Provenance.TrainingRuns = Prof.runsPerformed();
+  R.Artifact.Provenance.RandomJointSamples = Opts.Profiling.RandomJointSamples;
+  R.Artifact.Provenance.PhaseCountDetected = Opts.NumPhases == 0;
+  return R;
+}

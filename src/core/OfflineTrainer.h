@@ -1,0 +1,54 @@
+//===- core/OfflineTrainer.h - Fig. 6 offline half -------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline half of the paper's Fig. 6 pipeline: phase detection
+/// (Algorithm 1), the profiling sweep over representative inputs
+/// (Sec. 3.3), and model construction (Secs. 3.4, 3.6-3.7), packaged as
+/// a versioned OpproxArtifact that an OpproxRuntime -- possibly in a
+/// different process, days later -- serves optimizations from.
+///
+/// Train-once / serve-many:
+/// \code
+///   OfflineTrainer::Result R = OfflineTrainer::train(App, Opts);
+///   R.Artifact.save("lulesh.opprox.json").  // inspect/ship/cache
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_OFFLINETRAINER_H
+#define OPPROX_CORE_OFFLINETRAINER_H
+
+#include "core/ModelArtifact.h"
+#include "core/Opprox.h"
+#include <memory>
+
+namespace opprox {
+
+/// Runs training and emits the artifact plus the training-time state
+/// (profiled samples, golden cache) that is useful in-process but never
+/// serialized.
+class OfflineTrainer {
+public:
+  struct Result {
+    OpproxArtifact Artifact;
+    /// The profiled samples the models were fit on (evaluation,
+    /// introspection; not part of the artifact).
+    TrainingSet Data;
+    /// Exact-run cache populated during profiling; reusable by
+    /// evaluators so they do not redo golden runs.
+    std::unique_ptr<GoldenCache> Golden;
+  };
+
+  /// Offline training (Fig. 6, left half). Runs the application many
+  /// times; see ProfileOptions to control the cost. Deterministic for
+  /// any thread count.
+  static Result train(const ApproxApp &App, const OpproxTrainOptions &Opts);
+};
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_OFFLINETRAINER_H

@@ -5,54 +5,57 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Opprox.h"
+#include "core/OfflineTrainer.h"
 
 using namespace opprox;
 
 Opprox Opprox::train(const ApproxApp &App, const OpproxTrainOptions &Opts) {
+  OfflineTrainer::Result R = OfflineTrainer::train(App, Opts);
   Opprox Instance;
   Instance.App = &App;
-  Instance.Golden = std::make_unique<GoldenCache>(App);
+  Instance.Golden = std::move(R.Golden);
+  Instance.Data = std::move(R.Data);
+  Instance.Runtime = OpproxRuntime::fromArtifact(std::move(R.Artifact));
+  return Instance;
+}
 
-  Profiler Prof(App, *Instance.Golden);
-
-  std::vector<std::vector<double>> Inputs = Opts.TrainingInputs.empty()
-                                                ? App.trainingInputs()
-                                                : Opts.TrainingInputs;
-  assert(!Inputs.empty() && "no training inputs");
-
-  // Phase count: fixed or detected via Algorithm 1 on the first
-  // representative input.
-  size_t NumPhases = Opts.NumPhases;
-  if (NumPhases == 0)
-    NumPhases = detectPhaseCount(Prof, Inputs.front(), Opts.PhaseDetection);
-
-  ProfileOptions ProfileOpts = Opts.Profiling;
-  ProfileOpts.NumPhases = NumPhases;
-  Instance.Data = Prof.collect(Inputs, ProfileOpts);
-  Instance.TrainingRuns = Prof.runsPerformed();
-
-  Instance.Model = ModelBuilder::build(Instance.Data, NumPhases,
-                                       App.numBlocks(), Opts.ModelBuild);
+Expected<Opprox> Opprox::trainCached(const ApproxApp &App,
+                                     const OpproxTrainOptions &Opts,
+                                     const std::string &Path) {
+  if (Expected<OpproxArtifact> Cached = OpproxArtifact::load(Path)) {
+    if (!Cached->validateFor(App)) {
+      Opprox Instance;
+      Instance.App = &App;
+      Instance.Golden = std::make_unique<GoldenCache>(App);
+      Instance.Runtime = OpproxRuntime::fromArtifact(std::move(*Cached));
+      return Instance;
+    }
+    // Trained for a different application or level ranges: fall through
+    // and retrain rather than serve a wrong model.
+  }
+  Opprox Instance = train(App, Opts);
+  if (std::optional<Error> E = Instance.artifact().save(Path))
+    return std::move(*E);
   return Instance;
 }
 
 PhaseSchedule Opprox::optimize(const std::vector<double> &Input,
                                double QosBudget,
                                const OptimizeOptions &Opts) const {
-  return optimizeDetailed(Input, QosBudget, Opts).Schedule;
+  return Runtime.optimize(Input, QosBudget, Opts);
 }
 
 OptimizationResult
 Opprox::optimizeDetailed(const std::vector<double> &Input, double QosBudget,
                          const OptimizeOptions &Opts) const {
-  assert(App && "optimize on an untrained Opprox");
-  return optimizeSchedule(Model, Input, App->maxLevels(), QosBudget, Opts);
+  return Runtime.optimizeDetailed(Input, QosBudget, Opts);
 }
 
 PhaseSchedule Opprox::optimizeValidated(const std::vector<double> &Input,
                                         double QosBudget,
                                         const OptimizeOptions &Opts) const {
   assert(App && "optimize on an untrained Opprox");
+  const AppModel &Model = Runtime.model();
   PhaseSchedule Schedule = optimize(Input, QosBudget, Opts);
 
   // Backoff bound: in the worst case every (phase, block) level steps

@@ -11,6 +11,13 @@
 /// construction (Secs. 3.6-3.7) -- followed by per-budget optimization
 /// (Algorithm 2) that emits a PhaseSchedule for a production input.
 ///
+/// This facade is a thin convenience wrapper over the two halves of the
+/// pipeline: OfflineTrainer (which produces a versioned OpproxArtifact)
+/// and OpproxRuntime (which serves optimizations from one). Use the
+/// halves directly to train and optimize in separate processes; use the
+/// facade when both happen in one program, or trainCached() to
+/// transparently reuse an artifact file across program runs.
+///
 /// Typical use:
 /// \code
 ///   MiniLulesh App;
@@ -29,6 +36,7 @@
 #include "core/AppModel.h"
 #include "core/Evaluator.h"
 #include "core/Optimizer.h"
+#include "core/OpproxRuntime.h"
 #include "core/PhaseDetector.h"
 #include "core/Profiler.h"
 #include <memory>
@@ -61,6 +69,16 @@ public:
   /// times; see ProfileOptions to control the cost.
   static Opprox train(const ApproxApp &App, const OpproxTrainOptions &Opts);
 
+  /// Loads the artifact at \p Path when it exists and matches \p App;
+  /// otherwise trains from scratch and saves the artifact there. A
+  /// stale or corrupt cache file is retrained and overwritten, never an
+  /// error; only an unwritable path fails. Instances served from the
+  /// cache have an empty trainingData() (the samples are not part of
+  /// the artifact) and a fresh golden cache.
+  static Expected<Opprox> trainCached(const ApproxApp &App,
+                                      const OpproxTrainOptions &Opts,
+                                      const std::string &Path);
+
   /// Finds the most profitable phase schedule for \p Input under
   /// \p QosBudget percent degradation (Algorithm 2).
   PhaseSchedule optimize(const std::vector<double> &Input, double QosBudget,
@@ -87,12 +105,21 @@ public:
 
   // -- Introspection ----------------------------------------------------
 
-  size_t numPhases() const { return Model.numPhases(); }
-  const AppModel &model() const { return Model; }
+  size_t numPhases() const { return Runtime.numPhases(); }
+  const AppModel &model() const { return Runtime.model(); }
   const TrainingSet &trainingData() const { return Data; }
   const ApproxApp &app() const { return *App; }
   GoldenCache &golden() const { return *Golden; }
-  size_t trainingRuns() const { return TrainingRuns; }
+  size_t trainingRuns() const {
+    return Runtime.artifact().Provenance.TrainingRuns;
+  }
+
+  /// The versioned artifact this instance optimizes from; save() it to
+  /// serve the model from an OpproxRuntime elsewhere.
+  const OpproxArtifact &artifact() const { return Runtime.artifact(); }
+
+  /// The embedded online half.
+  const OpproxRuntime &runtime() const { return Runtime; }
 
 private:
   Opprox() = default;
@@ -100,8 +127,7 @@ private:
   const ApproxApp *App = nullptr;
   std::unique_ptr<GoldenCache> Golden;
   TrainingSet Data;
-  AppModel Model;
-  size_t TrainingRuns = 0;
+  OpproxRuntime Runtime;
 };
 
 } // namespace opprox

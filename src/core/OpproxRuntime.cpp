@@ -1,0 +1,36 @@
+//===- core/OpproxRuntime.cpp ---------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OpproxRuntime.h"
+
+using namespace opprox;
+
+OpproxRuntime OpproxRuntime::fromArtifact(OpproxArtifact Artifact) {
+  OpproxRuntime Runtime;
+  Runtime.Art = std::move(Artifact);
+  return Runtime;
+}
+
+Expected<OpproxRuntime> OpproxRuntime::load(const std::string &Path) {
+  Expected<OpproxArtifact> Artifact = OpproxArtifact::load(Path);
+  if (!Artifact)
+    return Artifact.error();
+  return fromArtifact(std::move(*Artifact));
+}
+
+PhaseSchedule OpproxRuntime::optimize(const std::vector<double> &Input,
+                                      double QosBudget,
+                                      const OptimizeOptions &Opts) const {
+  return optimizeDetailed(Input, QosBudget, Opts).Schedule;
+}
+
+OptimizationResult
+OpproxRuntime::optimizeDetailed(const std::vector<double> &Input,
+                                double QosBudget,
+                                const OptimizeOptions &Opts) const {
+  assert(Art.Model.numPhases() > 0 && "optimize on an empty runtime");
+  return optimizeSchedule(Art.Model, Input, Art.MaxLevels, QosBudget, Opts);
+}

@@ -1,0 +1,68 @@
+//===- core/OpproxRuntime.h - Fig. 6 online half ---------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online half of the paper's Fig. 6 pipeline: loads a trained
+/// OpproxArtifact and serves per-budget schedule optimization
+/// (Algorithm 2). Deliberately lean -- no profiler, golden cache, or
+/// application handle -- so a production host links only the model
+/// stack and the optimizer. Because artifacts round-trip models
+/// bit-exactly, a runtime loaded from disk emits schedules
+/// bit-identical to the trainer that produced the artifact.
+///
+/// \code
+///   Expected<OpproxRuntime> Rt = OpproxRuntime::load("lulesh.opprox.json");
+///   if (!Rt) { ... Rt.error().message() ... }
+///   PhaseSchedule S = Rt->optimize(Input, /*QosBudget=*/10.0);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_OPPROXRUNTIME_H
+#define OPPROX_CORE_OPPROXRUNTIME_H
+
+#include "core/ModelArtifact.h"
+#include "core/Optimizer.h"
+
+namespace opprox {
+
+/// Serves Algorithm 2 from a loaded artifact.
+class OpproxRuntime {
+public:
+  /// Wraps an already-parsed artifact (validated during parsing).
+  static OpproxRuntime fromArtifact(OpproxArtifact Artifact);
+
+  /// Reads, parses, and schema-checks an artifact file.
+  static Expected<OpproxRuntime> load(const std::string &Path);
+
+  /// Finds the most profitable phase schedule for \p Input under
+  /// \p QosBudget percent degradation (Algorithm 2).
+  PhaseSchedule optimize(const std::vector<double> &Input, double QosBudget,
+                         const OptimizeOptions &Opts = {}) const;
+
+  /// optimize() plus the per-phase decisions and ROI shares.
+  OptimizationResult optimizeDetailed(const std::vector<double> &Input,
+                                      double QosBudget,
+                                      const OptimizeOptions &Opts = {}) const;
+
+  // -- Introspection ----------------------------------------------------
+
+  const OpproxArtifact &artifact() const { return Art; }
+  const AppModel &model() const { return Art.Model; }
+  const std::string &appName() const { return Art.AppName; }
+  size_t numPhases() const { return Art.numPhases(); }
+  size_t numBlocks() const { return Art.numBlocks(); }
+
+private:
+  friend class Opprox; // The facade embeds an initially-empty runtime.
+  OpproxRuntime() = default;
+
+  OpproxArtifact Art;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_OPPROXRUNTIME_H

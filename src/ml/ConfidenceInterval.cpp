@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ml/ConfidenceInterval.h"
+#include "support/Json.h"
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -32,4 +33,23 @@ double ConfidenceInterval::halfWidth(double P) const {
   if (Need == 0)
     return 0.0;
   return SortedAbsResiduals[Need - 1];
+}
+
+Json ConfidenceInterval::toJson() const {
+  Json Out = Json::object();
+  Out.set("abs_residuals", Json::numberArray(SortedAbsResiduals));
+  return Out;
+}
+
+Expected<ConfidenceInterval> ConfidenceInterval::fromJson(const Json &Value) {
+  Expected<std::vector<double>> Residuals =
+      getNumberVector(Value, "abs_residuals");
+  if (!Residuals)
+    return Residuals.error();
+  ConfidenceInterval CI;
+  CI.SortedAbsResiduals = std::move(*Residuals);
+  if (!std::is_sorted(CI.SortedAbsResiduals.begin(),
+                      CI.SortedAbsResiduals.end()))
+    return Error("confidence interval residuals are not sorted");
+  return CI;
 }

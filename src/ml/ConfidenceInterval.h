@@ -16,10 +16,13 @@
 #ifndef OPPROX_ML_CONFIDENCEINTERVAL_H
 #define OPPROX_ML_CONFIDENCEINTERVAL_H
 
+#include "support/Error.h"
 #include <cstddef>
 #include <vector>
 
 namespace opprox {
+
+class Json;
 
 /// Distribution of absolute modeling residuals; answers "how wide must an
 /// interval be to cover fraction p of the observed errors".
@@ -48,6 +51,10 @@ public:
   }
 
   size_t numResiduals() const { return SortedAbsResiduals.size(); }
+
+  /// Artifact serialization: the sorted residual distribution, exactly.
+  Json toJson() const;
+  static Expected<ConfidenceInterval> fromJson(const Json &Value);
 
 private:
   std::vector<double> SortedAbsResiduals;

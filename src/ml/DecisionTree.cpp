@@ -5,9 +5,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "ml/DecisionTree.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <map>
 #include <numeric>
 
@@ -167,6 +169,94 @@ size_t DecisionTree::depthFrom(int NodeIdx) const {
 
 size_t DecisionTree::depth() const {
   return Nodes.empty() ? 0 : depthFrom(0);
+}
+
+Json DecisionTree::toJson() const {
+  Json Out = Json::object();
+  Out.set("num_features", NumFeatures);
+  Json NodeList = Json::array();
+  for (const Node &N : Nodes) {
+    Json Entry = Json::array();
+    Entry.push(N.Feature);
+    Entry.push(N.Threshold);
+    Entry.push(N.Label);
+    Entry.push(N.Left);
+    Entry.push(N.Right);
+    NodeList.push(std::move(Entry));
+  }
+  Out.set("nodes", std::move(NodeList));
+  return Out;
+}
+
+/// Reads element \p I of a node entry as an integer-valued number.
+static Expected<long> nodeInt(const Json &Entry, size_t NodeIdx, size_t I) {
+  const Json &V = Entry.at(I);
+  if (!V.isNumber() || V.asNumber() != std::floor(V.asNumber()))
+    return Error(format("tree node %zu field %zu is not an integer", NodeIdx,
+                        I));
+  return static_cast<long>(V.asNumber());
+}
+
+Expected<DecisionTree> DecisionTree::fromJson(const Json &Value) {
+  Expected<size_t> NumFeatures = getSize(Value, "num_features");
+  if (!NumFeatures)
+    return NumFeatures.error();
+  Expected<const Json *> NodeList = getArray(Value, "nodes");
+  if (!NodeList)
+    return NodeList.error();
+  if ((*NodeList)->size() == 0)
+    return Error("decision tree has no nodes");
+
+  DecisionTree Tree;
+  Tree.NumFeatures = *NumFeatures;
+  size_t Count = (*NodeList)->size();
+  for (size_t I = 0; I < Count; ++I) {
+    const Json &Entry = (*NodeList)->at(I);
+    if (!Entry.isArray() || Entry.size() != 5)
+      return Error(format("tree node %zu is not a 5-element array", I));
+    Expected<long> Feature = nodeInt(Entry, I, 0);
+    if (!Feature)
+      return Feature.error();
+    if (!Entry.at(1).isNumber())
+      return Error(format("tree node %zu threshold is not a number", I));
+    double Threshold = Entry.at(1).asNumber();
+    Expected<long> Label = nodeInt(Entry, I, 2);
+    if (!Label)
+      return Label.error();
+    Expected<long> Left = nodeInt(Entry, I, 3);
+    if (!Left)
+      return Left.error();
+    Expected<long> Right = nodeInt(Entry, I, 4);
+    if (!Right)
+      return Right.error();
+
+    Node N;
+    if (*Feature >= 0) {
+      // Interior node. The builder always places children after their
+      // parent, and predict() relies on that to terminate; enforce it
+      // here so a corrupted artifact cannot produce a traversal cycle.
+      if (static_cast<size_t>(*Feature) >= Tree.NumFeatures)
+        return Error(format("tree node %zu splits on feature %ld of %zu", I,
+                            *Feature, Tree.NumFeatures));
+      bool ChildrenValid =
+          *Left > static_cast<long>(I) && *Right > static_cast<long>(I) &&
+          static_cast<size_t>(*Left) < Count &&
+          static_cast<size_t>(*Right) < Count;
+      if (!ChildrenValid)
+        return Error(format("tree node %zu has out-of-order children", I));
+      N.Feature = static_cast<int>(*Feature);
+      N.Threshold = Threshold;
+      N.Left = static_cast<int>(*Left);
+      N.Right = static_cast<int>(*Right);
+    } else if (*Left != -1 || *Right != -1) {
+      return Error(format("tree leaf %zu has children", I));
+    }
+    if (*Label < 0)
+      return Error(format("tree node %zu has negative class label", I));
+    N.Label = static_cast<int>(*Label);
+    Tree.Nodes.push_back(N);
+  }
+  return Tree;
 }
 
 std::string

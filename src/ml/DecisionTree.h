@@ -15,11 +15,14 @@
 #ifndef OPPROX_ML_DECISIONTREE_H
 #define OPPROX_ML_DECISIONTREE_H
 
+#include "support/Error.h"
 #include <cstddef>
 #include <string>
 #include <vector>
 
 namespace opprox {
+
+class Json;
 
 /// A fitted classification tree. Labels are small non-negative ints.
 class DecisionTree {
@@ -53,6 +56,13 @@ public:
 
   /// Indented textual dump for debugging, one node per line.
   std::string dump(const std::vector<std::string> &FeatureNames = {}) const;
+
+  /// Artifact serialization: each node as the compact array
+  /// [feature, threshold, label, left, right]. fromJson re-checks the
+  /// builder's structural invariants (children strictly after parents)
+  /// so traversal of a loaded tree always terminates.
+  Json toJson() const;
+  static Expected<DecisionTree> fromJson(const Json &Value);
 
 private:
   struct Node {

@@ -7,7 +7,9 @@
 #include "ml/ModelSelection.h"
 #include "ml/CrossValidation.h"
 #include "ml/Mic.h"
+#include "support/Json.h"
 #include "support/Statistics.h"
+#include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include <algorithm>
 #include <numeric>
@@ -192,4 +194,76 @@ double SelectedModel::predict(const std::vector<double> &X) const {
 int SelectedModel::degree() const {
   assert(!Submodels.empty() && "degree of untrained model");
   return Submodels.front().degree();
+}
+
+Json SelectedModel::toJson() const {
+  Json Out = Json::object();
+  Out.set("kept_features", Json::numberArray(KeptFeatures));
+  Out.set("split_feature", SplitFeature);
+  Out.set("split_boundaries", Json::numberArray(SplitBoundaries));
+  Json Models = Json::array();
+  for (const PolynomialRegression &Sub : Submodels)
+    Models.push(Sub.toJson());
+  Out.set("submodels", std::move(Models));
+  Out.set("confidence", Interval.toJson());
+  Out.set("cv_r2", BestCvR2);
+  return Out;
+}
+
+Expected<SelectedModel> SelectedModel::fromJson(const Json &Value) {
+  Expected<std::vector<size_t>> Kept = getSizeVector(Value, "kept_features");
+  if (!Kept)
+    return Kept.error();
+  Expected<size_t> SplitFeature = getSize(Value, "split_feature");
+  if (!SplitFeature)
+    return SplitFeature.error();
+  Expected<std::vector<double>> Boundaries =
+      getNumberVector(Value, "split_boundaries");
+  if (!Boundaries)
+    return Boundaries.error();
+  Expected<const Json *> Submodels = getArray(Value, "submodels");
+  if (!Submodels)
+    return Submodels.error();
+  Expected<const Json *> Confidence = getObject(Value, "confidence");
+  if (!Confidence)
+    return Confidence.error();
+  Expected<double> CvR2 = getNumber(Value, "cv_r2");
+  if (!CvR2)
+    return CvR2.error();
+
+  SelectedModel Model;
+  Model.KeptFeatures = std::move(*Kept);
+  Model.SplitFeature = *SplitFeature;
+  Model.SplitBoundaries = std::move(*Boundaries);
+  Model.BestCvR2 = *CvR2;
+  for (size_t I = 0; I < (*Submodels)->size(); ++I) {
+    Expected<PolynomialRegression> Sub =
+        PolynomialRegression::fromJson((*Submodels)->at(I));
+    if (!Sub)
+      return Error(format("submodel %zu: %s", I,
+                          Sub.error().message().c_str()));
+    Model.Submodels.push_back(std::move(*Sub));
+  }
+  Expected<ConfidenceInterval> Interval =
+      ConfidenceInterval::fromJson(**Confidence);
+  if (!Interval)
+    return Interval.error();
+  Model.Interval = std::move(*Interval);
+
+  // Cross-validate the structural invariants predict() relies on so a
+  // corrupted artifact fails load, not prediction.
+  if (Model.Submodels.empty())
+    return Error("selected model has no submodels");
+  if (Model.Submodels.size() != Model.SplitBoundaries.size() + 1)
+    return Error(format("selected model has %zu submodels but %zu split "
+                        "boundaries",
+                        Model.Submodels.size(),
+                        Model.SplitBoundaries.size()));
+  if (!Model.SplitBoundaries.empty() &&
+      Model.SplitFeature >= Model.KeptFeatures.size())
+    return Error("split feature index out of range");
+  for (const PolynomialRegression &Sub : Model.Submodels)
+    if (Sub.numInputs() != Model.KeptFeatures.size())
+      return Error("submodel input arity does not match kept features");
+  return Model;
 }

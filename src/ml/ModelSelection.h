@@ -46,6 +46,7 @@ struct ModelSelectOptions {
 };
 
 class ThreadPool;
+class Json;
 
 /// A trained predictor: possibly several polynomial sub-models selected by
 /// a split feature, plus feature filtering and a confidence interval.
@@ -82,6 +83,11 @@ public:
   size_t numSubmodels() const { return Submodels.size(); }
 
   const ConfidenceInterval &confidence() const { return Interval; }
+
+  /// Artifact serialization: MIC feature mask, subcategory split,
+  /// sub-models, confidence interval, and the selection-time CV score.
+  Json toJson() const;
+  static Expected<SelectedModel> fromJson(const Json &Value);
 
 private:
   std::vector<double> filterFeatures(const std::vector<double> &X) const;

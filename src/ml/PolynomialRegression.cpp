@@ -6,7 +6,9 @@
 
 #include "ml/PolynomialRegression.h"
 #include "linalg/LeastSquares.h"
+#include "support/Json.h"
 #include "support/Statistics.h"
+#include "support/StringUtils.h"
 #include <cmath>
 
 using namespace opprox;
@@ -82,4 +84,66 @@ PolynomialRegression::predictAll(const Dataset &Data) const {
 
 double PolynomialRegression::r2(const Dataset &Data) const {
   return r2Score(Data.targets(), predictAll(Data));
+}
+
+Json PolynomialRegression::toJson() const {
+  Json Out = Json::object();
+  Out.set("degree", Opts.Degree);
+  Out.set("ridge", Opts.Ridge);
+  Out.set("standardize", Opts.Standardize);
+  Out.set("mean", Json::numberArray(Mean));
+  Out.set("scale", Json::numberArray(Scale));
+  Out.set("coefficients", Json::numberArray(Coefficients));
+  return Out;
+}
+
+Expected<PolynomialRegression>
+PolynomialRegression::fromJson(const Json &Value) {
+  Expected<long> Degree = getInt(Value, "degree");
+  if (!Degree)
+    return Degree.error();
+  Expected<double> Ridge = getNumber(Value, "ridge");
+  if (!Ridge)
+    return Ridge.error();
+  Expected<bool> Standardize = getBool(Value, "standardize");
+  if (!Standardize)
+    return Standardize.error();
+  Expected<std::vector<double>> Mean = getNumberVector(Value, "mean");
+  if (!Mean)
+    return Mean.error();
+  Expected<std::vector<double>> Scale = getNumberVector(Value, "scale");
+  if (!Scale)
+    return Scale.error();
+  Expected<std::vector<double>> Coefficients =
+      getNumberVector(Value, "coefficients");
+  if (!Coefficients)
+    return Coefficients.error();
+
+  if (*Degree < 0 || *Degree > 64)
+    return Error(format("polynomial degree %ld out of range", *Degree));
+  if (Mean->size() != Scale->size())
+    return Error("mean/scale length mismatch in polynomial model");
+  size_t Terms =
+      PolynomialFeatures::countTerms(Mean->size(), static_cast<int>(*Degree));
+  if (Terms > 4096)
+    return Error(format("polynomial basis of %zu terms exceeds the supported "
+                        "maximum",
+                        Terms));
+  if (Coefficients->size() != Terms)
+    return Error(format("polynomial model expects %zu coefficients, found "
+                        "%zu",
+                        Terms, Coefficients->size()));
+  for (double S : *Scale)
+    if (S == 0.0)
+      return Error("zero standardization scale in polynomial model");
+
+  Options Opts;
+  Opts.Degree = static_cast<int>(*Degree);
+  Opts.Ridge = *Ridge;
+  Opts.Standardize = *Standardize;
+  PolynomialRegression Model(Opts, Mean->size());
+  Model.Mean = std::move(*Mean);
+  Model.Scale = std::move(*Scale);
+  Model.Coefficients = std::move(*Coefficients);
+  return Model;
 }

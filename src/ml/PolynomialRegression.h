@@ -16,9 +16,12 @@
 
 #include "ml/Dataset.h"
 #include "ml/PolynomialFeatures.h"
+#include "support/Error.h"
 #include <memory>
 
 namespace opprox {
+
+class Json;
 
 /// A fitted polynomial regression model.
 class PolynomialRegression {
@@ -49,6 +52,12 @@ public:
   int degree() const { return Opts.Degree; }
   const std::vector<double> &coefficients() const { return Coefficients; }
   size_t numInputs() const { return Mean.size(); }
+
+  /// Artifact serialization. The monomial basis is not stored; it is
+  /// rebuilt from (numInputs, degree), so predictions round-trip
+  /// bit-identically from the standardization vectors and coefficients.
+  Json toJson() const;
+  static Expected<PolynomialRegression> fromJson(const Json &Value);
 
 private:
   PolynomialRegression(Options Opts, size_t NumInputs)

@@ -1,0 +1,24 @@
+//===- support/Version.cpp ------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Version.h"
+
+using namespace opprox;
+
+// The build system injects the current commit via OPPROX_GIT_DESCRIBE
+// (see src/support/CMakeLists.txt); a plain compile without it still
+// produces a usable, if less precise, version string.
+#ifndef OPPROX_GIT_DESCRIBE
+#define OPPROX_GIT_DESCRIBE ""
+#endif
+
+std::string opprox::opproxVersion() {
+  std::string Version = "opprox-0.3.0";
+  constexpr const char *Describe = OPPROX_GIT_DESCRIBE;
+  if (Describe[0] != '\0')
+    Version += std::string("+") + Describe;
+  return Version;
+}

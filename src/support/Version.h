@@ -1,0 +1,28 @@
+//===- support/Version.h - Library version string --------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library version recorded in model artifacts as training
+/// provenance, in git-describe style: a base version plus, when the
+/// build system could run git, the commit the library was built from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_VERSION_H
+#define OPPROX_SUPPORT_VERSION_H
+
+#include <string>
+
+namespace opprox {
+
+/// E.g. "opprox-0.3.0+8e63ee4" (or "opprox-0.3.0" outside a git
+/// checkout). Stable within a build; recorded in artifacts so a model
+/// file can always be traced back to the library that produced it.
+std::string opproxVersion();
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_VERSION_H

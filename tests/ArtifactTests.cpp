@@ -1,0 +1,264 @@
+//===- tests/ArtifactTests.cpp - model-artifact layer tests ---------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// The contract under test (see core/ModelArtifact.h): serialization is
+// deterministic, models round-trip bit-exactly so a loaded runtime
+// optimizes identically to the trainer that saved it, and every way an
+// artifact file can be bad -- missing, truncated, corrupted, wrong
+// schema version, wrong application -- surfaces a descriptive Error
+// rather than a crash.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "core/OfflineTrainer.h"
+#include "core/Opprox.h"
+#include "core/OpproxRuntime.h"
+#include "support/Json.h"
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace opprox;
+
+namespace {
+
+/// Cheap but complete training options: two light inputs per app (for
+/// FFmpeg, one per filter order so both control-flow classes train) and a
+/// thin joint sweep, so every app trains in well under a second while
+/// still exercising multi-phase, multi-class models.
+OpproxTrainOptions cheapOptions(const std::string &AppName) {
+  OpproxTrainOptions Opts;
+  Opts.Profiling.RandomJointSamples = 6;
+  if (AppName == "pso")
+    Opts.TrainingInputs = {{30, 5}, {45, 6}};
+  else if (AppName == "lulesh")
+    Opts.TrainingInputs = {{20, 8}, {20, 16}};
+  else if (AppName == "comd")
+    Opts.TrainingInputs = {{3, 1.52, 60}, {3, 1.60, 80}};
+  else if (AppName == "ffmpeg")
+    Opts.TrainingInputs = {{15, 4, 4, 0}, {15, 4, 4, 1}};
+  else if (AppName == "bodytrack")
+    Opts.TrainingInputs = {{3, 96, 10}, {4, 96, 14}};
+  return Opts;
+}
+
+OpproxArtifact trainArtifact(const std::string &AppName) {
+  auto App = createApp(AppName);
+  OfflineTrainer::Result R =
+      OfflineTrainer::train(*App, cheapOptions(AppName));
+  return std::move(R.Artifact);
+}
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+} // namespace
+
+TEST(ArtifactTest, RoundTripIsDeterministicForEveryApp) {
+  for (const std::string &Name : allAppNames()) {
+    OpproxArtifact Art = trainArtifact(Name);
+    std::string First = Art.serialize();
+    Expected<OpproxArtifact> Back = OpproxArtifact::deserialize(First);
+    ASSERT_TRUE(Back) << Name << ": " << Back.error().message();
+    // Byte-exact fixed point: reserializing the loaded artifact yields
+    // the identical document.
+    EXPECT_EQ(Back->serialize(), First) << Name;
+    EXPECT_EQ(Back->AppName, Name);
+    EXPECT_EQ(Back->numPhases(), Art.numPhases());
+    EXPECT_EQ(Back->MaxLevels, Art.MaxLevels);
+    EXPECT_EQ(Back->Provenance.TrainingRuns, Art.Provenance.TrainingRuns);
+  }
+}
+
+TEST(ArtifactTest, LoadedRuntimeOptimizesBitIdentically) {
+  for (const std::string &Name : allAppNames()) {
+    auto App = createApp(Name);
+    OfflineTrainer::Result R = OfflineTrainer::train(*App, cheapOptions(Name));
+    OpproxRuntime Trained = OpproxRuntime::fromArtifact(R.Artifact);
+
+    std::string Path = tempPath(Name + "-roundtrip.opprox.json");
+    ASSERT_FALSE(R.Artifact.save(Path));
+    Expected<OpproxRuntime> Loaded = OpproxRuntime::load(Path);
+    ASSERT_TRUE(Loaded) << Name << ": " << Loaded.error().message();
+
+    const std::vector<double> Input = App->defaultInput();
+    for (double Budget : {5.0, 20.0}) {
+      OptimizationResult A = Trained.optimizeDetailed(Input, Budget);
+      OptimizationResult B = Loaded->optimizeDetailed(Input, Budget);
+      EXPECT_EQ(A.Schedule.toString(), B.Schedule.toString())
+          << Name << " at budget " << Budget;
+      EXPECT_EQ(A.ConfigsEvaluated, B.ConfigsEvaluated);
+      ASSERT_EQ(A.Decisions.size(), B.Decisions.size());
+      for (size_t P = 0; P < A.Decisions.size(); ++P) {
+        // Bit-exact model round-trip implies bit-exact predictions.
+        EXPECT_EQ(A.Decisions[P].PredictedSpeedup,
+                  B.Decisions[P].PredictedSpeedup);
+        EXPECT_EQ(A.Decisions[P].PredictedQos, B.Decisions[P].PredictedQos);
+        EXPECT_EQ(A.Decisions[P].AllocatedBudget,
+                  B.Decisions[P].AllocatedBudget);
+      }
+    }
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(ArtifactTest, MissingFileIsADescriptiveError) {
+  Expected<OpproxArtifact> Art =
+      OpproxArtifact::load(tempPath("no-such-artifact.opprox.json"));
+  ASSERT_FALSE(Art);
+  EXPECT_NE(Art.error().message().find("cannot open"), std::string::npos)
+      << Art.error().message();
+}
+
+TEST(ArtifactTest, TruncatedFileIsADescriptiveError) {
+  OpproxArtifact Art = trainArtifact("pso");
+  std::string Text = Art.serialize();
+  std::string Path = tempPath("truncated.opprox.json");
+  {
+    std::ofstream Out(Path);
+    Out << Text.substr(0, Text.size() / 2);
+  }
+  Expected<OpproxArtifact> Back = OpproxArtifact::load(Path);
+  ASSERT_FALSE(Back);
+  EXPECT_NE(Back.error().message().find("JSON parse error"),
+            std::string::npos)
+      << Back.error().message();
+  std::remove(Path.c_str());
+}
+
+TEST(ArtifactTest, CorruptedJsonIsADescriptiveError) {
+  // Well-formed JSON that is not an artifact at all.
+  Expected<OpproxArtifact> NoTag =
+      OpproxArtifact::deserialize("{\"hello\": \"world\"}\n");
+  ASSERT_FALSE(NoTag);
+  EXPECT_NE(NoTag.error().message().find("format"), std::string::npos)
+      << NoTag.error().message();
+  Expected<OpproxArtifact> WrongTag =
+      OpproxArtifact::deserialize("{\"format\": \"something-else\"}\n");
+  ASSERT_FALSE(WrongTag);
+  EXPECT_NE(WrongTag.error().message().find("not an OPPROX artifact"),
+            std::string::npos)
+      << WrongTag.error().message();
+
+  // A real artifact with one structural field damaged.
+  OpproxArtifact Art = trainArtifact("pso");
+  Expected<Json> Doc = Json::parse(Art.serialize());
+  ASSERT_TRUE(Doc);
+  Json App = *Doc->find("app");
+  App.set("max_levels", Json::numberArray<int>({5})); // Wrong block count.
+  Doc->set("app", App);
+  Expected<OpproxArtifact> Damaged = OpproxArtifact::fromJson(*Doc);
+  ASSERT_FALSE(Damaged);
+}
+
+TEST(ArtifactTest, WrongSchemaMajorVersionIsRejected) {
+  OpproxArtifact Art = trainArtifact("pso");
+  Expected<Json> Doc = Json::parse(Art.serialize());
+  ASSERT_TRUE(Doc);
+  Json Version = Json::object();
+  Version.set("major", OpproxArtifact::SchemaMajor + 1);
+  Version.set("minor", 0);
+  Doc->set("schema_version", Version);
+  Expected<OpproxArtifact> Back = OpproxArtifact::fromJson(*Doc);
+  ASSERT_FALSE(Back);
+  EXPECT_NE(Back.error().message().find("is not supported"),
+            std::string::npos)
+      << Back.error().message();
+}
+
+TEST(ArtifactTest, MinorVersionBumpStaysReadable) {
+  OpproxArtifact Art = trainArtifact("pso");
+  Expected<Json> Doc = Json::parse(Art.serialize());
+  ASSERT_TRUE(Doc);
+  Json Version = Json::object();
+  Version.set("major", OpproxArtifact::SchemaMajor);
+  Version.set("minor", OpproxArtifact::SchemaMinor + 7);
+  Doc->set("schema_version", Version);
+  EXPECT_TRUE(OpproxArtifact::fromJson(*Doc));
+}
+
+TEST(ArtifactTest, CrossApplicationLoadIsRejected) {
+  OpproxArtifact Art = trainArtifact("pso");
+  auto Other = createApp("lulesh");
+  std::optional<Error> Err = Art.validateFor(*Other);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->message().find("trained for application"),
+            std::string::npos)
+      << Err->message();
+  // And the matching app passes.
+  auto Same = createApp("pso");
+  EXPECT_FALSE(Art.validateFor(*Same).has_value());
+}
+
+TEST(ArtifactTest, TrainCachedRetrainsOverCorruptCache) {
+  auto App = createApp("pso");
+  std::string Path = tempPath("corrupt-cache.opprox.json");
+  {
+    std::ofstream Out(Path);
+    Out << "{\"not\": \"an artifact\"";
+  }
+  Expected<Opprox> Tuner = Opprox::trainCached(*App, cheapOptions("pso"), Path);
+  ASSERT_TRUE(Tuner) << Tuner.error().message();
+  // The corrupt file was replaced by a freshly trained artifact.
+  EXPECT_FALSE(Tuner->trainingData().empty());
+  Expected<OpproxArtifact> Reloaded = OpproxArtifact::load(Path);
+  ASSERT_TRUE(Reloaded) << Reloaded.error().message();
+  EXPECT_EQ(Reloaded->AppName, "pso");
+  std::remove(Path.c_str());
+}
+
+TEST(ArtifactTest, TrainCachedServesMatchingCache) {
+  auto App = createApp("pso");
+  std::string Path = tempPath("warm-cache.opprox.json");
+  Expected<Opprox> Cold = Opprox::trainCached(*App, cheapOptions("pso"), Path);
+  ASSERT_TRUE(Cold) << Cold.error().message();
+  EXPECT_FALSE(Cold->trainingData().empty());
+
+  Expected<Opprox> Warm = Opprox::trainCached(*App, cheapOptions("pso"), Path);
+  ASSERT_TRUE(Warm) << Warm.error().message();
+  // Served from cache: no profiling happened, same schedules.
+  EXPECT_TRUE(Warm->trainingData().empty());
+  const std::vector<double> Input = App->defaultInput();
+  EXPECT_EQ(Warm->optimize(Input, 10.0).toString(),
+            Cold->optimize(Input, 10.0).toString());
+  std::remove(Path.c_str());
+}
+
+TEST(ArtifactTest, PhaseScheduleRoundTripsAndValidates) {
+  PhaseSchedule S(3, 2);
+  S.setLevel(0, 1, 4);
+  S.setLevel(2, 0, 1);
+  Expected<PhaseSchedule> Back = PhaseSchedule::fromJson(S.toJson());
+  ASSERT_TRUE(Back) << Back.error().message();
+  EXPECT_EQ(Back->toString(), S.toString());
+
+  // Dimension mismatch and negative levels are rejected.
+  Json Bad = S.toJson();
+  Bad.set("num_phases", 4);
+  EXPECT_FALSE(PhaseSchedule::fromJson(Bad));
+  Json Negative = S.toJson();
+  Negative.set("levels", Json::numberArray<int>({0, 0, 0, -1, 0, 0}));
+  EXPECT_FALSE(PhaseSchedule::fromJson(Negative));
+}
+
+TEST(ArtifactTest, ProvenanceRecordsTrainingConfiguration) {
+  auto App = createApp("pso");
+  OpproxTrainOptions Opts = cheapOptions("pso");
+  Opts.Profiling.Seed = 0xDEADBEEFCAFEF00Dull; // Above 2^53: string field.
+  OfflineTrainer::Result R = OfflineTrainer::train(*App, Opts);
+  const ArtifactProvenance &P = R.Artifact.Provenance;
+  EXPECT_EQ(P.ProfileSeed, Opts.Profiling.Seed);
+  EXPECT_EQ(P.RandomJointSamples, Opts.Profiling.RandomJointSamples);
+  EXPECT_GT(P.TrainingRuns, 0u);
+  EXPECT_FALSE(P.PhaseCountDetected); // NumPhases was fixed at 4.
+  EXPECT_FALSE(P.LibraryVersion.empty());
+
+  // The big seed survives serialization exactly.
+  Expected<OpproxArtifact> Back =
+      OpproxArtifact::deserialize(R.Artifact.serialize());
+  ASSERT_TRUE(Back) << Back.error().message();
+  EXPECT_EQ(Back->Provenance.ProfileSeed, 0xDEADBEEFCAFEF00Dull);
+}

@@ -1,0 +1,117 @@
+//===- tools/opprox-optimize.cpp - Online optimization CLI ----------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The online half of the pipeline as a command-line tool: loads a model
+// artifact produced by opprox-train and emits the phase schedule for a
+// QoS budget -- no profiling, no application runs, just the model stack
+// and Algorithm 2. Typically invoked many times per artifact.
+//
+//   opprox-optimize --artifact lulesh.opprox.json --budget 10
+//   opprox-optimize --artifact lulesh.opprox.json --input 30,5 --json
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OpproxRuntime.h"
+#include "support/CommandLine.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include <cstdio>
+
+using namespace opprox;
+
+int main(int Argc, char **Argv) {
+  std::string ArtifactPath;
+  std::string InputText;
+  double Budget = 10.0;
+  double Confidence = 0.99;
+  bool Aggressive = false;
+  bool JsonOutput = false;
+
+  FlagParser Flags;
+  Flags.addFlag("artifact", &ArtifactPath,
+                "Model artifact produced by opprox-train");
+  Flags.addFlag("budget", &Budget, "QoS degradation budget in percent");
+  Flags.addFlag("input", &InputText,
+                "Comma-separated input values (default: the artifact's "
+                "recorded production input)");
+  Flags.addFlag("confidence", &Confidence,
+                "Confidence level of conservative predictions");
+  Flags.addFlag("aggressive", &Aggressive,
+                "Use point predictions instead of conservative bounds");
+  Flags.addFlag("json", &JsonOutput, "Emit the result as JSON on stdout");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+
+  if (ArtifactPath.empty() && !Flags.positional().empty())
+    ArtifactPath = Flags.positional().front();
+  if (ArtifactPath.empty()) {
+    std::fprintf(stderr, "error: --artifact is required\n");
+    Flags.printUsage(Argv[0]);
+    return 1;
+  }
+
+  Expected<OpproxRuntime> Runtime = OpproxRuntime::load(ArtifactPath);
+  if (!Runtime) {
+    std::fprintf(stderr, "error: %s\n", Runtime.error().message().c_str());
+    return 1;
+  }
+  const OpproxArtifact &Art = Runtime->artifact();
+
+  std::vector<double> Input = Art.DefaultInput;
+  if (!InputText.empty()) {
+    Input.clear();
+    for (const std::string &Field : split(InputText, ',')) {
+      double Value = 0.0;
+      if (!parseDouble(trim(Field), Value)) {
+        std::fprintf(stderr, "error: bad input value '%s'\n", Field.c_str());
+        return 1;
+      }
+      Input.push_back(Value);
+    }
+  }
+  if (Input.size() != Art.ParameterNames.size()) {
+    std::fprintf(stderr,
+                 "error: application '%s' expects %zu input values (%s), "
+                 "got %zu\n",
+                 Art.AppName.c_str(), Art.ParameterNames.size(),
+                 join(Art.ParameterNames, ", ").c_str(), Input.size());
+    return 1;
+  }
+
+  OptimizeOptions Opts;
+  Opts.ConfidenceP = Confidence;
+  Opts.Conservative = !Aggressive;
+  OptimizationResult Result = Runtime->optimizeDetailed(Input, Budget, Opts);
+
+  if (JsonOutput) {
+    Json Out = Json::object();
+    Out.set("app", Art.AppName);
+    Out.set("budget", Budget);
+    Out.set("input", Json::numberArray(Input));
+    Out.set("schedule", Result.Schedule.toJson());
+    Out.set("configs_evaluated", Result.ConfigsEvaluated);
+    std::printf("%s\n", Out.dump(2).c_str());
+    return 0;
+  }
+
+  std::printf("%s (trained by %s, %zu training runs)\n", Art.AppName.c_str(),
+              Art.Provenance.LibraryVersion.c_str(),
+              Art.Provenance.TrainingRuns);
+  std::printf("input: ");
+  for (size_t I = 0; I < Input.size(); ++I)
+    std::printf("%s%s=%g", I ? ", " : "", Art.ParameterNames[I].c_str(),
+                Input[I]);
+  std::printf("\nbudget: %.3g%% degradation\n", Budget);
+  std::printf("schedule: %s\n", Result.Schedule.toString().c_str());
+  for (size_t P = 0; P < Result.Decisions.size(); ++P) {
+    const PhaseDecision &D = Result.Decisions[P];
+    std::printf("  phase %zu: allocated budget %.3g%%, predicted speedup "
+                "%.3fx, predicted qos %.3g%%\n",
+                P, D.AllocatedBudget, D.PredictedSpeedup, D.PredictedQos);
+  }
+  std::printf("configurations evaluated: %zu\n", Result.ConfigsEvaluated);
+  return 0;
+}
