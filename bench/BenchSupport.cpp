@@ -33,7 +33,10 @@ bool opprox::bench::parseBenchFlags(int Argc, const char *const *Argv,
                 "1 = serial)");
   Flags.addFlag("artifact-dir", &Opts.ArtifactDir,
                 "cache trained models here as versioned artifacts");
+  addTelemetryFlags(Flags, Opts.Telemetry);
   if (!Flags.parse(Argc, Argv))
+    return false;
+  if (!initTelemetry(Opts.Telemetry))
     return false;
   Opts.Threads = static_cast<size_t>(Threads < 0 ? 0 : Threads);
   return true;

@@ -18,6 +18,7 @@
 #include "apps/AppRegistry.h"
 #include "core/Opprox.h"
 #include "support/Table.h"
+#include "support/Telemetry.h"
 
 namespace opprox {
 namespace bench {
@@ -31,10 +32,15 @@ struct BenchOptions {
   /// Directory for cached model artifacts; empty (the default, unless
   /// OPPROX_ARTIFACT_DIR is set) trains from scratch every run.
   std::string ArtifactDir;
+  /// Trace/metrics/log-level surface shared with the CLIs (--trace-out,
+  /// --metrics-out, --log-level and their environment fallbacks).
+  TelemetryOptions Telemetry;
 };
 
-/// Parses the shared flags (--threads, --artifact-dir) from argv.
-/// Returns false when the binary should exit (bad flag or --help).
+/// Parses the shared flags (--threads, --artifact-dir, plus the
+/// telemetry trio) from argv and initializes telemetry: exports are
+/// written at process exit when configured. Returns false when the
+/// binary should exit (bad flag or --help).
 bool parseBenchFlags(int Argc, const char *const *Argv, BenchOptions &Opts);
 
 /// Applies the shared options to training options (thread counts).

@@ -77,13 +77,17 @@ int main(int Argc, char **Argv) {
   long Samples = 24;
   long Phases = 4;
   long Repeats = 3;
+  TelemetryOptions Telemetry;
   FlagParser Flags;
   Flags.addFlag("app", &AppName, "application to profile");
   Flags.addFlag("threads", &Threads, "parallel executor count (0 = auto)");
   Flags.addFlag("samples", &Samples, "random joint samples per input");
   Flags.addFlag("phases", &Phases, "phase count for the sweep");
   Flags.addFlag("repeats", &Repeats, "trials to average per configuration");
+  addTelemetryFlags(Flags, Telemetry);
   if (!Flags.parse(Argc, Argv))
+    return 1;
+  if (!initTelemetry(Telemetry))
     return 1;
 
   std::unique_ptr<ApproxApp> App = createApp(AppName);

@@ -19,6 +19,7 @@
 #include "core/Opprox.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +36,8 @@ struct CommonFlags {
   /// When set, the trained model is cached here as a versioned artifact
   /// and reloaded on the next run instead of retraining.
   std::string Artifact;
+  /// Trace/metrics/log-level surface shared with the CLIs and benches.
+  TelemetryOptions Telemetry;
 };
 
 inline void addCommonFlags(FlagParser &Flags, CommonFlags &Common) {
@@ -43,6 +46,7 @@ inline void addCommonFlags(FlagParser &Flags, CommonFlags &Common) {
   Flags.addFlag("artifact", &Common.Artifact,
                 "artifact cache path: load the model from here if "
                 "present, else train and save");
+  addTelemetryFlags(Flags, Common.Telemetry);
 }
 
 /// createApp() with a friendly diagnostic-and-exit on unknown names.
@@ -66,9 +70,12 @@ inline ProfileObserver stdoutObserver() {
   };
 }
 
-/// Applies the common flags to training options.
-inline void applyCommonFlags(OpproxTrainOptions &Opts,
-                             const CommonFlags &Common) {
+/// Applies the common flags to training options and initializes the
+/// telemetry surface (exports are written at process exit). Exits on a
+/// malformed --log-level, matching the flag parser's failure mode.
+inline void applyCommonFlags(OpproxTrainOptions &Opts, CommonFlags &Common) {
+  if (!initTelemetry(Common.Telemetry))
+    std::exit(1);
   size_t Threads = static_cast<size_t>(std::max(0l, Common.Threads));
   Opts.Profiling.NumThreads = Threads;
   Opts.ModelBuild.NumThreads = Threads;

@@ -26,12 +26,16 @@ using namespace opprox::examples;
 int main(int Argc, char **Argv) {
   std::string Name = "lulesh";
   long Phases = 4, Level = 3;
+  TelemetryOptions Telemetry;
   FlagParser Flags;
   Flags.addFlag("app", &Name, "lulesh|comd|ffmpeg|bodytrack|pso");
   Flags.addFlag("phases", &Phases, "number of phases (default 4)");
   Flags.addFlag("level", &Level,
                 "approximation level applied to every block (default 3)");
+  addTelemetryFlags(Flags, Telemetry);
   if (!Flags.parse(Argc, Argv))
+    return 1;
+  if (!initTelemetry(Telemetry))
     return 1;
 
   std::unique_ptr<ApproxApp> App = createAppOrExit(Name);

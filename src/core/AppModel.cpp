@@ -7,6 +7,7 @@
 #include "core/AppModel.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include <algorithm>
 #include <cmath>
@@ -372,10 +373,15 @@ AppModel ModelBuilder::build(const TrainingSet &Data, size_t NumPhases,
     for (size_t Phase = 0; Phase < NumPhases; ++Phase)
       Fits.push_back({ClassId, Phase});
 
+  Counter &FitCounter = MetricsRegistry::global().counter("train.fits");
+  Histogram &FitMs = MetricsRegistry::global().histogram("train.fit_ms");
   ThreadPool Pool(ThreadPool::resolveWorkers(Opts.NumThreads));
   Pool.parallelFor(Fits.size(), [&](size_t T) {
     int ClassId = Fits[T].ClassId;
     size_t Phase = Fits[T].Phase;
+    TraceSpan FitSpan("train.fit", "train");
+    FitSpan.arg("class", static_cast<double>(ClassId));
+    FitSpan.arg("phase", static_cast<double>(Phase));
     const ClassContext &Ctx = Contexts.at(ClassId);
     const std::set<std::vector<double>> &DistinctInputs = Ctx.DistinctInputs;
     const std::map<std::vector<double>, double> &NominalIterations =
@@ -493,6 +499,8 @@ AppModel ModelBuilder::build(const TrainingSet &Data, size_t NumPhases,
         PM.Roi = Sum / static_cast<double>(PhaseData.size());
       }
     }
+    FitCounter.add();
+    FitMs.record(FitSpan.seconds() * 1e3);
   });
 
   // Classes that never occurred get copies of class 0's models so

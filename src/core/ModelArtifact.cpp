@@ -58,6 +58,14 @@ Json OpproxArtifact::toJson() const {
   Prov.set("training_runs", Provenance.TrainingRuns);
   Prov.set("random_joint_samples", Provenance.RandomJointSamples);
   Prov.set("phase_count_detected", Provenance.PhaseCountDetected);
+  if (!Provenance.TrainingMetrics.empty()) {
+    // Optional since schema 1.1: the monotone telemetry diff across
+    // training. Already name-sorted, so serialization is deterministic.
+    Json Metrics = Json::object();
+    for (const auto &[Name, Value] : Provenance.TrainingMetrics)
+      Metrics.set(Name, Value);
+    Prov.set("training_metrics", std::move(Metrics));
+  }
   Out.set("provenance", std::move(Prov));
 
   Out.set("model", Model.toJson());
@@ -151,6 +159,17 @@ Expected<OpproxArtifact> OpproxArtifact::fromJson(const Json &Value) {
   Artifact.Provenance.TrainingRuns = *TrainingRuns;
   Artifact.Provenance.RandomJointSamples = *JointSamples;
   Artifact.Provenance.PhaseCountDetected = *Detected;
+  if (const Json *Metrics = (*Prov)->find("training_metrics")) {
+    if (!Metrics->isObject())
+      return Error("provenance training_metrics is not an object");
+    for (const auto &[MetricName, MetricValue] : Metrics->members()) {
+      if (!MetricValue.isNumber())
+        return Error(format("training metric '%s' is not a number",
+                            MetricName.c_str()));
+      Artifact.Provenance.TrainingMetrics.emplace_back(MetricName,
+                                                       MetricValue.asNumber());
+    }
+  }
 
   for (int Level : Artifact.MaxLevels)
     if (Level < 0)

@@ -25,6 +25,7 @@
 
 #include "core/AppModel.h"
 #include "support/Error.h"
+#include "support/Telemetry.h"
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -52,13 +53,19 @@ struct ArtifactProvenance {
   /// True when the phase count came from Algorithm 1 rather than being
   /// fixed by the caller.
   bool PhaseCountDetected = false;
+  /// What this training cost: the name-sorted diff of the monotone
+  /// telemetry metrics (counters, histogram counts/sums) across
+  /// OfflineTrainer::train -- golden-cache traffic, run counts, stage
+  /// times. Optional in the schema (added in 1.1); empty when absent.
+  MetricsSummary TrainingMetrics;
 };
 
 /// A complete, self-describing trained model for one application.
 struct OpproxArtifact {
   /// Readers reject a different major; minor bumps stay readable.
+  /// 1.1 added the optional provenance "training_metrics" object.
   static constexpr long SchemaMajor = 1;
-  static constexpr long SchemaMinor = 0;
+  static constexpr long SchemaMinor = 1;
 
   /// Application identity, used to refuse cross-application loads.
   std::string AppName;

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/OpproxRuntime.h"
+#include "support/Telemetry.h"
 
 using namespace opprox;
 
@@ -15,7 +16,12 @@ OpproxRuntime OpproxRuntime::fromArtifact(OpproxArtifact Artifact) {
 }
 
 Expected<OpproxRuntime> OpproxRuntime::load(const std::string &Path) {
+  TraceSpan Span("runtime.artifact_load", "runtime");
   Expected<OpproxArtifact> Artifact = OpproxArtifact::load(Path);
+  MetricsRegistry::global().counter("runtime.artifact_loads").add();
+  MetricsRegistry::global()
+      .histogram("runtime.artifact_load_ms")
+      .record(Span.seconds() * 1e3);
   if (!Artifact)
     return Artifact.error();
   return fromArtifact(std::move(*Artifact));

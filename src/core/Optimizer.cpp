@@ -6,10 +6,34 @@
 
 #include "core/Optimizer.h"
 #include "core/Sampler.h"
+#include "support/Telemetry.h"
 #include <algorithm>
 #include <numeric>
 
 using namespace opprox;
+
+namespace {
+/// Online-side instruments (see docs/OBSERVABILITY.md). Cached once; the
+/// optimizer may sit on a per-request serving path.
+struct OptimizerMetrics {
+  Counter &Calls;
+  Counter &ConfigsEvaluated;
+  Counter &LeftoverRedistributed;
+  Histogram &PhaseBudgetPct;
+  Histogram &OptimizeMs;
+
+  static OptimizerMetrics &get() {
+    static OptimizerMetrics M{
+        MetricsRegistry::global().counter("optimize.calls"),
+        MetricsRegistry::global().counter("optimize.configs_evaluated"),
+        MetricsRegistry::global().counter("optimize.leftover_redistributed"),
+        MetricsRegistry::global().histogram("optimize.phase_budget_pct",
+                                            Histogram::percentBounds()),
+        MetricsRegistry::global().histogram("optimize.ms")};
+    return M;
+  }
+};
+} // namespace
 
 PhaseDecision opprox::optimizePhase(const PhaseModels &Models,
                                     const std::vector<double> &Input,
@@ -53,6 +77,11 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
                                             const OptimizeOptions &Opts) {
   assert(QosBudget >= 0.0 && "negative QoS budget");
   size_t NumPhases = Model.numPhases();
+  OptimizerMetrics &Metrics = OptimizerMetrics::get();
+  Metrics.Calls.add();
+  TraceSpan ScheduleSpan("optimize.schedule", "optimize");
+  ScheduleSpan.arg("phases", static_cast<double>(NumPhases));
+  ScheduleSpan.arg("qos_budget", QosBudget);
 
   OptimizationResult Result;
   Result.Schedule = PhaseSchedule(NumPhases, MaxLevels.size());
@@ -80,21 +109,37 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
 
   double RemainingBudget = QosBudget;
   double RemainingRoiSum = RoiSum;
+  size_t ConfigsBefore = Result.ConfigsEvaluated;
   for (size_t Rank = 0; Rank < Order.size(); ++Rank) {
     size_t Phase = Order[Rank];
     double Share = RemainingRoiSum > 0.0
                        ? Roi[Phase] / RemainingRoiSum
                        : 1.0 / static_cast<double>(NumPhases - Rank);
     double PhaseBudget = RemainingBudget * Share;
+    // The Eq. 1 allocation decision, as a share of the overall budget.
+    if (QosBudget > 0.0)
+      Metrics.PhaseBudgetPct.record(PhaseBudget / QosBudget * 100.0);
 
+    TraceSpan PhaseSpan("optimize.phase", "optimize");
+    PhaseSpan.arg("phase", static_cast<double>(Phase));
+    PhaseSpan.arg("budget", PhaseBudget);
     PhaseDecision Decision =
         optimizePhase(Model.phaseModels(Input, Phase), Input, MaxLevels,
                       PhaseBudget, Opts, Result.ConfigsEvaluated);
     Result.Schedule.setPhaseLevels(Phase, Decision.Levels);
     Result.Decisions[Phase] = Decision;
 
+    // Leftover: the phase spent less than its allocation, so the
+    // difference flows to the remaining (lower-ROI) phases.
+    if (Rank + 1 < Order.size() && Decision.PredictedQos < PhaseBudget) {
+      Metrics.LeftoverRedistributed.add();
+      TraceRecorder::global().instant("optimize.leftover_redistributed",
+                                      "optimize");
+    }
     RemainingBudget = std::max(0.0, RemainingBudget - Decision.PredictedQos);
     RemainingRoiSum -= Roi[Phase];
   }
+  Metrics.ConfigsEvaluated.add(Result.ConfigsEvaluated - ConfigsBefore);
+  Metrics.OptimizeMs.record(ScheduleSpan.seconds() * 1e3);
   return Result;
 }

@@ -6,10 +6,32 @@
 
 #include "core/Profiler.h"
 #include "approx/WorkCounter.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
-#include "support/Timer.h"
 
 using namespace opprox;
+
+namespace {
+/// Profiling instruments, cached once (see Telemetry.h: handles are
+/// stable, so the hot path touches relaxed atomics only).
+struct ProfilerMetrics {
+  Counter &Runs;
+  Counter &GoldenHits;
+  Counter &GoldenMisses;
+  Histogram &RunMs;
+  Histogram &CollectMs;
+
+  static ProfilerMetrics &get() {
+    static ProfilerMetrics M{
+        MetricsRegistry::global().counter("profiler.runs"),
+        MetricsRegistry::global().counter("profiler.golden_cache.hits"),
+        MetricsRegistry::global().counter("profiler.golden_cache.misses"),
+        MetricsRegistry::global().histogram("profiler.run_ms"),
+        MetricsRegistry::global().histogram("profiler.collect_ms")};
+    return M;
+  }
+};
+} // namespace
 
 int SignatureRegistry::classOf(const std::string &Signature) {
   std::lock_guard<std::mutex> Lock(Mutex);
@@ -35,6 +57,9 @@ size_t SignatureRegistry::numClasses() const {
 TrainingSample Profiler::measure(const std::vector<double> &Input,
                                  const std::vector<int> &Levels, int Phase,
                                  size_t NumPhases) {
+  TraceSpan Span("profiler.measure", "profiler");
+  Span.arg("phase", static_cast<double>(Phase));
+
   const RunResult &Exact = Golden.exactRun(Input);
   size_t Nominal = Exact.OuterIterations;
 
@@ -45,6 +70,8 @@ TrainingSample Profiler::measure(const std::vector<double> &Input,
                                        static_cast<size_t>(Phase), Levels);
   RunResult Approx = App.run(Input, Schedule, Nominal);
   RunCount.fetch_add(1, std::memory_order_relaxed);
+  ProfilerMetrics::get().Runs.add();
+  ProfilerMetrics::get().RunMs.record(Span.seconds() * 1e3);
 
   TrainingSample S;
   S.Input = Input;
@@ -60,14 +87,21 @@ TrainingSample Profiler::measure(const std::vector<double> &Input,
 TrainingSet Profiler::collect(const std::vector<std::vector<double>> &Inputs,
                               const ProfileOptions &Opts) {
   assert(Opts.NumPhases >= 1 && "need at least one phase");
-  Timer WallClock;
+  ProfilerMetrics &Metrics = ProfilerMetrics::get();
+  TraceSpan CollectSpan("profiler.collect", "profiler");
+  CollectSpan.arg("inputs", static_cast<double>(Inputs.size()));
+  size_t HitsBefore = Golden.hits();
+  size_t MissesBefore = Golden.misses();
   ThreadPool Pool(ThreadPool::resolveWorkers(Opts.NumThreads));
 
   // Golden runs first, in parallel across inputs: they are the serial
   // bottleneck of the sweep (every measurement needs its input's exact
   // run) and each is computed once under the cache's entry latch.
-  Pool.parallelFor(Inputs.size(),
-                   [&](size_t I) { (void)Golden.exactRun(Inputs[I]); });
+  {
+    TraceSpan GoldenSpan("profiler.golden_prologue", "profiler");
+    Pool.parallelFor(Inputs.size(),
+                     [&](size_t I) { (void)Golden.exactRun(Inputs[I]); });
+  }
 
   // Register control flow in input order so class ids are deterministic
   // (first-seen order must not depend on worker interleaving). This also
@@ -106,16 +140,26 @@ TrainingSet Profiler::collect(const std::vector<std::vector<double>> &Inputs,
     const MeasureTask &Task = Tasks[T];
     Samples[T] = measure(*Task.Input, Task.Levels, Task.Phase, Opts.NumPhases);
     if (Opts.Observer) {
+      // The snapshot is assembled entirely from atomics -- the same ones
+      // the telemetry layer exports -- before ObserverMutex is taken, so
+      // the callback runs with no profiler-internal lock held (see the
+      // threading contract on ProfileObserver in Profiler.h).
       size_t Done = Completed.fetch_add(1, std::memory_order_relaxed) + 1;
       ProfileProgress Progress;
       Progress.RunsCompleted = Done;
       Progress.TotalRuns = Tasks.size();
       Progress.GoldenCacheHits = Golden.hits();
-      Progress.ElapsedSeconds = WallClock.seconds();
+      Progress.GoldenCacheMisses = Golden.misses();
+      Progress.ElapsedSeconds = CollectSpan.seconds();
       std::lock_guard<std::mutex> Lock(ObserverMutex);
       Opts.Observer(Progress);
     }
   });
+
+  Metrics.GoldenHits.add(Golden.hits() - HitsBefore);
+  Metrics.GoldenMisses.add(Golden.misses() - MissesBefore);
+  Metrics.CollectMs.record(CollectSpan.seconds() * 1e3);
+  CollectSpan.arg("tasks", static_cast<double>(Tasks.size()));
 
   TrainingSet Set;
   for (TrainingSample &S : Samples)

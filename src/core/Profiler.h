@@ -54,18 +54,35 @@ private:
 };
 
 /// Progress snapshot handed to a ProfileObserver after each completed
-/// measurement run.
+/// measurement run. Every field is read from the same lock-free atomics
+/// the telemetry layer exports (profiler.runs, profiler.golden_cache.*,
+/// the collect span's clock), so a snapshot never takes a profiler lock;
+/// the observer is a consumer of the metrics/trace instrumentation, not
+/// a separate accounting path.
 struct ProfileProgress {
-  size_t RunsCompleted = 0;   ///< Measurement runs finished so far.
-  size_t TotalRuns = 0;       ///< Runs the sweep will perform in total.
-  size_t GoldenCacheHits = 0; ///< Golden-cache hits so far (cheap reuses).
-  double ElapsedSeconds = 0;  ///< Wall-clock since collect() started.
+  size_t RunsCompleted = 0;     ///< Measurement runs finished so far.
+  size_t TotalRuns = 0;         ///< Runs the sweep will perform in total.
+  size_t GoldenCacheHits = 0;   ///< Golden-cache hits so far (cheap reuses).
+  size_t GoldenCacheMisses = 0; ///< Golden-cache misses so far (exact runs).
+  double ElapsedSeconds = 0;    ///< Wall-clock since collect() started.
 };
 
-/// Progress/trace hook for long profiling sweeps. Called after every
-/// completed run, serialized under a mutex (the callback itself need not
-/// be thread-safe) but from worker threads -- keep it fast and do not
-/// call back into the profiler from it.
+/// Progress/trace hook for long profiling sweeps.
+///
+/// Threading contract:
+///  - The observer fires after every completed measurement run, from
+///    whichever pool worker (or the caller thread) finished it.
+///  - Calls are serialized under a dedicated observer mutex, so the
+///    callback itself need not be thread-safe.
+///  - The profiler guarantees that **no internal lock is held** while
+///    the observer runs: not the SignatureRegistry mutex, not the
+///    ThreadPool queue mutex, and no golden-cache entry latch. The
+///    progress snapshot is assembled from atomics beforehand. An
+///    observer may therefore block, log, or take its own locks without
+///    risking deadlock -- but it still sits on the sweep's critical
+///    path, so keep it fast.
+///  - Do not call back into the profiler from the observer; collect()
+///    is not reentrant.
 using ProfileObserver = std::function<void(const ProfileProgress &)>;
 
 struct ProfileOptions {

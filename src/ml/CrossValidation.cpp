@@ -6,6 +6,7 @@
 
 #include "ml/CrossValidation.h"
 #include "support/Statistics.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include <numeric>
 
@@ -39,7 +40,10 @@ double opprox::crossValidatedR2(const Dataset &Data,
     std::vector<double> Actual, Predicted;
   };
   std::vector<FoldResult> Results(Folds.size());
+  static Counter &FoldCounter = MetricsRegistry::global().counter("ml.cv.folds");
+  static Histogram &FoldMs = MetricsRegistry::global().histogram("ml.cv.fold_ms");
   auto RunFold = [&](size_t F) {
+    TraceSpan FoldSpan("ml.cv.fold", "ml");
     const std::vector<size_t> &TestFold = Folds[F];
     std::vector<bool> InTest(N, false);
     for (size_t I : TestFold)
@@ -57,6 +61,8 @@ double opprox::crossValidatedR2(const Dataset &Data,
       Results[F].Actual.push_back(Data.target(I));
       Results[F].Predicted.push_back(Model.predict(Data.sample(I)));
     }
+    FoldCounter.add();
+    FoldMs.record(FoldSpan.seconds() * 1e3);
   };
   if (Pool)
     Pool->parallelFor(Folds.size(), RunFold);

@@ -10,6 +10,7 @@
 #include "support/Json.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include <algorithm>
 #include <numeric>
@@ -61,6 +62,14 @@ SelectedModel SelectedModel::train(const Dataset &Data,
   if (Model.KeptFeatures.empty()) {
     Model.KeptFeatures.resize(Data.numFeatures());
     std::iota(Model.KeptFeatures.begin(), Model.KeptFeatures.end(), 0);
+  }
+  {
+    static Counter &Kept =
+        MetricsRegistry::global().counter("ml.mic.features_kept");
+    static Counter &Dropped =
+        MetricsRegistry::global().counter("ml.mic.features_dropped");
+    Kept.add(Model.KeptFeatures.size());
+    Dropped.add(Data.numFeatures() - Model.KeptFeatures.size());
   }
   Dataset Filtered = Data.selectFeatures(Model.KeptFeatures);
 

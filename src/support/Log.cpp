@@ -1,0 +1,86 @@
+//===- support/Log.cpp ----------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Log.h"
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace opprox;
+
+static std::atomic<int> CurrentLevel{static_cast<int>(LogLevel::Info)};
+
+LogLevel opprox::currentLogLevel() {
+  return static_cast<LogLevel>(CurrentLevel.load(std::memory_order_relaxed));
+}
+
+void opprox::setLogLevel(LogLevel Level) {
+  CurrentLevel.store(static_cast<int>(Level), std::memory_order_relaxed);
+}
+
+bool opprox::parseLogLevel(const std::string &Text, LogLevel &Out) {
+  if (Text == "quiet")
+    Out = LogLevel::Quiet;
+  else if (Text == "info")
+    Out = LogLevel::Info;
+  else if (Text == "debug")
+    Out = LogLevel::Debug;
+  else
+    return false;
+  return true;
+}
+
+const char *opprox::logLevelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Quiet:
+    return "quiet";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  }
+  return "info";
+}
+
+void opprox::initLogLevelFromEnv() {
+  if (const char *Env = std::getenv("OPPROX_LOG_LEVEL")) {
+    LogLevel Level;
+    if (parseLogLevel(Env, Level))
+      setLogLevel(Level);
+  }
+}
+
+/// Formats and emits one line with a single fputs so concurrent callers
+/// interleave per line.
+static void emitLine(const char *Prefix, const char *Fmt, va_list Args) {
+  char Buffer[1024];
+  int Used = std::snprintf(Buffer, sizeof(Buffer), "%s", Prefix);
+  if (Used < 0)
+    return;
+  std::vsnprintf(Buffer + Used, sizeof(Buffer) - static_cast<size_t>(Used),
+                 Fmt, Args);
+  std::fputs(Buffer, stderr);
+  std::fputc('\n', stderr);
+}
+
+void opprox::logInfo(const char *Fmt, ...) {
+  if (currentLogLevel() < LogLevel::Info)
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  emitLine("opprox: ", Fmt, Args);
+  va_end(Args);
+}
+
+void opprox::logDebug(const char *Fmt, ...) {
+  if (currentLogLevel() < LogLevel::Debug)
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  emitLine("opprox[debug]: ", Fmt, Args);
+  va_end(Args);
+}

@@ -1,0 +1,55 @@
+//===- support/Log.h - Leveled stderr logging ------------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal leveled logger for the CLIs, benches, and examples. Three
+/// levels -- quiet, info, debug -- selected with --log-level or the
+/// OPPROX_LOG_LEVEL environment variable. Messages go to stderr so they
+/// never contaminate machine-readable stdout (tables, JSON results).
+///
+/// The level is a process-wide atomic; logInfo()/logDebug() format into a
+/// local buffer and emit with one fputs, so concurrent log lines from
+/// pool workers interleave per line, never mid-line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_LOG_H
+#define OPPROX_SUPPORT_LOG_H
+
+#include <string>
+
+namespace opprox {
+
+enum class LogLevel {
+  Quiet = 0, ///< Errors only (callers print those themselves).
+  Info = 1,  ///< Progress milestones; the default.
+  Debug = 2, ///< Per-stage detail (fit times, cache behaviour).
+};
+
+/// Current process-wide level. Defaults to Info until set.
+LogLevel currentLogLevel();
+void setLogLevel(LogLevel Level);
+
+/// Maps "quiet"/"info"/"debug" (case-sensitive, as documented in the
+/// flag help) to a level. Returns false on anything else.
+bool parseLogLevel(const std::string &Text, LogLevel &Out);
+
+/// Canonical name of \p Level ("quiet", "info", "debug").
+const char *logLevelName(LogLevel Level);
+
+/// Applies OPPROX_LOG_LEVEL when set and well-formed; a malformed value
+/// is ignored (the flag parser is where typos should fail loudly).
+void initLogLevelFromEnv();
+
+/// printf-style "opprox: ..." line at Info level.
+void logInfo(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// printf-style "opprox[debug]: ..." line at Debug level.
+void logDebug(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_LOG_H

@@ -1,0 +1,472 @@
+//===- support/Telemetry.cpp ----------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+#include "support/CommandLine.h"
+#include "support/Json.h"
+#include "support/Log.h"
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+using namespace opprox;
+
+//===----------------------------------------------------------------------===//
+// Gauge
+//===----------------------------------------------------------------------===//
+
+void Gauge::setMax(double V) {
+  double Current = Value.load(std::memory_order_relaxed);
+  while (V > Current &&
+         !Value.compare_exchange_weak(Current, V, std::memory_order_relaxed))
+    ;
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::vector<double> Bounds)
+    : UpperBounds(std::move(Bounds)), Buckets(UpperBounds.size() + 1),
+      Min(std::numeric_limits<double>::infinity()),
+      Max(-std::numeric_limits<double>::infinity()) {
+  assert(std::is_sorted(UpperBounds.begin(), UpperBounds.end()) &&
+         "histogram bounds must ascend");
+}
+
+void Histogram::record(double V) {
+  size_t Bucket = static_cast<size_t>(
+      std::lower_bound(UpperBounds.begin(), UpperBounds.end(), V) -
+      UpperBounds.begin());
+  Buckets[Bucket].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(V, std::memory_order_relaxed);
+  double Seen = Min.load(std::memory_order_relaxed);
+  while (V < Seen &&
+         !Min.compare_exchange_weak(Seen, V, std::memory_order_relaxed))
+    ;
+  Seen = Max.load(std::memory_order_relaxed);
+  while (V > Seen &&
+         !Max.compare_exchange_weak(Seen, V, std::memory_order_relaxed))
+    ;
+}
+
+double Histogram::minValue() const {
+  return count() ? Min.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::maxValue() const {
+  return count() ? Max.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::mean() const {
+  uint64_t N = count();
+  return N ? sum() / static_cast<double>(N) : 0.0;
+}
+
+std::vector<uint64_t> Histogram::bucketCounts() const {
+  std::vector<uint64_t> Out(Buckets.size());
+  for (size_t I = 0; I < Buckets.size(); ++I)
+    Out[I] = Buckets[I].load(std::memory_order_relaxed);
+  return Out;
+}
+
+double Histogram::percentile(double P) const {
+  std::vector<uint64_t> Counts = bucketCounts();
+  uint64_t Total = 0;
+  for (uint64_t C : Counts)
+    Total += C;
+  if (Total == 0)
+    return 0.0;
+  double Lo = Min.load(std::memory_order_relaxed);
+  double Hi = Max.load(std::memory_order_relaxed);
+  if (P <= 0.0)
+    return Lo;
+  if (P >= 100.0)
+    return Hi;
+
+  double Target = P / 100.0 * static_cast<double>(Total);
+  double Before = 0.0;
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    double InBucket = static_cast<double>(Counts[I]);
+    if (InBucket == 0.0 || Before + InBucket < Target) {
+      Before += InBucket;
+      continue;
+    }
+    // Interpolate inside bucket I, whose edges are (bound[I-1], bound[I]];
+    // the outermost edges are tightened to the observed extremes.
+    double Lower = I == 0 ? Lo : UpperBounds[I - 1];
+    double Upper = I < UpperBounds.size() ? UpperBounds[I] : Hi;
+    Lower = std::max(Lower, Lo);
+    Upper = std::min(std::max(Upper, Lower), Hi);
+    double Fraction = (Target - Before) / InBucket;
+    return std::clamp(Lower + (Upper - Lower) * Fraction, Lo, Hi);
+  }
+  return Hi;
+}
+
+std::vector<double> Histogram::latencyBoundsMs() {
+  return {0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1,    2.5,   5,     10,   25,
+          50,   100,   250,  500,  1000, 2500, 5000, 10000, 30000, 60000};
+}
+
+std::vector<double> Histogram::percentBounds() {
+  return {0.1, 0.25, 0.5, 1, 2, 5, 10, 15, 20, 25, 50, 100};
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry *Registry = new MetricsRegistry; // Leaked: see header.
+  return *Registry;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot.reset(new Counter());
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Gauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot.reset(new Gauge());
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      std::vector<double> Bounds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Histogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot.reset(new Histogram(Bounds.empty() ? Histogram::latencyBoundsMs()
+                                            : std::move(Bounds)));
+  return *Slot;
+}
+
+Json MetricsRegistry::snapshotJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Json Out = Json::object();
+  Out.set("schema", "opprox-metrics-1");
+
+  Json CounterObj = Json::object();
+  for (const auto &[Name, C] : Counters)
+    CounterObj.set(Name, static_cast<double>(C->value()));
+  Out.set("counters", std::move(CounterObj));
+
+  Json GaugeObj = Json::object();
+  for (const auto &[Name, G] : Gauges)
+    GaugeObj.set(Name, G->value());
+  Out.set("gauges", std::move(GaugeObj));
+
+  Json HistObj = Json::object();
+  for (const auto &[Name, H] : Histograms) {
+    Json Entry = Json::object();
+    Entry.set("count", static_cast<double>(H->count()));
+    Entry.set("sum", H->sum());
+    Entry.set("min", H->minValue());
+    Entry.set("max", H->maxValue());
+    Entry.set("mean", H->mean());
+    Entry.set("p50", H->percentile(50));
+    Entry.set("p95", H->percentile(95));
+    Entry.set("p99", H->percentile(99));
+    Entry.set("bounds", Json::numberArray(H->bounds()));
+    Entry.set("buckets", Json::numberArray(H->bucketCounts()));
+    HistObj.set(Name, std::move(Entry));
+  }
+  Out.set("histograms", std::move(HistObj));
+  return Out;
+}
+
+MetricsSummary MetricsRegistry::monotoneSummary() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MetricsSummary Out;
+  for (const auto &[Name, C] : Counters)
+    Out.emplace_back(Name, static_cast<double>(C->value()));
+  for (const auto &[Name, H] : Histograms) {
+    Out.emplace_back(Name + ".count", static_cast<double>(H->count()));
+    Out.emplace_back(Name + ".sum", H->sum());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+MetricsSummary MetricsRegistry::diffSummary(const MetricsSummary &Before,
+                                            const MetricsSummary &After) {
+  MetricsSummary Out;
+  auto B = Before.begin();
+  for (const auto &[Name, Value] : After) {
+    while (B != Before.end() && B->first < Name)
+      ++B;
+    double Baseline = (B != Before.end() && B->first == Name) ? B->second : 0.0;
+    double Delta = Value - Baseline;
+    if (Delta != 0.0)
+      Out.emplace_back(Name, Delta);
+  }
+  return Out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, C] : Counters)
+    C->Count.store(0, std::memory_order_relaxed);
+  for (auto &[Name, G] : Gauges)
+    G->Value.store(0.0, std::memory_order_relaxed);
+  for (auto &[Name, H] : Histograms) {
+    for (std::atomic<uint64_t> &B : H->Buckets)
+      B.store(0, std::memory_order_relaxed);
+    H->Count.store(0, std::memory_order_relaxed);
+    H->Sum.store(0.0, std::memory_order_relaxed);
+    H->Min.store(std::numeric_limits<double>::infinity(),
+                 std::memory_order_relaxed);
+    H->Max.store(-std::numeric_limits<double>::infinity(),
+                 std::memory_order_relaxed);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// TraceRecorder
+//===----------------------------------------------------------------------===//
+
+TraceRecorder::TraceRecorder() : Epoch(std::chrono::steady_clock::now()) {}
+
+TraceRecorder &TraceRecorder::global() {
+  static TraceRecorder *Recorder = new TraceRecorder; // Leaked: see header.
+  return *Recorder;
+}
+
+uint64_t TraceRecorder::nowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+void TraceRecorder::record(TraceEvent Event) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ThreadBuffer &Buffer = Buffers[std::this_thread::get_id()];
+  if (Buffer.Tid == 0)
+    Buffer.Tid = NextTid++;
+  Event.ThreadId = Buffer.Tid;
+  Buffer.Events.push_back(std::move(Event));
+}
+
+void TraceRecorder::instant(std::string Name, std::string Category) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.StartMicros = nowMicros();
+  E.Phase = 'i';
+  record(std::move(E));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &[Id, Buffer] : Buffers)
+      Out.insert(Out.end(), Buffer.Events.begin(), Buffer.Events.end());
+  }
+  // Longest-first at equal start keeps enclosing spans ahead of the
+  // children they contain.
+  std::sort(Out.begin(), Out.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              if (A.StartMicros != B.StartMicros)
+                return A.StartMicros < B.StartMicros;
+              if (A.ThreadId != B.ThreadId)
+                return A.ThreadId < B.ThreadId;
+              if (A.DurationMicros != B.DurationMicros)
+                return A.DurationMicros > B.DurationMicros;
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t N = 0;
+  for (const auto &[Id, Buffer] : Buffers)
+    N += Buffer.Events.size();
+  return N;
+}
+
+Json TraceRecorder::toChromeJson() const {
+  Json Events = Json::array();
+  for (const TraceEvent &E : events()) {
+    Json Entry = Json::object();
+    Entry.set("name", E.Name);
+    Entry.set("cat", E.Category);
+    Entry.set("ph", std::string(1, E.Phase));
+    Entry.set("ts", static_cast<double>(E.StartMicros));
+    if (E.Phase == 'X')
+      Entry.set("dur", static_cast<double>(E.DurationMicros));
+    else if (E.Phase == 'i')
+      Entry.set("s", "t"); // Instant scope: thread.
+    Entry.set("pid", 1);
+    Entry.set("tid", static_cast<double>(E.ThreadId));
+    if (!E.Args.empty()) {
+      Json Args = Json::object();
+      for (const auto &[Key, Value] : E.Args)
+        Args.set(Key, Value);
+      Entry.set("args", std::move(Args));
+    }
+    Events.push(std::move(Entry));
+  }
+  Json Out = Json::object();
+  Out.set("traceEvents", std::move(Events));
+  Out.set("displayTimeUnit", "ms");
+  return Out;
+}
+
+std::string TraceRecorder::chromeTraceText() const {
+  return toChromeJson().dump() + "\n";
+}
+
+std::optional<Error> TraceRecorder::writeChromeTrace(
+    const std::string &Path) const {
+  return writeFile(Path, chromeTraceText());
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Id, Buffer] : Buffers)
+    Buffer.Events.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// TraceSpan
+//===----------------------------------------------------------------------===//
+
+TraceSpan::TraceSpan(std::string Name, std::string Category,
+                     TraceRecorder *Recorder)
+    : Name(std::move(Name)), Category(std::move(Category)),
+      Start(std::chrono::steady_clock::now()) {
+  TraceRecorder &R = Recorder ? *Recorder : TraceRecorder::global();
+  if (R.enabled()) {
+    Rec = &R;
+    StartMicros = R.nowMicros();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!Rec)
+    return;
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.StartMicros = StartMicros;
+  uint64_t End = Rec->nowMicros();
+  E.DurationMicros = End > StartMicros ? End - StartMicros : 0;
+  E.Phase = 'X';
+  E.Args = std::move(Args);
+  Rec->record(std::move(E));
+}
+
+void TraceSpan::arg(const std::string &Key, double Value) {
+  if (Rec)
+    Args.emplace_back(Key, Value);
+}
+
+double TraceSpan::seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+//===----------------------------------------------------------------------===//
+// CLI / environment glue
+//===----------------------------------------------------------------------===//
+
+void opprox::addTelemetryFlags(FlagParser &Flags, TelemetryOptions &Opts) {
+  Flags.addFlag("trace-out", &Opts.TracePath,
+                "write a Chrome trace-event JSON here at exit "
+                "(default: $OPPROX_TRACE)");
+  Flags.addFlag("metrics-out", &Opts.MetricsPath,
+                "write a JSON metrics snapshot here at exit "
+                "(default: $OPPROX_METRICS)");
+  Flags.addFlag("log-level", &Opts.LogLevelText,
+                "stderr verbosity: quiet, info, or debug "
+                "(default: $OPPROX_LOG_LEVEL, else info)");
+}
+
+namespace {
+/// Options captured for the atexit exporter. Plain statics: initTelemetry
+/// runs on the main thread before any worker exists.
+TelemetryOptions AtExitOptions;
+bool AtExitRegistered = false;
+} // namespace
+
+static void exportAtExit() { (void)exportTelemetry(AtExitOptions); }
+
+bool opprox::initTelemetry(TelemetryOptions &Opts) {
+  if (Opts.TracePath.empty())
+    if (const char *Env = std::getenv("OPPROX_TRACE"))
+      Opts.TracePath = Env;
+  if (Opts.MetricsPath.empty())
+    if (const char *Env = std::getenv("OPPROX_METRICS"))
+      Opts.MetricsPath = Env;
+
+  if (Opts.LogLevelText.empty()) {
+    initLogLevelFromEnv();
+  } else {
+    LogLevel Level;
+    if (!parseLogLevel(Opts.LogLevelText, Level)) {
+      std::fprintf(stderr,
+                   "error: bad --log-level '%s' (expected quiet, info, or "
+                   "debug)\n",
+                   Opts.LogLevelText.c_str());
+      return false;
+    }
+    setLogLevel(Level);
+  }
+
+  if (!Opts.TracePath.empty())
+    TraceRecorder::global().enable();
+
+  AtExitOptions = Opts;
+  if (!AtExitRegistered &&
+      (!Opts.TracePath.empty() || !Opts.MetricsPath.empty())) {
+    AtExitRegistered = true;
+    std::atexit(exportAtExit);
+  }
+  return true;
+}
+
+bool opprox::exportTelemetry(const TelemetryOptions &Opts) {
+  bool Ok = true;
+  if (!Opts.TracePath.empty()) {
+    if (std::optional<Error> E =
+            TraceRecorder::global().writeChromeTrace(Opts.TracePath)) {
+      std::fprintf(stderr, "warning: could not write trace %s: %s\n",
+                   Opts.TracePath.c_str(), E->message().c_str());
+      Ok = false;
+    } else {
+      logDebug("wrote %zu trace events to %s",
+               TraceRecorder::global().eventCount(), Opts.TracePath.c_str());
+    }
+  }
+  if (!Opts.MetricsPath.empty()) {
+    std::string Snapshot =
+        MetricsRegistry::global().snapshotJson().dump(2) + "\n";
+    if (std::optional<Error> E = writeFile(Opts.MetricsPath, Snapshot)) {
+      std::fprintf(stderr, "warning: could not write metrics %s: %s\n",
+                   Opts.MetricsPath.c_str(), E->message().c_str());
+      Ok = false;
+    } else {
+      logDebug("wrote metrics snapshot to %s", Opts.MetricsPath.c_str());
+    }
+  }
+  return Ok;
+}

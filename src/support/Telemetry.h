@@ -1,0 +1,328 @@
+//===- support/Telemetry.h - Metrics registry + structured tracing -*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer for the train/optimize pipeline (see
+/// docs/OBSERVABILITY.md for the metric catalog and span naming scheme).
+/// Dependency-free and thread-safe throughout:
+///
+///  - **MetricsRegistry** -- process-wide named counters, gauges, and
+///    fixed-bucket histograms (with p50/p95/p99 estimates). Instrument
+///    handles are stable for the life of the registry, so hot paths cache
+///    a reference once and then touch only relaxed atomics. reset()
+///    zeroes values in place -- it never invalidates handles.
+///  - **TraceRecorder / TraceSpan** -- RAII wall-clock spans with nested
+///    scopes, buffered per thread and exportable as Chrome trace-event
+///    JSON (load the file in chrome://tracing or https://ui.perfetto.dev).
+///    When the recorder is disabled (the default), constructing a span
+///    costs one relaxed atomic load plus one clock read and records
+///    nothing.
+///  - **Metrics snapshot** -- a deterministic JSON document (name-sorted
+///    instruments, insertion-ordered members via support/Json) written by
+///    the --metrics-out flag of every tool and bench binary.
+///  - **TelemetryOptions glue** -- the shared --trace-out/--metrics-out/
+///    --log-level wiring (environment fallbacks OPPROX_TRACE,
+///    OPPROX_METRICS, OPPROX_LOG_LEVEL) used by the CLIs, benches, and
+///    examples.
+///
+/// Snapshots taken while workers are still recording are internally
+/// consistent per instrument (each value is one atomic read) but not
+/// across instruments; the pipeline only snapshots at stage boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_TELEMETRY_H
+#define OPPROX_SUPPORT_TELEMETRY_H
+
+#include "support/Error.h"
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace opprox {
+
+class Json;
+class FlagParser;
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+/// Monotone event count. All operations are relaxed atomics.
+class Counter {
+public:
+  void add(uint64_t N = 1) { Count.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Count.load(std::memory_order_relaxed); }
+
+private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<uint64_t> Count{0};
+};
+
+/// Last-written (or high-water) instantaneous value.
+class Gauge {
+public:
+  void set(double V) { Value.store(V, std::memory_order_relaxed); }
+
+  /// Raises the gauge to \p V when larger (high-water marks such as
+  /// queue depth).
+  void setMax(double V);
+
+  double value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> Value{0.0};
+};
+
+/// Fixed-bucket histogram: per-bucket atomic counts plus count/sum/
+/// min/max, with percentile estimates by linear interpolation inside the
+/// selected bucket. Bucket bounds are fixed at registration, so record()
+/// is lock-free and the memory footprint is constant.
+class Histogram {
+public:
+  void record(double V);
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+  double minValue() const;
+  double maxValue() const;
+  double mean() const;
+
+  /// Value below which \p P percent of recordings fall (P in [0, 100]),
+  /// interpolated within the containing bucket; exact at bucket
+  /// boundaries. Returns 0 when empty.
+  double percentile(double P) const;
+
+  /// Finite upper bounds; bucket i covers (bounds[i-1], bounds[i]], with
+  /// an implicit overflow bucket above the last bound.
+  const std::vector<double> &bounds() const { return UpperBounds; }
+
+  /// Per-bucket counts (bounds().size() + 1 entries, overflow last).
+  std::vector<uint64_t> bucketCounts() const;
+
+  /// Default bounds for millisecond latencies: 0.01ms .. 60s,
+  /// roughly 1-2.5-5 per decade.
+  static std::vector<double> latencyBoundsMs();
+
+  /// Default bounds for percentage quantities (QoS budgets): 0.1 .. 100.
+  static std::vector<double> percentBounds();
+
+private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> Bounds);
+
+  std::vector<double> UpperBounds;
+  std::vector<std::atomic<uint64_t>> Buckets; ///< UpperBounds.size() + 1.
+  std::atomic<uint64_t> Count{0};
+  std::atomic<double> Sum{0.0};
+  std::atomic<double> Min;
+  std::atomic<double> Max;
+};
+
+/// A flattened (name, value) metrics summary, name-sorted. Used to diff
+/// training cost into artifact provenance.
+using MetricsSummary = std::vector<std::pair<std::string, double>>;
+
+/// Named-instrument registry. Registration takes a mutex; returned
+/// references stay valid for the registry's lifetime (the global one
+/// never dies), so callers cache them and the hot path is atomics only.
+class MetricsRegistry {
+public:
+  /// The process-wide registry every pipeline stage records into.
+  /// Intentionally leaked so atexit exporters and thread-local tails can
+  /// always reach it.
+  static MetricsRegistry &global();
+
+  /// Test instances are independent of the global registry.
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+
+  /// Registers (or finds) a histogram. \p Bounds is used on first
+  /// registration only; empty means Histogram::latencyBoundsMs().
+  Histogram &histogram(const std::string &Name,
+                       std::vector<double> Bounds = {});
+
+  /// Deterministic snapshot: {"schema", "counters", "gauges",
+  /// "histograms"} with instruments in name order; serializing the same
+  /// state always yields the same bytes.
+  Json snapshotJson() const;
+
+  /// The monotone slice of the registry -- counters plus histogram
+  /// "<name>.count"/"<name>.sum" -- suitable for before/after diffing.
+  MetricsSummary monotoneSummary() const;
+
+  /// after - before, per key (keys missing from \p Before count as 0);
+  /// zero-valued entries are dropped. Both inputs must be name-sorted,
+  /// as monotoneSummary() returns them.
+  static MetricsSummary diffSummary(const MetricsSummary &Before,
+                                    const MetricsSummary &After);
+
+  /// Zeroes every instrument in place. Handles stay valid -- reset never
+  /// removes instruments, so cached references cannot dangle.
+  void reset();
+
+private:
+  mutable std::mutex Mutex;
+  // std::map: name-sorted iteration gives deterministic snapshots.
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+//===----------------------------------------------------------------------===//
+// Tracing
+//===----------------------------------------------------------------------===//
+
+/// One completed span or instant marker, timestamped in microseconds
+/// since the recorder's epoch.
+struct TraceEvent {
+  std::string Name;
+  std::string Category;
+  uint64_t StartMicros = 0;
+  uint64_t DurationMicros = 0;
+  uint32_t ThreadId = 0; ///< Recorder-assigned dense id, stable per thread.
+  char Phase = 'X';      ///< Chrome phase: 'X' complete, 'i' instant.
+  std::vector<std::pair<std::string, double>> Args;
+};
+
+/// Collects TraceEvents into per-thread buffers and exports Chrome
+/// trace-event JSON. Disabled by default; every TraceSpan checks one
+/// relaxed atomic before doing anything else.
+class TraceRecorder {
+public:
+  /// The process-wide recorder (leaked, like the metrics registry).
+  static TraceRecorder &global();
+
+  /// Test instances are independent of the global recorder.
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder &) = delete;
+  TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+  void enable() { Enabled.store(true, std::memory_order_relaxed); }
+  void disable() { Enabled.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the recorder's construction.
+  uint64_t nowMicros() const;
+
+  /// Appends \p Event (ThreadId is assigned here) to the calling
+  /// thread's buffer. Called by TraceSpan; safe from any thread.
+  void record(TraceEvent Event);
+
+  /// Records an instant marker when enabled.
+  void instant(std::string Name, std::string Category = "opprox");
+
+  /// All recorded events merged across threads, ordered by (start,
+  /// thread, duration descending) so enclosing spans precede their
+  /// children.
+  std::vector<TraceEvent> events() const;
+
+  size_t eventCount() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} per the Chrome
+  /// trace-event format; loadable in chrome://tracing.
+  Json toChromeJson() const;
+
+  /// Serialized toChromeJson() with a trailing newline.
+  std::string chromeTraceText() const;
+
+  std::optional<Error> writeChromeTrace(const std::string &Path) const;
+
+  /// Drops all buffered events (thread ids are retained).
+  void clear();
+
+private:
+  struct ThreadBuffer {
+    uint32_t Tid;
+    std::vector<TraceEvent> Events;
+  };
+
+  std::atomic<bool> Enabled{false};
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mutex; ///< Guards Buffers; record() holds it briefly.
+  std::map<std::thread::id, ThreadBuffer> Buffers;
+  uint32_t NextTid = 1;
+};
+
+/// RAII wall-clock span. Construction snapshots the recorder's enabled
+/// flag; destruction records a complete ('X') event when it was enabled.
+/// Spans nest naturally: inner spans start later and end earlier, which
+/// is exactly how the Chrome viewer reconstructs the scope tree.
+///
+/// seconds() works even when tracing is disabled, so call sites (e.g.
+/// bench/table2_overhead) can use one span as both trace emitter and
+/// stopwatch instead of keeping a parallel Timer.
+class TraceSpan {
+public:
+  /// Opens a span on \p Recorder (nullptr = the global recorder).
+  explicit TraceSpan(std::string Name, std::string Category = "opprox",
+                     TraceRecorder *Recorder = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches a numeric argument shown in the trace viewer's detail
+  /// pane. No-op when the span is not recording.
+  void arg(const std::string &Key, double Value);
+
+  /// Elapsed seconds since construction (recording or not).
+  double seconds() const;
+
+private:
+  TraceRecorder *Rec = nullptr; ///< Null when not recording.
+  std::string Name;
+  std::string Category;
+  std::vector<std::pair<std::string, double>> Args;
+  uint64_t StartMicros = 0;
+  std::chrono::steady_clock::time_point Start;
+};
+
+//===----------------------------------------------------------------------===//
+// CLI / environment glue
+//===----------------------------------------------------------------------===//
+
+/// The shared telemetry surface of every binary: two output paths and a
+/// log level. Empty paths mean "off".
+struct TelemetryOptions {
+  std::string TracePath;    ///< --trace-out / OPPROX_TRACE.
+  std::string MetricsPath;  ///< --metrics-out / OPPROX_METRICS.
+  std::string LogLevelText; ///< --log-level / OPPROX_LOG_LEVEL.
+};
+
+/// Registers --trace-out, --metrics-out, and --log-level on \p Flags,
+/// bound to \p Opts.
+void addTelemetryFlags(FlagParser &Flags, TelemetryOptions &Opts);
+
+/// Applies environment fallbacks (OPPROX_TRACE, OPPROX_METRICS,
+/// OPPROX_LOG_LEVEL) to unset options, sets the log level, enables the
+/// global trace recorder when a trace path is configured, and installs
+/// an atexit hook that exports both files at process exit. Returns false
+/// (with a stderr diagnostic) on a malformed --log-level value.
+bool initTelemetry(TelemetryOptions &Opts);
+
+/// Writes the configured trace/metrics files immediately (also what the
+/// atexit hook does). Returns false after logging a warning when a write
+/// fails. Safe to call with both paths empty.
+bool exportTelemetry(const TelemetryOptions &Opts);
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_TELEMETRY_H

@@ -5,12 +5,28 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/ThreadPool.h"
+#include "support/Telemetry.h"
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
 
 using namespace opprox;
+
+/// Pool-wide instruments. One fetch_add per *task* (parallelFor enqueues
+/// one drain task per helper, not one per index), so the cost is
+/// invisible next to task execution itself.
+static Counter &tasksExecuted() {
+  static Counter &C = MetricsRegistry::global().counter(
+      "threadpool.tasks_executed");
+  return C;
+}
+
+static Gauge &queueDepthMax() {
+  static Gauge &G =
+      MetricsRegistry::global().gauge("threadpool.queue_depth.max");
+  return G;
+}
 
 /// True on threads spawned by any ThreadPool, for the whole thread
 /// lifetime. Workers only ever run pool tasks, so a thread-lifetime flag
@@ -45,6 +61,7 @@ void ThreadPool::workerLoop() {
       Task = std::move(Queue.front());
       Queue.pop_front();
     }
+    tasksExecuted().add();
     Task(); // Exceptions land in the task's future.
   }
 }
@@ -55,12 +72,14 @@ std::future<void> ThreadPool::submit(std::function<void()> Task) {
   std::packaged_task<void()> Packaged(std::move(Task));
   std::future<void> Future = Packaged.get_future();
   if (Workers.empty()) {
+    tasksExecuted().add();
     Packaged(); // Inline mode: complete before returning.
     return Future;
   }
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     Queue.push_back(std::move(Packaged));
+    queueDepthMax().setMax(static_cast<double>(Queue.size()));
   }
   QueueCv.notify_one();
   return Future;
@@ -73,6 +92,7 @@ void ThreadPool::parallelFor(size_t N,
   // Inline when there is nothing to fan out to, or when already on a
   // worker (nested parallelism; see the header's design rules).
   if (Workers.empty() || insideWorker() || N == 1) {
+    tasksExecuted().add(); // The caller's drain is one executor turn.
     for (size_t I = 0; I < N; ++I)
       Body(I);
     return;
@@ -122,9 +142,11 @@ void ThreadPool::parallelFor(size_t N,
           State->Done.notify_all();
         }
       });
+    queueDepthMax().setMax(static_cast<double>(Queue.size()));
   }
   QueueCv.notify_all();
 
+  tasksExecuted().add(); // The caller participates as one more executor.
   Drain(*State);
   std::unique_lock<std::mutex> Lock(State->Mutex);
   State->Done.wait(Lock, [&] {

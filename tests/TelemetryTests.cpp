@@ -1,0 +1,321 @@
+//===- tests/TelemetryTests.cpp - observability layer tests ---------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for support/Telemetry and support/Log: histogram
+/// percentile math, instrument atomicity under real ThreadPool
+/// contention (exercised under the TSan CI preset), deterministic JSON
+/// snapshots, and Chrome-trace well-formedness.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/Log.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+#include <gtest/gtest.h>
+
+using namespace opprox;
+
+//===----------------------------------------------------------------------===//
+// Histogram percentiles
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, HistogramBasicAccounting) {
+  MetricsRegistry Registry;
+  Histogram &H = Registry.histogram("h", {1.0, 2.0, 5.0, 10.0});
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.minValue(), 0.0); // Empty histograms report zeros.
+  EXPECT_EQ(H.percentile(50), 0.0);
+
+  for (double V : {0.5, 1.5, 3.0, 7.0, 20.0})
+    H.record(V);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_DOUBLE_EQ(H.sum(), 32.0);
+  EXPECT_DOUBLE_EQ(H.minValue(), 0.5);
+  EXPECT_DOUBLE_EQ(H.maxValue(), 20.0);
+  EXPECT_DOUBLE_EQ(H.mean(), 6.4);
+
+  // One recording per bucket, including the overflow bucket.
+  std::vector<uint64_t> Buckets = H.bucketCounts();
+  ASSERT_EQ(Buckets.size(), 5u);
+  for (uint64_t B : Buckets)
+    EXPECT_EQ(B, 1u);
+}
+
+TEST(TelemetryTest, HistogramPercentileInterpolation) {
+  MetricsRegistry Registry;
+  // Unit-width buckets 1..100: value K lands in the bucket with upper
+  // bound K, so percentiles are recoverable to within one bucket width.
+  std::vector<double> Bounds;
+  for (int I = 1; I <= 100; ++I)
+    Bounds.push_back(static_cast<double>(I));
+  Histogram &H = Registry.histogram("latency", Bounds);
+  for (int V = 1; V <= 100; ++V)
+    H.record(static_cast<double>(V));
+
+  EXPECT_NEAR(H.percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(H.percentile(95), 95.0, 1.0);
+  EXPECT_NEAR(H.percentile(99), 99.0, 1.0);
+  // The extremes are exact, not interpolated.
+  EXPECT_DOUBLE_EQ(H.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(H.percentile(100), 100.0);
+  // Monotone in P.
+  for (double P = 10; P <= 100; P += 10)
+    EXPECT_LE(H.percentile(P - 10), H.percentile(P));
+}
+
+TEST(TelemetryTest, HistogramPercentileSingleValueAndOverflow) {
+  MetricsRegistry Registry;
+  Histogram &H = Registry.histogram("h", {1.0, 10.0});
+  H.record(4.0);
+  // Every percentile of a single observation is that observation.
+  EXPECT_DOUBLE_EQ(H.percentile(50), 4.0);
+  EXPECT_DOUBLE_EQ(H.percentile(99), 4.0);
+
+  // Overflow values are clamped to the observed maximum, never the
+  // (infinite) bucket edge.
+  Histogram &O = Registry.histogram("overflow", {1.0});
+  O.record(50.0);
+  O.record(70.0);
+  EXPECT_LE(O.percentile(99), 70.0);
+  EXPECT_GE(O.percentile(99), 50.0);
+}
+
+TEST(TelemetryTest, GaugeSetMaxIsHighWater) {
+  MetricsRegistry Registry;
+  Gauge &G = Registry.gauge("depth");
+  G.setMax(3.0);
+  G.setMax(1.0); // Lower: ignored.
+  EXPECT_DOUBLE_EQ(G.value(), 3.0);
+  G.setMax(7.0);
+  EXPECT_DOUBLE_EQ(G.value(), 7.0);
+  G.set(2.0); // Plain set still overwrites.
+  EXPECT_DOUBLE_EQ(G.value(), 2.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Atomicity under ThreadPool contention (runs under the TSan preset)
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, CountersAtomicUnderThreadPoolContention) {
+  MetricsRegistry Registry;
+  Counter &C = Registry.counter("contended");
+  Histogram &H = Registry.histogram("contended_ms", {1.0, 10.0, 100.0});
+  Gauge &G = Registry.gauge("high_water");
+
+  constexpr size_t Tasks = 512;
+  constexpr size_t PerTask = 100;
+  ThreadPool Pool(8);
+  Pool.parallelFor(Tasks, [&](size_t I) {
+    for (size_t K = 0; K < PerTask; ++K) {
+      C.add();
+      H.record(static_cast<double>(I % 200));
+      G.setMax(static_cast<double>(I));
+    }
+  });
+
+  EXPECT_EQ(C.value(), Tasks * PerTask);
+  EXPECT_EQ(H.count(), Tasks * PerTask);
+  uint64_t BucketTotal = 0;
+  for (uint64_t B : H.bucketCounts())
+    BucketTotal += B;
+  EXPECT_EQ(BucketTotal, Tasks * PerTask);
+  EXPECT_DOUBLE_EQ(G.value(), static_cast<double>(Tasks - 1));
+}
+
+TEST(TelemetryTest, TraceRecorderConcurrentSpans) {
+  TraceRecorder Recorder;
+  Recorder.enable();
+  constexpr size_t Tasks = 200;
+  ThreadPool Pool(8);
+  Pool.parallelFor(Tasks, [&](size_t I) {
+    TraceSpan Span("task", "test", &Recorder);
+    Span.arg("index", static_cast<double>(I));
+  });
+  EXPECT_EQ(Recorder.eventCount(), Tasks);
+
+  // Thread ids are dense, stable, and start at 1.
+  for (const TraceEvent &E : Recorder.events()) {
+    EXPECT_GE(E.ThreadId, 1u);
+    EXPECT_EQ(E.Name, "task");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic JSON snapshots
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, SnapshotJsonRoundTripsDeterministically) {
+  MetricsRegistry Registry;
+  Registry.counter("b.count").add(3);
+  Registry.counter("a.count").add(1);
+  Registry.gauge("queue.max").set(4.5);
+  Histogram &H = Registry.histogram("run_ms", {1.0, 10.0});
+  H.record(0.5);
+  H.record(5.0);
+  H.record(50.0);
+
+  std::string First = Registry.snapshotJson().dump(2);
+  std::string Second = Registry.snapshotJson().dump(2);
+  EXPECT_EQ(First, Second) << "same state must serialize identically";
+
+  Expected<Json> Parsed = Json::parse(First);
+  ASSERT_TRUE(Parsed) << Parsed.error().message();
+  Expected<std::string> Schema = getString(*Parsed, "schema");
+  ASSERT_TRUE(Schema);
+  EXPECT_EQ(*Schema, "opprox-metrics-1");
+
+  Expected<const Json *> Counters = getObject(*Parsed, "counters");
+  ASSERT_TRUE(Counters);
+  // Name-sorted: "a.count" precedes "b.count" regardless of creation
+  // order.
+  ASSERT_EQ((*Counters)->members().size(), 2u);
+  EXPECT_EQ((*Counters)->members()[0].first, "a.count");
+  EXPECT_EQ((*Counters)->members()[1].first, "b.count");
+  EXPECT_DOUBLE_EQ((*Counters)->members()[1].second.asNumber(), 3.0);
+
+  Expected<const Json *> Hists = getObject(*Parsed, "histograms");
+  ASSERT_TRUE(Hists);
+  const Json *RunMs = (*Hists)->find("run_ms");
+  ASSERT_NE(RunMs, nullptr);
+  Expected<double> Count = getNumber(*RunMs, "count");
+  ASSERT_TRUE(Count);
+  EXPECT_DOUBLE_EQ(*Count, 3.0);
+  Expected<double> Sum = getNumber(*RunMs, "sum");
+  ASSERT_TRUE(Sum);
+  EXPECT_DOUBLE_EQ(*Sum, 55.5);
+}
+
+TEST(TelemetryTest, ResetZeroesInPlaceWithoutInvalidatingHandles) {
+  MetricsRegistry Registry;
+  Counter &C = Registry.counter("c");
+  Histogram &H = Registry.histogram("h", {1.0});
+  C.add(5);
+  H.record(0.5);
+  Registry.reset();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_DOUBLE_EQ(H.sum(), 0.0);
+  // The same references keep working after reset.
+  C.add(2);
+  H.record(3.0);
+  EXPECT_EQ(C.value(), 2u);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_DOUBLE_EQ(H.maxValue(), 3.0);
+}
+
+TEST(TelemetryTest, MonotoneSummaryDiff) {
+  MetricsRegistry Registry;
+  Registry.counter("runs").add(10);
+  Registry.histogram("ms", {1.0}).record(4.0);
+  MetricsSummary Before = Registry.monotoneSummary();
+
+  Registry.counter("runs").add(5);
+  Registry.counter("new_counter").add(7);
+  MetricsSummary After = Registry.monotoneSummary();
+
+  MetricsSummary Diff = MetricsRegistry::diffSummary(Before, After);
+  // Unchanged entries (the histogram) drop out; changed and new ones
+  // survive with their deltas.
+  ASSERT_EQ(Diff.size(), 2u);
+  EXPECT_EQ(Diff[0].first, "new_counter");
+  EXPECT_DOUBLE_EQ(Diff[0].second, 7.0);
+  EXPECT_EQ(Diff[1].first, "runs");
+  EXPECT_DOUBLE_EQ(Diff[1].second, 5.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace output
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, ChromeTraceWellFormed) {
+  TraceRecorder Recorder;
+  Recorder.enable();
+  {
+    TraceSpan Outer("outer", "test", &Recorder);
+    Outer.arg("budget", 10.0);
+    TraceSpan Inner("inner", "test", &Recorder);
+  }
+  Recorder.instant("marker", "test");
+
+  Expected<Json> Doc = Json::parse(Recorder.chromeTraceText());
+  ASSERT_TRUE(Doc) << Doc.error().message();
+  Expected<const Json *> Events = getArray(*Doc, "traceEvents");
+  ASSERT_TRUE(Events);
+  ASSERT_EQ((*Events)->size(), 3u);
+
+  for (size_t I = 0; I < (*Events)->size(); ++I) {
+    const Json &E = (*Events)->at(I);
+    EXPECT_TRUE(E.find("name") && E.find("name")->isString());
+    EXPECT_TRUE(E.find("cat") && E.find("cat")->isString());
+    EXPECT_TRUE(E.find("ts") && E.find("ts")->isNumber());
+    EXPECT_TRUE(E.find("pid") && E.find("pid")->isNumber());
+    EXPECT_TRUE(E.find("tid") && E.find("tid")->isNumber());
+    ASSERT_TRUE(E.find("ph") && E.find("ph")->isString());
+    std::string Phase = E.find("ph")->asString();
+    EXPECT_TRUE(Phase == "X" || Phase == "i");
+    if (Phase == "X")
+      EXPECT_TRUE(E.find("dur") && E.find("dur")->isNumber());
+  }
+
+  // Sorted by start time: the enclosing span precedes the nested one,
+  // and the nested span starts no earlier than its parent.
+  const Json &First = (*Events)->at(0);
+  EXPECT_EQ(First.find("name")->asString(), "outer");
+  EXPECT_LE(First.find("ts")->asNumber(),
+            (*Events)->at(1).find("ts")->asNumber());
+  // The outer span's args came through.
+  const Json *Args = First.find("args");
+  ASSERT_NE(Args, nullptr);
+  ASSERT_NE(Args->find("budget"), nullptr);
+  EXPECT_DOUBLE_EQ(Args->find("budget")->asNumber(), 10.0);
+}
+
+TEST(TelemetryTest, DisabledRecorderCapturesNothing) {
+  TraceRecorder Recorder; // Disabled by default.
+  {
+    TraceSpan Span("invisible", "test", &Recorder);
+    EXPECT_GE(Span.seconds(), 0.0); // Stopwatch still works.
+  }
+  EXPECT_EQ(Recorder.eventCount(), 0u);
+  // An empty trace is still a valid Chrome trace document.
+  Expected<Json> Doc = Json::parse(Recorder.chromeTraceText());
+  ASSERT_TRUE(Doc) << Doc.error().message();
+  Expected<const Json *> Events = getArray(*Doc, "traceEvents");
+  ASSERT_TRUE(Events);
+  EXPECT_EQ((*Events)->size(), 0u);
+}
+
+TEST(TelemetryTest, RecorderClearDropsEventsKeepsWorking) {
+  TraceRecorder Recorder;
+  Recorder.enable();
+  { TraceSpan Span("a", "test", &Recorder); }
+  EXPECT_EQ(Recorder.eventCount(), 1u);
+  Recorder.clear();
+  EXPECT_EQ(Recorder.eventCount(), 0u);
+  { TraceSpan Span("b", "test", &Recorder); }
+  ASSERT_EQ(Recorder.eventCount(), 1u);
+  EXPECT_EQ(Recorder.events().front().Name, "b");
+}
+
+//===----------------------------------------------------------------------===//
+// Leveled logging
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, LogLevelParsing) {
+  LogLevel Level = LogLevel::Info;
+  EXPECT_TRUE(parseLogLevel("quiet", Level));
+  EXPECT_EQ(Level, LogLevel::Quiet);
+  EXPECT_TRUE(parseLogLevel("debug", Level));
+  EXPECT_EQ(Level, LogLevel::Debug);
+  EXPECT_TRUE(parseLogLevel("info", Level));
+  EXPECT_EQ(Level, LogLevel::Info);
+  EXPECT_FALSE(parseLogLevel("verbose", Level));
+  EXPECT_FALSE(parseLogLevel("", Level));
+  EXPECT_FALSE(parseLogLevel("INFO", Level)) << "levels are case-sensitive";
+  EXPECT_STREQ(logLevelName(LogLevel::Debug), "debug");
+}

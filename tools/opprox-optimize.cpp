@@ -18,6 +18,7 @@
 #include "support/CommandLine.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 #include <cstdio>
 
 using namespace opprox;
@@ -29,6 +30,7 @@ int main(int Argc, char **Argv) {
   double Confidence = 0.99;
   bool Aggressive = false;
   bool JsonOutput = false;
+  TelemetryOptions Telemetry;
 
   FlagParser Flags;
   Flags.addFlag("artifact", &ArtifactPath,
@@ -42,7 +44,10 @@ int main(int Argc, char **Argv) {
   Flags.addFlag("aggressive", &Aggressive,
                 "Use point predictions instead of conservative bounds");
   Flags.addFlag("json", &JsonOutput, "Emit the result as JSON on stdout");
+  addTelemetryFlags(Flags, Telemetry);
   if (!Flags.parse(Argc, Argv))
+    return 1;
+  if (!initTelemetry(Telemetry))
     return 1;
 
   if (ArtifactPath.empty() && !Flags.positional().empty())

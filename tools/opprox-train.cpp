@@ -16,7 +16,9 @@
 #include "apps/AppRegistry.h"
 #include "core/OfflineTrainer.h"
 #include "support/CommandLine.h"
+#include "support/Log.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 #include "support/Version.h"
 #include <cstdio>
 
@@ -30,6 +32,7 @@ int main(int Argc, char **Argv) {
   long Threads = 0;
   long ProfileSeed = -1;
   bool Quiet = false;
+  TelemetryOptions Telemetry;
 
   FlagParser Flags;
   Flags.addFlag("app", &AppName,
@@ -45,7 +48,12 @@ int main(int Argc, char **Argv) {
   Flags.addFlag("seed", &ProfileSeed,
                 "Profiling seed override; -1 keeps the default");
   Flags.addFlag("quiet", &Quiet, "Suppress progress output");
+  addTelemetryFlags(Flags, Telemetry);
   if (!Flags.parse(Argc, Argv))
+    return 1;
+  if (Quiet && Telemetry.LogLevelText.empty())
+    Telemetry.LogLevelText = "quiet";
+  if (!initTelemetry(Telemetry))
     return 1;
 
   if (AppName.empty() && !Flags.positional().empty())
@@ -72,17 +80,18 @@ int main(int Argc, char **Argv) {
   Opts.ModelBuild.NumThreads = Opts.Profiling.NumThreads;
   if (ProfileSeed >= 0)
     Opts.Profiling.Seed = static_cast<uint64_t>(ProfileSeed);
-  if (!Quiet) {
+  if (currentLogLevel() >= LogLevel::Info) {
     Opts.Profiling.Observer = [](const ProfileProgress &P) {
       if (P.RunsCompleted % 50 != 0 && P.RunsCompleted != P.TotalRuns)
         return;
-      std::fprintf(stderr, "  profiling %zu/%zu runs (%.1fs)\n",
-                   P.RunsCompleted, P.TotalRuns, P.ElapsedSeconds);
+      logInfo("  profiling %zu/%zu runs, %zu golden hits (%.1fs)",
+              P.RunsCompleted, P.TotalRuns, P.GoldenCacheHits,
+              P.ElapsedSeconds);
     };
   }
 
-  std::printf("training '%s' with %s...\n", AppName.c_str(),
-              opproxVersion().c_str());
+  logInfo("training '%s' with %s...", AppName.c_str(),
+          opproxVersion().c_str());
   OfflineTrainer::Result R = OfflineTrainer::train(*App, Opts);
   if (std::optional<Error> E = R.Artifact.save(OutPath)) {
     std::fprintf(stderr, "error: %s\n", E->message().c_str());
