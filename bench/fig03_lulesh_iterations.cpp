@@ -36,7 +36,7 @@ int main(int Argc, char **Argv) {
   RunningStats Stats;
   size_t Above = 0, Below = 0;
   size_t Index = 0;
-  for (const std::vector<int> &Levels : Plan.all()) {
+  Plan.forEach([&](const std::vector<int> &Levels) {
     PhaseSchedule S = PhaseSchedule::uniform(1, Levels);
     RunResult Run = App->run(Input, S, Exact.OuterIterations);
     long Delta = static_cast<long>(Run.OuterIterations) -
@@ -52,7 +52,7 @@ int main(int Argc, char **Argv) {
     T.addCell(LevelStr);
     T.addCell(Run.OuterIterations);
     T.addCell(Delta);
-  }
+  });
   emit("fig03", T);
   std::printf("iteration range across %zu configs: [%.0f, %.0f] "
               "(exact %zu); %zu configs above, %zu below\n",

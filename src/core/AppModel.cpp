@@ -20,6 +20,13 @@ using namespace opprox;
 // PhaseModels
 //===----------------------------------------------------------------------===//
 
+// The scalar entry points below are the original self-contained
+// implementations (per-call feature assembly through the scalar model
+// predicts). They stay independent of the batch kernels on purpose: the
+// optimizer's naive reference engine uses them, so the equivalence tests
+// compare two genuinely distinct code paths bit for bit rather than one
+// kernel against itself.
+
 std::vector<double>
 PhaseModels::overallFeatures(const std::vector<double> &Input,
                              const std::vector<int> &Levels) const {
@@ -93,6 +100,173 @@ double PhaseModels::conservativeQos(const std::vector<double> &Input,
   Features.push_back(predictIterations(Input, Levels));
   double LogUpper = std::min(OverallQos->upperBound(Features, P), 7.0);
   return std::clamp(std::expm1(LogUpper), 0.0, 1000.0);
+}
+
+void PhaseModels::predictIterationsBatch(const PhaseEvalPlan &Plan,
+                                         const int *Levels, size_t N,
+                                         std::vector<double> &Out,
+                                         PredictScratch &S) const {
+  assert(IterationModel && "model stack not built");
+  size_t NumBlocks = LocalSpeedup.size();
+  size_t NumInputs = Plan.Input.size();
+  S.IterX.reshape(N, NumInputs + NumBlocks);
+  for (size_t R = 0; R < N; ++R) {
+    double *Row = S.IterX.rowData(R);
+    std::copy(Plan.Input.begin(), Plan.Input.end(), Row);
+    const int *Config = Levels + R * NumBlocks;
+    for (size_t B = 0; B < NumBlocks; ++B)
+      Row[NumInputs + B] = static_cast<double>(Config[B]);
+  }
+  IterationModel->predictBatch(S.IterX, Out, S.Model);
+}
+
+void PhaseModels::overallLogBatch(const PhaseEvalPlan &Plan,
+                                  const int *Levels, const double *IterEst,
+                                  size_t N, bool Qos,
+                                  std::vector<double> &Out,
+                                  PredictScratch &S) const {
+  assert(IterationModel && OverallSpeedup && OverallQos &&
+         "model stack not built");
+  size_t NumBlocks = LocalSpeedup.size();
+  const std::vector<std::vector<double>> &Tab =
+      Qos ? Plan.LocalQosTab : Plan.LocalSpeedupTab;
+  S.OverallX.reshape(N, NumBlocks + 1);
+  for (size_t R = 0; R < N; ++R) {
+    double *Row = S.OverallX.rowData(R);
+    const int *Config = Levels + R * NumBlocks;
+    for (size_t B = 0; B < NumBlocks; ++B)
+      Row[B] = Tab[B][static_cast<size_t>(Config[B])];
+    Row[NumBlocks] = IterEst[R];
+  }
+  (Qos ? *OverallQos : *OverallSpeedup).predictBatch(S.OverallX, Out, S.Model);
+}
+
+void PhaseModels::predictSpeedupBatch(const PhaseEvalPlan &Plan,
+                                      const int *Levels, const double *IterEst,
+                                      size_t N, std::vector<double> &Out,
+                                      PredictScratch &S) const {
+  overallLogBatch(Plan, Levels, IterEst, N, /*Qos=*/false, S.LogOut, S);
+  Out.resize(N);
+  for (size_t R = 0; R < N; ++R) {
+    double P = S.LogOut[R];
+    if (Plan.Conservative)
+      P -= Plan.SpeedupHalfWidth;
+    Out[R] = std::clamp(std::exp(std::min(P, 4.0)), 0.01, 50.0);
+  }
+}
+
+void PhaseModels::predictSpeedupBatch(const PhaseEvalPlan &Plan,
+                                      const int *Levels, size_t N,
+                                      std::vector<double> &Out,
+                                      PredictScratch &S) const {
+  predictIterationsBatch(Plan, Levels, N, S.IterOut, S);
+  predictSpeedupBatch(Plan, Levels, S.IterOut.data(), N, Out, S);
+}
+
+void PhaseModels::predictQosBatch(const PhaseEvalPlan &Plan,
+                                  const int *Levels, const double *IterEst,
+                                  size_t N, std::vector<double> &Out,
+                                  PredictScratch &S) const {
+  overallLogBatch(Plan, Levels, IterEst, N, /*Qos=*/true, S.LogOut, S);
+  Out.resize(N);
+  for (size_t R = 0; R < N; ++R) {
+    double P = S.LogOut[R];
+    if (Plan.Conservative)
+      P += Plan.QosHalfWidth;
+    Out[R] = std::clamp(std::expm1(std::min(P, 7.0)), 0.0, 1000.0);
+  }
+}
+
+void PhaseModels::predictQosBatch(const PhaseEvalPlan &Plan,
+                                  const int *Levels, size_t N,
+                                  std::vector<double> &Out,
+                                  PredictScratch &S) const {
+  predictIterationsBatch(Plan, Levels, N, S.IterOut, S);
+  predictQosBatch(Plan, Levels, S.IterOut.data(), N, Out, S);
+}
+
+PhaseEvalPlan PhaseModels::makeEvalPlan(const std::vector<double> &Input,
+                                        const std::vector<int> &MaxLevels,
+                                        bool Conservative,
+                                        double Confidence) const {
+  assert(IterationModel && OverallSpeedup && OverallQos &&
+         "model stack not built");
+  size_t NumBlocks = LocalSpeedup.size();
+  assert(MaxLevels.size() == NumBlocks && "level count mismatch");
+  size_t NumInputs = Input.size();
+
+  PhaseEvalPlan Plan;
+  Plan.Input = Input;
+  Plan.MaxLevels = MaxLevels;
+  Plan.Conservative = Conservative;
+  if (Conservative) {
+    Plan.SpeedupHalfWidth = OverallSpeedup->confidence().halfWidth(Confidence);
+    Plan.QosHalfWidth = OverallQos->confidence().halfWidth(Confidence);
+  }
+
+  // Local predictions per (block, level), by the same scalar calls the
+  // naive path makes, so table lookups reproduce its bits exactly.
+  Plan.LocalSpeedupTab.resize(NumBlocks);
+  Plan.LocalQosTab.resize(NumBlocks);
+  std::vector<double> LocalX = Input;
+  LocalX.push_back(0.0);
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    for (int L = 0; L <= MaxLevels[B]; ++L) {
+      LocalX.back() = static_cast<double>(L);
+      Plan.LocalSpeedupTab[B].push_back(LocalSpeedup[B].predict(LocalX));
+      Plan.LocalQosTab[B].push_back(LocalQos[B].predict(LocalX));
+    }
+  }
+
+  // Certified QoS floor per (block, level): interval bounds on the
+  // overall QoS model over every configuration with that block pinned.
+  // The overall features reach only finitely many values per coordinate
+  // -- the table entries -- so their hull is an exact box; the iteration
+  // estimate is bounded by interval arithmetic over its own box.
+  std::vector<double> IterLo(NumInputs + NumBlocks);
+  std::vector<double> IterHi(NumInputs + NumBlocks);
+  std::copy(Input.begin(), Input.end(), IterLo.begin());
+  std::copy(Input.begin(), Input.end(), IterHi.begin());
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    IterLo[NumInputs + B] = 0.0;
+    IterHi[NumInputs + B] = static_cast<double>(MaxLevels[B]);
+  }
+  std::vector<double> QLo(NumBlocks), QHi(NumBlocks);
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    auto [MinIt, MaxIt] = std::minmax_element(Plan.LocalQosTab[B].begin(),
+                                              Plan.LocalQosTab[B].end());
+    QLo[B] = *MinIt;
+    QHi[B] = *MaxIt;
+  }
+  Plan.QosFloor.resize(NumBlocks);
+  std::vector<double> FLo(NumBlocks + 1), FHi(NumBlocks + 1);
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    for (int L = 0; L <= MaxLevels[B]; ++L) {
+      IterLo[NumInputs + B] = static_cast<double>(L);
+      IterHi[NumInputs + B] = static_cast<double>(L);
+      auto [ItLo, ItHi] = IterationModel->boundsOver(IterLo, IterHi);
+      for (size_t C = 0; C < NumBlocks; ++C) {
+        FLo[C] = C == B ? Plan.LocalQosTab[B][static_cast<size_t>(L)]
+                        : QLo[C];
+        FHi[C] = C == B ? Plan.LocalQosTab[B][static_cast<size_t>(L)]
+                        : QHi[C];
+      }
+      FLo[NumBlocks] = ItLo;
+      FHi[NumBlocks] = ItHi;
+      double LogLo = OverallQos->boundsOver(FLo, FHi).first;
+      if (Conservative)
+        LogLo += Plan.QosHalfWidth;
+      double Floor =
+          std::clamp(std::expm1(std::min(LogLo, 7.0)), 0.0, 1000.0);
+      // Guard against any non-monotone rounding in the transform chain;
+      // vastly larger than 1 ulp at every reachable magnitude.
+      Floor -= 1e-9 * std::fabs(Floor) + 1e-12;
+      Plan.QosFloor[B].push_back(Floor);
+    }
+    IterLo[NumInputs + B] = 0.0;
+    IterHi[NumInputs + B] = static_cast<double>(MaxLevels[B]);
+  }
+  return Plan;
 }
 
 Json PhaseModels::toJson() const {

@@ -30,6 +30,42 @@
 
 namespace opprox {
 
+class PhaseModels;
+
+/// Precomputed per-(input, phase, confidence-mode) state for batched
+/// prediction over the level space. Everything here is read-only during
+/// the scan and shared across worker threads.
+struct PhaseEvalPlan {
+  std::vector<double> Input;
+  std::vector<int> MaxLevels;
+  bool Conservative = false;
+  /// halfWidth(Confidence) of the overall models; 0 when !Conservative.
+  double SpeedupHalfWidth = 0.0;
+  double QosHalfWidth = 0.0;
+  /// Local model predictions memoized per (block, level): the overall
+  /// models' features depend on Levels only through these values and the
+  /// iteration estimate, so they are computed once by the same scalar
+  /// predict calls the naive path makes.
+  std::vector<std::vector<double>> LocalSpeedupTab; // [Block][Level]
+  std::vector<std::vector<double>> LocalQosTab;     // [Block][Level]
+  /// Certified lower bound on the (conservative, when enabled) QoS
+  /// degradation over every configuration with the given block pinned at
+  /// the given level. When this exceeds the budget the whole odometer
+  /// subtree is infeasible and can be skipped without changing the scan
+  /// result.
+  std::vector<std::vector<double>> QosFloor; // [Block][Level]
+};
+
+/// Per-thread workspace for the batched prediction kernels; reuse across
+/// calls to keep the hot path allocation-free at steady state.
+struct PredictScratch {
+  Matrix IterX;                ///< Batch x (inputs + blocks) iteration rows.
+  std::vector<double> IterOut; ///< Iteration estimates.
+  Matrix OverallX;             ///< Batch x (blocks + 1) overall rows.
+  std::vector<double> LogOut;  ///< Overall model outputs before transform.
+  SelectedModel::BatchScratch Model;
+};
+
 /// Models for one (control-flow class, phase) pair.
 class PhaseModels {
 public:
@@ -54,6 +90,51 @@ public:
   double predictIterations(const std::vector<double> &Input,
                            const std::vector<int> &Levels) const;
 
+  /// Builds the shared evaluation state for scanning the level space
+  /// [0, MaxLevels[b]] per block for \p Input: local prediction tables,
+  /// confidence half-widths, and the certified per-(block, level) QoS
+  /// floors used for subtree pruning.
+  PhaseEvalPlan makeEvalPlan(const std::vector<double> &Input,
+                             const std::vector<int> &MaxLevels,
+                             bool Conservative, double Confidence) const;
+
+  /// Iteration estimates for \p N level rows, row-major
+  /// \p N x numBlocks() in \p Levels, into \p Out. Both overall models
+  /// consume this estimate; computing it once per batch and passing it
+  /// to the IterEst-taking predict overloads halves the iteration-model
+  /// work on the scan hot path without changing any bit (per-row results
+  /// are independent of batch composition).
+  void predictIterationsBatch(const PhaseEvalPlan &Plan, const int *Levels,
+                              size_t N, std::vector<double> &Out,
+                              PredictScratch &S) const;
+
+  /// Predicted (or conservative, per \p Plan) speedup for \p N level
+  /// rows, row-major \p N x numBlocks() in \p Levels, into \p Out. Each
+  /// row's value is bit-identical to predictSpeedup /
+  /// conservativeSpeedup on that row, independent of batch size or
+  /// composition.
+  void predictSpeedupBatch(const PhaseEvalPlan &Plan, const int *Levels,
+                           size_t N, std::vector<double> &Out,
+                           PredictScratch &S) const;
+
+  /// predictSpeedupBatch with the per-row iteration estimates already
+  /// computed (\p IterEst, one per row, from predictIterationsBatch on
+  /// the same rows).
+  void predictSpeedupBatch(const PhaseEvalPlan &Plan, const int *Levels,
+                           const double *IterEst, size_t N,
+                           std::vector<double> &Out, PredictScratch &S) const;
+
+  /// Batched counterpart of predictQos / conservativeQos; same contract
+  /// as predictSpeedupBatch.
+  void predictQosBatch(const PhaseEvalPlan &Plan, const int *Levels,
+                       size_t N, std::vector<double> &Out,
+                       PredictScratch &S) const;
+
+  /// predictQosBatch with precomputed iteration estimates.
+  void predictQosBatch(const PhaseEvalPlan &Plan, const int *Levels,
+                       const double *IterEst, size_t N,
+                       std::vector<double> &Out, PredictScratch &S) const;
+
   /// ROI of this phase: mean speedup-per-unit-QoS over its training
   /// samples (Eq. 1).
   double roi() const { return Roi; }
@@ -72,10 +153,19 @@ public:
 private:
   friend class ModelBuilder;
 
-  /// Features for the overall models: local predictions + iteration
-  /// estimate.
+  /// Features for the overall speedup model: local speedup predictions
+  /// plus the iteration estimate. Part of the self-contained scalar path
+  /// (see the .cpp comment); the batch kernels assemble the same values
+  /// from the eval plan's memoized tables instead.
   std::vector<double> overallFeatures(const std::vector<double> &Input,
                                       const std::vector<int> &Levels) const;
+
+  /// Batched log-space overall-model outputs (no transform applied) for
+  /// \p N row-major level rows, using the plan's memoized local tables
+  /// and the precomputed per-row iteration estimates \p IterEst.
+  void overallLogBatch(const PhaseEvalPlan &Plan, const int *Levels,
+                       const double *IterEst, size_t N, bool Qos,
+                       std::vector<double> &Out, PredictScratch &S) const;
 
   std::vector<SelectedModel> LocalSpeedup; // One per AB.
   std::vector<SelectedModel> LocalQos;     // One per AB.

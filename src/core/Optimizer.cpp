@@ -3,10 +3,31 @@
 // Part of the OPPROX reproduction project, under the MIT License.
 //
 //===----------------------------------------------------------------------===//
+//
+// Per-phase search over the level space. Two interchangeable engines:
+//
+//  - the naive reference: one scalar model evaluation per configuration,
+//    in enumeration order -- the semantic ground truth;
+//  - the serving path: configurations stream from a ConfigCursor into
+//    reused batch buffers, certified-infeasible odometer subtrees are
+//    skipped, feasibility (QoS) and scoring (speedup) run as batched
+//    matrix kernels, and fixed-size index chunks fan out across a thread
+//    pool.
+//
+// The serving path reproduces the reference bit for bit: batch kernels
+// evaluate each row with the exact operation sequence of the scalar
+// predicts, pruning discharges only configurations whose certified QoS
+// floor already exceeds the budget (which the reference would reject
+// anyway), and the chunk reduction replays the reference's
+// first-strictly-greater tie-break in enumeration order.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/Optimizer.h"
 #include "core/Sampler.h"
+#include "support/StringUtils.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 #include <algorithm>
 #include <numeric>
 
@@ -18,7 +39,10 @@ namespace {
 struct OptimizerMetrics {
   Counter &Calls;
   Counter &ConfigsEvaluated;
+  Counter &ConfigsPruned;
   Counter &LeftoverRedistributed;
+  Gauge &ConfigsPerSec;
+  Histogram &BatchSize;
   Histogram &PhaseBudgetPct;
   Histogram &OptimizeMs;
 
@@ -26,32 +50,62 @@ struct OptimizerMetrics {
     static OptimizerMetrics M{
         MetricsRegistry::global().counter("optimize.calls"),
         MetricsRegistry::global().counter("optimize.configs_evaluated"),
+        MetricsRegistry::global().counter("optimize.configs_pruned"),
         MetricsRegistry::global().counter("optimize.leftover_redistributed"),
+        MetricsRegistry::global().gauge("optimize.configs_per_sec"),
+        MetricsRegistry::global().histogram("optimize.batch_size",
+                                            {1, 8, 32, 64, 128, 256, 512,
+                                             1024}),
         MetricsRegistry::global().histogram("optimize.phase_budget_pct",
                                             Histogram::percentBounds()),
         MetricsRegistry::global().histogram("optimize.ms")};
     return M;
   }
 };
-} // namespace
 
-PhaseDecision opprox::optimizePhase(const PhaseModels &Models,
-                                    const std::vector<double> &Input,
-                                    const std::vector<int> &MaxLevels,
-                                    double Budget,
-                                    const OptimizeOptions &Opts,
-                                    size_t &ConfigsEvaluated) {
+/// Best-so-far state of one scan range, reduced across ranges in
+/// ascending enumeration order.
+struct RangeBest {
+  std::vector<int> Levels;
+  double Speedup = 1.0; // The all-exact baseline the reference starts at.
+  double Qos = 0.0;
+  bool Found = false; // Whether any config strictly beat the baseline.
+  size_t Pruned = 0;
+  size_t Scored = 0;
+};
+
+/// Reused buffers for one scan task; thread_local so concurrent chunks
+/// never share them and steady-state scans allocate nothing.
+struct ScanScratch {
+  std::vector<int> BatchLevels;    // BatchSize x numBlocks, row-major.
+  std::vector<int> FeasibleLevels; // Rows with QoS within budget.
+  std::vector<size_t> FeasibleRows;
+  std::vector<double> Iter;         // Iteration estimates, whole batch.
+  std::vector<double> FeasibleIter; // Gathered for the feasible rows.
+  std::vector<double> Qos;
+  std::vector<double> Speedup;
+  PredictScratch Predict;
+};
+
+/// The reference engine: scalar model calls, one configuration at a
+/// time, in enumeration order. Every other engine must match its
+/// decisions bitwise.
+PhaseDecision naiveScan(const PhaseModels &Models,
+                        const std::vector<double> &Input,
+                        const std::vector<int> &MaxLevels, double Budget,
+                        const OptimizeOptions &Opts, PhaseSearchStats &Stats) {
   PhaseDecision Best;
   Best.Levels.assign(MaxLevels.size(), 0);
   Best.AllocatedBudget = Budget;
 
-  for (const std::vector<int> &Levels : enumerateAllConfigs(MaxLevels)) {
-    ++ConfigsEvaluated;
+  for (ConfigCursor Cursor(MaxLevels); !Cursor.done(); Cursor.next()) {
+    const std::vector<int> &Levels = Cursor.levels();
+    ++Stats.ConfigsEvaluated;
     // The all-exact configuration is the baseline Best already (known
     // speedup 1, QoS 0); never route it through the models.
-    if (std::all_of(Levels.begin(), Levels.end(),
-                    [](int L) { return L == 0; }))
+    if (Cursor.index() == 0)
       continue;
+    ++Stats.ConfigsScored;
     double Qos = Opts.Conservative
                      ? Models.conservativeQos(Input, Levels, Opts.ConfidenceP)
                      : Models.predictQos(Input, Levels);
@@ -70,12 +124,184 @@ PhaseDecision opprox::optimizePhase(const PhaseModels &Models,
   return Best;
 }
 
+/// Scans enumeration indices [Lo, Hi): streams configurations from a
+/// cursor, skips certified-infeasible subtrees, and pushes the rest
+/// through the batched kernels. Within the range the first strictly
+/// better configuration wins, matching the reference's scan order.
+void scanRange(const PhaseModels &Models, const PhaseEvalPlan &Plan,
+               double Budget, const OptimizeOptions &Opts, size_t Lo,
+               size_t Hi, RangeBest &R, ScanScratch &S,
+               OptimizerMetrics &Metrics) {
+  size_t NumBlocks = Plan.MaxLevels.size();
+  size_t BatchSize = std::max<size_t>(Opts.BatchSize, 1);
+  ConfigCursor Cursor(Plan.MaxLevels);
+  Cursor.seek(Lo);
+
+  while (!Cursor.done() && Cursor.index() < Hi) {
+    // Assemble the next batch, pruning as we stream.
+    S.BatchLevels.clear();
+    size_t Rows = 0;
+    while (!Cursor.done() && Cursor.index() < Hi && Rows < BatchSize) {
+      const std::vector<int> &Levels = Cursor.levels();
+      if (Cursor.index() == 0) { // All-exact baseline; already Best.
+        Cursor.next();
+        continue;
+      }
+      if (Opts.Prune) {
+        // Highest digit whose (block, level) QoS floor busts the budget
+        // discharges the largest subtree.
+        size_t SkipDigit = NumBlocks;
+        for (size_t B = NumBlocks; B-- > 0;) {
+          if (Plan.QosFloor[B][static_cast<size_t>(Levels[B])] > Budget) {
+            SkipDigit = B;
+            break;
+          }
+        }
+        if (SkipDigit != NumBlocks) {
+          size_t Before = Cursor.index();
+          Cursor.skipSubtree(SkipDigit);
+          size_t After = Cursor.done() ? Cursor.spaceSize() : Cursor.index();
+          R.Pruned += std::min(After, Hi) - Before;
+          continue;
+        }
+      }
+      S.BatchLevels.insert(S.BatchLevels.end(), Levels.begin(), Levels.end());
+      ++Rows;
+      Cursor.next();
+    }
+    if (Rows == 0)
+      continue;
+    R.Scored += Rows;
+    Metrics.BatchSize.record(static_cast<double>(Rows));
+
+    // Both overall models consume the same per-row iteration estimate;
+    // compute it once per batch and reuse it, which drops no bits (each
+    // row's estimate is independent of batch composition).
+    Models.predictIterationsBatch(Plan, S.BatchLevels.data(), Rows, S.Iter,
+                                  S.Predict);
+    // Feasibility first; the speedup model runs only on rows within
+    // budget, exactly like the reference's early continue.
+    Models.predictQosBatch(Plan, S.BatchLevels.data(), S.Iter.data(), Rows,
+                           S.Qos, S.Predict);
+    S.FeasibleRows.clear();
+    S.FeasibleLevels.clear();
+    S.FeasibleIter.clear();
+    for (size_t I = 0; I < Rows; ++I) {
+      if (S.Qos[I] <= Budget) {
+        S.FeasibleRows.push_back(I);
+        const int *Row = S.BatchLevels.data() + I * NumBlocks;
+        S.FeasibleLevels.insert(S.FeasibleLevels.end(), Row, Row + NumBlocks);
+        S.FeasibleIter.push_back(S.Iter[I]);
+      }
+    }
+    if (S.FeasibleRows.empty())
+      continue;
+    Models.predictSpeedupBatch(Plan, S.FeasibleLevels.data(),
+                               S.FeasibleIter.data(), S.FeasibleRows.size(),
+                               S.Speedup, S.Predict);
+    for (size_t J = 0; J < S.FeasibleRows.size(); ++J) {
+      if (S.Speedup[J] > R.Speedup) {
+        R.Found = true;
+        R.Speedup = S.Speedup[J];
+        R.Qos = S.Qos[S.FeasibleRows[J]];
+        const int *Row = S.FeasibleLevels.data() + J * NumBlocks;
+        R.Levels.assign(Row, Row + NumBlocks);
+      }
+    }
+  }
+}
+
+/// The serving engine: batched, pruned, and (for > 1 executor) chunked
+/// across the pool.
+PhaseDecision batchedScan(const PhaseModels &Models,
+                          const std::vector<double> &Input,
+                          const std::vector<int> &MaxLevels, double Budget,
+                          const OptimizeOptions &Opts,
+                          PhaseSearchStats &Stats) {
+  OptimizerMetrics &Metrics = OptimizerMetrics::get();
+  PhaseEvalPlan Plan =
+      Models.makeEvalPlan(Input, MaxLevels, Opts.Conservative,
+                          Opts.ConfidenceP);
+  size_t Total = ConfigCursor(MaxLevels).spaceSize();
+  Stats.ConfigsEvaluated += Total;
+
+  size_t ChunkSize = std::max<size_t>(Opts.ChunkSize, 1);
+  size_t NumChunks = (Total + ChunkSize - 1) / ChunkSize;
+  std::vector<RangeBest> Chunks(NumChunks);
+
+  // Chunk boundaries depend only on ChunkSize, each chunk writes its own
+  // slot, and the reduction below runs in ascending order -- so the
+  // result is identical for every worker count, including zero.
+  auto RunChunk = [&](size_t C) {
+    thread_local ScanScratch Scratch;
+    scanRange(Models, Plan, Budget, Opts, C * ChunkSize,
+              std::min((C + 1) * ChunkSize, Total), Chunks[C], Scratch,
+              Metrics);
+  };
+  if (Opts.Pool != nullptr) {
+    Opts.Pool->parallelFor(NumChunks, RunChunk);
+  } else if (Opts.NumThreads == 1 || NumChunks <= 1) {
+    for (size_t C = 0; C < NumChunks; ++C)
+      RunChunk(C);
+  } else {
+    ThreadPool Pool(ThreadPool::resolveWorkers(Opts.NumThreads));
+    Pool.parallelFor(NumChunks, RunChunk);
+  }
+
+  PhaseDecision Best;
+  Best.Levels.assign(MaxLevels.size(), 0);
+  Best.AllocatedBudget = Budget;
+  for (const RangeBest &R : Chunks) {
+    Stats.ConfigsPruned += R.Pruned;
+    Stats.ConfigsScored += R.Scored;
+    // Strict > replays the reference's earliest-wins tie-break: a later
+    // chunk only displaces an earlier equal-speedup configuration if the
+    // sequential scan would have, i.e. never.
+    if (R.Found && R.Speedup > Best.PredictedSpeedup) {
+      Best.Levels = R.Levels;
+      Best.PredictedSpeedup = R.Speedup;
+      Best.PredictedQos = R.Qos;
+    }
+  }
+  return Best;
+}
+} // namespace
+
+PhaseDecision opprox::optimizePhase(const PhaseModels &Models,
+                                    const std::vector<double> &Input,
+                                    const std::vector<int> &MaxLevels,
+                                    double Budget,
+                                    const OptimizeOptions &Opts,
+                                    PhaseSearchStats &Stats) {
+  if (Opts.UseNaiveScan)
+    return naiveScan(Models, Input, MaxLevels, Budget, Opts, Stats);
+  return batchedScan(Models, Input, MaxLevels, Budget, Opts, Stats);
+}
+
+PhaseDecision opprox::optimizePhase(const PhaseModels &Models,
+                                    const std::vector<double> &Input,
+                                    const std::vector<int> &MaxLevels,
+                                    double Budget,
+                                    const OptimizeOptions &Opts,
+                                    size_t &ConfigsEvaluated) {
+  PhaseSearchStats Stats;
+  PhaseDecision Decision =
+      optimizePhase(Models, Input, MaxLevels, Budget, Opts, Stats);
+  ConfigsEvaluated += Stats.ConfigsEvaluated;
+  return Decision;
+}
+
 OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
                                             const std::vector<double> &Input,
                                             const std::vector<int> &MaxLevels,
                                             double QosBudget,
                                             const OptimizeOptions &Opts) {
-  assert(QosBudget >= 0.0 && "negative QoS budget");
+  // A negative (or NaN) budget is a caller bug that would silently yield
+  // the all-exact schedule in release builds; fail loudly everywhere.
+  if (!(QosBudget >= 0.0))
+    reportFatalError(format("optimizeSchedule requires a non-negative QoS "
+                            "budget, got %g",
+                            QosBudget));
   size_t NumPhases = Model.numPhases();
   OptimizerMetrics &Metrics = OptimizerMetrics::get();
   Metrics.Calls.add();
@@ -109,7 +335,7 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
 
   double RemainingBudget = QosBudget;
   double RemainingRoiSum = RoiSum;
-  size_t ConfigsBefore = Result.ConfigsEvaluated;
+  PhaseSearchStats Stats;
   for (size_t Rank = 0; Rank < Order.size(); ++Rank) {
     size_t Phase = Order[Rank];
     double Share = RemainingRoiSum > 0.0
@@ -125,7 +351,7 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
     PhaseSpan.arg("budget", PhaseBudget);
     PhaseDecision Decision =
         optimizePhase(Model.phaseModels(Input, Phase), Input, MaxLevels,
-                      PhaseBudget, Opts, Result.ConfigsEvaluated);
+                      PhaseBudget, Opts, Stats);
     Result.Schedule.setPhaseLevels(Phase, Decision.Levels);
     Result.Decisions[Phase] = Decision;
 
@@ -139,7 +365,15 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
     RemainingBudget = std::max(0.0, RemainingBudget - Decision.PredictedQos);
     RemainingRoiSum -= Roi[Phase];
   }
-  Metrics.ConfigsEvaluated.add(Result.ConfigsEvaluated - ConfigsBefore);
-  Metrics.OptimizeMs.record(ScheduleSpan.seconds() * 1e3);
+  Result.ConfigsEvaluated = Stats.ConfigsEvaluated;
+  Result.ConfigsPruned = Stats.ConfigsPruned;
+  Result.ConfigsScored = Stats.ConfigsScored;
+  Metrics.ConfigsEvaluated.add(Stats.ConfigsEvaluated);
+  Metrics.ConfigsPruned.add(Stats.ConfigsPruned);
+  double Elapsed = ScheduleSpan.seconds();
+  if (Elapsed > 0.0)
+    Metrics.ConfigsPerSec.set(static_cast<double>(Stats.ConfigsEvaluated) /
+                              Elapsed);
+  Metrics.OptimizeMs.record(Elapsed * 1e3);
   return Result;
 }

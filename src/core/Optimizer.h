@@ -22,12 +22,34 @@
 
 namespace opprox {
 
+class ThreadPool;
+
 struct OptimizeOptions {
   /// Confidence level for the conservative bounds (paper: p = 0.99).
   double ConfidenceP = 0.99;
   /// Use conservative bounds (upper QoS / lower speedup). Turning this
   /// off is the ablation of Sec. "confidence analysis".
   bool Conservative = true;
+  /// Run the retained scalar reference scan instead of the batched one.
+  /// Exists for equivalence testing and benchmarking; both paths return
+  /// bit-identical decisions.
+  bool UseNaiveScan = false;
+  /// Skip odometer subtrees whose certified QoS floor exceeds the
+  /// budget. Pruning only removes provably infeasible configurations,
+  /// so it never changes the decision; off is for diagnostics.
+  bool Prune = true;
+  /// Configurations predicted per model-batch call.
+  size_t BatchSize = 256;
+  /// Enumeration-index span each scan task claims. Chunk boundaries are
+  /// fixed by this value alone (never by worker count), which keeps the
+  /// scan deterministic.
+  size_t ChunkSize = 2048;
+  /// Worker threads for the per-phase scan when \c Pool is null:
+  /// 1 = serial, 0 = auto (OPPROX_THREADS, else hardware concurrency).
+  size_t NumThreads = 1;
+  /// Externally owned pool to run the scan on (serving processes keep
+  /// one warm pool instead of spawning threads per request).
+  ThreadPool *Pool = nullptr;
 };
 
 /// What the optimizer decided for one phase.
@@ -38,6 +60,17 @@ struct PhaseDecision {
   double AllocatedBudget = 0.0;
 };
 
+/// Search-effort accounting for one or more phase scans.
+struct PhaseSearchStats {
+  /// Configurations covered by the search (the full space, whether
+  /// visited individually or discharged by a subtree skip).
+  size_t ConfigsEvaluated = 0;
+  /// Configurations discharged by certified subtree pruning.
+  size_t ConfigsPruned = 0;
+  /// Configurations actually routed through the prediction models.
+  size_t ConfigsScored = 0;
+};
+
 /// Full optimization outcome.
 struct OptimizationResult {
   PhaseSchedule Schedule{1, 1};
@@ -46,11 +79,23 @@ struct OptimizationResult {
   /// e.g. 0.166/0.17/0.265/0.399 for LULESH).
   std::vector<double> NormalizedRoi;
   size_t ConfigsEvaluated = 0;
+  size_t ConfigsPruned = 0;
+  size_t ConfigsScored = 0;
 };
 
 /// Searches one phase: maximize predicted speedup subject to the
 /// conservative QoS staying within \p Budget. Returns the all-exact
-/// decision when nothing fits.
+/// decision when nothing fits. The decision is identical -- bit for bit,
+/// including ties, which resolve to the earliest configuration in
+/// enumeration order -- for every combination of Opts.UseNaiveScan,
+/// Prune, BatchSize, ChunkSize, and worker count.
+PhaseDecision optimizePhase(const PhaseModels &Models,
+                            const std::vector<double> &Input,
+                            const std::vector<int> &MaxLevels, double Budget,
+                            const OptimizeOptions &Opts,
+                            PhaseSearchStats &Stats);
+
+/// Back-compat wrapper tracking only the evaluated-config count.
 PhaseDecision optimizePhase(const PhaseModels &Models,
                             const std::vector<double> &Input,
                             const std::vector<int> &MaxLevels, double Budget,

@@ -15,14 +15,15 @@ opprox::measureAllUniformConfigs(const ApproxApp &App, GoldenCache &Golden,
                                  const std::vector<double> &Input) {
   const RunResult &Exact = Golden.exactRun(Input);
   std::vector<MeasuredConfig> Out;
-  for (const std::vector<int> &Levels :
-       enumerateAllConfigs(App.maxLevels())) {
+  // Stream the space instead of materializing it: the cursor reuses one
+  // levels buffer, and index 0 is the all-exact configuration.
+  ConfigCursor Cursor(App.maxLevels());
+  Out.reserve(Cursor.spaceSize());
+  for (; !Cursor.done(); Cursor.next()) {
+    const std::vector<int> &Levels = Cursor.levels();
     MeasuredConfig M;
     M.Levels = Levels;
-    bool AllZero = true;
-    for (int L : Levels)
-      AllZero = AllZero && L == 0;
-    if (AllZero) {
+    if (Cursor.index() == 0) {
       M.Speedup = 1.0;
       M.QosDegradation = 0.0;
       M.OuterIterations = Exact.OuterIterations;

@@ -123,12 +123,12 @@ TrainingSet Profiler::collect(const std::vector<std::vector<double>> &Inputs,
   for (size_t I = 0; I < Inputs.size(); ++I) {
     SamplingPlan Plan =
         makeSamplingPlan(App.maxLevels(), Opts.RandomJointSamples, SampleRng);
-    for (std::vector<int> &Levels : Plan.all()) {
+    Plan.forEach([&](const std::vector<int> &Levels) {
       for (size_t Phase = 0; Phase < Opts.NumPhases; ++Phase)
         Tasks.push_back({&Inputs[I], Levels, static_cast<int>(Phase)});
       if (Opts.IncludeAllPhaseRuns)
-        Tasks.push_back({&Inputs[I], std::move(Levels), AllPhases});
-    }
+        Tasks.push_back({&Inputs[I], Levels, AllPhases});
+    });
   }
 
   // Fan the measurements out. Each task writes its preassigned slot, so

@@ -5,13 +5,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Sampler.h"
+#include "support/StringUtils.h"
 #include <algorithm>
 #include <cassert>
 
 using namespace opprox;
 
 std::vector<std::vector<int>> SamplingPlan::all() const {
-  std::vector<std::vector<int>> Out = LocalConfigs;
+  std::vector<std::vector<int>> Out;
+  Out.reserve(size());
+  Out.insert(Out.end(), LocalConfigs.begin(), LocalConfigs.end());
   Out.insert(Out.end(), JointConfigs.begin(), JointConfigs.end());
   return Out;
 }
@@ -45,34 +48,84 @@ SamplingPlan opprox::makeSamplingPlan(const std::vector<int> &MaxLevels,
   return Plan;
 }
 
+Expected<size_t> opprox::configSpaceSize(const std::vector<int> &MaxLevels,
+                                         size_t Limit) {
+  size_t Total = 1;
+  for (size_t B = 0; B < MaxLevels.size(); ++B) {
+    if (MaxLevels[B] < 0)
+      return Error(format("block %zu has negative max level %d", B,
+                          MaxLevels[B]));
+    size_t Options = static_cast<size_t>(MaxLevels[B]) + 1;
+    // Total * Options <= Limit, phrased without the overflowing product.
+    if (Total > Limit / Options)
+      return Error(format("configuration space exceeds the limit of %zu "
+                          "configs at block %zu",
+                          Limit, B));
+    Total *= Options;
+  }
+  return Total;
+}
+
+ConfigCursor::ConfigCursor(std::vector<int> Max, size_t Limit)
+    : MaxLevels(std::move(Max)), Current(MaxLevels.size(), 0),
+      Stride(MaxLevels.size(), 1) {
+  Expected<size_t> Size = configSpaceSize(MaxLevels, Limit);
+  if (!Size)
+    reportFatalError(Size.error());
+  Total = *Size;
+  for (size_t B = 1; B < MaxLevels.size(); ++B)
+    Stride[B] =
+        Stride[B - 1] * (static_cast<size_t>(MaxLevels[B - 1]) + 1);
+}
+
+void ConfigCursor::next() {
+  assert(!Done && "next past the end");
+  size_t B = 0;
+  while (B < Current.size()) {
+    if (Current[B] < MaxLevels[B]) {
+      ++Current[B];
+      std::fill(Current.begin(),
+                Current.begin() + static_cast<std::ptrdiff_t>(B), 0);
+      break;
+    }
+    ++B;
+  }
+  if (B == Current.size()) {
+    Done = true;
+    return;
+  }
+  ++Position;
+}
+
+void ConfigCursor::seek(size_t Index) {
+  if (Index >= Total) {
+    Done = true;
+    return;
+  }
+  Done = false;
+  Position = Index;
+  for (size_t B = 0; B < Current.size(); ++B)
+    Current[B] = static_cast<int>(
+        Index / Stride[B] % (static_cast<size_t>(MaxLevels[B]) + 1));
+}
+
+void ConfigCursor::skipSubtree(size_t Digit) {
+  assert(!Done && "skip past the end");
+  assert(Digit < Current.size() && "skip digit out of range");
+  // Next multiple of Stride[Digit] strictly above the current position:
+  // zeroes digits below Digit and bumps Digit (with carry).
+  seek((Position / Stride[Digit] + 1) * Stride[Digit]);
+}
+
 std::vector<std::vector<int>>
 opprox::enumerateAllConfigs(const std::vector<int> &MaxLevels, size_t Limit) {
-  size_t Total = 1;
-  for (int M : MaxLevels) {
-    assert(M >= 0 && "negative max level");
-    Total *= static_cast<size_t>(M) + 1;
-    assert(Total <= Limit && "configuration space too large to enumerate");
-  }
+  Expected<size_t> Total = configSpaceSize(MaxLevels, Limit);
+  if (!Total)
+    reportFatalError(Total.error());
   std::vector<std::vector<int>> Out;
-  Out.reserve(Total);
-  std::vector<int> Current(MaxLevels.size(), 0);
-  for (;;) {
-    Out.push_back(Current);
-    // Odometer increment.
-    size_t B = 0;
-    while (B < Current.size()) {
-      if (Current[B] < MaxLevels[B]) {
-        ++Current[B];
-        std::fill(Current.begin(), Current.begin() +
-                                       static_cast<std::ptrdiff_t>(B),
-                  0);
-        break;
-      }
-      ++B;
-    }
-    if (B == Current.size())
-      break;
-  }
-  assert(Out.size() == Total && "enumeration miscounted");
+  Out.reserve(*Total);
+  for (ConfigCursor Cursor(MaxLevels, Limit); !Cursor.done(); Cursor.next())
+    Out.push_back(Cursor.levels());
+  assert(Out.size() == *Total && "enumeration miscounted");
   return Out;
 }

@@ -79,6 +79,19 @@ std::vector<double> Matrix::multiply(const std::vector<double> &V) const {
   return Out;
 }
 
+void Matrix::multiplyInto(const std::vector<double> &V,
+                          std::vector<double> &Out) const {
+  assert(V.size() == NumCols && "vector length mismatch");
+  Out.resize(NumRows);
+  for (size_t R = 0; R < NumRows; ++R) {
+    const double *Row = rowData(R);
+    double Sum = 0.0;
+    for (size_t C = 0; C < NumCols; ++C)
+      Sum += Row[C] * V[C];
+    Out[R] = Sum;
+  }
+}
+
 double Matrix::maxAbsDiff(const Matrix &Other) const {
   assert(NumRows == Other.rows() && NumCols == Other.cols() &&
          "shape mismatch");

@@ -39,6 +39,15 @@ public:
   size_t cols() const { return NumCols; }
   bool empty() const { return Data.empty(); }
 
+  /// Resizes to Rows x Cols reusing the existing storage (contents become
+  /// unspecified). Shrinking never reallocates, so scratch matrices sized
+  /// once for the largest batch stay allocation-free afterwards.
+  void reshape(size_t Rows, size_t Cols) {
+    NumRows = Rows;
+    NumCols = Cols;
+    Data.resize(Rows * Cols);
+  }
+
   double &at(size_t R, size_t C) {
     assert(R < NumRows && C < NumCols && "matrix index out of range");
     return Data[R * NumCols + C];
@@ -72,6 +81,14 @@ public:
 
   /// Matrix-vector product; V.size() must equal cols().
   std::vector<double> multiply(const std::vector<double> &V) const;
+
+  /// Matrix-vector product into a caller-owned buffer (resized to
+  /// rows()); performs no other allocation. Each row accumulates in
+  /// ascending column order, bit-identical to a scalar
+  /// sum(Row[C] * V[C]) loop -- the batched prediction path relies on
+  /// this to match per-sample evaluation exactly.
+  void multiplyInto(const std::vector<double> &V,
+                    std::vector<double> &Out) const;
 
   /// Max absolute element difference against \p Other (same shape).
   double maxAbsDiff(const Matrix &Other) const;

@@ -200,6 +200,90 @@ double SelectedModel::predict(const std::vector<double> &X) const {
   return Submodels[submodelFor(Filtered)].predict(Filtered);
 }
 
+void SelectedModel::predictBatch(const Matrix &X, std::vector<double> &Out,
+                                 BatchScratch &S) const {
+  assert(!Submodels.empty() && "predict on untrained model");
+  size_t N = X.rows();
+  S.Filtered.reshape(N, KeptFeatures.size());
+  for (size_t R = 0; R < N; ++R) {
+    const double *Row = X.rowData(R);
+    double *Dst = S.Filtered.rowData(R);
+    for (size_t F = 0; F < KeptFeatures.size(); ++F) {
+      assert(KeptFeatures[F] < X.cols() && "feature vector too short");
+      Dst[F] = Row[KeptFeatures[F]];
+    }
+  }
+  if (SplitBoundaries.empty()) {
+    Submodels.front().predictBatch(S.Filtered, Out, S.Poly);
+    return;
+  }
+  // Subcategory models: gather each sub-model's rows into a contiguous
+  // batch, evaluate, and scatter results back. Row results do not depend
+  // on which other rows share the batch, so this matches the scalar path
+  // bit for bit.
+  Out.resize(N);
+  for (size_t M = 0; M < Submodels.size(); ++M) {
+    S.GroupRows.clear();
+    for (size_t R = 0; R < N; ++R) {
+      double Value = S.Filtered.at(R, SplitFeature);
+      size_t Part = SplitBoundaries.size();
+      for (size_t B = 0; B < SplitBoundaries.size(); ++B) {
+        if (Value < SplitBoundaries[B]) {
+          Part = B;
+          break;
+        }
+      }
+      if (Part == M)
+        S.GroupRows.push_back(R);
+    }
+    if (S.GroupRows.empty())
+      continue;
+    S.GroupX.reshape(S.GroupRows.size(), KeptFeatures.size());
+    for (size_t I = 0; I < S.GroupRows.size(); ++I) {
+      const double *Src = S.Filtered.rowData(S.GroupRows[I]);
+      std::copy(Src, Src + KeptFeatures.size(), S.GroupX.rowData(I));
+    }
+    Submodels[M].predictBatch(S.GroupX, S.GroupOut, S.Poly);
+    for (size_t I = 0; I < S.GroupRows.size(); ++I)
+      Out[S.GroupRows[I]] = S.GroupOut[I];
+  }
+}
+
+std::pair<double, double>
+SelectedModel::boundsOver(const std::vector<double> &Lo,
+                          const std::vector<double> &Hi) const {
+  assert(!Submodels.empty() && "bounds on untrained model");
+  std::vector<double> FLo = filterFeatures(Lo);
+  std::vector<double> FHi = filterFeatures(Hi);
+  if (SplitBoundaries.empty())
+    return Submodels.front().boundsOver(FLo, FHi);
+
+  // With subcategory splitting only some sub-models can fire inside the
+  // box; hull their bounds. submodelFor routes value V to the first
+  // boundary with V < B[m] (or the last sub-model), so sub-model m is
+  // reachable iff some V in [VLo, VHi] takes that branch.
+  double VLo = FLo[SplitFeature];
+  double VHi = FHi[SplitFeature];
+  double HullLo = std::numeric_limits<double>::infinity();
+  double HullHi = -std::numeric_limits<double>::infinity();
+  for (size_t M = 0; M <= SplitBoundaries.size(); ++M) {
+    bool Reachable;
+    if (M == 0)
+      Reachable = VLo < SplitBoundaries[0];
+    else if (M == SplitBoundaries.size())
+      Reachable = VHi >= SplitBoundaries.back();
+    else
+      Reachable = VHi >= SplitBoundaries[M - 1] && VLo < SplitBoundaries[M];
+    if (!Reachable)
+      continue;
+    auto [BLo, BHi] = Submodels[M].boundsOver(FLo, FHi);
+    HullLo = std::min(HullLo, BLo);
+    HullHi = std::max(HullHi, BHi);
+  }
+  assert(HullLo <= HullHi && "no reachable submodel over a non-empty box");
+  return {HullLo, HullHi};
+}
+
 int SelectedModel::degree() const {
   assert(!Submodels.empty() && "degree of untrained model");
   return Submodels.front().degree();

@@ -63,6 +63,31 @@ public:
   /// Point prediction for a raw (unfiltered) feature vector.
   double predict(const std::vector<double> &X) const;
 
+  /// Caller-owned workspace for predictBatch; reuse across calls to keep
+  /// the batch path allocation-free at steady state.
+  struct BatchScratch {
+    Matrix Filtered;               ///< Batch x keptFeatures raw columns.
+    Matrix GroupX;                 ///< Rows gathered for one submodel.
+    std::vector<size_t> GroupRows; ///< Original indices of gathered rows.
+    std::vector<double> GroupOut;  ///< Submodel outputs before scatter.
+    PolynomialRegression::Scratch Poly;
+  };
+
+  /// Predicts every row of \p X (one raw feature vector per row) into
+  /// \p Out, resized to X.rows(). Rows are MIC-filtered, routed to their
+  /// subcategory sub-model, and evaluated in per-submodel batches; each
+  /// row's result is bit-identical to predict() on that row.
+  void predictBatch(const Matrix &X, std::vector<double> &Out,
+                    BatchScratch &S) const;
+
+  /// Certified bounds on predict() over the axis-aligned box
+  /// [Lo[i], Hi[i]] of raw (unfiltered) features: the hull of the
+  /// reachable sub-models' polynomial bounds, widened for floating-point
+  /// rounding (see PolynomialRegression::boundsOver), so comparisons
+  /// against exact predict() values may safely prune on them.
+  std::pair<double, double> boundsOver(const std::vector<double> &Lo,
+                                       const std::vector<double> &Hi) const;
+
   /// Conservative bounds using the training-residual distribution.
   double upperBound(const std::vector<double> &X, double P) const {
     return Interval.upperBound(predict(X), P);

@@ -38,17 +38,21 @@ PolynomialFeatures::PolynomialFeatures(size_t NumFeatures, int Degree,
 std::vector<double>
 PolynomialFeatures::expand(const std::vector<double> &X) const {
   assert(X.size() == NumFeatures && "input length mismatch");
-  std::vector<double> Out;
-  Out.reserve(Exponents.size());
-  for (const std::vector<int> &Exp : Exponents) {
+  std::vector<double> Out(Exponents.size());
+  expandInto(X.data(), Out.data());
+  return Out;
+}
+
+void PolynomialFeatures::expandInto(const double *X, double *Out) const {
+  for (size_t T = 0; T < Exponents.size(); ++T) {
+    const std::vector<int> &Exp = Exponents[T];
     double Term = 1.0;
     for (size_t F = 0; F < NumFeatures; ++F) {
       for (int E = 0; E < Exp[F]; ++E)
         Term *= X[F];
     }
-    Out.push_back(Term);
+    Out[T] = Term;
   }
-  return Out;
 }
 
 std::string

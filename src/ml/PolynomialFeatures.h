@@ -35,6 +35,12 @@ public:
   /// Evaluates every monomial at \p X (length numInputs()).
   std::vector<double> expand(const std::vector<double> &X) const;
 
+  /// expand() into a caller-owned buffer of numTerms() doubles; performs
+  /// no allocation. Each term is computed by the same repeated
+  /// multiplications as expand(), so the two produce bit-identical
+  /// values.
+  void expandInto(const double *X, double *Out) const;
+
   /// Exponent vector of term \p Term (length numInputs()).
   const std::vector<int> &exponents(size_t Term) const {
     return Exponents[Term];

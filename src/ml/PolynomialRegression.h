@@ -14,10 +14,12 @@
 #ifndef OPPROX_ML_POLYNOMIALREGRESSION_H
 #define OPPROX_ML_POLYNOMIALREGRESSION_H
 
+#include "linalg/Matrix.h"
 #include "ml/Dataset.h"
 #include "ml/PolynomialFeatures.h"
 #include "support/Error.h"
 #include <memory>
+#include <utility>
 
 namespace opprox {
 
@@ -43,7 +45,32 @@ public:
   /// Predicts the target for one raw feature vector.
   double predict(const std::vector<double> &X) const;
 
-  /// Predicts every row of \p Data.
+  /// Caller-owned workspace for predictBatch. Reusing one across calls
+  /// makes the batch path allocation-free once the buffers have grown to
+  /// the largest batch shape.
+  struct Scratch {
+    Matrix Std;      ///< Batch x numInputs standardized rows.
+    Matrix Expanded; ///< Batch x numTerms monomial rows.
+  };
+
+  /// Predicts every row of \p X (one raw feature vector per row) into
+  /// \p Out, resized to X.rows(). The rows are standardized into one
+  /// feature matrix and pushed through a single mat-vec; each row's
+  /// result is bit-identical to predict() on that row, independent of
+  /// batch size or composition.
+  void predictBatch(const Matrix &X, std::vector<double> &Out,
+                    Scratch &S) const;
+
+  /// Certified bounds on predict() over the axis-aligned box
+  /// [Lo[i], Hi[i]] of raw features: every prediction for a point in the
+  /// box lies within the returned {lower, upper} pair. Computed by
+  /// interval arithmetic over the monomial basis, widened by a slack
+  /// generously covering floating-point rounding, so the bounds are safe
+  /// to prune against exact predict() comparisons.
+  std::pair<double, double> boundsOver(const std::vector<double> &Lo,
+                                       const std::vector<double> &Hi) const;
+
+  /// Predictions for every sample of \p Data.
   std::vector<double> predictAll(const Dataset &Data) const;
 
   /// R^2 of this model on \p Data (can be negative on unseen data).

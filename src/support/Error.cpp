@@ -6,9 +6,20 @@
 
 #include "support/Error.h"
 #include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 using namespace opprox;
+
+void opprox::reportFatalError(const Error &E) {
+  reportFatalError(E.message());
+}
+
+void opprox::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "fatal error: %s\n", Message.c_str());
+  std::abort();
+}
 
 Error opprox::makeError(const char *Fmt, ...) {
   std::va_list Args;

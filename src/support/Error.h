@@ -86,6 +86,13 @@ private:
 /// Creates an Error with a printf-style formatted message.
 Error makeError(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Prints "fatal error: <message>" to stderr and aborts. For invariant
+/// violations that must terminate in every build type (asserts compile
+/// out under NDEBUG); prefer returning Expected where the caller can
+/// recover.
+[[noreturn]] void reportFatalError(const Error &E);
+[[noreturn]] void reportFatalError(const std::string &Message);
+
 } // namespace opprox
 
 #endif // OPPROX_SUPPORT_ERROR_H

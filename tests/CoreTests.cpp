@@ -69,6 +69,72 @@ TEST(SamplerTest, EnumerateMatchesConfigurationCount) {
   EXPECT_EQ(All.size(), 1296u); // 6^4, the per-phase space of LULESH.
 }
 
+TEST(SamplerTest, ConfigCursorStreamsEnumerationOrder) {
+  std::vector<int> MaxLevels = {2, 1, 3};
+  auto All = enumerateAllConfigs(MaxLevels);
+  ConfigCursor Cursor(MaxLevels);
+  EXPECT_EQ(Cursor.spaceSize(), All.size());
+  size_t I = 0;
+  for (; !Cursor.done(); Cursor.next(), ++I) {
+    ASSERT_LT(I, All.size());
+    EXPECT_EQ(Cursor.index(), I);
+    EXPECT_EQ(Cursor.levels(), All[I]);
+  }
+  EXPECT_EQ(I, All.size());
+}
+
+TEST(SamplerTest, ConfigCursorSeekIsRandomAccess) {
+  std::vector<int> MaxLevels = {2, 2, 2};
+  auto All = enumerateAllConfigs(MaxLevels);
+  ConfigCursor Cursor(MaxLevels);
+  for (size_t I : {26u, 0u, 13u, 5u, 13u}) {
+    Cursor.seek(I);
+    ASSERT_FALSE(Cursor.done());
+    EXPECT_EQ(Cursor.index(), I);
+    EXPECT_EQ(Cursor.levels(), All[I]);
+  }
+  Cursor.seek(All.size());
+  EXPECT_TRUE(Cursor.done());
+}
+
+TEST(SamplerTest, ConfigCursorSkipSubtreeAdvancesDigit) {
+  // Skipping digit D from index I lands on the next multiple of D's
+  // stride -- the first config whose digits >= D differ.
+  std::vector<int> MaxLevels = {2, 2, 2}; // Strides 1, 3, 9.
+  auto All = enumerateAllConfigs(MaxLevels);
+  ConfigCursor Cursor(MaxLevels);
+  Cursor.seek(4); // {1, 1, 0}.
+  Cursor.skipSubtree(1);
+  ASSERT_FALSE(Cursor.done());
+  EXPECT_EQ(Cursor.index(), 6u); // {0, 2, 0}: digit 1 advanced, digit 0 reset.
+  EXPECT_EQ(Cursor.levels(), All[6]);
+  Cursor.skipSubtree(2);
+  ASSERT_FALSE(Cursor.done());
+  EXPECT_EQ(Cursor.index(), 9u); // Next value of the 9-stride digit.
+  // Skipping the top digit at its maximum exhausts the cursor.
+  Cursor.seek(All.size() - 1);
+  Cursor.skipSubtree(2);
+  EXPECT_TRUE(Cursor.done());
+}
+
+TEST(SamplerTest, ConfigSpaceSizeRejectsOversizedSpaces) {
+  EXPECT_TRUE(static_cast<bool>(configSpaceSize({5, 5, 5, 5})));
+  Expected<size_t> Huge =
+      configSpaceSize(std::vector<int>(64, 9)); // 10^64 configs.
+  ASSERT_FALSE(static_cast<bool>(Huge));
+  EXPECT_NE(Huge.error().message().find("exceeds the limit"),
+            std::string::npos);
+  // A caller-provided tighter limit is honored too.
+  EXPECT_FALSE(static_cast<bool>(configSpaceSize({5, 5}, 35)));
+}
+
+TEST(SamplerTest, EnumerateAllConfigsHardFailsOnOversizedSpace) {
+  // The old assert compiled out in NDEBUG builds and silently tried to
+  // materialize the space; now every build type fails loudly.
+  EXPECT_DEATH(enumerateAllConfigs(std::vector<int>(64, 9)),
+               "exceeds the limit");
+}
+
 //===----------------------------------------------------------------------===//
 // TrainingSet
 //===----------------------------------------------------------------------===//

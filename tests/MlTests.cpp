@@ -12,6 +12,7 @@
 #include "ml/PolynomialFeatures.h"
 #include "ml/PolynomialRegression.h"
 #include <cmath>
+#include <cstring>
 #include <gtest/gtest.h>
 #include <set>
 
@@ -148,6 +149,68 @@ TEST(PolyRegTest, PredictAllMatchesPredict) {
   std::vector<double> All = M.predictAll(D);
   for (size_t I = 0; I < D.numSamples(); ++I)
     EXPECT_DOUBLE_EQ(All[I], M.predict(D.sample(I)));
+}
+
+TEST(PolyRegTest, PredictBatchMatchesPredictBitwise) {
+  Dataset D = makeQuadratic(60, 0.05, 7);
+  PolynomialRegression::Options O;
+  O.Degree = 3;
+  PolynomialRegression M = PolynomialRegression::fit(D, O);
+
+  Rng R(8);
+  size_t N = 37; // Deliberately not a round batch size.
+  Matrix X(N, 2);
+  for (size_t I = 0; I < N; ++I) {
+    X.at(I, 0) = R.uniform(-3, 3);
+    X.at(I, 1) = R.uniform(-3, 3);
+  }
+  PolynomialRegression::Scratch S;
+  std::vector<double> Out;
+  M.predictBatch(X, Out, S);
+  ASSERT_EQ(Out.size(), N);
+  for (size_t I = 0; I < N; ++I) {
+    double Scalar = M.predict({X.at(I, 0), X.at(I, 1)});
+    EXPECT_EQ(std::memcmp(&Out[I], &Scalar, sizeof(double)), 0)
+        << "row " << I << ": " << Out[I] << " vs " << Scalar;
+  }
+
+  // Batch composition must not change bits: the same row evaluated in a
+  // batch of one gives the identical double.
+  Matrix One(1, 2);
+  One.at(0, 0) = X.at(5, 0);
+  One.at(0, 1) = X.at(5, 1);
+  std::vector<double> Single;
+  M.predictBatch(One, Single, S);
+  EXPECT_EQ(std::memcmp(&Single[0], &Out[5], sizeof(double)), 0);
+}
+
+TEST(PolyRegTest, BoundsOverContainsBoxPredictions) {
+  Dataset D = makeQuadratic(80, 0.1, 9);
+  PolynomialRegression::Options O;
+  O.Degree = 3;
+  PolynomialRegression M = PolynomialRegression::fit(D, O);
+
+  Rng R(10);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    double X0 = R.uniform(-2, 2), X1 = R.uniform(-2, 2);
+    std::vector<double> Lo = {std::min(X0, X1) - R.uniform(0, 1),
+                              R.uniform(-2, 0)};
+    std::vector<double> Hi = {Lo[0] + R.uniform(0, 2),
+                              Lo[1] + R.uniform(0, 2)};
+    auto [BLo, BHi] = M.boundsOver(Lo, Hi);
+    ASSERT_LE(BLo, BHi);
+    for (int S = 0; S < 50; ++S) {
+      double P = M.predict({R.uniform(Lo[0], Hi[0]),
+                            R.uniform(Lo[1], Hi[1])});
+      EXPECT_GE(P, BLo) << "trial " << Trial;
+      EXPECT_LE(P, BHi) << "trial " << Trial;
+    }
+    // A degenerate (point) box still brackets the point prediction.
+    auto [PLo, PHi] = M.boundsOver(Lo, Lo);
+    double Point = M.predict(Lo);
+    EXPECT_GE(Point, PLo);
+    EXPECT_LE(Point, PHi);
+  }
 }
 
 /// Degree sweep: exact recovery of a 1-D polynomial of each degree.

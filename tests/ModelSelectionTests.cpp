@@ -6,6 +6,7 @@
 
 #include "ml/ModelSelection.h"
 #include <cmath>
+#include <cstring>
 #include <gtest/gtest.h>
 
 using namespace opprox;
@@ -83,6 +84,71 @@ TEST(SelectTest, SubcategorySplitOnPiecewiseData) {
   O.TargetR2 = 0.999;
   SelectedModel M = SelectedModel::train(D, O, R);
   EXPECT_GE(M.numSubmodels(), 2u);
+}
+
+TEST(SelectTest, PredictBatchMatchesPredictBitwiseAcrossSplits) {
+  // A forced-split model exercises the gather/scatter batch path: rows
+  // route to different submodels, yet every row's result must be
+  // bit-identical to the scalar predict.
+  Rng R(11);
+  Dataset D({"x", "y"});
+  for (int I = 0; I < 300; ++I) {
+    double X = R.uniform(0, 10);
+    double Y = R.uniform(-1, 1);
+    double T = (X < 5 ? std::sin(3 * X) : 40 + X * X) + 0.5 * Y;
+    D.addSample({X, Y}, T + R.gaussian(0, 0.01));
+  }
+  ModelSelectOptions O;
+  O.MaxDegree = 2;
+  O.TargetR2 = 0.999;
+  SelectedModel M = SelectedModel::train(D, O, R);
+  ASSERT_GE(M.numSubmodels(), 2u) << "dataset failed to force a split";
+
+  size_t N = 64;
+  Matrix X(N, 2);
+  for (size_t I = 0; I < N; ++I) {
+    X.at(I, 0) = R.uniform(0, 10); // Straddles the split boundary.
+    X.at(I, 1) = R.uniform(-1, 1);
+  }
+  SelectedModel::BatchScratch S;
+  std::vector<double> Out;
+  M.predictBatch(X, Out, S);
+  ASSERT_EQ(Out.size(), N);
+  for (size_t I = 0; I < N; ++I) {
+    double Scalar = M.predict({X.at(I, 0), X.at(I, 1)});
+    EXPECT_EQ(std::memcmp(&Out[I], &Scalar, sizeof(double)), 0)
+        << "row " << I << ": " << Out[I] << " vs " << Scalar;
+  }
+}
+
+TEST(SelectTest, BoundsOverContainsPredictionsAcrossSplits) {
+  Rng R(12);
+  Dataset D({"x"});
+  for (int I = 0; I < 300; ++I) {
+    double X = R.uniform(0, 10);
+    double T = X < 5 ? std::sin(3 * X) : 40 + X * X;
+    D.addSample({X}, T + R.gaussian(0, 0.01));
+  }
+  ModelSelectOptions O;
+  O.MaxDegree = 2;
+  O.TargetR2 = 0.999;
+  SelectedModel M = SelectedModel::train(D, O, R);
+  ASSERT_GE(M.numSubmodels(), 2u);
+
+  // Boxes straddling the split boundary must hull every reachable
+  // submodel's range.
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    double A = R.uniform(0, 10), B = R.uniform(0, 10);
+    std::vector<double> Lo = {std::min(A, B)};
+    std::vector<double> Hi = {std::max(A, B)};
+    auto [BLo, BHi] = M.boundsOver(Lo, Hi);
+    ASSERT_LE(BLo, BHi);
+    for (int S = 0; S < 50; ++S) {
+      double P = M.predict({R.uniform(Lo[0], Hi[0])});
+      EXPECT_GE(P, BLo) << "trial " << Trial;
+      EXPECT_LE(P, BHi) << "trial " << Trial;
+    }
+  }
 }
 
 TEST(SelectTest, NoSplitWhenDataScarce) {

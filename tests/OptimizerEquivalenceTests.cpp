@@ -1,0 +1,325 @@
+//===- tests/OptimizerEquivalenceTests.cpp - Hot-path bit-identity --------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batched+pruned+parallel optimizer engine must return decisions
+/// bit-identical to the retained naive scalar reference for every
+/// combination of budget, confidence mode, pruning, batch/chunk
+/// geometry, and worker count. The scalar reference assembles features
+/// per call through SelectedModel::predict while the serving engine
+/// uses the batch kernels and memoized eval-plan tables, so these tests
+/// compare two genuinely independent implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Optimizer.h"
+#include "core/Sampler.h"
+#include "support/ThreadPool.h"
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace opprox;
+
+namespace {
+
+/// Exact bit equality, stricter than ==: distinguishes -0.0 from 0.0 and
+/// would catch a NaN that compares unequal to itself.
+bool bitEqual(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+/// Synthetic ground truth with block interactions; mirrors (at a smaller
+/// scale) the generator in bench/micro_optimizer.cpp.
+double trueSpeedup(const std::vector<int> &Levels, size_t Phase) {
+  double S = 1.0;
+  for (size_t B = 0; B < Levels.size(); ++B)
+    S *= 1.0 + 0.06 * (1.0 + 0.5 * static_cast<double>(Phase)) *
+                   (1.0 + 0.3 * static_cast<double>(B)) *
+                   static_cast<double>(Levels[B]);
+  return S;
+}
+
+double trueQos(const std::vector<int> &Levels, size_t Phase) {
+  double Q = 0.0;
+  for (size_t B = 0; B < Levels.size(); ++B) {
+    double L = static_cast<double>(Levels[B]);
+    Q += 0.02 * (1.0 + 0.4 * static_cast<double>(Phase)) *
+         (1.0 + 0.2 * static_cast<double>(B)) * L * L;
+  }
+  return Q;
+}
+
+/// Trains a small model stack (NumBlocks x max level 2, NumPhases) on
+/// noisy synthetic data; \p Seed varies both the sampling and the noise,
+/// so distinct seeds give genuinely different fitted models.
+AppModel makeModel(size_t NumBlocks, size_t NumPhases, uint64_t Seed) {
+  std::vector<int> MaxLevels(NumBlocks, 2);
+  TrainingSet Set;
+  Rng R(Seed);
+  for (double In : {1.0, 2.0, 3.0}) {
+    for (size_t Phase = 0; Phase < NumPhases; ++Phase) {
+      SamplingPlan Plan = makeSamplingPlan(MaxLevels, 20, R);
+      Plan.forEach([&](const std::vector<int> &Levels) {
+        TrainingSample S;
+        S.Input = {In};
+        S.Levels = Levels;
+        S.Phase = static_cast<int>(Phase);
+        S.Speedup =
+            trueSpeedup(Levels, Phase) * (1.0 + R.gaussian(0.0, 0.01));
+        S.QosDegradation = std::max(
+            0.0, trueQos(Levels, Phase) * (1.0 + R.gaussian(0.0, 0.02)));
+        S.OuterIterations =
+            80.0 + 3.0 * static_cast<double>(Levels[0] + Levels.back());
+        S.ControlFlowClass = 0;
+        Set.add(std::move(S));
+      });
+    }
+  }
+  ModelBuildOptions Opts;
+  Opts.NumThreads = 1;
+  Opts.Seed = Seed;
+  return ModelBuilder::build(Set, NumPhases, NumBlocks, Opts);
+}
+
+void expectSameDecisions(const OptimizationResult &Ref,
+                         const OptimizationResult &Got,
+                         const std::string &What) {
+  ASSERT_EQ(Ref.Decisions.size(), Got.Decisions.size()) << What;
+  for (size_t P = 0; P < Ref.Decisions.size(); ++P) {
+    const PhaseDecision &A = Ref.Decisions[P];
+    const PhaseDecision &B = Got.Decisions[P];
+    EXPECT_EQ(A.Levels, B.Levels) << What << ", phase " << P;
+    EXPECT_TRUE(bitEqual(A.PredictedSpeedup, B.PredictedSpeedup))
+        << What << ", phase " << P << ": speedup " << A.PredictedSpeedup
+        << " vs " << B.PredictedSpeedup;
+    EXPECT_TRUE(bitEqual(A.PredictedQos, B.PredictedQos))
+        << What << ", phase " << P << ": qos " << A.PredictedQos << " vs "
+        << B.PredictedQos;
+    EXPECT_TRUE(bitEqual(A.AllocatedBudget, B.AllocatedBudget))
+        << What << ", phase " << P;
+  }
+  EXPECT_EQ(Ref.ConfigsEvaluated, Got.ConfigsEvaluated) << What;
+}
+
+/// Shared models: training is the expensive part, so build one small
+/// stack per seed and reuse it across every test in this file.
+const AppModel &modelA() {
+  static AppModel M = makeModel(/*NumBlocks=*/4, /*NumPhases=*/2, 0xA11CE);
+  return M;
+}
+const AppModel &modelB() {
+  static AppModel M = makeModel(/*NumBlocks=*/3, /*NumPhases=*/3, 0xB0B);
+  return M;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Batched engine vs the naive reference
+//===----------------------------------------------------------------------===//
+
+TEST(OptimizerEquivalenceTest, MatchesNaiveAcrossBudgetsAndModes) {
+  const std::vector<double> Input = {2.0};
+  for (const AppModel *Model : {&modelA(), &modelB()}) {
+    std::vector<int> MaxLevels(Model->numBlocks(), 2);
+    for (double Budget : {0.0, 0.02, 0.1, 0.5, 5.0}) {
+      for (bool Conservative : {true, false}) {
+        OptimizeOptions Naive;
+        Naive.UseNaiveScan = true;
+        Naive.Conservative = Conservative;
+        OptimizationResult Ref =
+            optimizeSchedule(*Model, Input, MaxLevels, Budget, Naive);
+
+        OptimizeOptions Batched;
+        Batched.Conservative = Conservative;
+        OptimizationResult Got =
+            optimizeSchedule(*Model, Input, MaxLevels, Budget, Batched);
+        expectSameDecisions(
+            Ref, Got,
+            "budget " + std::to_string(Budget) +
+                (Conservative ? ", conservative" : ", plain"));
+      }
+    }
+  }
+}
+
+TEST(OptimizerEquivalenceTest, BatchAndChunkGeometryIrrelevant) {
+  const std::vector<double> Input = {1.0};
+  std::vector<int> MaxLevels(modelA().numBlocks(), 2);
+  OptimizeOptions Naive;
+  Naive.UseNaiveScan = true;
+  OptimizationResult Ref =
+      optimizeSchedule(modelA(), Input, MaxLevels, 0.3, Naive);
+
+  for (size_t BatchSize : {1u, 3u, 17u, 4096u}) {
+    for (size_t ChunkSize : {1u, 5u, 29u, 1000000u}) {
+      for (bool Prune : {true, false}) {
+        OptimizeOptions Opts;
+        Opts.BatchSize = BatchSize;
+        Opts.ChunkSize = ChunkSize;
+        Opts.Prune = Prune;
+        OptimizationResult Got =
+            optimizeSchedule(modelA(), Input, MaxLevels, 0.3, Opts);
+        expectSameDecisions(Ref, Got,
+                            "batch " + std::to_string(BatchSize) +
+                                ", chunk " + std::to_string(ChunkSize) +
+                                ", prune " + std::to_string(Prune));
+      }
+    }
+  }
+}
+
+TEST(OptimizerEquivalenceTest, SearchStatsPartitionTheSpace) {
+  const std::vector<double> Input = {2.0};
+  std::vector<int> MaxLevels(modelA().numBlocks(), 2);
+  size_t SpacePerPhase = 81; // 3^4.
+  size_t NumPhases = modelA().numPhases();
+
+  OptimizeOptions NoPrune;
+  NoPrune.Prune = false;
+  OptimizationResult Full =
+      optimizeSchedule(modelA(), Input, MaxLevels, 0.1, NoPrune);
+  EXPECT_EQ(Full.ConfigsEvaluated, SpacePerPhase * NumPhases);
+  EXPECT_EQ(Full.ConfigsPruned, 0u);
+  // Everything except the per-phase all-exact baseline is scored.
+  EXPECT_EQ(Full.ConfigsScored, (SpacePerPhase - 1) * NumPhases);
+
+  OptimizeOptions Pruned;
+  OptimizationResult P =
+      optimizeSchedule(modelA(), Input, MaxLevels, 0.1, Pruned);
+  // Scored + pruned + the skipped baselines account for every config.
+  EXPECT_EQ(P.ConfigsScored + P.ConfigsPruned + NumPhases,
+            P.ConfigsEvaluated);
+  EXPECT_EQ(P.ConfigsEvaluated, SpacePerPhase * NumPhases);
+}
+
+TEST(OptimizerEquivalenceTest, NegativeOrNanBudgetFailsLoudly) {
+  const std::vector<double> Input = {1.0};
+  std::vector<int> MaxLevels(modelA().numBlocks(), 2);
+  OptimizeOptions Opts;
+  EXPECT_DEATH(optimizeSchedule(modelA(), Input, MaxLevels, -0.5, Opts),
+               "non-negative");
+  EXPECT_DEATH(optimizeSchedule(modelA(), Input, MaxLevels,
+                                std::nan(""), Opts),
+               "non-negative");
+}
+
+//===----------------------------------------------------------------------===//
+// PhaseModels batch kernels vs the scalar predicts
+//===----------------------------------------------------------------------===//
+
+TEST(OptimizerEquivalenceTest, BatchPredictionsMatchScalarBitwise) {
+  const std::vector<double> Input = {3.0};
+  std::vector<int> MaxLevels(modelB().numBlocks(), 2);
+  for (size_t Phase = 0; Phase < modelB().numPhases(); ++Phase) {
+    const PhaseModels &PM = modelB().phaseModels(Input, Phase);
+    for (bool Conservative : {true, false}) {
+      PhaseEvalPlan Plan =
+          PM.makeEvalPlan(Input, MaxLevels, Conservative, 0.99);
+      PredictScratch Scratch;
+
+      // Every configuration of the space in one batch.
+      std::vector<int> Rows;
+      std::vector<std::vector<int>> Configs;
+      for (ConfigCursor C(MaxLevels); !C.done(); C.next()) {
+        Rows.insert(Rows.end(), C.levels().begin(), C.levels().end());
+        Configs.push_back(C.levels());
+      }
+      size_t N = Configs.size();
+      std::vector<double> Iter, Qos, Speedup;
+      PM.predictIterationsBatch(Plan, Rows.data(), N, Iter, Scratch);
+      PM.predictQosBatch(Plan, Rows.data(), N, Qos, Scratch);
+      PM.predictSpeedupBatch(Plan, Rows.data(), N, Speedup, Scratch);
+
+      for (size_t I = 0; I < N; ++I) {
+        EXPECT_TRUE(bitEqual(Iter[I],
+                             PM.predictIterations(Input, Configs[I])))
+            << "iterations, row " << I;
+        double ScalarQos =
+            Conservative ? PM.conservativeQos(Input, Configs[I], 0.99)
+                         : PM.predictQos(Input, Configs[I]);
+        EXPECT_TRUE(bitEqual(Qos[I], ScalarQos)) << "qos, row " << I;
+        double ScalarSpeedup =
+            Conservative
+                ? PM.conservativeSpeedup(Input, Configs[I], 0.99)
+                : PM.predictSpeedup(Input, Configs[I]);
+        EXPECT_TRUE(bitEqual(Speedup[I], ScalarSpeedup))
+            << "speedup, row " << I;
+      }
+    }
+  }
+}
+
+TEST(OptimizerEquivalenceTest, QosFloorNeverExceedsAnyMemberConfig) {
+  // The certified floor must lower-bound the (conservative) QoS of every
+  // configuration that pins the (block, level) it covers; otherwise
+  // pruning could discard a feasible configuration.
+  const std::vector<double> Input = {2.0};
+  std::vector<int> MaxLevels(modelA().numBlocks(), 2);
+  for (size_t Phase = 0; Phase < modelA().numPhases(); ++Phase) {
+    const PhaseModels &PM = modelA().phaseModels(Input, Phase);
+    for (bool Conservative : {true, false}) {
+      PhaseEvalPlan Plan =
+          PM.makeEvalPlan(Input, MaxLevels, Conservative, 0.99);
+      for (ConfigCursor C(MaxLevels); !C.done(); C.next()) {
+        double Qos =
+            Conservative ? PM.conservativeQos(Input, C.levels(), 0.99)
+                         : PM.predictQos(Input, C.levels());
+        for (size_t B = 0; B < MaxLevels.size(); ++B) {
+          double Floor =
+              Plan.QosFloor[B][static_cast<size_t>(C.levels()[B])];
+          EXPECT_LE(Floor, Qos)
+              << "phase " << Phase << ", config index " << C.index()
+              << ", block " << B;
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel scan (suite runs under TSan in CI; see .github/workflows)
+//===----------------------------------------------------------------------===//
+
+TEST(OptimizerParallelTest, AllThreadCountsMatchSerialBitwise) {
+  const std::vector<double> Input = {2.0};
+  std::vector<int> MaxLevels(modelA().numBlocks(), 2);
+  OptimizeOptions Naive;
+  Naive.UseNaiveScan = true;
+  OptimizationResult Ref =
+      optimizeSchedule(modelA(), Input, MaxLevels, 0.25, Naive);
+
+  for (size_t Threads : {1u, 2u, 5u}) {
+    OptimizeOptions Opts;
+    Opts.NumThreads = Threads;
+    Opts.ChunkSize = 7; // Many chunks, so the fan-out actually happens.
+    OptimizationResult Got =
+        optimizeSchedule(modelA(), Input, MaxLevels, 0.25, Opts);
+    expectSameDecisions(Ref, Got,
+                        "threads " + std::to_string(Threads));
+  }
+}
+
+TEST(OptimizerParallelTest, ExternalPoolMatchesSerialBitwise) {
+  const std::vector<double> Input = {1.0};
+  std::vector<int> MaxLevels(modelB().numBlocks(), 2);
+  OptimizeOptions Naive;
+  Naive.UseNaiveScan = true;
+  OptimizationResult Ref =
+      optimizeSchedule(modelB(), Input, MaxLevels, 0.4, Naive);
+
+  ThreadPool Pool(3);
+  OptimizeOptions Opts;
+  Opts.Pool = &Pool;
+  Opts.ChunkSize = 5;
+  for (int Repeat = 0; Repeat < 3; ++Repeat) {
+    OptimizationResult Got =
+        optimizeSchedule(modelB(), Input, MaxLevels, 0.4, Opts);
+    expectSameDecisions(Ref, Got,
+                        "pool repeat " + std::to_string(Repeat));
+  }
+}
