@@ -5,16 +5,39 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/AppModel.h"
+#include "support/FaultInjection.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 
 using namespace opprox;
+
+/// Replaces \p V with quiet NaN / +infinity when the prediction fault
+/// sites fire. Applied at prediction-output returns -- after the range
+/// clamps -- so injected garbage reaches consumers through exactly the
+/// value path a defective model artifact would use.
+static double injectPredictionFault(double V) {
+  if (faultPoint(faults::PredictNan))
+    return std::numeric_limits<double>::quiet_NaN();
+  if (faultPoint(faults::PredictInf))
+    return std::numeric_limits<double>::infinity();
+  return V;
+}
+
+/// Per-row fault gate for the batch kernels; free when disarmed.
+static void injectPredictionFaults(std::vector<double> &Out, size_t N) {
+  if (OPPROX_LIKELY(
+          !detail::GlobalFaultsArmed.load(std::memory_order_relaxed)))
+    return;
+  for (size_t R = 0; R < N; ++R)
+    Out[R] = injectPredictionFault(Out[R]);
+}
 
 //===----------------------------------------------------------------------===//
 // PhaseModels
@@ -48,7 +71,7 @@ double PhaseModels::predictIterations(const std::vector<double> &Input,
   std::vector<double> X = Input;
   for (int L : Levels)
     X.push_back(static_cast<double>(L));
-  return IterationModel->predict(X);
+  return injectPredictionFault(IterationModel->predict(X));
 }
 
 double PhaseModels::predictSpeedup(const std::vector<double> &Input,
@@ -59,7 +82,8 @@ double PhaseModels::predictSpeedup(const std::vector<double> &Input,
   double LogPred = OverallSpeedup->predict(overallFeatures(Input, Levels));
   // Cap at ~50x: no configuration of these transformations can exceed
   // that, so anything larger is extrapolation noise.
-  return std::clamp(std::exp(std::min(LogPred, 4.0)), 0.01, 50.0);
+  return injectPredictionFault(
+      std::clamp(std::exp(std::min(LogPred, 4.0)), 0.01, 50.0));
 }
 
 double PhaseModels::conservativeSpeedup(const std::vector<double> &Input,
@@ -67,7 +91,8 @@ double PhaseModels::conservativeSpeedup(const std::vector<double> &Input,
                                         double P) const {
   assert(OverallSpeedup && "model stack not built");
   double Lower = OverallSpeedup->lowerBound(overallFeatures(Input, Levels), P);
-  return std::clamp(std::exp(std::min(Lower, 4.0)), 0.01, 50.0);
+  return injectPredictionFault(
+      std::clamp(std::exp(std::min(Lower, 4.0)), 0.01, 50.0));
 }
 
 double PhaseModels::predictQos(const std::vector<double> &Input,
@@ -83,7 +108,8 @@ double PhaseModels::predictQos(const std::vector<double> &Input,
   }
   Features.push_back(predictIterations(Input, Levels));
   double LogPred = std::min(OverallQos->predict(Features), 7.0);
-  return std::clamp(std::expm1(LogPred), 0.0, 1000.0);
+  return injectPredictionFault(
+      std::clamp(std::expm1(LogPred), 0.0, 1000.0));
 }
 
 double PhaseModels::conservativeQos(const std::vector<double> &Input,
@@ -99,7 +125,8 @@ double PhaseModels::conservativeQos(const std::vector<double> &Input,
   }
   Features.push_back(predictIterations(Input, Levels));
   double LogUpper = std::min(OverallQos->upperBound(Features, P), 7.0);
-  return std::clamp(std::expm1(LogUpper), 0.0, 1000.0);
+  return injectPredictionFault(
+      std::clamp(std::expm1(LogUpper), 0.0, 1000.0));
 }
 
 void PhaseModels::predictIterationsBatch(const PhaseEvalPlan &Plan,
@@ -118,6 +145,7 @@ void PhaseModels::predictIterationsBatch(const PhaseEvalPlan &Plan,
       Row[NumInputs + B] = static_cast<double>(Config[B]);
   }
   IterationModel->predictBatch(S.IterX, Out, S.Model);
+  injectPredictionFaults(Out, N);
 }
 
 void PhaseModels::overallLogBatch(const PhaseEvalPlan &Plan,
@@ -153,6 +181,7 @@ void PhaseModels::predictSpeedupBatch(const PhaseEvalPlan &Plan,
       P -= Plan.SpeedupHalfWidth;
     Out[R] = std::clamp(std::exp(std::min(P, 4.0)), 0.01, 50.0);
   }
+  injectPredictionFaults(Out, N);
 }
 
 void PhaseModels::predictSpeedupBatch(const PhaseEvalPlan &Plan,
@@ -175,6 +204,7 @@ void PhaseModels::predictQosBatch(const PhaseEvalPlan &Plan,
       P += Plan.QosHalfWidth;
     Out[R] = std::clamp(std::expm1(std::min(P, 7.0)), 0.0, 1000.0);
   }
+  injectPredictionFaults(Out, N);
 }
 
 void PhaseModels::predictQosBatch(const PhaseEvalPlan &Plan,

@@ -6,7 +6,9 @@
 
 #include "core/ModelArtifact.h"
 #include "apps/ApproxApp.h"
+#include "support/FaultInjection.h"
 #include "support/Json.h"
+#include "support/Log.h"
 #include "support/StringUtils.h"
 #include <cerrno>
 #include <cstdlib>
@@ -185,6 +187,15 @@ Expected<OpproxArtifact> OpproxArtifact::fromJson(const Json &Value) {
 std::string OpproxArtifact::serialize() const { return toJson().dump(2) + "\n"; }
 
 Expected<OpproxArtifact> OpproxArtifact::deserialize(const std::string &Text) {
+  // The corruption site truncates the document mid-file rather than
+  // returning a synthetic error, so the injected failure exercises the
+  // real parse-error path a half-written artifact would hit.
+  if (faultPoint(faults::ArtifactCorrupt)) {
+    Expected<Json> Doc = Json::parse(Text.substr(0, Text.size() / 2));
+    if (!Doc)
+      return Doc.error();
+    return fromJson(*Doc);
+  }
   Expected<Json> Doc = Json::parse(Text);
   if (!Doc)
     return Doc.error();
@@ -192,7 +203,32 @@ Expected<OpproxArtifact> OpproxArtifact::deserialize(const std::string &Text) {
 }
 
 std::optional<Error> OpproxArtifact::save(const std::string &Path) const {
+  if (faultPoint(faults::ArtifactWrite))
+    return Error(format("fault injection: simulated write failure saving "
+                        "'%s'",
+                        Path.c_str()));
   return writeFile(Path, serialize());
+}
+
+std::optional<Error> OpproxArtifact::save(const std::string &Path,
+                                          const RetryPolicy &Policy) const {
+  Counter &Retries =
+      MetricsRegistry::global().counter("train.artifact_save_retries");
+  Expected<bool> Result = retryWithBackoff(
+      Policy,
+      [&]() -> Expected<bool> {
+        if (std::optional<Error> E = save(Path))
+          return *E;
+        return true;
+      },
+      [&](size_t Attempt, const Error &E) {
+        Retries.add();
+        logInfo("artifact save attempt %zu failed (%s); retrying",
+                Attempt, E.message().c_str());
+      });
+  if (!Result)
+    return Result.error();
+  return std::nullopt;
 }
 
 Expected<OpproxArtifact> OpproxArtifact::load(const std::string &Path) {

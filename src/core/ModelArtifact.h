@@ -25,6 +25,7 @@
 
 #include "core/AppModel.h"
 #include "support/Error.h"
+#include "support/Retry.h"
 #include "support/Telemetry.h"
 #include <cstdint>
 #include <optional>
@@ -94,6 +95,13 @@ struct OpproxArtifact {
   /// Whole-file convenience wrappers around serialize()/deserialize().
   std::optional<Error> save(const std::string &Path) const;
   static Expected<OpproxArtifact> load(const std::string &Path);
+
+  /// save() with bounded retry: transient write failures are retried
+  /// per \p Policy, each retry counted into train.artifact_save_retries
+  /// and logged. Returns the last attempt's Error when all attempts
+  /// fail.
+  std::optional<Error> save(const std::string &Path,
+                            const RetryPolicy &Policy) const;
 
   /// Checks this artifact drives \p App: same name, block count, and
   /// level ranges. nullopt when compatible.

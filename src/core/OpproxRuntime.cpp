@@ -5,9 +5,43 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/OpproxRuntime.h"
+#include "support/FaultInjection.h"
+#include "support/Log.h"
+#include "support/StringUtils.h"
 #include "support/Telemetry.h"
+#include <cmath>
+#include <map>
+#include <mutex>
 
 using namespace opprox;
+
+namespace {
+/// Per-path cache of the last artifact that loaded successfully in this
+/// process: rung 2 of the degradation ladder. Guarded by its own mutex;
+/// loads are rare next to optimize calls, so a copy per hit is fine.
+struct LastGoodCache {
+  std::mutex Mutex;
+  std::map<std::string, OpproxArtifact> ByPath;
+
+  static LastGoodCache &get() {
+    static LastGoodCache Cache;
+    return Cache;
+  }
+
+  void store(const std::string &Path, const OpproxArtifact &Artifact) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ByPath[Path] = Artifact;
+  }
+
+  std::optional<OpproxArtifact> find(const std::string &Path) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = ByPath.find(Path);
+    if (It == ByPath.end())
+      return std::nullopt;
+    return It->second;
+  }
+};
+} // namespace
 
 OpproxRuntime OpproxRuntime::fromArtifact(OpproxArtifact Artifact) {
   OpproxRuntime Runtime;
@@ -27,6 +61,42 @@ Expected<OpproxRuntime> OpproxRuntime::load(const std::string &Path) {
   return fromArtifact(std::move(*Artifact));
 }
 
+Expected<OpproxRuntime>
+OpproxRuntime::loadArtifact(const std::string &Path,
+                            const ArtifactLoadOptions &Opts) {
+  Counter &Retries =
+      MetricsRegistry::global().counter("runtime.artifact_retries");
+  Expected<OpproxRuntime> Runtime = retryWithBackoff(
+      Opts.Retry,
+      [&]() -> Expected<OpproxRuntime> {
+        if (faultPoint(faults::RuntimeLoad))
+          return Error(format("fault injection: simulated load failure for "
+                              "'%s'",
+                              Path.c_str()));
+        return load(Path);
+      },
+      [&](size_t Attempt, const Error &E) {
+        Retries.add();
+        logInfo("artifact load attempt %zu failed (%s); retrying", Attempt,
+                E.message().c_str());
+      });
+  if (Runtime) {
+    LastGoodCache::get().store(Path, Runtime->artifact());
+    return Runtime;
+  }
+  if (Opts.UseLastGood) {
+    if (std::optional<OpproxArtifact> Cached = LastGoodCache::get().find(Path)) {
+      MetricsRegistry::global().counter("runtime.artifact_last_good").add();
+      TraceRecorder::global().instant("runtime.artifact_last_good", "runtime");
+      logInfo("artifact load failed (%s); serving last-known-good artifact "
+              "for '%s'",
+              Runtime.error().message().c_str(), Path.c_str());
+      return fromArtifact(std::move(*Cached));
+    }
+  }
+  return Runtime.error();
+}
+
 PhaseSchedule OpproxRuntime::optimize(const std::vector<double> &Input,
                                       double QosBudget,
                                       const OptimizeOptions &Opts) const {
@@ -39,4 +109,19 @@ OpproxRuntime::optimizeDetailed(const std::vector<double> &Input,
                                 const OptimizeOptions &Opts) const {
   assert(Art.Model.numPhases() > 0 && "optimize on an empty runtime");
   return optimizeSchedule(Art.Model, Input, Art.MaxLevels, QosBudget, Opts);
+}
+
+Expected<OptimizationResult>
+OpproxRuntime::tryOptimizeDetailed(const std::vector<double> &Input,
+                                   double QosBudget,
+                                   const OptimizeOptions &Opts) const {
+  if (!(std::isfinite(QosBudget) && QosBudget >= 0.0))
+    return Error(format("QoS budget %g is not a non-negative finite number",
+                        QosBudget));
+  if (!Art.ParameterNames.empty() &&
+      Input.size() != Art.ParameterNames.size())
+    return Error(format("request has %zu input values but the artifact "
+                        "expects %zu",
+                        Input.size(), Art.ParameterNames.size()));
+  return optimizeDetailed(Input, QosBudget, Opts);
 }

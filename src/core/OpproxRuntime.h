@@ -29,14 +29,38 @@
 
 namespace opprox {
 
+/// How loadArtifact() responds to load failures: the first two rungs of
+/// the serving degradation ladder (docs/RELIABILITY.md). The third --
+/// per-phase fallback to the exact configuration -- lives in
+/// optimizeSchedule and needs no artifact at all.
+struct ArtifactLoadOptions {
+  /// Rung 1: bounded retry with exponential backoff. The default (3
+  /// attempts, 10 ms then 20 ms) rides out transient I/O failures
+  /// without stalling a serving process noticeably.
+  RetryPolicy Retry{/*MaxAttempts=*/3, /*InitialBackoffMs=*/10.0,
+                    /*Multiplier=*/2.0};
+  /// Rung 2: when every attempt fails, serve the last artifact that
+  /// loaded successfully from the same path in this process.
+  bool UseLastGood = true;
+};
+
 /// Serves Algorithm 2 from a loaded artifact.
 class OpproxRuntime {
 public:
   /// Wraps an already-parsed artifact (validated during parsing).
   static OpproxRuntime fromArtifact(OpproxArtifact Artifact);
 
-  /// Reads, parses, and schema-checks an artifact file.
+  /// Reads, parses, and schema-checks an artifact file. One attempt, no
+  /// fallback: a failure is reported as-is (offline tools want that).
   static Expected<OpproxRuntime> load(const std::string &Path);
+
+  /// load() hardened for serving: retries per \p Opts.Retry (each retry
+  /// counted into runtime.artifact_retries), then falls back to the
+  /// last artifact successfully loaded from \p Path (counted into
+  /// runtime.artifact_last_good). Fails only when every rung is
+  /// exhausted.
+  static Expected<OpproxRuntime>
+  loadArtifact(const std::string &Path, const ArtifactLoadOptions &Opts = {});
 
   /// Finds the most profitable phase schedule for \p Input under
   /// \p QosBudget percent degradation (Algorithm 2).
@@ -47,6 +71,14 @@ public:
   OptimizationResult optimizeDetailed(const std::vector<double> &Input,
                                       double QosBudget,
                                       const OptimizeOptions &Opts = {}) const;
+
+  /// optimizeDetailed() for request-driven hosts: a malformed request
+  /// (negative or non-finite budget, wrong input arity) comes back as
+  /// an Error instead of terminating the process, since request values
+  /// are the caller's data, not program invariants.
+  Expected<OptimizationResult>
+  tryOptimizeDetailed(const std::vector<double> &Input, double QosBudget,
+                      const OptimizeOptions &Opts = {}) const;
 
   // -- Introspection ----------------------------------------------------
 

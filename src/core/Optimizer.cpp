@@ -25,15 +25,49 @@
 
 #include "core/Optimizer.h"
 #include "core/Sampler.h"
+#include "support/Log.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 using namespace opprox;
 
 namespace {
+/// Thrown by the scan engines when a model emits a value outside its
+/// clamped output range (NaN, infinity, or out of bounds). Such a value
+/// can only come from a defective artifact or an injected fault, and it
+/// must not steer the scan: a NaN QoS compares false against the budget
+/// and would silently pass feasibility. optimizeSchedule catches this
+/// per phase and degrades that phase to the exact configuration.
+struct InvalidPrediction : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// The predicted-speedup transform clamps into [0.01, 50] (AppModel.cpp);
+/// anything else is invalid by construction.
+void checkSpeedup(double V) {
+  if (!(std::isfinite(V) && V >= 0.01 && V <= 50.0))
+    throw InvalidPrediction(
+        format("speedup prediction %g outside [0.01, 50]", V));
+}
+
+/// The QoS transform clamps into [0, 1000].
+void checkQos(double V) {
+  if (!(std::isfinite(V) && V >= 0.0 && V <= 1000.0))
+    throw InvalidPrediction(
+        format("QoS prediction %g outside [0, 1000]", V));
+}
+
+/// Iteration estimates are unclamped but must at least be finite to
+/// feed the overall models.
+void checkIterations(double V) {
+  if (!std::isfinite(V))
+    throw InvalidPrediction(format("non-finite iteration estimate %g", V));
+}
 /// Online-side instruments (see docs/OBSERVABILITY.md). Cached once; the
 /// optimizer may sit on a per-request serving path.
 struct OptimizerMetrics {
@@ -41,6 +75,7 @@ struct OptimizerMetrics {
   Counter &ConfigsEvaluated;
   Counter &ConfigsPruned;
   Counter &LeftoverRedistributed;
+  Counter &DegradedPhases;
   Gauge &ConfigsPerSec;
   Histogram &BatchSize;
   Histogram &PhaseBudgetPct;
@@ -52,6 +87,7 @@ struct OptimizerMetrics {
         MetricsRegistry::global().counter("optimize.configs_evaluated"),
         MetricsRegistry::global().counter("optimize.configs_pruned"),
         MetricsRegistry::global().counter("optimize.leftover_redistributed"),
+        MetricsRegistry::global().counter("runtime.degraded_phases"),
         MetricsRegistry::global().gauge("optimize.configs_per_sec"),
         MetricsRegistry::global().histogram("optimize.batch_size",
                                             {1, 8, 32, 64, 128, 256, 512,
@@ -109,12 +145,14 @@ PhaseDecision naiveScan(const PhaseModels &Models,
     double Qos = Opts.Conservative
                      ? Models.conservativeQos(Input, Levels, Opts.ConfidenceP)
                      : Models.predictQos(Input, Levels);
+    checkQos(Qos);
     if (Qos > Budget)
       continue;
     double Speedup =
         Opts.Conservative
             ? Models.conservativeSpeedup(Input, Levels, Opts.ConfidenceP)
             : Models.predictSpeedup(Input, Levels);
+    checkSpeedup(Speedup);
     if (Speedup > Best.PredictedSpeedup) {
       Best.Levels = Levels;
       Best.PredictedSpeedup = Speedup;
@@ -179,10 +217,14 @@ void scanRange(const PhaseModels &Models, const PhaseEvalPlan &Plan,
     // row's estimate is independent of batch composition).
     Models.predictIterationsBatch(Plan, S.BatchLevels.data(), Rows, S.Iter,
                                   S.Predict);
+    for (size_t I = 0; I < Rows; ++I)
+      checkIterations(S.Iter[I]);
     // Feasibility first; the speedup model runs only on rows within
     // budget, exactly like the reference's early continue.
     Models.predictQosBatch(Plan, S.BatchLevels.data(), S.Iter.data(), Rows,
                            S.Qos, S.Predict);
+    for (size_t I = 0; I < Rows; ++I)
+      checkQos(S.Qos[I]);
     S.FeasibleRows.clear();
     S.FeasibleLevels.clear();
     S.FeasibleIter.clear();
@@ -199,6 +241,8 @@ void scanRange(const PhaseModels &Models, const PhaseEvalPlan &Plan,
     Models.predictSpeedupBatch(Plan, S.FeasibleLevels.data(),
                                S.FeasibleIter.data(), S.FeasibleRows.size(),
                                S.Speedup, S.Predict);
+    for (size_t J = 0; J < S.FeasibleRows.size(); ++J)
+      checkSpeedup(S.Speedup[J]);
     for (size_t J = 0; J < S.FeasibleRows.size(); ++J) {
       if (S.Speedup[J] > R.Speedup) {
         R.Found = true;
@@ -349,9 +393,23 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
     TraceSpan PhaseSpan("optimize.phase", "optimize");
     PhaseSpan.arg("phase", static_cast<double>(Phase));
     PhaseSpan.arg("budget", PhaseBudget);
-    PhaseDecision Decision =
-        optimizePhase(Model.phaseModels(Input, Phase), Input, MaxLevels,
-                      PhaseBudget, Opts, Stats);
+    PhaseDecision Decision;
+    try {
+      Decision = optimizePhase(Model.phaseModels(Input, Phase), Input,
+                               MaxLevels, PhaseBudget, Opts, Stats);
+    } catch (const std::exception &Ex) {
+      // Invalid predictions (InvalidPrediction) or dying scan tasks
+      // (e.g. FaultInjectedError through parallelFor) must not take the
+      // serving process down: this phase falls back to the exact
+      // configuration, which needs no model and spends no budget.
+      Decision = PhaseDecision();
+      Decision.Levels.assign(MaxLevels.size(), 0);
+      Decision.AllocatedBudget = PhaseBudget;
+      Metrics.DegradedPhases.add();
+      TraceRecorder::global().instant("optimize.phase_degraded", "optimize");
+      logInfo("phase %zu degraded to the exact configuration: %s", Phase,
+              Ex.what());
+    }
     Result.Schedule.setPhaseLevels(Phase, Decision.Levels);
     Result.Decisions[Phase] = Decision;
 

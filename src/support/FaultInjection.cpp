@@ -1,0 +1,180 @@
+//===- support/FaultInjection.cpp -----------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+using namespace opprox;
+
+std::atomic<bool> opprox::detail::GlobalFaultsArmed{true};
+
+const std::vector<std::string> &opprox::allFaultSites() {
+  static const std::vector<std::string> Sites = {
+      faults::JsonRead,     faults::JsonParse,  faults::ArtifactCorrupt,
+      faults::ArtifactWrite, faults::RuntimeLoad, faults::PredictNan,
+      faults::PredictInf,   faults::ThreadPoolTask};
+  return Sites;
+}
+
+static bool isKnownSite(const std::string &Name) {
+  for (const std::string &Site : allFaultSites())
+    if (Site == Name)
+      return true;
+  return false;
+}
+
+/// One armed site: Bernoulli(Prob) per visit from a private seeded
+/// stream, capped at MaxInjections. Guarded by the registry mutex.
+struct FaultRegistry::Site {
+  explicit Site(double Prob, uint64_t Seed, uint64_t Max, Counter &Injections)
+      : Prob(Prob), Stream(Seed), MaxInjections(Max), Injections(Injections) {}
+
+  double Prob;
+  Rng Stream;
+  uint64_t MaxInjections; ///< UINT64_MAX = unlimited.
+  uint64_t Injected = 0;
+  Counter &Injections; ///< fault.injected.<site>, cached at configure.
+};
+
+FaultRegistry::FaultRegistry() = default;
+FaultRegistry::~FaultRegistry() = default;
+
+FaultRegistry &FaultRegistry::global() {
+  static FaultRegistry *Registry = [] {
+    auto *R = new FaultRegistry();
+    R->IsGlobal = true;
+    if (const char *Env = std::getenv("OPPROX_FAULTS")) {
+      if (std::optional<Error> E = R->configure(Env))
+        reportFatalError(format("OPPROX_FAULTS: %s",
+                                E->message().c_str()));
+    } else {
+      detail::GlobalFaultsArmed.store(false, std::memory_order_relaxed);
+    }
+    return R;
+  }();
+  return *Registry;
+}
+
+static std::optional<Error> parseProb(const std::string &Text, double &Out) {
+  if (!parseDouble(Text, Out) || !(Out >= 0.0) || !(Out <= 1.0))
+    return Error(format("fault probability '%s' is not in [0, 1]",
+                        Text.c_str()));
+  return std::nullopt;
+}
+
+static std::optional<Error> parseU64(const std::string &Text,
+                                     const char *What, uint64_t &Out) {
+  if (Text.empty() ||
+      Text.find_first_not_of("0123456789") != std::string::npos)
+    return Error(format("fault %s '%s' is not a non-negative integer", What,
+                        Text.c_str()));
+  errno = 0;
+  Out = std::strtoull(Text.c_str(), nullptr, 10);
+  if (errno == ERANGE)
+    return Error(format("fault %s '%s' overflows 64 bits", What,
+                        Text.c_str()));
+  return std::nullopt;
+}
+
+std::optional<Error> FaultRegistry::configure(const std::string &Spec) {
+  // Parse into a staging map first so a malformed entry leaves the
+  // registry untouched (and disarmed only if it already was).
+  std::map<std::string, std::unique_ptr<Site>> Staged;
+  for (const std::string &Entry : split(Spec, ',')) {
+    std::string Text = trim(Entry);
+    if (Text.empty())
+      continue;
+    std::vector<std::string> Fields = split(Text, ':');
+    if (Fields.size() < 2 || Fields.size() > 4)
+      return Error(format("fault entry '%s' is not site:prob[:seed[:max]]",
+                          Text.c_str()));
+    std::string Name = trim(Fields[0]);
+    double Prob = 0.0;
+    if (std::optional<Error> E = parseProb(trim(Fields[1]), Prob))
+      return E;
+    uint64_t Seed = 0;
+    if (Fields.size() >= 3)
+      if (std::optional<Error> E = parseU64(trim(Fields[2]), "seed", Seed))
+        return E;
+    uint64_t Max = std::numeric_limits<uint64_t>::max();
+    if (Fields.size() >= 4)
+      if (std::optional<Error> E = parseU64(trim(Fields[3]), "cap", Max))
+        return E;
+
+    std::vector<std::string> Targets;
+    if (Name == "all")
+      Targets = allFaultSites();
+    else if (isKnownSite(Name))
+      Targets = {Name};
+    else
+      return Error(format("unknown fault site '%s' (known: %s, or 'all')",
+                          Name.c_str(), join(allFaultSites(), ", ").c_str()));
+    for (const std::string &Target : Targets) {
+      // Under 'all' every site still draws an independent stream, so one
+      // site's visit count never perturbs another's fault sequence.
+      uint64_t SiteSeed =
+          Name == "all" ? deriveSeed(Seed, std::hash<std::string>{}(Target))
+                        : Seed;
+      Staged[Target] = std::make_unique<Site>(
+          Prob, SiteSeed, Max,
+          MetricsRegistry::global().counter("fault.injected." + Target));
+    }
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Sites = std::move(Staged);
+  InjectedTotal.store(0, std::memory_order_relaxed);
+  bool AnyArmed = !Sites.empty();
+  Armed.store(AnyArmed, std::memory_order_relaxed);
+  if (IsGlobal)
+    detail::GlobalFaultsArmed.store(AnyArmed, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void FaultRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Sites.clear();
+  InjectedTotal.store(0, std::memory_order_relaxed);
+  Armed.store(false, std::memory_order_relaxed);
+  if (IsGlobal)
+    detail::GlobalFaultsArmed.store(false, std::memory_order_relaxed);
+}
+
+bool FaultRegistry::shouldFail(const char *SiteName) {
+  if (!armed())
+    return false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Sites.find(SiteName);
+  if (It == Sites.end())
+    return false;
+  Site &S = *It->second;
+  if (S.Injected >= S.MaxInjections)
+    return false;
+  // Draw even for Prob 0/1 so the stream position depends only on the
+  // visit count, keeping replays identical when a probability is edited.
+  if (!(S.Stream.uniform() < S.Prob))
+    return false;
+  ++S.Injected;
+  InjectedTotal.fetch_add(1, std::memory_order_relaxed);
+  S.Injections.add();
+  MetricsRegistry::global().counter("fault.injected_total").add();
+  return true;
+}
+
+uint64_t FaultRegistry::injectedTotal() const {
+  return InjectedTotal.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultRegistry::injectedAt(const std::string &SiteName) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Sites.find(SiteName);
+  return It == Sites.end() ? 0 : It->second->Injected;
+}

@@ -1,0 +1,168 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seed-driven fault-point registry for exercising the
+/// serving path's error handling (see docs/RELIABILITY.md). Named fault
+/// sites are compiled into the library at the places failures occur in
+/// production -- artifact I/O, JSON parsing, model prediction outputs,
+/// thread-pool task execution -- and stay dormant until armed:
+///
+///   OPPROX_FAULTS=json.read:1.0:42:2,model.predict.nan:0.5:7
+///
+/// Each entry is `site:probability:seed[:max]`: the site fires with the
+/// given probability per visit, drawing from its own seeded Rng stream,
+/// and stops after `max` injections (unlimited when omitted). `all`
+/// addresses every registered site at once. Identical specs replay
+/// identical fault sequences -- the property the deterministic-replay
+/// tests in tests/FaultInjectionTests.cpp assert.
+///
+/// When nothing is armed (the production default) a fault point costs a
+/// single relaxed atomic load and a predicted-untaken branch; no site
+/// state is ever touched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_FAULTINJECTION_H
+#define OPPROX_SUPPORT_FAULTINJECTION_H
+
+#include "support/Compiler.h"
+#include "support/Error.h"
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace opprox {
+
+/// Canonical fault-site names. Every site the library compiles in is
+/// listed here (and returned by allFaultSites()), so specs can be
+/// validated and "exercise every site" harnesses can enumerate them.
+namespace faults {
+/// readFile() fails before touching the filesystem (simulated I/O error).
+inline constexpr const char *JsonRead = "json.read";
+/// Json::parse() rejects the document before scanning it.
+inline constexpr const char *JsonParse = "json.parse";
+/// OpproxArtifact::deserialize() sees corrupted bytes: the document is
+/// truncated mid-file before parsing, exercising the real parse-error
+/// path rather than a synthetic error return.
+inline constexpr const char *ArtifactCorrupt = "artifact.corrupt";
+/// OpproxArtifact::save() fails before writing.
+inline constexpr const char *ArtifactWrite = "artifact.write";
+/// OpproxRuntime::loadArtifact() fails one load attempt (retryable).
+inline constexpr const char *RuntimeLoad = "runtime.load";
+/// A PhaseModels prediction output is replaced with quiet NaN.
+inline constexpr const char *PredictNan = "model.predict.nan";
+/// A PhaseModels prediction output is replaced with +infinity.
+inline constexpr const char *PredictInf = "model.predict.inf";
+/// A thread-pool task dies on startup (throws FaultInjectedError).
+inline constexpr const char *ThreadPoolTask = "threadpool.task";
+} // namespace faults
+
+/// All registered site names, in deterministic (registration) order.
+const std::vector<std::string> &allFaultSites();
+
+/// Thrown by fault points that model sudden task death (currently only
+/// threadpool.task). Travels through ThreadPool::parallelFor's
+/// first-exception rethrow and submit()'s future, so callers exercise
+/// the same propagation path a real task failure would take.
+class FaultInjectedError : public std::runtime_error {
+public:
+  explicit FaultInjectedError(const std::string &Site)
+      : std::runtime_error("fault injection: simulated failure at site '" +
+                           Site + "'"),
+        SiteName(Site) {}
+
+  const std::string &site() const { return SiteName; }
+
+private:
+  std::string SiteName;
+};
+
+namespace detail {
+/// True when any site of the global registry is armed. Exposed so the
+/// faultPoint() fast path is one relaxed load with no function call into
+/// the registry.
+extern std::atomic<bool> GlobalFaultsArmed;
+} // namespace detail
+
+/// The fault-point registry: per-site probability, seeded Rng stream,
+/// injection cap, and injection count. Thread-safe; deterministic given
+/// the same spec and the same per-site visit sequence.
+class FaultRegistry {
+public:
+  /// The process-wide registry every compiled-in fault point consults.
+  /// On first use it arms itself from OPPROX_FAULTS when that is set; a
+  /// malformed value is a fatal error (a typo silently disabling a fault
+  /// harness would defeat the point of running one).
+  static FaultRegistry &global();
+
+  /// Test instances are independent of the global registry (and of the
+  /// faultPoint() fast path, which only consults the global one).
+  FaultRegistry();  // Out-of-line: Site is incomplete here, and the
+  ~FaultRegistry(); // defaulted members would instantiate its deleter.
+  FaultRegistry(const FaultRegistry &) = delete;
+  FaultRegistry &operator=(const FaultRegistry &) = delete;
+
+  /// Parses and arms \p Spec: comma-separated `site:prob:seed[:max]`
+  /// entries (`all` fans one entry out to every registered site).
+  /// Replaces any previous configuration. Returns a descriptive Error
+  /// (leaving the registry disarmed) on malformed specs or unknown
+  /// sites.
+  std::optional<Error> configure(const std::string &Spec);
+
+  /// Disarms every site and forgets all configuration and counts.
+  void clear();
+
+  /// True when at least one site is armed.
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// Visits \p Site: returns true when the site is armed, its Bernoulli
+  /// draw fires, and its injection cap is not yet exhausted. Each true
+  /// return counts into fault.injected_total and fault.injected.<site>.
+  bool shouldFail(const char *Site);
+
+  /// Total injections across all sites since configure().
+  uint64_t injectedTotal() const;
+
+  /// Injections at one site since configure().
+  uint64_t injectedAt(const std::string &Site) const;
+
+private:
+  struct Site;
+
+  mutable std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Site>> Sites;
+  std::atomic<bool> Armed{false};
+  std::atomic<uint64_t> InjectedTotal{0};
+  /// True only for the global() instance, which mirrors its armed state
+  /// into detail::GlobalFaultsArmed for the faultPoint() fast path.
+  bool IsGlobal = false;
+};
+
+/// The fault-point gate every site compiles down to. Disarmed (the
+/// default), this is one relaxed atomic load and an untaken branch.
+inline bool faultPoint(const char *Site) {
+  if (OPPROX_LIKELY(
+          !detail::GlobalFaultsArmed.load(std::memory_order_relaxed)))
+    return false;
+  return FaultRegistry::global().shouldFail(Site);
+}
+
+/// faultPoint() that models task death: throws FaultInjectedError when
+/// the site fires.
+inline void throwOnFault(const char *Site) {
+  if (OPPROX_UNLIKELY(faultPoint(Site)))
+    throw FaultInjectedError(Site);
+}
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_FAULTINJECTION_H

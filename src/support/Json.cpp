@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Json.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 #include <cctype>
 #include <cerrno>
@@ -14,6 +15,13 @@
 #include <cstring>
 
 using namespace opprox;
+
+/// Maximum object/array nesting the parser accepts. The parser recurses
+/// per nesting level, so unbounded depth lets a hostile document (e.g.
+/// a megabyte of '[') overflow the stack; artifacts nest a handful of
+/// levels, so this bound is generous for every legitimate input while
+/// keeping worst-case stack usage small and fixed.
+static constexpr size_t kMaxParseDepth = 192;
 
 //===----------------------------------------------------------------------===//
 // Value access
@@ -274,6 +282,32 @@ private:
         return Json(std::move(Out));
       if (static_cast<unsigned char>(C) < 0x20)
         return fail("unescaped control character in string");
+      if (static_cast<unsigned char>(C) >= 0x80) {
+        // Structural UTF-8 validation: a valid leading byte followed by
+        // the right number of continuation bytes. Catches truncated and
+        // garbage byte sequences (binary data masquerading as JSON)
+        // without decoding code points.
+        unsigned char Lead = static_cast<unsigned char>(C);
+        size_t Continuations;
+        if (Lead >= 0xC2 && Lead <= 0xDF)
+          Continuations = 1;
+        else if (Lead >= 0xE0 && Lead <= 0xEF)
+          Continuations = 2;
+        else if (Lead >= 0xF0 && Lead <= 0xF4)
+          Continuations = 3;
+        else
+          return fail("invalid UTF-8 byte in string");
+        Out += C;
+        for (size_t I = 0; I < Continuations; ++I) {
+          if (Pos >= Text.size())
+            return fail("truncated UTF-8 sequence in string");
+          unsigned char Cont = static_cast<unsigned char>(Text[Pos]);
+          if (Cont < 0x80 || Cont > 0xBF)
+            return fail("invalid UTF-8 continuation byte in string");
+          Out += Text[Pos++];
+        }
+        continue;
+      }
       if (C != '\\') {
         Out += C;
         continue;
@@ -343,6 +377,15 @@ private:
   }
 
   Expected<Json> parseArray() {
+    if (Depth >= kMaxParseDepth)
+      return fail("nesting deeper than the supported maximum");
+    ++Depth;
+    Expected<Json> Out = parseArrayBody();
+    --Depth;
+    return Out;
+  }
+
+  Expected<Json> parseArrayBody() {
     consume('[');
     Json Out = Json::array();
     skipWhitespace();
@@ -362,6 +405,15 @@ private:
   }
 
   Expected<Json> parseObject() {
+    if (Depth >= kMaxParseDepth)
+      return fail("nesting deeper than the supported maximum");
+    ++Depth;
+    Expected<Json> Out = parseObjectBody();
+    --Depth;
+    return Out;
+  }
+
+  Expected<Json> parseObjectBody() {
     consume('{');
     Json Out = Json::object();
     skipWhitespace();
@@ -378,6 +430,12 @@ private:
       Expected<Json> Value = parseValue();
       if (!Value)
         return Value;
+      // Duplicate keys are always a producer bug in our documents
+      // (set() would silently keep only the last value), so reject them
+      // rather than guess which value was meant.
+      if (Out.find(Key->asString()))
+        return fail(format("duplicate object key '%s'",
+                           Key->asString().c_str()));
       Out.set(Key->asString(), std::move(*Value));
       skipWhitespace();
       if (consume('}'))
@@ -389,11 +447,14 @@ private:
 
   const std::string &Text;
   size_t Pos = 0;
+  size_t Depth = 0;
 };
 
 } // namespace
 
 Expected<Json> Json::parse(const std::string &Text) {
+  if (faultPoint(faults::JsonParse))
+    return Error("fault injection: simulated JSON parse failure");
   return Parser(Text).run();
 }
 
@@ -535,6 +596,9 @@ Expected<std::vector<size_t>> opprox::getSizeVector(const Json &Obj,
 //===----------------------------------------------------------------------===//
 
 Expected<std::string> opprox::readFile(const std::string &Path) {
+  if (faultPoint(faults::JsonRead))
+    return Error(format("fault injection: simulated I/O failure reading '%s'",
+                        Path.c_str()));
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
     return Error(format("cannot open '%s' for reading: %s", Path.c_str(),

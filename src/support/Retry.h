@@ -1,0 +1,63 @@
+//===- support/Retry.h - Bounded retry with backoff ------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retry rung of the serving path's degradation ladder (see
+/// docs/RELIABILITY.md): bounded attempts with exponential backoff
+/// around an Expected-returning operation. Transient failures --
+/// injected or real I/O hiccups -- are retried; a persistent failure
+/// surfaces the final attempt's Error so the caller can fall to the
+/// next rung (last-known-good artifact, then the exact schedule).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_RETRY_H
+#define OPPROX_SUPPORT_RETRY_H
+
+#include "support/Error.h"
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+
+namespace opprox {
+
+/// Bounded-retry shape shared by artifact load and save. The defaults
+/// (one attempt, no backoff) are exactly the pre-hardening behavior.
+struct RetryPolicy {
+  /// Total attempts, including the first; clamped to at least 1.
+  size_t MaxAttempts = 1;
+  /// Sleep before the first retry; 0 disables sleeping (tests).
+  double InitialBackoffMs = 0.0;
+  /// Backoff growth per retry (exponential; 2.0 doubles each time).
+  double Multiplier = 2.0;
+};
+
+/// Runs \p Attempt (returning Expected<T>) up to Policy.MaxAttempts
+/// times. \p OnRetry runs before each retry with the 1-based
+/// failed-attempt number and its Error -- callers hang logging and
+/// retry-counter telemetry there. Returns the first success or the last
+/// failure.
+template <typename AttemptFn, typename OnRetryFn>
+auto retryWithBackoff(const RetryPolicy &Policy, AttemptFn &&Attempt,
+                      OnRetryFn &&OnRetry) -> decltype(Attempt()) {
+  size_t Attempts = std::max<size_t>(Policy.MaxAttempts, 1);
+  double BackoffMs = Policy.InitialBackoffMs;
+  for (size_t A = 1;; ++A) {
+    auto Result = Attempt();
+    if (Result || A >= Attempts)
+      return Result;
+    OnRetry(A, Result.error());
+    if (BackoffMs > 0.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(BackoffMs));
+    BackoffMs *= Policy.Multiplier;
+  }
+}
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_RETRY_H

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/ThreadPool.h"
+#include "support/FaultInjection.h"
 #include "support/Telemetry.h"
 #include <algorithm>
 #include <atomic>
@@ -69,7 +70,12 @@ void ThreadPool::workerLoop() {
 bool ThreadPool::insideWorker() { return InWorkerThread; }
 
 std::future<void> ThreadPool::submit(std::function<void()> Task) {
-  std::packaged_task<void()> Packaged(std::move(Task));
+  // The fault fires inside the packaged task so the injected death takes
+  // the same route to the caller a real task exception would: the future.
+  std::packaged_task<void()> Packaged([Task = std::move(Task)] {
+    throwOnFault(faults::ThreadPoolTask);
+    Task();
+  });
   std::future<void> Future = Packaged.get_future();
   if (Workers.empty()) {
     tasksExecuted().add();
@@ -93,8 +99,10 @@ void ThreadPool::parallelFor(size_t N,
   // worker (nested parallelism; see the header's design rules).
   if (Workers.empty() || insideWorker() || N == 1) {
     tasksExecuted().add(); // The caller's drain is one executor turn.
-    for (size_t I = 0; I < N; ++I)
+    for (size_t I = 0; I < N; ++I) {
+      throwOnFault(faults::ThreadPoolTask);
       Body(I);
+    }
     return;
   }
 
@@ -119,6 +127,7 @@ void ThreadPool::parallelFor(size_t N,
       if (I >= S.N)
         return;
       try {
+        throwOnFault(faults::ThreadPoolTask);
         (*S.Body)(I);
       } catch (...) {
         std::lock_guard<std::mutex> Lock(S.Mutex);

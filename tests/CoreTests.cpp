@@ -135,6 +135,12 @@ TEST(SamplerTest, EnumerateAllConfigsHardFailsOnOversizedSpace) {
                "exceeds the limit");
 }
 
+TEST(SamplerTest, ConfigCursorHardFailsOnOversizedSpace) {
+  // The cursor constructor has its own fatal guard (Sampler.cpp), hit by
+  // callers that stream configurations instead of materializing them.
+  EXPECT_DEATH(ConfigCursor(std::vector<int>(64, 9)), "exceeds the limit");
+}
+
 //===----------------------------------------------------------------------===//
 // TrainingSet
 //===----------------------------------------------------------------------===//

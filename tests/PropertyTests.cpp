@@ -9,13 +9,18 @@
 
 #include "approx/PhaseSchedule.h"
 #include "approx/Techniques.h"
+#include "apps/AppRegistry.h"
+#include "core/ModelArtifact.h"
+#include "core/OfflineTrainer.h"
 #include "core/Sampler.h"
 #include "linalg/Decompositions.h"
 #include "ml/Mic.h"
 #include "ml/PolynomialRegression.h"
+#include "support/Json.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
 #include <cmath>
+#include <cstring>
 #include <gtest/gtest.h>
 #include <numeric>
 
@@ -228,6 +233,90 @@ TEST(MicProperty, SymmetricInArguments) {
 //===----------------------------------------------------------------------===//
 // Regression scaling property
 //===----------------------------------------------------------------------===//
+
+//===----------------------------------------------------------------------===//
+// Artifact round-trip property over adversarial double bit patterns
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One cheaply trained artifact shared by every round-trip seed; each
+/// seed perturbs a copy, so training cost is paid once.
+const OpproxArtifact &roundTripBaseArtifact() {
+  static const OpproxArtifact Art = [] {
+    auto App = createApp("pso");
+    OpproxTrainOptions Opts;
+    Opts.Profiling.RandomJointSamples = 6;
+    Opts.TrainingInputs = {{30, 5}, {45, 6}};
+    return std::move(OfflineTrainer::train(*App, Opts).Artifact);
+  }();
+  return Art;
+}
+
+/// A finite double drawn uniformly from the raw bit-pattern space --
+/// subnormals, extreme exponents, negative zero -- far nastier for
+/// shortest-round-trip formatting than uniform() values.
+double finiteFromBits(Rng &R) {
+  for (;;) {
+    uint64_t Bits = R.next();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    if (std::isfinite(V))
+      return V;
+  }
+}
+
+} // namespace
+
+TEST(ArtifactRoundTripProperty, SerializationIsBitExactAcross200Seeds) {
+  // The artifact contract (ModelArtifact.h) promises doubles survive
+  // serialize -> deserialize bit-exactly; serializing the reloaded
+  // artifact must therefore reproduce the original bytes. Sweep 200
+  // seeded variants of the input/provenance fields to probe the
+  // formatter across the double space, not just training-shaped values.
+  for (uint64_t Seed = 0; Seed < 200; ++Seed) {
+    Rng R(deriveSeed(0xA57EFAC7u, Seed));
+    OpproxArtifact Art = roundTripBaseArtifact();
+    for (double &V : Art.DefaultInput)
+      V = finiteFromBits(R);
+    Art.Provenance.ProfileSeed = R.next();
+    Art.Provenance.ModelSeed = R.next();
+    Art.Provenance.TrainingRuns = static_cast<size_t>(R.below(1u << 20));
+
+    std::string First = Art.serialize();
+    Expected<OpproxArtifact> Reloaded = OpproxArtifact::deserialize(First);
+    ASSERT_TRUE(static_cast<bool>(Reloaded))
+        << "seed " << Seed << ": " << Reloaded.error().message();
+    std::string Second = Reloaded->serialize();
+    ASSERT_EQ(First, Second) << "round-trip changed bytes at seed " << Seed;
+    // And the reloaded doubles themselves are bitwise identical.
+    ASSERT_EQ(Art.DefaultInput.size(), Reloaded->DefaultInput.size());
+    for (size_t I = 0; I < Art.DefaultInput.size(); ++I)
+      EXPECT_EQ(std::memcmp(&Art.DefaultInput[I], &Reloaded->DefaultInput[I],
+                            sizeof(double)),
+                0)
+          << "seed " << Seed << " input " << I;
+  }
+}
+
+TEST(ScheduleRoundTripProperty, JsonIsLosslessAcross200Seeds) {
+  for (uint64_t Seed = 0; Seed < 200; ++Seed) {
+    Rng R(deriveSeed(0x5C4ED11Eu, Seed));
+    PhaseSchedule S(1 + R.below(8), 1 + R.below(6));
+    for (size_t P = 0; P < S.numPhases(); ++P)
+      for (size_t B = 0; B < S.numBlocks(); ++B)
+        S.setLevel(P, B, static_cast<int>(R.below(10)));
+
+    std::string First = S.toJson().dump(2);
+    Expected<Json> Parsed = Json::parse(First);
+    ASSERT_TRUE(static_cast<bool>(Parsed)) << "seed " << Seed;
+    Expected<PhaseSchedule> Reloaded = PhaseSchedule::fromJson(*Parsed);
+    ASSERT_TRUE(static_cast<bool>(Reloaded))
+        << "seed " << Seed << ": " << Reloaded.error().message();
+    ASSERT_EQ(First, Reloaded->toJson().dump(2)) << "seed " << Seed;
+    ASSERT_EQ(S.toString(), Reloaded->toString()) << "seed " << Seed;
+  }
+}
 
 TEST(RegressionProperty, PredictionScalesWithTarget) {
   Rng R(31);

@@ -30,6 +30,9 @@ int main(int Argc, char **Argv) {
   double Confidence = 0.99;
   bool Aggressive = false;
   bool JsonOutput = false;
+  long LoadRetries = 3;
+  double RetryBackoffMs = 10.0;
+  bool NoLastGood = false;
   TelemetryOptions Telemetry;
 
   FlagParser Flags;
@@ -44,6 +47,12 @@ int main(int Argc, char **Argv) {
   Flags.addFlag("aggressive", &Aggressive,
                 "Use point predictions instead of conservative bounds");
   Flags.addFlag("json", &JsonOutput, "Emit the result as JSON on stdout");
+  Flags.addFlag("load-retries", &LoadRetries,
+                "Total artifact load attempts before giving up");
+  Flags.addFlag("retry-backoff-ms", &RetryBackoffMs,
+                "Initial sleep between load attempts (doubles each retry)");
+  Flags.addFlag("no-last-good", &NoLastGood,
+                "Do not fall back to the last successfully loaded artifact");
   addTelemetryFlags(Flags, Telemetry);
   if (!Flags.parse(Argc, Argv))
     return 1;
@@ -58,7 +67,16 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  Expected<OpproxRuntime> Runtime = OpproxRuntime::load(ArtifactPath);
+  if (LoadRetries < 1) {
+    std::fprintf(stderr, "error: --load-retries must be at least 1\n");
+    return 1;
+  }
+  ArtifactLoadOptions LoadOpts;
+  LoadOpts.Retry.MaxAttempts = static_cast<size_t>(LoadRetries);
+  LoadOpts.Retry.InitialBackoffMs = RetryBackoffMs;
+  LoadOpts.UseLastGood = !NoLastGood;
+  Expected<OpproxRuntime> Runtime =
+      OpproxRuntime::loadArtifact(ArtifactPath, LoadOpts);
   if (!Runtime) {
     std::fprintf(stderr, "error: %s\n", Runtime.error().message().c_str());
     return 1;
@@ -89,7 +107,17 @@ int main(int Argc, char **Argv) {
   OptimizeOptions Opts;
   Opts.ConfidenceP = Confidence;
   Opts.Conservative = !Aggressive;
-  OptimizationResult Result = Runtime->optimizeDetailed(Input, Budget, Opts);
+  Counter &Degraded =
+      MetricsRegistry::global().counter("runtime.degraded_phases");
+  uint64_t DegradedBefore = Degraded.value();
+  Expected<OptimizationResult> Optimized =
+      Runtime->tryOptimizeDetailed(Input, Budget, Opts);
+  if (!Optimized) {
+    std::fprintf(stderr, "error: %s\n", Optimized.error().message().c_str());
+    return 1;
+  }
+  OptimizationResult &Result = *Optimized;
+  uint64_t DegradedPhases = Degraded.value() - DegradedBefore;
 
   if (JsonOutput) {
     Json Out = Json::object();
@@ -98,6 +126,7 @@ int main(int Argc, char **Argv) {
     Out.set("input", Json::numberArray(Input));
     Out.set("schedule", Result.Schedule.toJson());
     Out.set("configs_evaluated", Result.ConfigsEvaluated);
+    Out.set("degraded_phases", static_cast<size_t>(DegradedPhases));
     std::printf("%s\n", Out.dump(2).c_str());
     return 0;
   }
@@ -118,5 +147,9 @@ int main(int Argc, char **Argv) {
                 P, D.AllocatedBudget, D.PredictedSpeedup, D.PredictedQos);
   }
   std::printf("configurations evaluated: %zu\n", Result.ConfigsEvaluated);
+  if (DegradedPhases > 0)
+    std::printf("degraded phases: %llu (served exact configurations; see "
+                "stderr log for causes)\n",
+                static_cast<unsigned long long>(DegradedPhases));
   return 0;
 }

@@ -31,6 +31,7 @@ int main(int Argc, char **Argv) {
   long JointSamples = 32;
   long Threads = 0;
   long ProfileSeed = -1;
+  long SaveRetries = 3;
   bool Quiet = false;
   TelemetryOptions Telemetry;
 
@@ -47,6 +48,9 @@ int main(int Argc, char **Argv) {
                 "Worker threads; 0 = auto (OPPROX_THREADS, else hardware)");
   Flags.addFlag("seed", &ProfileSeed,
                 "Profiling seed override; -1 keeps the default");
+  Flags.addFlag("save-retries", &SaveRetries,
+                "Total artifact save attempts before giving up (a failed "
+                "save forfeits the whole training run)");
   Flags.addFlag("quiet", &Quiet, "Suppress progress output");
   addTelemetryFlags(Flags, Telemetry);
   if (!Flags.parse(Argc, Argv))
@@ -93,7 +97,10 @@ int main(int Argc, char **Argv) {
   logInfo("training '%s' with %s...", AppName.c_str(),
           opproxVersion().c_str());
   OfflineTrainer::Result R = OfflineTrainer::train(*App, Opts);
-  if (std::optional<Error> E = R.Artifact.save(OutPath)) {
+  RetryPolicy SavePolicy;
+  SavePolicy.MaxAttempts = static_cast<size_t>(SaveRetries < 1 ? 1 : SaveRetries);
+  SavePolicy.InitialBackoffMs = 10.0;
+  if (std::optional<Error> E = R.Artifact.save(OutPath, SavePolicy)) {
     std::fprintf(stderr, "error: %s\n", E->message().c_str());
     return 1;
   }
