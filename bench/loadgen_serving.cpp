@@ -1,0 +1,366 @@
+//===- bench/loadgen_serving.cpp - Load generator for opprox-serve --------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives an opprox-serve instance with concurrent client connections
+/// and reports throughput and latency percentiles, in the style of the
+/// classic nperf-family network load generators: a warmup window that is
+/// measured but discarded, then a measurement window summarized with
+/// confidence intervals, and two traffic shapes --
+///
+///  - **closed loop** (default): each connection keeps exactly one
+///    request in flight, so offered load adapts to server speed and the
+///    run measures peak sustainable throughput;
+///  - **open loop** (--rate R): requests are paced on a fixed schedule
+///    split across connections, and latency is measured from the
+///    *scheduled* send time, so queueing delay from a lagging server is
+///    charged to the server, not silently absorbed (the coordinated-
+///    omission correction).
+///
+/// Emits BENCH_serving.json (schema opprox.bench.serving.v1) with RPS,
+/// p50/p99/p999 latency, and the shed rate; docs/SERVING.md explains how
+/// to read it for capacity planning.
+///
+///   loadgen_serving --port 7657 --connections 8 --duration-s 5
+///   loadgen_serving --port 7657 --rate 2000 --out BENCH_serving.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/Json.h"
+#include "support/Socket.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+#include "support/Timer.h"
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+using namespace opprox;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadgenOptions {
+  std::string Host = "127.0.0.1";
+  long Port = 0;
+  std::string App;
+  double Budget = 10.0;
+  std::vector<double> Input;
+  double Confidence = 0.99;
+  bool Aggressive = false;
+  long Connections = 8;
+  double DurationS = 5.0;
+  double WarmupS = 1.0;
+  double Rate = 0.0; ///< Total target RPS; 0 = closed loop.
+  long ConnectRetries = 50;
+  long RecvTimeoutMs = 10000;
+};
+
+/// What one client connection (= one thread) observed during the
+/// measurement window.
+struct WorkerResult {
+  std::vector<double> LatenciesMs;
+  RunningStats Stats;
+  size_t Sent = 0;
+  size_t Ok = 0;
+  size_t ErrorResponses = 0; ///< ok=false responses other than shed.
+  size_t Shed = 0;           ///< `overloaded` responses.
+  size_t TransportErrors = 0;
+};
+
+/// Connects with bounded retries so the generator can be started
+/// concurrently with the server (the CI smoke job does exactly that).
+Expected<Socket> connectWithRetries(const LoadgenOptions &Opts) {
+  for (long Attempt = 0;; ++Attempt) {
+    Expected<Socket> Sock =
+        connectTcp(Opts.Host, static_cast<uint16_t>(Opts.Port));
+    if (Sock) {
+      if (std::optional<Error> E =
+              setRecvTimeoutMs(*Sock, Opts.RecvTimeoutMs))
+        return *E;
+      return Sock;
+    }
+    if (Attempt >= Opts.ConnectRetries)
+      return Sock;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+std::string requestLine(const LoadgenOptions &Opts, size_t Id) {
+  Json Req = Json::object();
+  Req.set("id", Id);
+  if (!Opts.App.empty())
+    Req.set("app", Opts.App);
+  Req.set("budget", Opts.Budget);
+  if (!Opts.Input.empty())
+    Req.set("input", Json::numberArray(Opts.Input));
+  Req.set("confidence", Opts.Confidence);
+  if (Opts.Aggressive)
+    Req.set("aggressive", true);
+  return Req.dump() + "\n";
+}
+
+/// Reads one response line. Returns false on transport failure.
+bool recvLine(const Socket &Sock, LineFramer &Framer, std::string &Line) {
+  std::string Chunk;
+  while (!Framer.next(Line)) {
+    Chunk.clear();
+    RecvResult R = recvSome(Sock, Chunk);
+    if (R.Status != IoStatus::Ok)
+      return false;
+    if (!Framer.feed(Chunk.data(), Chunk.size()))
+      return false;
+  }
+  return true;
+}
+
+void workerLoop(const LoadgenOptions &Opts, size_t WorkerIndex,
+                Clock::time_point WarmupEnd, Clock::time_point Deadline,
+                WorkerResult &Out) {
+  Expected<Socket> Sock = connectWithRetries(Opts);
+  if (!Sock) {
+    std::fprintf(stderr, "loadgen: worker %zu: %s\n", WorkerIndex,
+                 Sock.error().message().c_str());
+    ++Out.TransportErrors;
+    return;
+  }
+  LineFramer Framer(1 << 20);
+  std::string Line;
+  size_t Id = WorkerIndex << 32;
+
+  // Open-loop pacing: this worker owns every PerWorkerInterval-th slot
+  // of the global schedule, offset by its index so workers interleave.
+  const bool OpenLoop = Opts.Rate > 0.0;
+  const auto Interval =
+      OpenLoop ? std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(
+                         static_cast<double>(Opts.Connections) / Opts.Rate))
+               : Clock::duration::zero();
+  Clock::time_point NextSend =
+      Clock::now() + (OpenLoop ? Interval * static_cast<int>(WorkerIndex) /
+                                     static_cast<int>(Opts.Connections)
+                               : Clock::duration::zero());
+
+  while (Clock::now() < Deadline) {
+    Clock::time_point ScheduledAt = Clock::now();
+    if (OpenLoop) {
+      std::this_thread::sleep_until(NextSend);
+      ScheduledAt = NextSend; // Charge queueing delay to the server.
+      NextSend += Interval;
+    }
+
+    std::string Request = requestLine(Opts, ++Id);
+    if (std::optional<Error> E = sendAll(*Sock, Request)) {
+      ++Out.TransportErrors;
+      return;
+    }
+    if (!recvLine(*Sock, Framer, Line)) {
+      ++Out.TransportErrors;
+      return;
+    }
+    Clock::time_point Done = Clock::now();
+    if (Done <= WarmupEnd)
+      continue; // Warmup: exercised but not measured.
+
+    double LatencyMs =
+        std::chrono::duration<double, std::milli>(Done - ScheduledAt).count();
+    ++Out.Sent;
+    Expected<Json> Response = Json::parse(Line);
+    if (!Response || !Response->isObject()) {
+      ++Out.ErrorResponses;
+      continue;
+    }
+    Expected<bool> Ok = getBool(*Response, "ok");
+    if (Ok && *Ok) {
+      ++Out.Ok;
+      Out.LatenciesMs.push_back(LatencyMs);
+      Out.Stats.add(LatencyMs);
+      continue;
+    }
+    Expected<const Json *> ErrorDoc = getObject(*Response, "error");
+    Expected<std::string> Code =
+        ErrorDoc ? getString(**ErrorDoc, "code")
+                 : Expected<std::string>(Error("no error member"));
+    if (Code && *Code == "overloaded")
+      ++Out.Shed;
+    else
+      ++Out.ErrorResponses;
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  LoadgenOptions Opts;
+  std::string InputText;
+  std::string OutPath = "BENCH_serving.json";
+  TelemetryOptions Telemetry;
+
+  FlagParser Flags;
+  Flags.addFlag("host", &Opts.Host, "Server address");
+  Flags.addFlag("port", &Opts.Port, "Server TCP port (required)");
+  Flags.addFlag("app", &Opts.App,
+                "Application to request (default: the server's sole app)");
+  Flags.addFlag("budget", &Opts.Budget, "QoS budget sent in every request");
+  Flags.addFlag("input", &InputText,
+                "Comma-separated input values (default: the artifact's "
+                "recorded production input)");
+  Flags.addFlag("confidence", &Opts.Confidence,
+                "Confidence level sent in every request");
+  Flags.addFlag("aggressive", &Opts.Aggressive,
+                "Request point predictions instead of conservative bounds");
+  Flags.addFlag("connections", &Opts.Connections,
+                "Concurrent client connections (one thread each)");
+  Flags.addFlag("duration-s", &Opts.DurationS,
+                "Measurement window after warmup");
+  Flags.addFlag("warmup-s", &Opts.WarmupS,
+                "Traffic sent and discarded before measuring");
+  Flags.addFlag("rate", &Opts.Rate,
+                "Total offered requests/sec across all connections "
+                "(open loop); 0 = closed loop at peak throughput");
+  Flags.addFlag("connect-retries", &Opts.ConnectRetries,
+                "Connection attempts (100 ms apart) before giving up");
+  Flags.addFlag("recv-timeout-ms", &Opts.RecvTimeoutMs,
+                "Per-response receive timeout");
+  Flags.addFlag("out", &OutPath, "Machine-readable summary path");
+  addTelemetryFlags(Flags, Telemetry);
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+  if (!initTelemetry(Telemetry))
+    return 1;
+  if (Opts.Port <= 0 || Opts.Port > 65535) {
+    std::fprintf(stderr, "error: --port is required (1-65535)\n");
+    return 1;
+  }
+  if (Opts.Connections < 1 || Opts.DurationS <= 0.0 || Opts.WarmupS < 0.0) {
+    std::fprintf(stderr,
+                 "error: --connections must be positive, --duration-s > 0, "
+                 "--warmup-s >= 0\n");
+    return 1;
+  }
+  for (const std::string &Field : split(InputText, ',')) {
+    if (trim(Field).empty())
+      continue;
+    double Value = 0.0;
+    if (!parseDouble(trim(Field), Value)) {
+      std::fprintf(stderr, "error: bad input value '%s'\n", Field.c_str());
+      return 1;
+    }
+    Opts.Input.push_back(Value);
+  }
+
+  const bool OpenLoop = Opts.Rate > 0.0;
+  std::printf("loadgen: %s loop, %ld connections against %s:%ld, "
+              "%.3gs warmup + %.3gs measurement%s\n",
+              OpenLoop ? "open" : "closed", Opts.Connections,
+              Opts.Host.c_str(), Opts.Port, Opts.WarmupS, Opts.DurationS,
+              OpenLoop ? format(" at %.0f req/s", Opts.Rate).c_str() : "");
+  std::fflush(stdout);
+
+  Clock::time_point Start = Clock::now();
+  Clock::time_point WarmupEnd =
+      Start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(Opts.WarmupS));
+  Clock::time_point Deadline =
+      WarmupEnd + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(Opts.DurationS));
+
+  std::vector<WorkerResult> Results(static_cast<size_t>(Opts.Connections));
+  std::vector<std::thread> Workers;
+  for (size_t W = 0; W < static_cast<size_t>(Opts.Connections); ++W)
+    Workers.emplace_back(workerLoop, std::cref(Opts), W, WarmupEnd, Deadline,
+                         std::ref(Results[W]));
+  for (std::thread &T : Workers)
+    T.join();
+  double MeasuredS =
+      std::chrono::duration<double>(Clock::now() - WarmupEnd).count();
+
+  WorkerResult Total;
+  for (const WorkerResult &R : Results) {
+    Total.LatenciesMs.insert(Total.LatenciesMs.end(), R.LatenciesMs.begin(),
+                             R.LatenciesMs.end());
+    Total.Stats.merge(R.Stats);
+    Total.Sent += R.Sent;
+    Total.Ok += R.Ok;
+    Total.ErrorResponses += R.ErrorResponses;
+    Total.Shed += R.Shed;
+    Total.TransportErrors += R.TransportErrors;
+  }
+  if (Total.Ok == 0) {
+    std::fprintf(stderr,
+                 "error: no successful responses measured (%zu transport "
+                 "errors, %zu error responses, %zu shed)\n",
+                 Total.TransportErrors, Total.ErrorResponses, Total.Shed);
+    return 1;
+  }
+
+  double Rps = static_cast<double>(Total.Ok) / MeasuredS;
+  double ShedRate = Total.Sent
+                        ? static_cast<double>(Total.Shed) /
+                              static_cast<double>(Total.Sent)
+                        : 0.0;
+  double P50 = quantile(Total.LatenciesMs, 0.50);
+  double P90 = quantile(Total.LatenciesMs, 0.90);
+  double P99 = quantile(Total.LatenciesMs, 0.99);
+  double P999 = quantile(Total.LatenciesMs, 0.999);
+  // 95% confidence half-width of the mean latency, the nperf-style
+  // "is this run long enough" indicator: rerun longer when it is not
+  // small against the mean.
+  double Ci95 = Total.Stats.count() > 1
+                    ? 1.96 * Total.Stats.stddev() /
+                          std::sqrt(static_cast<double>(Total.Stats.count()))
+                    : 0.0;
+
+  std::printf("requests: %zu ok, %zu shed, %zu errors, %zu transport "
+              "errors\n",
+              Total.Ok, Total.Shed, Total.ErrorResponses,
+              Total.TransportErrors);
+  std::printf("throughput: %.0f req/s over %.3gs\n", Rps, MeasuredS);
+  std::printf("latency ms: mean %.3f +- %.3f (95%% CI), p50 %.3f, p90 %.3f, "
+              "p99 %.3f, p999 %.3f, max %.3f\n",
+              Total.Stats.mean(), Ci95, P50, P90, P99, P999,
+              Total.Stats.max());
+  if (ShedRate > 0.0)
+    std::printf("shed rate: %.2f%% -- offered load exceeds capacity\n",
+                ShedRate * 100.0);
+
+  Json LatencyMs = Json::object();
+  LatencyMs.set("mean", Total.Stats.mean());
+  LatencyMs.set("ci95_halfwidth", Ci95);
+  LatencyMs.set("stddev", Total.Stats.stddev());
+  LatencyMs.set("min", Total.Stats.min());
+  LatencyMs.set("max", Total.Stats.max());
+  LatencyMs.set("p50", P50);
+  LatencyMs.set("p90", P90);
+  LatencyMs.set("p99", P99);
+  LatencyMs.set("p999", P999);
+
+  Json Out = Json::object();
+  Out.set("schema", "opprox.bench.serving.v1");
+  Out.set("mode", OpenLoop ? "open" : "closed");
+  Out.set("connections", Opts.Connections);
+  Out.set("target_rps", Opts.Rate);
+  Out.set("warmup_s", Opts.WarmupS);
+  Out.set("duration_s", MeasuredS);
+  Out.set("requests", Total.Sent);
+  Out.set("ok", Total.Ok);
+  Out.set("shed", Total.Shed);
+  Out.set("errors", Total.ErrorResponses);
+  Out.set("transport_errors", Total.TransportErrors);
+  Out.set("rps", Rps);
+  Out.set("shed_rate", ShedRate);
+  Out.set("latency_ms", std::move(LatencyMs));
+  if (std::optional<Error> E = writeFile(OutPath, Out.dump(2) + "\n")) {
+    std::fprintf(stderr, "error: %s\n", E->message().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Markdown link-and-anchor checker for the docs tree.
+
+Walks README.md, ROADMAP.md, and docs/**/*.md, extracts every inline
+markdown link, and verifies that
+
+  - relative file targets exist (resolved against the linking file),
+  - `#anchor` fragments -- both same-file and `file.md#anchor` -- match a
+    heading in the target file, using GitHub's slug rules,
+  - http(s) targets are left alone (no network access in CI).
+
+Exit status is the number of broken links, so CI fails on the first rot.
+Run locally from the repository root: python3 scripts/check_doc_links.py
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Inline links [text](target); images ![alt](target) match too, which is
+# what we want. Targets with spaces or nested parens do not occur here.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def doc_files():
+    files = [REPO / "README.md", REPO / "ROADMAP.md"]
+    files += sorted((REPO / "docs").rglob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def strip_code(text: str) -> list[str]:
+    """Drops fenced code blocks and inline code spans, keeping line
+    structure so headings keep their positions."""
+    lines, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else re.sub(r"`[^`]*`", "``", line))
+    return lines
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to hyphens, drop anything
+    that is not alphanumeric, hyphen, or underscore."""
+    heading = re.sub(r"[*_`]", "", heading).strip().lower()
+    heading = heading.replace(" ", "-")
+    return re.sub(r"[^a-z0-9\-_]", "", heading)
+
+
+def anchors_of(path: pathlib.Path, cache={}) -> set[str]:
+    if path not in cache:
+        slugs: dict[str, int] = {}
+        out = set()
+        for line in strip_code(path.read_text(encoding="utf-8")):
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            n = slugs.get(slug, 0)
+            slugs[slug] = n + 1
+            out.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = out
+    return cache[path]
+
+
+def main() -> int:
+    broken = []
+    checked = 0
+    for doc in doc_files():
+        lines = strip_code(doc.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(lines, start=1):
+            for target in LINK_RE.findall(line):
+                checked += 1
+                where = f"{doc.relative_to(REPO)}:{lineno}"
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part, _, fragment = target.partition("#")
+                dest = doc if not path_part else (
+                    doc.parent / path_part).resolve()
+                if not dest.exists():
+                    broken.append(f"{where}: missing file: {target}")
+                    continue
+                if not fragment:
+                    continue
+                if dest.suffix != ".md":
+                    broken.append(
+                        f"{where}: anchor on non-markdown target: {target}")
+                    continue
+                if fragment not in anchors_of(dest):
+                    broken.append(f"{where}: missing anchor: {target}")
+    for b in broken:
+        print(f"BROKEN  {b}", file=sys.stderr)
+    print(f"{checked} links checked across {len(doc_files())} files, "
+          f"{len(broken)} broken")
+    return len(broken)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -405,6 +405,7 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
       Decision = PhaseDecision();
       Decision.Levels.assign(MaxLevels.size(), 0);
       Decision.AllocatedBudget = PhaseBudget;
+      Result.DegradedPhases.push_back(Phase);
       Metrics.DegradedPhases.add();
       TraceRecorder::global().instant("optimize.phase_degraded", "optimize");
       logInfo("phase %zu degraded to the exact configuration: %s", Phase,
@@ -423,6 +424,9 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
     RemainingBudget = std::max(0.0, RemainingBudget - Decision.PredictedQos);
     RemainingRoiSum -= Roi[Phase];
   }
+  // Phases were visited in ROI order; report degradations in phase
+  // order so the result is stable for callers that serialize it.
+  std::sort(Result.DegradedPhases.begin(), Result.DegradedPhases.end());
   Result.ConfigsEvaluated = Stats.ConfigsEvaluated;
   Result.ConfigsPruned = Stats.ConfigsPruned;
   Result.ConfigsScored = Stats.ConfigsScored;

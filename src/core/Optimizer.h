@@ -78,6 +78,13 @@ struct OptimizationResult {
   /// Initial normalized ROI share per phase (the paper reports these,
   /// e.g. 0.166/0.17/0.265/0.399 for LULESH).
   std::vector<double> NormalizedRoi;
+  /// Phases that fell back to the exact configuration (rung 3 of the
+  /// degradation ladder, docs/RELIABILITY.md), in ascending phase
+  /// order. Carried per result -- not just in the process-wide
+  /// runtime.degraded_phases counter -- so concurrent hosts (the
+  /// opprox-serve shards) can report degradation per response without
+  /// racing on counter deltas.
+  std::vector<size_t> DegradedPhases;
   size_t ConfigsEvaluated = 0;
   size_t ConfigsPruned = 0;
   size_t ConfigsScored = 0;

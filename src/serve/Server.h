@@ -1,0 +1,132 @@
+//===- serve/Server.h - Multi-threaded optimize-request server -*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network serving tier (ROADMAP item 1): a TCP server that answers
+/// optimize requests over the newline-delimited JSON protocol of
+/// serve/WireProtocol.h, embedded by tools/opprox-serve and driven
+/// directly by the serving tests. Operational semantics -- hot swap,
+/// shedding, drain, capacity planning -- are documented in
+/// docs/SERVING.md.
+///
+/// Architecture (one box per thread, all on one ThreadPool):
+///
+///   acceptor ──round-robin──> shard 0 ── poll loop over its connections
+///                             shard 1 ── parse -> tryOptimizeDetailed
+///                             ...        -> respond, strictly in order
+///
+///  - **Shards.** Each accepted connection is pinned to one worker
+///    shard; a shard owns its connections outright, so request handling
+///    needs no locks on the hot path and responses on one connection
+///    are always in request order.
+///  - **Bounded queues + shedding.** The acceptor sheds new connections
+///    when every shard is at MaxConnectionsPerShard, and a shard sheds
+///    pipelined requests beyond QueueCapacity -- both as structured
+///    `overloaded` error responses, counted into serve.shed. Overload
+///    degrades throughput, never latency of admitted work.
+///  - **Hostile-client bounds.** Per-connection read timeouts
+///    (serve.timeouts) and a per-request size cap (serve.oversized)
+///    guarantee a stalled or streaming client cannot pin a shard.
+///  - **Atomic hot swap.** hotSwap() reloads every resident artifact
+///    through OpproxRuntime::loadArtifact (bounded retry, then the
+///    last-known-good cache) and swaps the app->runtime table in one
+///    shared_ptr store. In-flight requests keep the table they started
+///    with: a swap under load loses no requests.
+///  - **Drain on shutdown.** shutdown() stops the acceptor, lets every
+///    shard answer the requests already buffered on its connections,
+///    then closes and joins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SERVE_SERVER_H
+#define OPPROX_SERVE_SERVER_H
+
+#include "core/OpproxRuntime.h"
+#include "support/Socket.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace opprox {
+namespace serve {
+
+/// One artifact to serve: the application name clients address in the
+/// "app" request member, and the artifact path reloaded on hot swap.
+/// An empty Name takes the AppName recorded inside the artifact.
+struct ServeAppConfig {
+  std::string Name;
+  std::string Path;
+};
+
+struct ServeOptions {
+  /// Listen address. The default serves loopback only; widen it
+  /// deliberately (docs/SERVING.md, "Capacity planning and exposure").
+  std::string BindAddress = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back with port()).
+  uint16_t Port = 0;
+  /// Worker shards; 0 = auto (OPPROX_THREADS, else hardware threads).
+  size_t Shards = 0;
+  /// Pipelined requests a shard accepts per poll cycle before shedding
+  /// the excess with `overloaded` responses.
+  size_t QueueCapacity = 64;
+  /// Connections a shard owns before the acceptor sheds new ones.
+  size_t MaxConnectionsPerShard = 128;
+  /// A connection idle longer than this is closed (serve.timeouts).
+  long ReadTimeoutMs = 30000;
+  /// Hard per-request size cap; beyond it the connection is answered
+  /// with `oversized` and closed (serve.oversized).
+  size_t MaxRequestBytes = 1 << 20;
+  /// Artifact (re)load policy: bounded retry, then last-known-good.
+  ArtifactLoadOptions Load;
+  /// Base optimizer options for every request; the request's
+  /// confidence/aggressive members override the corresponding fields.
+  /// Each request runs serially inside its shard (NumThreads is forced
+  /// to 1): concurrency comes from shards, not per-request fan-out.
+  OptimizeOptions Optimize;
+};
+
+/// A running server. Construction through start() binds, loads every
+/// artifact, and spawns the acceptor + shard threads; the destructor
+/// drains and joins.
+class Server {
+public:
+  /// Loads all \p Apps (failing fast if any artifact is unreadable or
+  /// two share a name) and starts serving.
+  static Expected<std::unique_ptr<Server>> start(std::vector<ServeAppConfig> Apps,
+                                                 ServeOptions Opts);
+
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// The bound TCP port (resolves ephemeral Port = 0).
+  uint16_t port() const;
+  size_t numShards() const;
+
+  /// Resident application names, sorted.
+  std::vector<std::string> appNames() const;
+
+  /// Reloads every resident artifact from its configured path and
+  /// atomically publishes the new table; requests already dispatched
+  /// keep the old one. An artifact whose reload fails every rung keeps
+  /// its current version (counted into serve.hot_swap_failures).
+  /// Returns the number of artifacts that reloaded.
+  size_t hotSwap();
+
+  /// Drains and stops: no new connections, buffered requests answered,
+  /// then all threads joined. Idempotent.
+  void shutdown();
+
+private:
+  struct Impl;
+  explicit Server(std::unique_ptr<Impl> Impl);
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace serve
+} // namespace opprox
+
+#endif // OPPROX_SERVE_SERVER_H

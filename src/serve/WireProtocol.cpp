@@ -1,0 +1,119 @@
+//===- serve/WireProtocol.cpp ---------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/WireProtocol.h"
+#include "support/StringUtils.h"
+#include <cmath>
+
+using namespace opprox;
+using namespace opprox::serve;
+
+namespace {
+
+Error codedError(const char *Code, const std::string &Detail) {
+  return Error(std::string(Code) + ": " + Detail);
+}
+
+} // namespace
+
+Expected<ServeRequest> serve::parseServeRequest(const std::string &Line) {
+  Expected<Json> Doc = Json::parse(Line);
+  if (!Doc)
+    return codedError(errc::ParseError, Doc.error().message());
+  if (!Doc->isObject())
+    return codedError(errc::BadRequest, "request must be a JSON object");
+
+  ServeRequest Req;
+  bool SawBudget = false;
+  for (const auto &[Key, Value] : Doc->members()) {
+    if (Key == "id") {
+      Req.Id = Value;
+    } else if (Key == "app") {
+      if (!Value.isString())
+        return codedError(errc::BadRequest, "'app' must be a string");
+      Req.App = Value.asString();
+    } else if (Key == "budget") {
+      if (!Value.isNumber())
+        return codedError(errc::BadRequest, "'budget' must be a number");
+      Req.Budget = Value.asNumber();
+      SawBudget = true;
+    } else if (Key == "input") {
+      if (!Value.isArray())
+        return codedError(errc::BadRequest,
+                          "'input' must be an array of numbers");
+      for (size_t I = 0; I < Value.size(); ++I) {
+        if (!Value.at(I).isNumber())
+          return codedError(errc::BadRequest,
+                            format("'input'[%zu] must be a number", I));
+        Req.Input.push_back(Value.at(I).asNumber());
+      }
+    } else if (Key == "confidence") {
+      if (!Value.isNumber())
+        return codedError(errc::BadRequest, "'confidence' must be a number");
+      Req.Confidence = Value.asNumber();
+      if (!(std::isfinite(Req.Confidence) && Req.Confidence > 0.0 &&
+            Req.Confidence < 1.0))
+        return codedError(errc::BadRequest,
+                          "'confidence' must be strictly between 0 and 1");
+    } else if (Key == "aggressive") {
+      if (!Value.isBool())
+        return codedError(errc::BadRequest, "'aggressive' must be a boolean");
+      Req.Aggressive = Value.asBool();
+    } else {
+      // Unknown members are rejected, mirroring the CLI's unknown-flag
+      // policy: a typo must not silently change a request's meaning.
+      return codedError(errc::BadRequest,
+                        format("unknown request member '%s'", Key.c_str()));
+    }
+  }
+  if (!SawBudget)
+    return codedError(errc::BadRequest, "missing required member 'budget'");
+  return Req;
+}
+
+std::string serve::requestErrorCode(const Error &E) {
+  const std::string &Message = E.message();
+  for (const char *Code : {errc::ParseError, errc::BadRequest,
+                           errc::UnknownApp, errc::Overloaded,
+                           errc::Oversized, errc::Internal})
+    if (startsWith(Message, std::string(Code) + ": "))
+      return Code;
+  return errc::Internal;
+}
+
+Json serve::optimizationResultJson(const OpproxArtifact &Artifact,
+                                   double Budget,
+                                   const std::vector<double> &Input,
+                                   const OptimizationResult &Result) {
+  Json Out = Json::object();
+  Out.set("app", Artifact.AppName);
+  Out.set("budget", Budget);
+  Out.set("input", Json::numberArray(Input));
+  Out.set("schedule", Result.Schedule.toJson());
+  Out.set("configs_evaluated", Result.ConfigsEvaluated);
+  Out.set("degraded_phases", Result.DegradedPhases.size());
+  return Out;
+}
+
+std::string serve::successResponseLine(const Json &Id, Json ResultDoc) {
+  Json Response = Json::object();
+  Response.set("id", Id);
+  Response.set("ok", true);
+  Response.set("result", std::move(ResultDoc));
+  return Response.dump() + "\n";
+}
+
+std::string serve::errorResponseLine(const Json &Id, const std::string &Code,
+                                     const std::string &Message) {
+  Json Detail = Json::object();
+  Detail.set("code", Code);
+  Detail.set("message", Message);
+  Json Response = Json::object();
+  Response.set("id", Id);
+  Response.set("ok", false);
+  Response.set("error", std::move(Detail));
+  return Response.dump() + "\n";
+}

@@ -1,0 +1,103 @@
+//===- serve/WireProtocol.h - opprox-serve wire protocol -------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The newline-delimited JSON wire protocol of the serving tier. One
+/// request per line, one response line per request, in order. The full
+/// specification -- field semantics, error codes, framing rules -- is
+/// docs/SERVING.md; this header is its implementation.
+///
+/// Request:
+///
+///   {"budget": 10, "app": "pso", "input": [30,5], "id": 7,
+///    "confidence": 0.99, "aggressive": false}
+///
+/// Success response ("result" is byte-identical to the JSON document
+/// `opprox-optimize --json` prints for the same artifact and request,
+/// because both sides build it with optimizationResultJson()):
+///
+///   {"id": 7, "ok": true, "result": {...}}
+///
+/// Error response:
+///
+///   {"id": 7, "ok": false, "error": {"code": "bad_request",
+///    "message": "..."}}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SERVE_WIREPROTOCOL_H
+#define OPPROX_SERVE_WIREPROTOCOL_H
+
+#include "core/ModelArtifact.h"
+#include "core/Optimizer.h"
+#include "support/Json.h"
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace opprox {
+namespace serve {
+
+/// Machine-readable failure classes of an error response. String values
+/// are part of the wire contract (docs/SERVING.md) -- never renumber or
+/// rename.
+namespace errc {
+inline constexpr const char *ParseError = "parse_error";   ///< Line is not valid JSON.
+inline constexpr const char *BadRequest = "bad_request";   ///< Schema/value violation.
+inline constexpr const char *UnknownApp = "unknown_app";   ///< No resident artifact.
+inline constexpr const char *Overloaded = "overloaded";    ///< Shed by a full queue.
+inline constexpr const char *Oversized = "oversized";      ///< Request exceeded the frame cap.
+inline constexpr const char *Internal = "internal";        ///< Unexpected server-side failure.
+} // namespace errc
+
+/// One parsed optimize request.
+struct ServeRequest {
+  /// Echoed verbatim into the response ("id" member; null when absent).
+  Json Id;
+  /// Target application; empty selects the server's sole resident
+  /// artifact (an error when several are resident).
+  std::string App;
+  /// QoS degradation budget in percent. Required.
+  double Budget = 0.0;
+  /// Input values; empty means the artifact's recorded DefaultInput.
+  std::vector<double> Input;
+  /// Confidence level of conservative predictions.
+  double Confidence = 0.99;
+  /// Point predictions instead of conservative bounds.
+  bool Aggressive = false;
+};
+
+/// Parses one request line. Malformed JSON or a schema violation comes
+/// back as an Error whose message starts with the wire error code
+/// followed by ": " (requestErrorCode() recovers the code), so callers
+/// can build the error response without a second classification pass.
+Expected<ServeRequest> parseServeRequest(const std::string &Line);
+
+/// Splits the "code: detail" convention of parseServeRequest errors.
+/// Unrecognized messages map to errc::Internal.
+std::string requestErrorCode(const Error &E);
+
+/// The canonical result document for one served optimization -- the
+/// single source of truth shared by `opprox-optimize --json` and the
+/// server's success responses, which is what makes the two byte-
+/// identical for the same artifact and request (the equivalence suite
+/// cross-checks this over a real socket).
+Json optimizationResultJson(const OpproxArtifact &Artifact, double Budget,
+                            const std::vector<double> &Input,
+                            const OptimizationResult &Result);
+
+/// Builds the success response envelope around a result document.
+std::string successResponseLine(const Json &Id, Json ResultDoc);
+
+/// Builds an error response line. \p Id may be null (unparsable
+/// requests have no id to echo).
+std::string errorResponseLine(const Json &Id, const std::string &Code,
+                              const std::string &Message);
+
+} // namespace serve
+} // namespace opprox
+
+#endif // OPPROX_SERVE_WIREPROTOCOL_H

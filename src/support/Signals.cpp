@@ -1,0 +1,93 @@
+//===- support/Signals.cpp ------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Signals.h"
+#include "support/Error.h"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+using namespace opprox;
+
+namespace {
+
+/// Write end of the active waiter's pipe; -1 when no waiter exists. The
+/// handler reads exactly this one int, which is async-signal-safe.
+volatile int PipeWriteFd = -1;
+
+extern "C" void signalPipeHandler(int Signo) {
+  int SavedErrno = errno;
+  int Fd = PipeWriteFd;
+  if (Fd >= 0) {
+    unsigned char Byte = static_cast<unsigned char>(Signo);
+    // A full pipe (thousands of unconsumed signals) drops the byte;
+    // the waiter is far behind anyway and will see the earlier ones.
+    (void)!::write(Fd, &Byte, 1);
+  }
+  errno = SavedErrno;
+}
+
+/// Owns the write end for the lifetime of the process (the read end
+/// belongs to the waiter). Recreated pipes just overwrite these.
+int WriteFdStorage = -1;
+
+} // namespace
+
+SignalWaiter::SignalWaiter(std::initializer_list<int> Signals) {
+  if (PipeWriteFd >= 0)
+    reportFatalError("only one SignalWaiter may exist at a time");
+
+  int Fds[2];
+  if (::pipe(Fds) != 0)
+    reportFatalError("SignalWaiter: pipe() failed");
+  // Nonblocking write end: a handler must never block the process.
+  ::fcntl(Fds[1], F_SETFL, O_NONBLOCK);
+  ReadEnd = Socket(Fds[0]);
+  WriteFdStorage = Fds[1];
+  PipeWriteFd = Fds[1];
+
+  for (int Signo : Signals) {
+    struct sigaction Action{};
+    Action.sa_handler = signalPipeHandler;
+    sigemptyset(&Action.sa_mask);
+    Action.sa_flags = SA_RESTART;
+    Saved S;
+    S.Signo = Signo;
+    if (::sigaction(Signo, &Action, &S.Action) != 0)
+      reportFatalError("SignalWaiter: sigaction() failed");
+    SavedActions.push_back(S);
+  }
+}
+
+SignalWaiter::~SignalWaiter() {
+  for (const Saved &S : SavedActions)
+    ::sigaction(S.Signo, &S.Action, nullptr);
+  PipeWriteFd = -1;
+  if (WriteFdStorage >= 0) {
+    ::close(WriteFdStorage);
+    WriteFdStorage = -1;
+  }
+}
+
+int SignalWaiter::wait(int TimeoutMs) {
+  pollfd Pfd{};
+  Pfd.fd = ReadEnd.fd();
+  Pfd.events = POLLIN;
+  int Rc;
+  do {
+    Rc = ::poll(&Pfd, 1, TimeoutMs);
+  } while (Rc < 0 && errno == EINTR && TimeoutMs < 0);
+  if (Rc <= 0)
+    return 0; // Timeout (or EINTR with a finite timeout: report as one).
+  unsigned char Byte = 0;
+  ssize_t N;
+  do {
+    N = ::read(ReadEnd.fd(), &Byte, 1);
+  } while (N < 0 && errno == EINTR);
+  return N == 1 ? static_cast<int>(Byte) : 0;
+}

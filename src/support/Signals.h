@@ -1,0 +1,64 @@
+//===- support/Signals.h - Self-pipe signal waiting ------------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Signal handling for long-lived serving processes (tools/opprox-serve):
+/// a SignalWaiter installs handlers for a chosen set of signals and
+/// reports their arrival through the classic self-pipe trick, so the
+/// main thread consumes signals as ordinary poll()-able events instead
+/// of doing work inside a handler. The handler itself only write()s one
+/// byte -- async-signal-safe by construction.
+///
+/// Only one SignalWaiter may exist at a time (it owns the process-wide
+/// handler slots); the destructor restores the previous dispositions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_SIGNALS_H
+#define OPPROX_SUPPORT_SIGNALS_H
+
+#include "support/Socket.h"
+#include <csignal>
+#include <initializer_list>
+#include <vector>
+
+namespace opprox {
+
+/// Installs handlers for \p Signals and turns their delivery into
+/// readable bytes on an internal pipe.
+///
+/// \code
+///   SignalWaiter Signals({SIGHUP, SIGINT, SIGTERM});
+///   while (int Signo = Signals.wait(250)) {
+///     if (Signo == SIGHUP) server.hotSwap();
+///     else break; // SIGINT/SIGTERM: drain and exit.
+///   }
+/// \endcode
+class SignalWaiter {
+public:
+  explicit SignalWaiter(std::initializer_list<int> Signals);
+  ~SignalWaiter();
+
+  SignalWaiter(const SignalWaiter &) = delete;
+  SignalWaiter &operator=(const SignalWaiter &) = delete;
+
+  /// Blocks up to \p TimeoutMs for a handled signal; returns its number,
+  /// or 0 on timeout. A negative timeout blocks indefinitely. Signals
+  /// queue: each delivery is returned exactly once, in arrival order.
+  int wait(int TimeoutMs);
+
+private:
+  struct Saved {
+    int Signo;
+    struct sigaction Action;
+  };
+  Socket ReadEnd;
+  std::vector<Saved> SavedActions;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_SIGNALS_H

@@ -1,0 +1,219 @@
+//===- support/Socket.cpp -------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+#include "support/StringUtils.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace opprox;
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+namespace {
+
+Error errnoError(const char *What) {
+  return Error(format("%s: %s", What, std::strerror(errno)));
+}
+
+/// Resolves the tiny set of host spellings the serving tier needs:
+/// dotted-quad IPv4 literals plus "localhost". (No getaddrinfo: the
+/// load generator and tests talk to numeric addresses, and DNS would
+/// pull an unbounded dependency into the hot path.)
+bool resolveIpv4(const std::string &Host, in_addr &Out) {
+  std::string Addr = (Host == "localhost" || Host.empty()) ? "127.0.0.1" : Host;
+  return ::inet_pton(AF_INET, Addr.c_str(), &Out) == 1;
+}
+
+} // namespace
+
+Expected<Socket> opprox::listenTcp(const std::string &BindAddress,
+                                   uint16_t Port, int Backlog) {
+  in_addr Addr;
+  if (!resolveIpv4(BindAddress, Addr))
+    return Error(format("cannot parse bind address '%s' (numeric IPv4 or "
+                        "'localhost')",
+                        BindAddress.c_str()));
+
+  Socket Sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!Sock.valid())
+    return errnoError("socket");
+
+  int One = 1;
+  if (::setsockopt(Sock.fd(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One)) != 0)
+    return errnoError("setsockopt(SO_REUSEADDR)");
+
+  sockaddr_in Sin{};
+  Sin.sin_family = AF_INET;
+  Sin.sin_port = htons(Port);
+  Sin.sin_addr = Addr;
+  if (::bind(Sock.fd(), reinterpret_cast<sockaddr *>(&Sin), sizeof(Sin)) != 0)
+    return Error(format("bind %s:%u: %s", BindAddress.c_str(),
+                        static_cast<unsigned>(Port), std::strerror(errno)));
+  if (::listen(Sock.fd(), Backlog) != 0)
+    return errnoError("listen");
+  return Sock;
+}
+
+Expected<uint16_t> opprox::boundPort(const Socket &Sock) {
+  sockaddr_in Sin{};
+  socklen_t Len = sizeof(Sin);
+  if (::getsockname(Sock.fd(), reinterpret_cast<sockaddr *>(&Sin), &Len) != 0)
+    return errnoError("getsockname");
+  return static_cast<uint16_t>(ntohs(Sin.sin_port));
+}
+
+RecvResult opprox::acceptConnection(const Socket &Listener, Socket &Out) {
+  RecvResult R;
+  int Fd;
+  do {
+    Fd = ::accept(Listener.fd(), nullptr, nullptr);
+  } while (Fd < 0 && errno == EINTR);
+  if (Fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      R.Status = IoStatus::Timeout;
+    } else {
+      R.Status = IoStatus::Failed;
+      R.Message = format("accept: %s", std::strerror(errno));
+    }
+    return R;
+  }
+  Out = Socket(Fd);
+  R.Status = IoStatus::Ok;
+  return R;
+}
+
+Expected<Socket> opprox::connectTcp(const std::string &Host, uint16_t Port) {
+  in_addr Addr;
+  if (!resolveIpv4(Host, Addr))
+    return Error(format("cannot parse host '%s' (numeric IPv4 or "
+                        "'localhost')",
+                        Host.c_str()));
+
+  Socket Sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!Sock.valid())
+    return errnoError("socket");
+
+  // Request/response lines are small; batching them behind Nagle only
+  // adds latency.
+  int One = 1;
+  (void)::setsockopt(Sock.fd(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+
+  sockaddr_in Sin{};
+  Sin.sin_family = AF_INET;
+  Sin.sin_port = htons(Port);
+  Sin.sin_addr = Addr;
+  int Rc;
+  do {
+    Rc = ::connect(Sock.fd(), reinterpret_cast<sockaddr *>(&Sin), sizeof(Sin));
+  } while (Rc != 0 && errno == EINTR);
+  if (Rc != 0)
+    return Error(format("connect %s:%u: %s", Host.c_str(),
+                        static_cast<unsigned>(Port), std::strerror(errno)));
+  return Sock;
+}
+
+std::optional<Error> opprox::setRecvTimeoutMs(const Socket &Sock, long Millis) {
+  timeval Tv{};
+  Tv.tv_sec = Millis / 1000;
+  Tv.tv_usec = (Millis % 1000) * 1000;
+  if (::setsockopt(Sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) != 0)
+    return errnoError("setsockopt(SO_RCVTIMEO)");
+  return std::nullopt;
+}
+
+std::optional<Error> opprox::sendAll(const Socket &Sock,
+                                     const std::string &Data) {
+  size_t Sent = 0;
+  while (Sent < Data.size()) {
+    ssize_t N = ::send(Sock.fd(), Data.data() + Sent, Data.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return errnoError("send");
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return std::nullopt;
+}
+
+RecvResult opprox::recvSome(const Socket &Sock, std::string &Buffer,
+                            size_t Capacity) {
+  RecvResult R;
+  std::vector<char> Chunk(Capacity);
+  ssize_t N;
+  do {
+    N = ::recv(Sock.fd(), Chunk.data(), Chunk.size(), 0);
+  } while (N < 0 && errno == EINTR);
+  if (N < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      R.Status = IoStatus::Timeout;
+    } else {
+      R.Status = IoStatus::Failed;
+      R.Message = format("recv: %s", std::strerror(errno));
+    }
+    return R;
+  }
+  if (N == 0) {
+    R.Status = IoStatus::Eof;
+    return R;
+  }
+  Buffer.append(Chunk.data(), static_cast<size_t>(N));
+  R.Status = IoStatus::Ok;
+  R.Bytes = static_cast<size_t>(N);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// LineFramer
+//===----------------------------------------------------------------------===//
+
+bool LineFramer::feed(const char *Data, size_t Len) {
+  if (Overflowed)
+    return false;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection's buffer does not grow with total traffic.
+  if (Consumed > 0 && Consumed >= Buffer.size() / 2) {
+    Buffer.erase(0, Consumed);
+    Consumed = 0;
+  }
+  // The cap applies per frame, terminated or not: an oversized line must
+  // trip the flag before it could ever be handed out by next().
+  for (size_t I = 0; I < Len; ++I) {
+    if (Data[I] == '\n') {
+      CurFrameBytes = 0;
+    } else if (++CurFrameBytes > MaxFrameBytes) {
+      Overflowed = true;
+      return false;
+    }
+  }
+  Buffer.append(Data, Len);
+  return true;
+}
+
+bool LineFramer::next(std::string &Line) {
+  size_t Nl = Buffer.find('\n', Consumed);
+  if (Nl == std::string::npos)
+    return false;
+  size_t End = Nl;
+  if (End > Consumed && Buffer[End - 1] == '\r')
+    --End;
+  Line.assign(Buffer, Consumed, End - Consumed);
+  Consumed = Nl + 1;
+  return true;
+}

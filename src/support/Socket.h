@@ -1,0 +1,154 @@
+//===- support/Socket.h - TCP sockets + line framing -----------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin POSIX-socket layer under the serving tier (src/serve and
+/// tools/opprox-serve): an RAII file-descriptor wrapper, TCP listen /
+/// accept / connect helpers with Expected-based diagnostics, bounded
+/// receive with timeouts, and an incremental newline-delimited framer
+/// with a hard request-size cap.
+///
+/// Design rules:
+///
+///  - No hidden global state and no signals: sends use MSG_NOSIGNAL so a
+///    peer that disappeared surfaces as an Error, never SIGPIPE.
+///  - Timeouts and EOF are expected serving events, not failures, so
+///    recvSome() reports them through IoStatus instead of Error; only
+///    genuine socket errors become Errors.
+///  - The framer never allocates beyond its cap: a client that streams
+///    bytes without a newline is cut off at MaxFrameBytes (the server
+///    counts it into serve.oversized and closes the connection).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_SOCKET_H
+#define OPPROX_SUPPORT_SOCKET_H
+
+#include "support/Error.h"
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace opprox {
+
+/// Move-only owner of one socket (or pipe) file descriptor.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  Socket &operator=(Socket &&Other) noexcept {
+    if (this != &Other) {
+      close();
+      Fd = Other.Fd;
+      Other.Fd = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Closes the descriptor now (idempotent).
+  void close();
+
+  /// Releases ownership without closing.
+  int release() {
+    int F = Fd;
+    Fd = -1;
+    return F;
+  }
+
+private:
+  int Fd = -1;
+};
+
+/// Outcome class of one receive attempt. Timeouts and orderly EOF are
+/// part of normal serving traffic, so they are states, not Errors.
+enum class IoStatus {
+  Ok,      ///< At least one byte arrived.
+  Eof,     ///< Peer closed its end cleanly.
+  Timeout, ///< Nothing arrived within the receive timeout.
+  Failed,  ///< A real socket error (message in RecvResult::Message).
+};
+
+struct RecvResult {
+  IoStatus Status = IoStatus::Failed;
+  size_t Bytes = 0;       ///< Valid when Status == Ok.
+  std::string Message;    ///< Valid when Status == Failed.
+};
+
+/// Creates a TCP listener bound to \p BindAddress:\p Port (port 0 picks
+/// an ephemeral port; read it back with boundPort). SO_REUSEADDR is set
+/// so restarting a server does not trip over TIME_WAIT.
+Expected<Socket> listenTcp(const std::string &BindAddress, uint16_t Port,
+                           int Backlog = 128);
+
+/// The local port a listener (or connected socket) is bound to.
+Expected<uint16_t> boundPort(const Socket &Sock);
+
+/// Accepts one pending connection; call after poll/select says the
+/// listener is readable. Timeout means no connection was pending.
+RecvResult acceptConnection(const Socket &Listener, Socket &Out);
+
+/// Connects to \p Host:\p Port (numeric IPv4 dotted quad or
+/// "localhost").
+Expected<Socket> connectTcp(const std::string &Host, uint16_t Port);
+
+/// Sets SO_RCVTIMEO so recvSome() returns IoStatus::Timeout after
+/// \p Millis without data; 0 blocks indefinitely.
+std::optional<Error> setRecvTimeoutMs(const Socket &Sock, long Millis);
+
+/// Writes all of \p Data, riding out partial writes and EINTR. Uses
+/// MSG_NOSIGNAL: a vanished peer is an Error, never SIGPIPE.
+std::optional<Error> sendAll(const Socket &Sock, const std::string &Data);
+
+/// Receives up to \p Capacity bytes into \p Buffer (appended).
+RecvResult recvSome(const Socket &Sock, std::string &Buffer,
+                    size_t Capacity = 4096);
+
+/// Incremental newline-delimited framing with a size cap: feed() bytes
+/// as they arrive, then drain complete lines with next(). A frame that
+/// exceeds \p MaxFrameBytes before its newline arrives trips
+/// overflowed() permanently -- the caller must close the connection
+/// (the cap bounds per-connection memory against hostile clients).
+class LineFramer {
+public:
+  explicit LineFramer(size_t MaxFrameBytes) : MaxFrameBytes(MaxFrameBytes) {}
+
+  /// Appends received bytes. Returns false (and sets overflowed) when
+  /// the unterminated tail would exceed the frame cap.
+  bool feed(const char *Data, size_t Len);
+
+  /// Pops the next complete line (newline stripped, including an
+  /// optional preceding '\r'). Returns false when no full line is
+  /// buffered.
+  bool next(std::string &Line);
+
+  /// True once a frame exceeded the cap; the framer stays unusable.
+  bool overflowed() const { return Overflowed; }
+
+  /// Bytes buffered but not yet returned (the unterminated tail plus
+  /// any undrained complete lines).
+  size_t buffered() const { return Buffer.size() - Consumed; }
+
+private:
+  size_t MaxFrameBytes;
+  std::string Buffer;
+  size_t Consumed = 0;      ///< Prefix of Buffer already handed out.
+  size_t CurFrameBytes = 0; ///< Length of the frame being accumulated.
+  bool Overflowed = false;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_SOCKET_H

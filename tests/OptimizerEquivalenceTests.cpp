@@ -15,8 +15,12 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/OpproxRuntime.h"
 #include "core/Optimizer.h"
 #include "core/Sampler.h"
+#include "serve/Server.h"
+#include "serve/WireProtocol.h"
+#include "support/Json.h"
 #include "support/ThreadPool.h"
 #include <cmath>
 #include <cstring>
@@ -322,4 +326,87 @@ TEST(OptimizerParallelTest, ExternalPoolMatchesSerialBitwise) {
     expectSameDecisions(Ref, Got,
                         "pool repeat " + std::to_string(Repeat));
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Serving tier vs the local CLI document
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reads one newline-terminated response from \p Sock.
+std::optional<std::string> recvResponseLine(const Socket &Sock,
+                                            LineFramer &Framer) {
+  std::string Line, Chunk;
+  while (!Framer.next(Line)) {
+    Chunk.clear();
+    RecvResult R = recvSome(Sock, Chunk);
+    if (R.Status != IoStatus::Ok || !Framer.feed(Chunk.data(), Chunk.size()))
+      return std::nullopt;
+  }
+  return Line;
+}
+
+} // namespace
+
+TEST(OptimizerEquivalenceTest, ServerResponsesMatchLocalDocumentBitwise) {
+  // The acceptance bar for the serving tier: the "result" member of a
+  // wire response is byte-identical to the document `opprox-optimize
+  // --json` prints for the same artifact and request. Both sides load
+  // the same file and share optimizationResultJson(), so any divergence
+  // here means the server changed the math or the serialization.
+  OpproxArtifact Art;
+  Art.AppName = "equivalence";
+  Art.ParameterNames = {"n"};
+  Art.MaxLevels = std::vector<int>(modelA().numBlocks(), 2);
+  Art.DefaultInput = {2.0};
+  Art.Model = modelA();
+  std::string Path = ::testing::TempDir() + "/equivalence.opprox.json";
+  ASSERT_FALSE(Art.save(Path).has_value());
+
+  Expected<OpproxRuntime> Local = OpproxRuntime::load(Path);
+  ASSERT_TRUE(static_cast<bool>(Local)) << Local.error().message();
+
+  serve::ServeOptions ServeOpts;
+  ServeOpts.Shards = 2;
+  Expected<std::unique_ptr<serve::Server>> Srv =
+      serve::Server::start({{"", Path}}, ServeOpts);
+  ASSERT_TRUE(static_cast<bool>(Srv)) << Srv.error().message();
+
+  Expected<Socket> Sock = connectTcp("127.0.0.1", (*Srv)->port());
+  ASSERT_TRUE(static_cast<bool>(Sock)) << Sock.error().message();
+  ASSERT_FALSE(setRecvTimeoutMs(*Sock, 10000).has_value());
+  LineFramer Framer(1 << 20);
+
+  const std::vector<double> Input = {2.0};
+  const double Confidence = 0.97;
+  for (double Budget : {0.02, 0.1, 0.5, 5.0}) {
+    for (bool Aggressive : {false, true}) {
+      OptimizeOptions Opts;
+      Opts.ConfidenceP = Confidence;
+      Opts.Conservative = !Aggressive;
+      Expected<OptimizationResult> R =
+          Local->tryOptimizeDetailed(Input, Budget, Opts);
+      ASSERT_TRUE(static_cast<bool>(R)) << R.error().message();
+      std::string LocalDoc =
+          serve::optimizationResultJson(Local->artifact(), Budget, Input, *R)
+              .dump();
+
+      Json Request = Json::object();
+      Request.set("budget", Budget);
+      Request.set("input", Json::numberArray(Input));
+      Request.set("confidence", Confidence);
+      Request.set("aggressive", Aggressive);
+      ASSERT_FALSE(sendAll(*Sock, Request.dump() + "\n").has_value());
+      std::optional<std::string> Line = recvResponseLine(*Sock, Framer);
+      ASSERT_TRUE(Line.has_value());
+      Expected<Json> Response = Json::parse(*Line);
+      ASSERT_TRUE(static_cast<bool>(Response)) << *Line;
+      Expected<const Json *> Result = getObject(*Response, "result");
+      ASSERT_TRUE(static_cast<bool>(Result)) << *Line;
+      EXPECT_EQ((*Result)->dump(), LocalDoc)
+          << "budget " << Budget << (Aggressive ? ", aggressive" : "");
+    }
+  }
+  (*Srv)->shutdown();
 }

@@ -1,0 +1,589 @@
+//===- tests/ServingTests.cpp - Serving tier: framing, protocol, server ---===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// The serving-tier contract (serve/Server.h, docs/SERVING.md):
+//
+//  - request framing is byte-exact and bounded: a hostile line longer
+//    than the cap is rejected before it is ever handed out, whether it
+//    arrives in one burst or dribbled byte by byte;
+//  - every malformed request line in tests/corpus/wire/ comes back as a
+//    structured error response with the error code its filename claims
+//    -- never a crash or a dropped connection (corpus pattern: add a
+//    file, no code change);
+//  - a live server answers over loopback: lifecycle (start -> request
+//    -> hot swap under load -> drain -> stop), per-connection bounds
+//    (read timeout, size cap), load shedding, and per-phase degradation
+//    reported end to end through the wire when faults are armed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "core/OfflineTrainer.h"
+#include "serve/Server.h"
+#include "serve/WireProtocol.h"
+#include "support/FaultInjection.h"
+#include "support/Json.h"
+#include "support/Telemetry.h"
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace opprox;
+using namespace opprox::serve;
+
+#ifndef OPPROX_TEST_WIRE_CORPUS_DIR
+#error "OPPROX_TEST_WIRE_CORPUS_DIR must point at tests/corpus/wire"
+#endif
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+/// One cheap trained artifact shared by every test in this file, saved
+/// to disk once (the server loads artifacts by path).
+const std::string &artifactPath() {
+  static std::string Path = [] {
+    auto App = createApp("pso");
+    OpproxTrainOptions Opts;
+    Opts.Profiling.RandomJointSamples = 6;
+    Opts.TrainingInputs = {{30, 5}, {45, 6}};
+    OpproxArtifact Art = OfflineTrainer::train(*App, Opts).Artifact;
+    std::string P = tempPath("serving-pso.opprox.json");
+    std::optional<Error> E = Art.save(P);
+    EXPECT_FALSE(E.has_value()) << (E ? E->message() : "");
+    return P;
+  }();
+  return Path;
+}
+
+/// A loopback client speaking the newline-delimited protocol.
+struct TestClient {
+  Socket Sock;
+  LineFramer Framer{1 << 20};
+
+  static TestClient connectTo(uint16_t Port) {
+    TestClient C;
+    Expected<Socket> S = connectTcp("127.0.0.1", Port);
+    EXPECT_TRUE(static_cast<bool>(S)) << (S ? "" : S.error().message());
+    if (S) {
+      EXPECT_FALSE(setRecvTimeoutMs(*S, 10000).has_value());
+      C.Sock = std::move(*S);
+    }
+    return C;
+  }
+
+  bool sendLine(const std::string &Line) {
+    return !sendAll(Sock, Line + "\n").has_value();
+  }
+
+  /// Receives one response line; empty optional on EOF/timeout.
+  std::optional<std::string> recvLine() {
+    std::string Line;
+    std::string Chunk;
+    while (!Framer.next(Line)) {
+      Chunk.clear();
+      RecvResult R = recvSome(Sock, Chunk);
+      if (R.Status != IoStatus::Ok)
+        return std::nullopt;
+      if (!Framer.feed(Chunk.data(), Chunk.size()))
+        return std::nullopt;
+    }
+    return Line;
+  }
+
+  /// Sends a request and returns the parsed response object.
+  Json roundTrip(const std::string &Request) {
+    EXPECT_TRUE(sendLine(Request));
+    std::optional<std::string> Line = recvLine();
+    EXPECT_TRUE(Line.has_value()) << "no response to: " << Request;
+    if (!Line)
+      return Json();
+    Expected<Json> Doc = Json::parse(*Line);
+    EXPECT_TRUE(static_cast<bool>(Doc)) << *Line;
+    return Doc ? *Doc : Json();
+  }
+};
+
+bool responseOk(const Json &Response) {
+  Expected<bool> Ok = getBool(Response, "ok");
+  return Ok && *Ok;
+}
+
+std::string responseErrorCode(const Json &Response) {
+  Expected<const Json *> ErrorDoc = getObject(Response, "error");
+  if (!ErrorDoc)
+    return "";
+  Expected<std::string> Code = getString(**ErrorDoc, "code");
+  return Code ? *Code : "";
+}
+
+std::unique_ptr<Server> startTestServer(ServeOptions Opts,
+                                        std::vector<ServeAppConfig> Apps = {
+                                            {"", artifactPath()}}) {
+  Expected<std::unique_ptr<Server>> Srv =
+      Server::start(std::move(Apps), Opts);
+  EXPECT_TRUE(static_cast<bool>(Srv))
+      << (Srv ? "" : Srv.error().message());
+  return Srv ? std::move(*Srv) : nullptr;
+}
+
+class ServingTest : public ::testing::Test {
+protected:
+  void TearDown() override { FaultRegistry::global().clear(); }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Request framing
+//===----------------------------------------------------------------------===//
+
+TEST(LineFramerTest, SplitsLinesAcrossArbitraryFeedBoundaries) {
+  LineFramer F(1024);
+  std::string Stream = "first\nsecond line\r\nthird\n";
+  // Feed byte by byte: framing must not depend on chunk boundaries.
+  for (char C : Stream)
+    ASSERT_TRUE(F.feed(&C, 1));
+  std::string Line;
+  ASSERT_TRUE(F.next(Line));
+  EXPECT_EQ(Line, "first");
+  ASSERT_TRUE(F.next(Line));
+  EXPECT_EQ(Line, "second line"); // \r\n accepted, \r stripped.
+  ASSERT_TRUE(F.next(Line));
+  EXPECT_EQ(Line, "third");
+  EXPECT_FALSE(F.next(Line));
+  EXPECT_EQ(F.buffered(), 0u);
+}
+
+TEST(LineFramerTest, OversizedCompleteLineInOneBurstIsRejected) {
+  // The regression this guards: a line that arrives already terminated
+  // must still be counted against the cap -- the overflow check cannot
+  // only cover the unterminated tail.
+  LineFramer F(16);
+  std::string Burst(100, 'x');
+  Burst += "\n";
+  EXPECT_FALSE(F.feed(Burst.data(), Burst.size()));
+  EXPECT_TRUE(F.overflowed());
+  std::string Line;
+  EXPECT_FALSE(F.next(Line));
+}
+
+TEST(LineFramerTest, OversizedUnterminatedTailIsRejected) {
+  LineFramer F(16);
+  std::string Dribble(17, 'y');
+  bool Accepted = true;
+  for (char C : Dribble)
+    Accepted = Accepted && F.feed(&C, 1);
+  EXPECT_FALSE(Accepted);
+  EXPECT_TRUE(F.overflowed());
+}
+
+TEST(LineFramerTest, LinesUnderTheCapPassAfterLongStream) {
+  // The per-frame counter must reset at every newline: many small lines
+  // must never accumulate toward the cap.
+  LineFramer F(32);
+  for (int I = 0; I < 1000; ++I) {
+    std::string Line = "line\n";
+    ASSERT_TRUE(F.feed(Line.data(), Line.size()));
+    std::string Out;
+    ASSERT_TRUE(F.next(Out));
+    EXPECT_EQ(Out, "line");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed-request corpus (tests/corpus/wire/)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::filesystem::path> wireCorpusFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(OPPROX_TEST_WIRE_CORPUS_DIR))
+    if (Entry.is_regular_file())
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+/// Corpus naming contract: "<expected-error-code>--<description>.txt".
+std::string expectedCode(const std::filesystem::path &Path) {
+  std::string Stem = Path.stem().string();
+  return Stem.substr(0, Stem.find("--"));
+}
+
+class WireCorpusTest
+    : public ::testing::TestWithParam<std::filesystem::path> {};
+
+std::string wireParamName(
+    const ::testing::TestParamInfo<std::filesystem::path> &Info) {
+  std::string Name = Info.param.stem().string();
+  for (char &C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+TEST(WireCorpusSuite, CorpusDirectoryIsPopulated) {
+  // Guards against a path typo silently instantiating zero cases.
+  EXPECT_GE(wireCorpusFiles().size(), 12u);
+}
+
+TEST_P(WireCorpusTest, ParserRejectsWithTheAdvertisedCode) {
+  Expected<std::string> Text = readFile(GetParam().string());
+  ASSERT_TRUE(static_cast<bool>(Text)) << GetParam();
+  Expected<ServeRequest> Req = parseServeRequest(*Text);
+  ASSERT_FALSE(static_cast<bool>(Req))
+      << GetParam() << " parsed successfully but must be rejected";
+  EXPECT_EQ(requestErrorCode(Req.error()), expectedCode(GetParam()))
+      << GetParam() << ": " << Req.error().message();
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, WireCorpusTest,
+                         ::testing::ValuesIn(wireCorpusFiles()),
+                         wireParamName);
+
+//===----------------------------------------------------------------------===//
+// Request parsing (well-formed)
+//===----------------------------------------------------------------------===//
+
+TEST(WireProtocolTest, MinimalRequestGetsDocumentedDefaults) {
+  Expected<ServeRequest> Req = parseServeRequest("{\"budget\": 7.5}");
+  ASSERT_TRUE(static_cast<bool>(Req)) << Req.error().message();
+  EXPECT_EQ(Req->Budget, 7.5);
+  EXPECT_TRUE(Req->App.empty());
+  EXPECT_TRUE(Req->Input.empty());
+  EXPECT_EQ(Req->Confidence, 0.99);
+  EXPECT_FALSE(Req->Aggressive);
+  EXPECT_TRUE(Req->Id.isNull());
+}
+
+TEST(WireProtocolTest, FullRequestRoundTripsEveryMember) {
+  Expected<ServeRequest> Req = parseServeRequest(
+      "{\"id\": \"r-1\", \"app\": \"pso\", \"budget\": 10, "
+      "\"input\": [30, 5], \"confidence\": 0.9, \"aggressive\": true}");
+  ASSERT_TRUE(static_cast<bool>(Req)) << Req.error().message();
+  EXPECT_EQ(Req->Id.asString(), "r-1");
+  EXPECT_EQ(Req->App, "pso");
+  EXPECT_EQ(Req->Input, (std::vector<double>{30.0, 5.0}));
+  EXPECT_EQ(Req->Confidence, 0.9);
+  EXPECT_TRUE(Req->Aggressive);
+}
+
+TEST(WireProtocolTest, ErrorResponseEchoesIdAndCode) {
+  std::string Line = errorResponseLine(Json(42.0), errc::Overloaded, "full");
+  Expected<Json> Doc = Json::parse(Line);
+  ASSERT_TRUE(static_cast<bool>(Doc));
+  EXPECT_FALSE(responseOk(*Doc));
+  EXPECT_EQ(responseErrorCode(*Doc), "overloaded");
+  Expected<double> Id = getNumber(*Doc, "id");
+  ASSERT_TRUE(static_cast<bool>(Id));
+  EXPECT_EQ(*Id, 42.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Server lifecycle over loopback
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServingTest, StartRefusesMissingArtifact) {
+  Expected<std::unique_ptr<Server>> Srv = Server::start(
+      {{"", tempPath("no-such-artifact.json")}}, ServeOptions{});
+  EXPECT_FALSE(static_cast<bool>(Srv));
+}
+
+TEST_F(ServingTest, StartRefusesDuplicateAppNames) {
+  Expected<std::unique_ptr<Server>> Srv = Server::start(
+      {{"dup", artifactPath()}, {"dup", artifactPath()}}, ServeOptions{});
+  EXPECT_FALSE(static_cast<bool>(Srv));
+}
+
+TEST_F(ServingTest, ServesRequestsAndReportsErrorsInOrder) {
+  ServeOptions Opts;
+  Opts.Shards = 2;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  EXPECT_EQ(Srv->appNames(), std::vector<std::string>{"pso"});
+
+  TestClient C = TestClient::connectTo(Srv->port());
+  Json Ok = C.roundTrip("{\"budget\": 10, \"id\": 1}");
+  ASSERT_TRUE(responseOk(Ok));
+  Expected<const Json *> Result = getObject(Ok, "result");
+  ASSERT_TRUE(static_cast<bool>(Result));
+  Expected<std::string> App = getString(**Result, "app");
+  ASSERT_TRUE(static_cast<bool>(App));
+  EXPECT_EQ(*App, "pso");
+
+  // A malformed line mid-stream gets its error response in order and
+  // leaves the connection serving.
+  Json Bad = C.roundTrip("{broken");
+  EXPECT_FALSE(responseOk(Bad));
+  EXPECT_EQ(responseErrorCode(Bad), "parse_error");
+
+  Json Unknown = C.roundTrip("{\"budget\": 5, \"app\": \"nope\"}");
+  EXPECT_FALSE(responseOk(Unknown));
+  EXPECT_EQ(responseErrorCode(Unknown), "unknown_app");
+
+  Json Invalid = C.roundTrip("{\"budget\": -3}");
+  EXPECT_FALSE(responseOk(Invalid));
+  EXPECT_EQ(responseErrorCode(Invalid), "bad_request");
+
+  Json StillOk = C.roundTrip("{\"budget\": 10, \"id\": 2}");
+  EXPECT_TRUE(responseOk(StillOk));
+  Srv->shutdown();
+}
+
+TEST_F(ServingTest, MultipleResidentArtifactsAreAddressedByName) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  std::unique_ptr<Server> Srv = startTestServer(
+      Opts, {{"alpha", artifactPath()}, {"beta", artifactPath()}});
+  ASSERT_NE(Srv, nullptr);
+  EXPECT_EQ(Srv->appNames(), (std::vector<std::string>{"alpha", "beta"}));
+
+  TestClient C = TestClient::connectTo(Srv->port());
+  EXPECT_TRUE(responseOk(C.roundTrip("{\"budget\": 10, \"app\": \"beta\"}")));
+
+  // With several residents an unaddressed request is ambiguous.
+  Json Ambiguous = C.roundTrip("{\"budget\": 10}");
+  EXPECT_FALSE(responseOk(Ambiguous));
+  EXPECT_EQ(responseErrorCode(Ambiguous), "bad_request");
+}
+
+TEST_F(ServingTest, HotSwapUnderLoadLosesNoRequests) {
+  ServeOptions Opts;
+  Opts.Shards = 2;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  Counter &HotSwaps = MetricsRegistry::global().counter("serve.hot_swaps");
+  uint64_t SwapsBefore = HotSwaps.value();
+
+  // A client hammers sequential requests while the main thread swaps
+  // the artifact table; every request must get a successful response.
+  std::atomic<size_t> OkCount{0};
+  std::atomic<bool> ClientFailed{false};
+  constexpr size_t NumRequests = 60;
+  std::thread Client([&] {
+    TestClient C = TestClient::connectTo(Srv->port());
+    for (size_t I = 0; I < NumRequests; ++I) {
+      Json Response = C.roundTrip("{\"budget\": 10, \"id\": " +
+                                  std::to_string(I) + "}");
+      if (responseOk(Response))
+        OkCount.fetch_add(1);
+      else
+        ClientFailed.store(true);
+    }
+  });
+  for (int Swap = 0; Swap < 4; ++Swap) {
+    EXPECT_EQ(Srv->hotSwap(), 1u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  Client.join();
+  EXPECT_EQ(OkCount.load(), NumRequests);
+  EXPECT_FALSE(ClientFailed.load());
+  EXPECT_EQ(HotSwaps.value(), SwapsBefore + 4);
+  Srv->shutdown();
+}
+
+TEST_F(ServingTest, HotSwapKeepsServingWhenTheFileTurnsBad) {
+  // Copy the artifact so the test can corrupt it without disturbing the
+  // shared one, and disable the last-good cache so the reload genuinely
+  // fails (with it on, rung 2 of the ladder would resurrect the bytes).
+  std::string BadPath = tempPath("serving-hot-swap-bad.opprox.json");
+  std::filesystem::copy_file(artifactPath(), BadPath,
+                             std::filesystem::copy_options::overwrite_existing);
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  Opts.Load.UseLastGood = false;
+  Opts.Load.Retry.MaxAttempts = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts, {{"", BadPath}});
+  ASSERT_NE(Srv, nullptr);
+  Counter &Failures =
+      MetricsRegistry::global().counter("serve.hot_swap_failures");
+  uint64_t FailuresBefore = Failures.value();
+
+  ASSERT_FALSE(writeFile(BadPath, "{not an artifact").has_value());
+  EXPECT_EQ(Srv->hotSwap(), 0u); // Nothing reloaded...
+  EXPECT_EQ(Failures.value(), FailuresBefore + 1);
+
+  // ...but the resident version keeps serving.
+  TestClient C = TestClient::connectTo(Srv->port());
+  EXPECT_TRUE(responseOk(C.roundTrip("{\"budget\": 10}")));
+}
+
+TEST_F(ServingTest, DrainAnswersBufferedRequestsBeforeStopping) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+
+  TestClient C = TestClient::connectTo(Srv->port());
+  ASSERT_TRUE(C.sendLine("{\"budget\": 10, \"id\": \"drain\"}"));
+  // Give loopback time to deliver, then drain: the shard's final pass
+  // must answer what already arrived, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Srv->shutdown();
+
+  std::optional<std::string> Line = C.recvLine();
+  ASSERT_TRUE(Line.has_value()) << "request dropped during drain";
+  Expected<Json> Doc = Json::parse(*Line);
+  ASSERT_TRUE(static_cast<bool>(Doc));
+  EXPECT_TRUE(responseOk(*Doc));
+  EXPECT_FALSE(C.recvLine().has_value()) << "connection must close on drain";
+
+  // shutdown() is idempotent; the destructor repeats it harmlessly.
+  Srv->shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Hostile-client bounds and load shedding
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServingTest, OversizedRequestIsRefusedAndConnectionClosed) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  Opts.MaxRequestBytes = 128;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  Counter &Oversized = MetricsRegistry::global().counter("serve.oversized");
+  uint64_t Before = Oversized.value();
+
+  TestClient C = TestClient::connectTo(Srv->port());
+  ASSERT_TRUE(C.sendLine(std::string(2000, 'a')));
+  std::optional<std::string> Line = C.recvLine();
+  ASSERT_TRUE(Line.has_value());
+  Expected<Json> Doc = Json::parse(*Line);
+  ASSERT_TRUE(static_cast<bool>(Doc));
+  EXPECT_EQ(responseErrorCode(*Doc), "oversized");
+  EXPECT_FALSE(C.recvLine().has_value()) << "connection must close";
+  EXPECT_EQ(Oversized.value(), Before + 1);
+}
+
+TEST_F(ServingTest, IdleConnectionIsClosedAfterReadTimeout) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  Opts.ReadTimeoutMs = 100;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  Counter &Timeouts = MetricsRegistry::global().counter("serve.timeouts");
+  uint64_t Before = Timeouts.value();
+
+  TestClient C = TestClient::connectTo(Srv->port());
+  // Send nothing: the server must close us, not wait forever.
+  EXPECT_FALSE(C.recvLine().has_value());
+  EXPECT_GE(Timeouts.value(), Before + 1);
+}
+
+TEST_F(ServingTest, PipelineBeyondQueueCapacityIsShedNotQueued) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  Opts.QueueCapacity = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+
+  // One burst of pipelined requests far beyond the per-cycle budget:
+  // every line still gets a response (ok or a structured `overloaded`),
+  // nothing hangs, order is preserved.
+  constexpr size_t Burst = 200;
+  TestClient C = TestClient::connectTo(Srv->port());
+  std::string Lines;
+  for (size_t I = 0; I < Burst; ++I)
+    Lines += "{\"budget\": 10, \"id\": " + std::to_string(I) + "}\n";
+  ASSERT_FALSE(sendAll(C.Sock, Lines).has_value());
+
+  size_t Ok = 0, Shed = 0, NextId = 0;
+  for (size_t I = 0; I < Burst; ++I) {
+    std::optional<std::string> Line = C.recvLine();
+    ASSERT_TRUE(Line.has_value()) << "response " << I << " missing";
+    Expected<Json> Doc = Json::parse(*Line);
+    ASSERT_TRUE(static_cast<bool>(Doc));
+    if (responseOk(*Doc)) {
+      ++Ok;
+      // Successful responses echo ids in request order.
+      Expected<double> Id = getNumber(*Doc, "id");
+      ASSERT_TRUE(static_cast<bool>(Id));
+      EXPECT_GE(static_cast<size_t>(*Id), NextId);
+      NextId = static_cast<size_t>(*Id) + 1;
+    } else {
+      ASSERT_EQ(responseErrorCode(*Doc), "overloaded") << *Line;
+      ++Shed;
+    }
+  }
+  EXPECT_EQ(Ok + Shed, Burst);
+  EXPECT_GE(Ok, 1u);
+  EXPECT_GE(Shed, 1u) << "a 200-deep pipeline against capacity 1 must shed";
+}
+
+TEST_F(ServingTest, ConnectionsBeyondCapacityAreShedWithAResponse) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  Opts.MaxConnectionsPerShard = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+
+  TestClient First = TestClient::connectTo(Srv->port());
+  EXPECT_TRUE(responseOk(First.roundTrip("{\"budget\": 10}")));
+
+  // The shard is full: the acceptor answers and closes.
+  TestClient Second = TestClient::connectTo(Srv->port());
+  std::optional<std::string> Line = Second.recvLine();
+  ASSERT_TRUE(Line.has_value());
+  Expected<Json> Doc = Json::parse(*Line);
+  ASSERT_TRUE(static_cast<bool>(Doc));
+  EXPECT_EQ(responseErrorCode(*Doc), "overloaded");
+  EXPECT_FALSE(Second.recvLine().has_value());
+
+  // The admitted connection is unaffected.
+  EXPECT_TRUE(responseOk(First.roundTrip("{\"budget\": 10}")));
+}
+
+//===----------------------------------------------------------------------===//
+// Degradation over the wire
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServingTest, DegradedPhasesAreReportedPerResponse) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  TestClient C = TestClient::connectTo(Srv->port());
+
+  // Healthy first: the baseline response reports zero degradations.
+  Json Healthy = C.roundTrip("{\"budget\": 10}");
+  ASSERT_TRUE(responseOk(Healthy));
+  Expected<const Json *> Result = getObject(Healthy, "result");
+  ASSERT_TRUE(static_cast<bool>(Result));
+  Expected<size_t> Degraded = getSize(**Result, "degraded_phases");
+  ASSERT_TRUE(static_cast<bool>(Degraded));
+  EXPECT_EQ(*Degraded, 0u);
+
+  // Arm NaN predictions: rung 3 of the ladder serves exact
+  // configurations per phase, and the count crosses the wire.
+  ASSERT_FALSE(FaultRegistry::global()
+                   .configure("model.predict.nan:1.0:42")
+                   .has_value());
+  Json Faulty = C.roundTrip("{\"budget\": 10}");
+  ASSERT_TRUE(responseOk(Faulty)) << "degradation must not fail the request";
+  Result = getObject(Faulty, "result");
+  ASSERT_TRUE(static_cast<bool>(Result));
+  Degraded = getSize(**Result, "degraded_phases");
+  ASSERT_TRUE(static_cast<bool>(Degraded));
+  EXPECT_GE(*Degraded, 1u);
+
+  // Disarm: the same connection recovers to clean responses.
+  FaultRegistry::global().clear();
+  Json Recovered = C.roundTrip("{\"budget\": 10}");
+  ASSERT_TRUE(responseOk(Recovered));
+  Result = getObject(Recovered, "result");
+  ASSERT_TRUE(static_cast<bool>(Result));
+  Degraded = getSize(**Result, "degraded_phases");
+  ASSERT_TRUE(static_cast<bool>(Degraded));
+  EXPECT_EQ(*Degraded, 0u);
+}

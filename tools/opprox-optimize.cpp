@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/OpproxRuntime.h"
+#include "serve/WireProtocol.h"
 #include "support/CommandLine.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
@@ -107,9 +108,6 @@ int main(int Argc, char **Argv) {
   OptimizeOptions Opts;
   Opts.ConfidenceP = Confidence;
   Opts.Conservative = !Aggressive;
-  Counter &Degraded =
-      MetricsRegistry::global().counter("runtime.degraded_phases");
-  uint64_t DegradedBefore = Degraded.value();
   Expected<OptimizationResult> Optimized =
       Runtime->tryOptimizeDetailed(Input, Budget, Opts);
   if (!Optimized) {
@@ -117,16 +115,12 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   OptimizationResult &Result = *Optimized;
-  uint64_t DegradedPhases = Degraded.value() - DegradedBefore;
+  size_t DegradedPhases = Result.DegradedPhases.size();
 
   if (JsonOutput) {
-    Json Out = Json::object();
-    Out.set("app", Art.AppName);
-    Out.set("budget", Budget);
-    Out.set("input", Json::numberArray(Input));
-    Out.set("schedule", Result.Schedule.toJson());
-    Out.set("configs_evaluated", Result.ConfigsEvaluated);
-    Out.set("degraded_phases", static_cast<size_t>(DegradedPhases));
+    // The same document opprox-serve returns in its "result" member;
+    // sharing the builder is what keeps the two byte-identical.
+    Json Out = serve::optimizationResultJson(Art, Budget, Input, Result);
     std::printf("%s\n", Out.dump(2).c_str());
     return 0;
   }
@@ -148,8 +142,8 @@ int main(int Argc, char **Argv) {
   }
   std::printf("configurations evaluated: %zu\n", Result.ConfigsEvaluated);
   if (DegradedPhases > 0)
-    std::printf("degraded phases: %llu (served exact configurations; see "
+    std::printf("degraded phases: %zu (served exact configurations; see "
                 "stderr log for causes)\n",
-                static_cast<unsigned long long>(DegradedPhases));
+                DegradedPhases);
   return 0;
 }
