@@ -113,11 +113,17 @@ struct Server::Impl {
   };
   std::vector<std::unique_ptr<Shard>> Shards;
 
+  /// Shutdown is two-phase: AcceptStopping stops (and shutdown() joins)
+  /// the acceptor first, so no connection can be handed to a shard after
+  /// that shard's final drain pass; only then does Stopping start the
+  /// shard drains.
+  std::atomic<bool> AcceptStopping{false};
   std::atomic<bool> Stopping{false};
   bool Joined = false;
   std::mutex JoinMutex;
   std::unique_ptr<ThreadPool> Pool;
-  std::vector<std::future<void>> Loops;
+  std::future<void> AcceptorLoop;
+  std::vector<std::future<void>> Loops; ///< One per shard.
 
   // Cached instrument handles: the hot path touches only atomics.
   Counter &Requests = MetricsRegistry::global().counter("serve.requests");
@@ -159,7 +165,7 @@ struct Server::Impl {
 
   void acceptLoop();
   void shardLoop(size_t Index);
-  void handleLine(Conn &C, const std::string &Line, size_t &CycleBudget);
+  bool handleLine(Conn &C, const std::string &Line, size_t &CycleBudget);
   bool respond(Conn &C, const std::string &Line);
 };
 
@@ -168,7 +174,7 @@ struct Server::Impl {
 //===----------------------------------------------------------------------===//
 
 void Server::Impl::acceptLoop() {
-  while (!Stopping.load(std::memory_order_relaxed)) {
+  while (!AcceptStopping.load(std::memory_order_relaxed)) {
     pollfd Pfd{};
     Pfd.fd = Listener.fd();
     Pfd.events = POLLIN;
@@ -228,17 +234,19 @@ bool Server::Impl::respond(Conn &C, const std::string &Line) {
 
 /// Parses and serves one request line, or sheds it when the shard's
 /// per-cycle budget is spent. Never throws; every outcome is a response
-/// line (followed, for some, by a connection close decided upstream).
-void Server::Impl::handleLine(Conn &C, const std::string &Line,
+/// line. Returns false when the response could not be (fully) written:
+/// the peer may hold a truncated line, so the caller must close the
+/// connection -- appending anything after a partial write would corrupt
+/// the in-order response stream.
+bool Server::Impl::handleLine(Conn &C, const std::string &Line,
                               size_t &CycleBudget) {
   Requests.add();
   if (CycleBudget == 0) {
     ShedCount.add();
-    respond(C, errorResponseLine(Json(), errc::Overloaded,
-                                 format("shard request queue full "
-                                        "(capacity %zu)",
-                                        Opts.QueueCapacity)));
-    return;
+    return respond(C, errorResponseLine(Json(), errc::Overloaded,
+                                        format("shard request queue full "
+                                               "(capacity %zu)",
+                                               Opts.QueueCapacity)));
   }
   --CycleBudget;
 
@@ -246,10 +254,11 @@ void Server::Impl::handleLine(Conn &C, const std::string &Line,
   Expected<ServeRequest> Req = parseServeRequest(Line);
   if (!Req) {
     ErrorCount.add();
-    respond(C, errorResponseLine(Json(), requestErrorCode(Req.error()),
-                                 errorDetail(Req.error())));
+    bool Sent = respond(C, errorResponseLine(Json(),
+                                             requestErrorCode(Req.error()),
+                                             errorDetail(Req.error())));
     RequestMs.record(Span.seconds() * 1e3);
-    return;
+    return Sent;
   }
 
   std::shared_ptr<const RuntimeTable> Snapshot = table();
@@ -259,12 +268,13 @@ void Server::Impl::handleLine(Conn &C, const std::string &Line,
       Rt = Snapshot->ByApp.begin()->second;
     } else {
       ErrorCount.add();
-      respond(C, errorResponseLine(Req->Id, errc::BadRequest,
-                                   format("'app' is required when %zu "
-                                          "artifacts are resident",
-                                          Snapshot->ByApp.size())));
+      bool Sent =
+          respond(C, errorResponseLine(Req->Id, errc::BadRequest,
+                                       format("'app' is required when %zu "
+                                              "artifacts are resident",
+                                              Snapshot->ByApp.size())));
       RequestMs.record(Span.seconds() * 1e3);
-      return;
+      return Sent;
     }
   } else {
     auto It = Snapshot->ByApp.find(Req->App);
@@ -273,36 +283,44 @@ void Server::Impl::handleLine(Conn &C, const std::string &Line,
       for (const auto &[Name, Unused] : Snapshot->ByApp)
         Names.push_back(Name);
       ErrorCount.add();
-      respond(C, errorResponseLine(Req->Id, errc::UnknownApp,
-                                   format("no artifact for '%s' (resident: "
-                                          "%s)",
-                                          Req->App.c_str(),
-                                          join(Names, ", ").c_str())));
+      bool Sent =
+          respond(C, errorResponseLine(Req->Id, errc::UnknownApp,
+                                       format("no artifact for '%s' "
+                                              "(resident: %s)",
+                                              Req->App.c_str(),
+                                              join(Names, ", ").c_str())));
       RequestMs.record(Span.seconds() * 1e3);
-      return;
+      return Sent;
     }
     Rt = It->second;
   }
 
   const std::vector<double> &Input =
       Req->Input.empty() ? Rt->artifact().DefaultInput : Req->Input;
+  // The server-configured options are the default; the request only
+  // overrides the members it actually supplied.
   OptimizeOptions OptimizeOpts = Opts.Optimize;
-  OptimizeOpts.ConfidenceP = Req->Confidence;
-  OptimizeOpts.Conservative = !Req->Aggressive;
+  if (Req->Confidence)
+    OptimizeOpts.ConfidenceP = *Req->Confidence;
+  if (Req->Aggressive)
+    OptimizeOpts.Conservative = !*Req->Aggressive;
 
   Expected<OptimizationResult> Result =
       Rt->tryOptimizeDetailed(Input, Req->Budget, OptimizeOpts);
   if (!Result) {
     ErrorCount.add();
-    respond(C, errorResponseLine(Req->Id, errc::BadRequest,
-                                 Result.error().message()));
+    bool Sent = respond(C, errorResponseLine(Req->Id, errc::BadRequest,
+                                             Result.error().message()));
     RequestMs.record(Span.seconds() * 1e3);
-    return;
+    return Sent;
   }
-  respond(C, successResponseLine(
-                 Req->Id, optimizationResultJson(Rt->artifact(), Req->Budget,
-                                                 Input, *Result)));
+  bool Sent = respond(
+      C, successResponseLine(Req->Id,
+                             optimizationResultJson(Rt->artifact(),
+                                                    Req->Budget, Input,
+                                                    *Result)));
   RequestMs.record(Span.seconds() * 1e3);
+  return Sent;
 }
 
 void Server::Impl::shardLoop(size_t Index) {
@@ -316,11 +334,20 @@ void Server::Impl::shardLoop(size_t Index) {
     connClosed();
   };
 
+  // A connection streaming fast enough that every recv returns a full
+  // chunk must not pin the shard: cap the bytes one connection may read
+  // per poll cycle so the loop always returns to poll() and its
+  // siblings (and the idle-timeout pass) keep making progress. Whatever
+  // is left stays in the kernel buffer and is served next cycle.
+  constexpr size_t MaxReadBytesPerCycle = 64 * 1024;
+
   // One read-and-serve pass over connection I. Returns false when the
-  // connection must close (EOF, error, oversized frame).
+  // connection must close (EOF, error, oversized frame, or a failed
+  // response write -- after a partial write the stream is unrecoverable).
   auto ServeReadable = [&](size_t I, size_t &CycleBudget) -> bool {
     Conn &C = S.Conns[I];
     std::string Chunk;
+    size_t BytesThisCycle = 0;
     for (;;) {
       Chunk.clear();
       RecvResult R = recvSome(C.Sock, Chunk);
@@ -333,6 +360,7 @@ void Server::Impl::shardLoop(size_t Index) {
         return false;
       }
       C.LastActivity = Clock::now();
+      BytesThisCycle += R.Bytes;
       if (!C.Framer.feed(Chunk.data(), Chunk.size())) {
         OversizedCount.add();
         respond(C, errorResponseLine(Json(), errc::Oversized,
@@ -341,9 +369,14 @@ void Server::Impl::shardLoop(size_t Index) {
         return false;
       }
       while (C.Framer.next(Line))
-        handleLine(C, Line, CycleBudget);
+        if (!handleLine(C, Line, CycleBudget)) {
+          logDebug("serve: closing connection after failed response write");
+          return false;
+        }
       if (R.Bytes < 4096)
         break; // Short read: nothing more buffered right now.
+      if (CycleBudget == 0 || BytesThisCycle >= MaxReadBytesPerCycle)
+        break; // Fairness bound: let the other connections run.
     }
     return true;
   };
@@ -472,7 +505,7 @@ Expected<std::unique_ptr<Server>> Server::start(std::vector<ServeAppConfig> Apps
   // these long-lived loops, so its FIFO queue is never contended.
   ImplPtr->Pool = std::make_unique<ThreadPool>(NumShards + 1);
   Impl *Raw = ImplPtr.get();
-  ImplPtr->Loops.push_back(Raw->Pool->submit([Raw] { Raw->acceptLoop(); }));
+  ImplPtr->AcceptorLoop = Raw->Pool->submit([Raw] { Raw->acceptLoop(); });
   for (size_t S = 0; S < NumShards; ++S)
     ImplPtr->Loops.push_back(
         Raw->Pool->submit([Raw, S] { Raw->shardLoop(S); }));
@@ -533,6 +566,13 @@ void Server::shutdown() {
   std::lock_guard<std::mutex> Lock(I->JoinMutex);
   if (I->Joined)
     return;
+  // Stop and join the acceptor before any shard starts its final drain
+  // pass: otherwise a connection accepted in the gap could land on
+  // Shard::Incoming after that shard's last adoption, and be destroyed
+  // with its buffered requests unanswered and its connOpened() never
+  // balanced by connClosed().
+  I->AcceptStopping.store(true, std::memory_order_relaxed);
+  I->AcceptorLoop.wait();
   I->Stopping.store(true, std::memory_order_relaxed);
   for (auto &S : I->Shards)
     S->Wake.wake();

@@ -53,11 +53,12 @@ Expected<ServeRequest> serve::parseServeRequest(const std::string &Line) {
     } else if (Key == "confidence") {
       if (!Value.isNumber())
         return codedError(errc::BadRequest, "'confidence' must be a number");
-      Req.Confidence = Value.asNumber();
-      if (!(std::isfinite(Req.Confidence) && Req.Confidence > 0.0 &&
-            Req.Confidence < 1.0))
+      double Confidence = Value.asNumber();
+      if (!(std::isfinite(Confidence) && Confidence > 0.0 &&
+            Confidence < 1.0))
         return codedError(errc::BadRequest,
                           "'confidence' must be strictly between 0 and 1");
+      Req.Confidence = Confidence;
     } else if (Key == "aggressive") {
       if (!Value.isBool())
         return codedError(errc::BadRequest, "'aggressive' must be a boolean");

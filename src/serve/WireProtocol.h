@@ -64,10 +64,14 @@ struct ServeRequest {
   double Budget = 0.0;
   /// Input values; empty means the artifact's recorded DefaultInput.
   std::vector<double> Input;
-  /// Confidence level of conservative predictions.
-  double Confidence = 0.99;
-  /// Point predictions instead of conservative bounds.
-  bool Aggressive = false;
+  /// Confidence level of conservative predictions. Absent defers to the
+  /// server's configured base OptimizeOptions (ServeOptions::Optimize),
+  /// which is what makes the embedder's ConfidenceP a real default
+  /// rather than one a member-less request silently overrides.
+  std::optional<double> Confidence;
+  /// Point predictions instead of conservative bounds; absent defers to
+  /// the server's configured base OptimizeOptions.
+  std::optional<bool> Aggressive;
 };
 
 /// Parses one request line. Malformed JSON or a schema violation comes

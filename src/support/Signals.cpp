@@ -7,6 +7,7 @@
 #include "support/Signals.h"
 #include "support/Error.h"
 
+#include <atomic>
 #include <cerrno>
 #include <fcntl.h>
 #include <poll.h>
@@ -16,13 +17,19 @@ using namespace opprox;
 
 namespace {
 
-/// Write end of the active waiter's pipe; -1 when no waiter exists. The
-/// handler reads exactly this one int, which is async-signal-safe.
-volatile int PipeWriteFd = -1;
+/// Write end of the active waiter's pipe; -1 when no waiter exists.
+/// Written by the constructor/destructor thread and read by the handler,
+/// which may run on any thread, so it must be a real atomic: volatile
+/// sig_atomic_t is only blessed for same-thread handlers, and a plain
+/// int would be a data race. Lock-free atomic loads are
+/// async-signal-safe.
+std::atomic<int> PipeWriteFd{-1};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler needs a lock-free read of the pipe fd");
 
 extern "C" void signalPipeHandler(int Signo) {
   int SavedErrno = errno;
-  int Fd = PipeWriteFd;
+  int Fd = PipeWriteFd.load(std::memory_order_relaxed);
   if (Fd >= 0) {
     unsigned char Byte = static_cast<unsigned char>(Signo);
     // A full pipe (thousands of unconsumed signals) drops the byte;
@@ -39,7 +46,7 @@ int WriteFdStorage = -1;
 } // namespace
 
 SignalWaiter::SignalWaiter(std::initializer_list<int> Signals) {
-  if (PipeWriteFd >= 0)
+  if (PipeWriteFd.load(std::memory_order_relaxed) >= 0)
     reportFatalError("only one SignalWaiter may exist at a time");
 
   int Fds[2];
@@ -49,7 +56,7 @@ SignalWaiter::SignalWaiter(std::initializer_list<int> Signals) {
   ::fcntl(Fds[1], F_SETFL, O_NONBLOCK);
   ReadEnd = Socket(Fds[0]);
   WriteFdStorage = Fds[1];
-  PipeWriteFd = Fds[1];
+  PipeWriteFd.store(Fds[1], std::memory_order_relaxed);
 
   for (int Signo : Signals) {
     struct sigaction Action{};
@@ -67,7 +74,7 @@ SignalWaiter::SignalWaiter(std::initializer_list<int> Signals) {
 SignalWaiter::~SignalWaiter() {
   for (const Saved &S : SavedActions)
     ::sigaction(S.Signo, &S.Action, nullptr);
-  PipeWriteFd = -1;
+  PipeWriteFd.store(-1, std::memory_order_relaxed);
   if (WriteFdStorage >= 0) {
     ::close(WriteFdStorage);
     WriteFdStorage = -1;

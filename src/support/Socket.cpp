@@ -12,6 +12,7 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -137,7 +138,8 @@ std::optional<Error> opprox::setRecvTimeoutMs(const Socket &Sock, long Millis) {
 }
 
 std::optional<Error> opprox::sendAll(const Socket &Sock,
-                                     const std::string &Data) {
+                                     const std::string &Data,
+                                     long WriteTimeoutMs) {
   size_t Sent = 0;
   while (Sent < Data.size()) {
     ssize_t N = ::send(Sock.fd(), Data.data() + Sent, Data.size() - Sent,
@@ -145,6 +147,24 @@ std::optional<Error> opprox::sendAll(const Socket &Sock,
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking socket with a full kernel buffer. A frame must
+        // never be truncated mid-line (the wire protocol has no resync
+        // point), so wait -- bounded -- for writability and resume.
+        pollfd Pfd{};
+        Pfd.fd = Sock.fd();
+        Pfd.events = POLLOUT;
+        int Rc;
+        do {
+          Rc = ::poll(&Pfd, 1, static_cast<int>(WriteTimeoutMs));
+        } while (Rc < 0 && errno == EINTR);
+        if (Rc > 0)
+          continue;
+        if (Rc == 0)
+          return Error(format("send: peer accepted no data for %ld ms",
+                              WriteTimeoutMs));
+        return errnoError("poll(POLLOUT)");
+      }
       return errnoError("send");
     }
     Sent += static_cast<size_t>(N);

@@ -108,9 +108,15 @@ Expected<Socket> connectTcp(const std::string &Host, uint16_t Port);
 /// \p Millis without data; 0 blocks indefinitely.
 std::optional<Error> setRecvTimeoutMs(const Socket &Sock, long Millis);
 
-/// Writes all of \p Data, riding out partial writes and EINTR. Uses
-/// MSG_NOSIGNAL: a vanished peer is an Error, never SIGPIPE.
-std::optional<Error> sendAll(const Socket &Sock, const std::string &Data);
+/// Writes all of \p Data, riding out partial writes, EINTR, and -- on a
+/// non-blocking socket -- EAGAIN, by waiting up to \p WriteTimeoutMs for
+/// writability between attempts. Either everything is sent or an Error
+/// is returned; a partial frame is never silently left behind (callers
+/// must close the connection on Error, since the peer may have received
+/// a truncated line). Uses MSG_NOSIGNAL: a vanished peer is an Error,
+/// never SIGPIPE.
+std::optional<Error> sendAll(const Socket &Sock, const std::string &Data,
+                             long WriteTimeoutMs = 5000);
 
 /// Receives up to \p Capacity bytes into \p Buffer (appended).
 RecvResult recvSome(const Socket &Sock, std::string &Buffer,

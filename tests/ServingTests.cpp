@@ -27,8 +27,10 @@
 #include "support/Telemetry.h"
 #include <algorithm>
 #include <atomic>
+#include <fcntl.h>
 #include <filesystem>
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <thread>
 
 using namespace opprox;
@@ -196,6 +198,53 @@ TEST(LineFramerTest, LinesUnderTheCapPassAfterLongStream) {
   }
 }
 
+TEST(SocketTest, SendAllRidesOutFullKernelBuffersOnNonBlockingSockets) {
+  // Regression: server connections are non-blocking, and a pipelined
+  // client can fill the kernel send buffer. sendAll must then wait for
+  // writability and resume -- failing after a partial write would leave
+  // the peer a truncated line with no way to resynchronize.
+  Expected<Socket> Listener = listenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(static_cast<bool>(Listener)) << Listener.error().message();
+  Expected<uint16_t> Port = boundPort(*Listener);
+  ASSERT_TRUE(static_cast<bool>(Port)) << Port.error().message();
+  Expected<Socket> Client = connectTcp("127.0.0.1", *Port);
+  ASSERT_TRUE(static_cast<bool>(Client)) << Client.error().message();
+  Socket Accepted;
+  ASSERT_EQ(acceptConnection(*Listener, Accepted).Status, IoStatus::Ok);
+
+  // Shrink the send buffer and go non-blocking, exactly like a served
+  // connection: a multi-megabyte payload must hit EAGAIN mid-send.
+  int SndBuf = 4096;
+  ASSERT_EQ(::setsockopt(Accepted.fd(), SOL_SOCKET, SO_SNDBUF, &SndBuf,
+                         sizeof(SndBuf)),
+            0);
+  int Flags = ::fcntl(Accepted.fd(), F_GETFL, 0);
+  ASSERT_EQ(::fcntl(Accepted.fd(), F_SETFL, Flags | O_NONBLOCK), 0);
+
+  std::string Payload;
+  for (size_t I = 0; Payload.size() < (4u << 20); ++I)
+    Payload += "line-" + std::to_string(I) + "\n";
+
+  std::string Received;
+  std::thread Reader([&] {
+    // Let the sender fill every buffer first so EAGAIN is guaranteed.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::string Chunk;
+    while (Received.size() < Payload.size()) {
+      Chunk.clear();
+      if (recvSome(*Client, Chunk, 64 * 1024).Status != IoStatus::Ok)
+        break;
+      Received += Chunk;
+    }
+  });
+  std::optional<Error> E = sendAll(Accepted, Payload);
+  EXPECT_FALSE(E.has_value()) << (E ? E->message() : "");
+  Accepted.close(); // EOF for the reader in case the send failed short.
+  Reader.join();
+  EXPECT_EQ(Received, Payload) << "received " << Received.size() << " of "
+                               << Payload.size() << " bytes";
+}
+
 //===----------------------------------------------------------------------===//
 // Malformed-request corpus (tests/corpus/wire/)
 //===----------------------------------------------------------------------===//
@@ -261,8 +310,10 @@ TEST(WireProtocolTest, MinimalRequestGetsDocumentedDefaults) {
   EXPECT_EQ(Req->Budget, 7.5);
   EXPECT_TRUE(Req->App.empty());
   EXPECT_TRUE(Req->Input.empty());
-  EXPECT_EQ(Req->Confidence, 0.99);
-  EXPECT_FALSE(Req->Aggressive);
+  // Absent members stay absent, so the server's configured base
+  // OptimizeOptions -- not a parser-invented default -- decide.
+  EXPECT_FALSE(Req->Confidence.has_value());
+  EXPECT_FALSE(Req->Aggressive.has_value());
   EXPECT_TRUE(Req->Id.isNull());
 }
 
@@ -274,8 +325,10 @@ TEST(WireProtocolTest, FullRequestRoundTripsEveryMember) {
   EXPECT_EQ(Req->Id.asString(), "r-1");
   EXPECT_EQ(Req->App, "pso");
   EXPECT_EQ(Req->Input, (std::vector<double>{30.0, 5.0}));
-  EXPECT_EQ(Req->Confidence, 0.9);
-  EXPECT_TRUE(Req->Aggressive);
+  ASSERT_TRUE(Req->Confidence.has_value());
+  EXPECT_EQ(*Req->Confidence, 0.9);
+  ASSERT_TRUE(Req->Aggressive.has_value());
+  EXPECT_TRUE(*Req->Aggressive);
 }
 
 TEST(WireProtocolTest, ErrorResponseEchoesIdAndCode) {
@@ -355,6 +408,38 @@ TEST_F(ServingTest, MultipleResidentArtifactsAreAddressedByName) {
   Json Ambiguous = C.roundTrip("{\"budget\": 10}");
   EXPECT_FALSE(responseOk(Ambiguous));
   EXPECT_EQ(responseErrorCode(Ambiguous), "bad_request");
+}
+
+TEST_F(ServingTest, ServerConfiguredOptimizeOptionsApplyWhenRequestOmitsThem) {
+  // Regression guard: a request without "confidence"/"aggressive" must
+  // run under the embedder-configured base OptimizeOptions (Server.h
+  // documents ServeOptions::Optimize as the default for every request),
+  // not under parser-invented defaults that silently override them.
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  Opts.Optimize.ConfidenceP = 0.5;
+  Opts.Optimize.Conservative = false;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+
+  Expected<OpproxRuntime> Local = OpproxRuntime::load(artifactPath());
+  ASSERT_TRUE(static_cast<bool>(Local)) << Local.error().message();
+  const std::vector<double> &Input = Local->artifact().DefaultInput;
+  OptimizeOptions Base = Opts.Optimize;
+  Base.NumThreads = 1; // start() forces per-request serial execution.
+  Base.Pool = nullptr;
+  Expected<OptimizationResult> R =
+      Local->tryOptimizeDetailed(Input, 10.0, Base);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().message();
+  std::string LocalDoc =
+      optimizationResultJson(Local->artifact(), 10.0, Input, *R).dump();
+
+  TestClient C = TestClient::connectTo(Srv->port());
+  Json Response = C.roundTrip("{\"budget\": 10}");
+  ASSERT_TRUE(responseOk(Response));
+  Expected<const Json *> Result = getObject(Response, "result");
+  ASSERT_TRUE(static_cast<bool>(Result));
+  EXPECT_EQ((*Result)->dump(), LocalDoc);
 }
 
 TEST_F(ServingTest, HotSwapUnderLoadLosesNoRequests) {
