@@ -342,6 +342,44 @@ int main(int Argc, char **Argv) {
   LatencyMs.set("p99", P99);
   LatencyMs.set("p999", P999);
 
+  // Server-side cache effectiveness: one stats request on a fresh
+  // connection after the run. Omitted (not fatal) when the server
+  // predates the stats verb.
+  Json ServerCache;
+  {
+    Expected<Socket> StatsSock = connectWithRetries(Opts);
+    if (StatsSock) {
+      Json StatsReq = Json::object();
+      StatsReq.set("id", static_cast<long>(0));
+      StatsReq.set("stats", true);
+      LineFramer Framer(1 << 20);
+      std::string Line;
+      if (!sendAll(*StatsSock, StatsReq.dump() + "\n").has_value() &&
+          recvLine(*StatsSock, Framer, Line)) {
+        Expected<Json> Response = Json::parse(Line);
+        if (Response) {
+          if (const Json *Result = Response->find("result"))
+            if (const Json *Cache = Result->find("cache")) {
+              double Hits = 0.0, Misses = 0.0;
+              if (const Json *H = Cache->find("hits"))
+                Hits = H->asNumber();
+              if (const Json *M = Cache->find("misses"))
+                Misses = M->asNumber();
+              ServerCache = *Cache;
+              ServerCache.set("hit_rate", Hits + Misses > 0.0
+                                              ? Hits / (Hits + Misses)
+                                              : 0.0);
+              std::printf("server cache: %.0f hits, %.0f misses "
+                          "(hit rate %.3f)\n",
+                          Hits, Misses,
+                          Hits + Misses > 0.0 ? Hits / (Hits + Misses)
+                                              : 0.0);
+            }
+        }
+      }
+    }
+  }
+
   Json Out = Json::object();
   Out.set("schema", "opprox.bench.serving.v1");
   Out.set("mode", OpenLoop ? "open" : "closed");
@@ -357,6 +395,8 @@ int main(int Argc, char **Argv) {
   Out.set("rps", Rps);
   Out.set("shed_rate", ShedRate);
   Out.set("latency_ms", std::move(LatencyMs));
+  if (ServerCache.isObject())
+    Out.set("server_cache", std::move(ServerCache));
   if (std::optional<Error> E = writeFile(OutPath, Out.dump(2) + "\n")) {
     std::fprintf(stderr, "error: %s\n", E->message().c_str());
     return 1;

@@ -19,6 +19,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
+#include "core/ModelArtifact.h"
+#include "core/OptimizePlanner.h"
 #include "core/Optimizer.h"
 #include "core/Sampler.h"
 #include "support/CommandLine.h"
@@ -26,6 +28,8 @@
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 
 using namespace opprox;
@@ -121,6 +125,18 @@ EngineResult timeEngine(const AppModel &Model,
   R.ConfigsPerSec =
       Elapsed > 0.0 ? static_cast<double>(Configs) / Elapsed : 0.0;
   return R;
+}
+
+/// Nearest-rank percentile over per-call samples, reported in
+/// microseconds (cache-layer latencies are far below the millisecond
+/// buckets the engine histograms use).
+double percentileUs(std::vector<double> &SamplesNs, double Pct) {
+  if (SamplesNs.empty())
+    return 0.0;
+  std::sort(SamplesNs.begin(), SamplesNs.end());
+  size_t Idx = static_cast<size_t>(
+      (Pct / 100.0) * static_cast<double>(SamplesNs.size() - 1) + 0.5);
+  return SamplesNs[Idx] / 1000.0;
 }
 
 bool sameDecisions(const OptimizationResult &A, const OptimizationResult &B) {
@@ -258,6 +274,135 @@ int main(int Argc, char **Argv) {
               BatchedR.Opt.ConfigsPruned, TotalConfigs,
               PrunedFraction * 100.0, BatchedR.Opt.ConfigsScored);
 
+  //===--------------------------------------------------------------------===//
+  // Schedule-cache layer: warm/cold latency by shard count, plus a
+  // hit-rate sweep. Every cached response is self-verified bit-identical
+  // to the batched engine before any number is reported.
+  //===--------------------------------------------------------------------===//
+
+  OpproxArtifact Art;
+  Art.AppName = "micro";
+  Art.ParameterNames = {"n"};
+  Art.MaxLevels = MaxLevels;
+  Art.DefaultInput = Input;
+  Art.Model = Model;
+
+  bool CacheIdentical = true;
+  auto runPlanner = [&](OptimizePlanner &Planner,
+                        double B) -> OptimizationResult {
+    Expected<OptimizationResult> R = Planner.optimize(Art, Input, B, Batched);
+    if (!R) {
+      std::fprintf(stderr, "error: %s\n", R.error().message().c_str());
+      std::exit(1);
+    }
+    return std::move(*R);
+  };
+
+  struct CacheRow {
+    size_t Shards;
+    double WarmP50Us, WarmP99Us, ColdP50Us;
+  };
+  std::vector<CacheRow> CacheRows;
+  const size_t WarmIters = 2000, ColdIters = 24;
+  for (size_t Shards : {1u, 8u, 16u}) {
+    PlannerOptions POpts;
+    POpts.Cache.Shards = Shards;
+    POpts.Cache.Capacity = 8192;
+    OptimizePlanner Planner(POpts);
+    CacheIdentical &= sameDecisions(runPlanner(Planner, Budget),
+                                    BatchedR.Opt); // Fill (miss path).
+
+    std::vector<double> WarmNs;
+    WarmNs.reserve(WarmIters);
+    for (size_t I = 0; I < WarmIters; ++I) {
+      auto T0 = std::chrono::steady_clock::now();
+      OptimizationResult R = runPlanner(Planner, Budget);
+      auto T1 = std::chrono::steady_clock::now();
+      WarmNs.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+              .count()));
+      CacheIdentical &= sameDecisions(R, BatchedR.Opt);
+    }
+
+    std::vector<double> ColdNs;
+    ColdNs.reserve(ColdIters);
+    for (size_t I = 0; I < ColdIters; ++I) {
+      // Fresh budget each call: the lookup always misses, so this is
+      // the compute path plus the cache's key/probe/insert overhead.
+      double B = Budget + 1e-4 * static_cast<double>(I + 1);
+      auto T0 = std::chrono::steady_clock::now();
+      OptimizationResult R = runPlanner(Planner, B);
+      auto T1 = std::chrono::steady_clock::now();
+      ColdNs.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+              .count()));
+      if (I == 0)
+        CacheIdentical &= sameDecisions(
+            R, optimizeSchedule(Model, Input, MaxLevels, B, Batched));
+    }
+    CacheRows.push_back({Shards, percentileUs(WarmNs, 50),
+                         percentileUs(WarmNs, 99), percentileUs(ColdNs, 50)});
+  }
+  if (!CacheIdentical) {
+    std::fprintf(stderr,
+                 "FAIL: cached schedules diverge from the batched engine\n");
+    return 1;
+  }
+  std::printf("\ndeterminism: cached schedules are bit-identical to the "
+              "batched engine\n\n");
+
+  Table CacheTable({"cache_shards", "warm_p50_us", "warm_p99_us",
+                    "cold_p50_us"});
+  for (const CacheRow &R : CacheRows)
+    CacheTable.addRow({format("%zu", R.Shards), format("%.2f", R.WarmP50Us),
+                       format("%.2f", R.WarmP99Us),
+                       format("%.1f", R.ColdP50Us)});
+  emit("micro_optimizer cache", CacheTable);
+
+  // Hit-rate sweep: a hot set of 8 budgets pre-warmed, then a request
+  // mix whose repeat fraction targets each hit rate.
+  Counter &CacheHits = MetricsRegistry::global().counter("cache.hits");
+  struct SweepRow {
+    size_t Shards;
+    double Target, Observed, RequestsPerSec;
+  };
+  std::vector<SweepRow> Sweep;
+  const size_t SweepRequests = 400, HotSet = 8;
+  size_t UniqueTag = 0;
+  for (size_t Shards : {1u, 8u, 16u}) {
+    for (double Target : {0.50, 0.90, 0.99}) {
+      PlannerOptions POpts;
+      POpts.Cache.Shards = Shards;
+      POpts.Cache.Capacity = 8192;
+      OptimizePlanner Planner(POpts);
+      for (size_t H = 0; H < HotSet; ++H)
+        (void)runPlanner(Planner, Budget + 0.01 * static_cast<double>(H));
+      uint64_t HitsBefore = CacheHits.value();
+      Timer SweepClock;
+      for (size_t I = 0; I < SweepRequests; ++I) {
+        bool Hot = static_cast<double>(I % 100) < Target * 100.0;
+        double B = Hot ? Budget + 0.01 * static_cast<double>(I % HotSet)
+                       : Budget + 1.0 +
+                             1e-3 * static_cast<double>(++UniqueTag);
+        (void)runPlanner(Planner, B);
+      }
+      double Elapsed = SweepClock.seconds();
+      Sweep.push_back({Shards, Target,
+                       static_cast<double>(CacheHits.value() - HitsBefore) /
+                           static_cast<double>(SweepRequests),
+                       Elapsed > 0.0 ? static_cast<double>(SweepRequests) /
+                                           Elapsed
+                                     : 0.0});
+    }
+  }
+  Table SweepTable({"cache_shards", "target_hit_rate", "observed_hit_rate",
+                    "requests_per_sec"});
+  for (const SweepRow &R : Sweep)
+    SweepTable.addRow({format("%zu", R.Shards), format("%.2f", R.Target),
+                       format("%.3f", R.Observed),
+                       format("%.0f", R.RequestsPerSec)});
+  emit("micro_optimizer cache sweep", SweepTable);
+
   Json Out = Json::object();
   Out.set("schema", "opprox.bench.optimizer.v1");
   Out.set("blocks", Blocks);
@@ -287,6 +432,38 @@ int main(int Argc, char **Argv) {
           BatchedR.ConfigsPerSec / NaiveR.ConfigsPerSec);
   Out.set("speedup_parallel_vs_naive",
           ParallelR.ConfigsPerSec / NaiveR.ConfigsPerSec);
+  Json Cached = Json::object();
+  Cached.set("bit_identical", CacheIdentical);
+  Cached.set("warm_iterations", WarmIters);
+  // Headline numbers come from the default shard count (8).
+  for (const CacheRow &R : CacheRows) {
+    if (R.Shards != 8)
+      continue;
+    Cached.set("warm_p50_us", R.WarmP50Us);
+    Cached.set("warm_p99_us", R.WarmP99Us);
+    Cached.set("cold_p50_us", R.ColdP50Us);
+  }
+  Json ByShards = Json::array();
+  for (const CacheRow &R : CacheRows) {
+    Json Row = Json::object();
+    Row.set("shards", R.Shards);
+    Row.set("warm_p50_us", R.WarmP50Us);
+    Row.set("warm_p99_us", R.WarmP99Us);
+    Row.set("cold_p50_us", R.ColdP50Us);
+    ByShards.push(std::move(Row));
+  }
+  Cached.set("by_shards", std::move(ByShards));
+  Json SweepJson = Json::array();
+  for (const SweepRow &R : Sweep) {
+    Json Row = Json::object();
+    Row.set("shards", R.Shards);
+    Row.set("target_hit_rate", R.Target);
+    Row.set("observed_hit_rate", R.Observed);
+    Row.set("requests_per_sec", R.RequestsPerSec);
+    SweepJson.push(std::move(Row));
+  }
+  Cached.set("sweep", std::move(SweepJson));
+  Out.set("cached", std::move(Cached));
   if (std::optional<Error> E = writeFile(OutPath, Out.dump(2) + "\n")) {
     std::fprintf(stderr, "error: %s\n", E->message().c_str());
     return 1;

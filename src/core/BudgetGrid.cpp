@@ -1,0 +1,259 @@
+//===- core/BudgetGrid.cpp ------------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BudgetGrid.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/Telemetry.h"
+#include <cstring>
+
+using namespace opprox;
+
+/// Grid applicability is bitwise, mirroring the schedule cache's
+/// raw-bits key: value equality (0.0 == -0.0) would let a point apply
+/// to a request whose compute path sees different input bits.
+static bool bitsEqual(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+static bool bitsEqual(const std::vector<double> &A,
+                      const std::vector<double> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (!bitsEqual(A[I], B[I]))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// OptimizationResult serialization
+//===----------------------------------------------------------------------===//
+
+// The full struct round-trips (doubles bit-exactly via the Json layer's
+// %.17g contract) so a grid hit is indistinguishable from the solve that
+// produced the point -- including the search-effort counters.
+
+static Json resultToJson(const OptimizationResult &R) {
+  Json Out = Json::object();
+  Out.set("schedule", R.Schedule.toJson());
+  Json Decisions = Json::array();
+  for (const PhaseDecision &D : R.Decisions) {
+    Json Decision = Json::object();
+    Decision.set("levels", Json::numberArray(D.Levels));
+    Decision.set("predicted_speedup", D.PredictedSpeedup);
+    Decision.set("predicted_qos", D.PredictedQos);
+    Decision.set("allocated_budget", D.AllocatedBudget);
+    Decisions.push(std::move(Decision));
+  }
+  Out.set("decisions", std::move(Decisions));
+  Out.set("normalized_roi", Json::numberArray(R.NormalizedRoi));
+  Out.set("degraded_phases", Json::numberArray(R.DegradedPhases));
+  Out.set("configs_evaluated", R.ConfigsEvaluated);
+  Out.set("configs_pruned", R.ConfigsPruned);
+  Out.set("configs_scored", R.ConfigsScored);
+  return Out;
+}
+
+static Expected<OptimizationResult> resultFromJson(const Json &Value) {
+  if (!Value.isObject())
+    return Error("grid result is not an object");
+  Expected<const Json *> ScheduleJson = getObject(Value, "schedule");
+  if (!ScheduleJson)
+    return ScheduleJson.error();
+  Expected<PhaseSchedule> Schedule = PhaseSchedule::fromJson(**ScheduleJson);
+  if (!Schedule)
+    return Schedule.error();
+  Expected<const Json *> Decisions = getArray(Value, "decisions");
+  if (!Decisions)
+    return Decisions.error();
+  Expected<std::vector<double>> Roi = getNumberVector(Value, "normalized_roi");
+  if (!Roi)
+    return Roi.error();
+  Expected<std::vector<size_t>> Degraded =
+      getSizeVector(Value, "degraded_phases");
+  if (!Degraded)
+    return Degraded.error();
+  Expected<size_t> Evaluated = getSize(Value, "configs_evaluated");
+  if (!Evaluated)
+    return Evaluated.error();
+  Expected<size_t> Pruned = getSize(Value, "configs_pruned");
+  if (!Pruned)
+    return Pruned.error();
+  Expected<size_t> Scored = getSize(Value, "configs_scored");
+  if (!Scored)
+    return Scored.error();
+
+  OptimizationResult R;
+  R.Schedule = std::move(*Schedule);
+  for (size_t I = 0; I < (*Decisions)->size(); ++I) {
+    const Json &Decision = (*Decisions)->at(I);
+    if (!Decision.isObject())
+      return Error(format("grid decision %zu is not an object", I));
+    Expected<std::vector<int>> Levels = getIntVector(Decision, "levels");
+    if (!Levels)
+      return Levels.error();
+    Expected<double> Speedup = getNumber(Decision, "predicted_speedup");
+    if (!Speedup)
+      return Speedup.error();
+    Expected<double> Qos = getNumber(Decision, "predicted_qos");
+    if (!Qos)
+      return Qos.error();
+    Expected<double> Allocated = getNumber(Decision, "allocated_budget");
+    if (!Allocated)
+      return Allocated.error();
+    PhaseDecision D;
+    D.Levels = std::move(*Levels);
+    D.PredictedSpeedup = *Speedup;
+    D.PredictedQos = *Qos;
+    D.AllocatedBudget = *Allocated;
+    R.Decisions.push_back(std::move(D));
+  }
+  R.NormalizedRoi = std::move(*Roi);
+  R.DegradedPhases = std::move(*Degraded);
+  R.ConfigsEvaluated = *Evaluated;
+  R.ConfigsPruned = *Pruned;
+  R.ConfigsScored = *Scored;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// BudgetGrid
+//===----------------------------------------------------------------------===//
+
+Json BudgetGrid::toJson() const {
+  Json Out = Json::object();
+  Out.set("class_id", static_cast<long>(ClassId));
+  Out.set("input", Json::numberArray(Input));
+  Out.set("confidence_p", ConfidenceP);
+  Out.set("conservative", Conservative);
+  Json PointsJson = Json::array();
+  for (const BudgetGridPoint &P : Points) {
+    Json Point = Json::object();
+    Point.set("budget", P.Budget);
+    Point.set("result", resultToJson(P.Result));
+    PointsJson.push(std::move(Point));
+  }
+  Out.set("points", std::move(PointsJson));
+  return Out;
+}
+
+Expected<BudgetGrid> BudgetGrid::fromJson(const Json &Value) {
+  if (!Value.isObject())
+    return Error("budget grid is not an object");
+  Expected<long> ClassId = getInt(Value, "class_id");
+  if (!ClassId)
+    return ClassId.error();
+  Expected<std::vector<double>> Input = getNumberVector(Value, "input");
+  if (!Input)
+    return Input.error();
+  Expected<double> ConfidenceP = getNumber(Value, "confidence_p");
+  if (!ConfidenceP)
+    return ConfidenceP.error();
+  Expected<bool> Conservative = getBool(Value, "conservative");
+  if (!Conservative)
+    return Conservative.error();
+  Expected<const Json *> PointsJson = getArray(Value, "points");
+  if (!PointsJson)
+    return PointsJson.error();
+
+  BudgetGrid Grid;
+  Grid.ClassId = static_cast<int>(*ClassId);
+  Grid.Input = std::move(*Input);
+  Grid.ConfidenceP = *ConfidenceP;
+  Grid.Conservative = *Conservative;
+  for (size_t I = 0; I < (*PointsJson)->size(); ++I) {
+    const Json &Point = (*PointsJson)->at(I);
+    if (!Point.isObject())
+      return Error(format("grid point %zu is not an object", I));
+    Expected<double> Budget = getNumber(Point, "budget");
+    if (!Budget)
+      return Budget.error();
+    Expected<const Json *> ResultJson = getObject(Point, "result");
+    if (!ResultJson)
+      return ResultJson.error();
+    Expected<OptimizationResult> Result = resultFromJson(**ResultJson);
+    if (!Result)
+      return Error(format("grid point %zu: %s", I,
+                          Result.error().message().c_str()));
+    BudgetGridPoint P;
+    P.Budget = *Budget;
+    P.Result = std::move(*Result);
+    Grid.Points.push_back(std::move(P));
+  }
+  return Grid;
+}
+
+std::vector<BudgetGrid>
+opprox::computeBudgetGrids(const AppModel &Model,
+                           const std::vector<int> &MaxLevels,
+                   const std::vector<double> &DefaultInput,
+                   const std::vector<std::vector<double>> &CandidateInputs,
+                   const BudgetGridOptions &Opts) {
+  std::vector<BudgetGrid> Grids;
+  if (!Opts.Enabled || Model.numPhases() == 0)
+    return Grids;
+
+  OptimizeOptions Solve;
+  Solve.ConfidenceP = Opts.ConfidenceP;
+  Solve.Conservative = Opts.Conservative;
+
+  for (size_t Class = 0; Class < Model.numClasses(); ++Class) {
+    int ClassId = static_cast<int>(Class);
+    // The representative input: prefer the application's default
+    // production input when it lands in this class, else the first
+    // training input that does. A class no input reaches gets no grid
+    // (its requests just take the miss path).
+    const std::vector<double> *Rep = nullptr;
+    if (!DefaultInput.empty() && Model.classOf(DefaultInput) == ClassId)
+      Rep = &DefaultInput;
+    for (const std::vector<double> &Candidate : CandidateInputs) {
+      if (Rep)
+        break;
+      if (!Candidate.empty() && Model.classOf(Candidate) == ClassId)
+        Rep = &Candidate;
+    }
+    if (!Rep)
+      continue;
+
+    BudgetGrid Grid;
+    Grid.ClassId = ClassId;
+    Grid.Input = *Rep;
+    Grid.ConfidenceP = Opts.ConfidenceP;
+    Grid.Conservative = Opts.Conservative;
+    for (double Budget : Opts.Budgets) {
+      OptimizationResult R =
+          optimizeSchedule(Model, *Rep, MaxLevels, Budget, Solve);
+      // A degraded solve is the fault ladder talking, not the model;
+      // baking it into the artifact would outlive the fault.
+      if (!R.DegradedPhases.empty())
+        continue;
+      Grid.Points.push_back(BudgetGridPoint{Budget, std::move(R)});
+    }
+    if (!Grid.Points.empty())
+      Grids.push_back(std::move(Grid));
+  }
+  return Grids;
+}
+
+const OptimizationResult *
+opprox::findGridResult(const std::vector<BudgetGrid> &Grids, int ClassId,
+               const std::vector<double> &Input, double Budget,
+               const OptimizeOptions &Opts) {
+  for (const BudgetGrid &Grid : Grids) {
+    if (Grid.ClassId != ClassId || Grid.Conservative != Opts.Conservative ||
+        !bitsEqual(Grid.ConfidenceP, Opts.ConfidenceP) ||
+        !bitsEqual(Grid.Input, Input))
+      continue;
+    for (const BudgetGridPoint &P : Grid.Points) {
+      if (bitsEqual(P.Budget, Budget)) {
+        MetricsRegistry::global().counter("cache.grid_hits").add();
+        return &P.Result;
+      }
+    }
+  }
+  return nullptr;
+}

@@ -1,0 +1,91 @@
+//===- core/BudgetGrid.h - Precomputed per-class budget sweeps -*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optional precomputed budget-grid sweeps carried by schema-1.2
+/// artifacts: for each control-flow class, the trainer solves the full
+/// Algorithm-2 search once per common budget point and stores the
+/// finished OptimizationResult. At serving time a request whose
+/// (class, input, budget, decision options) match a grid point bitwise
+/// resolves by copying the stored result instead of re-running the
+/// search -- the grid was produced by the very optimizer the miss path
+/// would run, so a grid hit is bit-identical by construction.
+///
+/// Grids are strictly an acceleration: requests off the grid fall
+/// through to the compute layer, and a corrupt grid section in an
+/// artifact degrades to "no grids" (counted in cache.grid_load_errors)
+/// rather than failing the load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_BUDGETGRID_H
+#define OPPROX_CORE_BUDGETGRID_H
+
+#include "core/Optimizer.h"
+#include "support/Error.h"
+
+namespace opprox {
+
+class Json;
+
+/// One solved budget point: the budget it was solved for (exact bits)
+/// and the optimizer's full result.
+struct BudgetGridPoint {
+  double Budget = 0.0;
+  OptimizationResult Result;
+};
+
+/// The precomputed sweep for one control-flow class, solved for one
+/// representative input under one decision-relevant option set. A grid
+/// point applies to a request only when class id, every input value,
+/// the budget, ConfidenceP, and Conservative all match bitwise.
+struct BudgetGrid {
+  int ClassId = 0;
+  std::vector<double> Input;
+  double ConfidenceP = 0.99;
+  bool Conservative = true;
+  std::vector<BudgetGridPoint> Points;
+
+  Json toJson() const;
+  static Expected<BudgetGrid> fromJson(const Json &Value);
+};
+
+/// Controls the trainer's grid sweep (opprox-train --budget-grid).
+struct BudgetGridOptions {
+  bool Enabled = false;
+  /// Budget points to solve per class, in percent QoS degradation.
+  /// Covers the common serving budgets; off-grid budgets simply miss.
+  std::vector<double> Budgets = {1.0,  2.0,  5.0,  10.0,
+                                 15.0, 20.0, 25.0, 50.0};
+  /// Decision options the sweep is solved under (must match the
+  /// request's options bitwise for a grid point to apply).
+  double ConfidenceP = 0.99;
+  bool Conservative = true;
+};
+
+/// Solves the sweep for every control-flow class of \p Model. Each
+/// class's representative input is \p DefaultInput when it classifies
+/// into that class, else the first of \p CandidateInputs that does;
+/// classes no candidate reaches get no grid. Points whose solve
+/// degraded (non-empty DegradedPhases) are dropped -- a fault-degraded
+/// result must not be baked into the artifact.
+std::vector<BudgetGrid>
+computeBudgetGrids(const AppModel &Model, const std::vector<int> &MaxLevels,
+                   const std::vector<double> &DefaultInput,
+                   const std::vector<std::vector<double>> &CandidateInputs,
+                   const BudgetGridOptions &Opts);
+
+/// Looks up the grid point matching (\p ClassId, \p Input, \p Budget,
+/// \p Opts) bitwise. Null when off the grid. Counts cache.grid_hits on
+/// a match.
+const OptimizationResult *
+findGridResult(const std::vector<BudgetGrid> &Grids, int ClassId,
+               const std::vector<double> &Input, double Budget,
+               const OptimizeOptions &Opts);
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_BUDGETGRID_H

@@ -46,7 +46,12 @@ struct LastGoodCache {
 OpproxRuntime OpproxRuntime::fromArtifact(OpproxArtifact Artifact) {
   OpproxRuntime Runtime;
   Runtime.Art = std::move(Artifact);
+  Runtime.Planner = std::make_shared<OptimizePlanner>();
   return Runtime;
+}
+
+void OpproxRuntime::configurePlanner(const PlannerOptions &Opts) {
+  Planner = std::make_shared<OptimizePlanner>(Opts);
 }
 
 Expected<OpproxRuntime> OpproxRuntime::load(const std::string &Path) {
@@ -108,20 +113,13 @@ OpproxRuntime::optimizeDetailed(const std::vector<double> &Input,
                                 double QosBudget,
                                 const OptimizeOptions &Opts) const {
   assert(Art.Model.numPhases() > 0 && "optimize on an empty runtime");
-  return optimizeSchedule(Art.Model, Input, Art.MaxLevels, QosBudget, Opts);
+  return Planner->optimizeTrusted(Art, Input, QosBudget, Opts);
 }
 
 Expected<OptimizationResult>
 OpproxRuntime::tryOptimizeDetailed(const std::vector<double> &Input,
                                    double QosBudget,
                                    const OptimizeOptions &Opts) const {
-  if (!(std::isfinite(QosBudget) && QosBudget >= 0.0))
-    return Error(format("QoS budget %g is not a non-negative finite number",
-                        QosBudget));
-  if (!Art.ParameterNames.empty() &&
-      Input.size() != Art.ParameterNames.size())
-    return Error(format("request has %zu input values but the artifact "
-                        "expects %zu",
-                        Input.size(), Art.ParameterNames.size()));
-  return optimizeDetailed(Input, QosBudget, Opts);
+  assert(Art.Model.numPhases() > 0 && "optimize on an empty runtime");
+  return Planner->optimize(Art, Input, QosBudget, Opts);
 }

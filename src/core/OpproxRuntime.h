@@ -25,6 +25,7 @@
 #define OPPROX_CORE_OPPROXRUNTIME_H
 
 #include "core/ModelArtifact.h"
+#include "core/OptimizePlanner.h"
 #include "core/Optimizer.h"
 
 namespace opprox {
@@ -80,6 +81,17 @@ public:
   tryOptimizeDetailed(const std::vector<double> &Input, double QosBudget,
                       const OptimizeOptions &Opts = {}) const;
 
+  /// Replaces the planner (and with it the schedule cache) with one
+  /// built from \p Opts. Hosts call this once after loading, before the
+  /// runtime goes concurrent; the cache then lives exactly as long as
+  /// this runtime serves this artifact, which is what keeps hot swaps
+  /// stale-free (a swapped-in runtime starts with an empty cache).
+  void configurePlanner(const PlannerOptions &Opts);
+
+  /// The plan/lookup/compute pipeline every optimize call routes
+  /// through.
+  const OptimizePlanner &planner() const { return *Planner; }
+
   // -- Introspection ----------------------------------------------------
 
   const OpproxArtifact &artifact() const { return Art; }
@@ -93,6 +105,10 @@ private:
   OpproxRuntime() = default;
 
   OpproxArtifact Art;
+  /// shared_ptr so runtime copies stay cheap and share one cache: every
+  /// copy serves the same artifact, so shared entries are still
+  /// bit-identical for all of them.
+  std::shared_ptr<OptimizePlanner> Planner;
 };
 
 } // namespace opprox

@@ -1,0 +1,120 @@
+//===- core/OptimizePlanner.cpp -------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OptimizePlanner.h"
+#include "core/BudgetGrid.h"
+#include "support/StringUtils.h"
+#include <cmath>
+#include <cstdlib>
+
+using namespace opprox;
+
+/// Class id used in keys for requests too malformed to classify (the
+/// classifier expects a well-formed input vector). Real classes are
+/// >= 0, so negative-entry keys can never collide with result keys.
+static constexpr int kUnclassified = -1;
+
+static std::optional<size_t> envSize(const char *Name) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return std::nullopt;
+  char *End = nullptr;
+  unsigned long long Parsed = std::strtoull(Value, &End, 10);
+  if (End == Value || *End != '\0')
+    return std::nullopt;
+  return static_cast<size_t>(Parsed);
+}
+
+PlannerOptions opprox::plannerOptionsFromEnv() {
+  PlannerOptions Opts;
+  if (std::optional<size_t> Shards = envSize("OPPROX_CACHE_SHARDS"))
+    Opts.Cache.Shards = *Shards;
+  if (std::optional<size_t> Capacity = envSize("OPPROX_CACHE_CAPACITY"))
+    Opts.Cache.Capacity = *Capacity;
+  if (const char *Disable = std::getenv("OPPROX_CACHE_DISABLE"))
+    if (*Disable && std::string(Disable) != "0")
+      Opts.UseCache = false;
+  return Opts;
+}
+
+OptimizePlanner::OptimizePlanner(const PlannerOptions &Opts) : Opts(Opts) {
+  if (Opts.UseCache)
+    Cache = std::make_unique<ScheduleCache>(Opts.Cache);
+}
+
+OptimizationResult
+OptimizePlanner::lookupOrCompute(const OpproxArtifact &Art, int ClassId,
+                                 const std::vector<double> &Input,
+                                 double QosBudget,
+                                 const OptimizeOptions &Opts) const {
+  ScheduleCache::Key Key;
+  if (Cache) {
+    Key = ScheduleCache::makeKey(ClassId, Input, QosBudget, Opts);
+    if (std::optional<ScheduleCache::CachedValue> Hit = Cache->lookup(Key))
+      if (!Hit->Negative)
+        return std::move(Hit->Result);
+  }
+  if (this->Opts.UseGrids)
+    if (const OptimizationResult *Grid =
+            findGridResult(Art.BudgetGrids, ClassId, Input, QosBudget, Opts)) {
+      if (Cache)
+        Cache->insert(Key, *Grid);
+      return *Grid;
+    }
+  OptimizationResult R =
+      optimizeSchedule(Art.Model, Input, Art.MaxLevels, QosBudget, Opts);
+  // A degraded result is the fault ladder's answer for *this* request;
+  // memoizing it would keep serving the fallback after the fault clears.
+  if (Cache && R.DegradedPhases.empty())
+    Cache->insert(Key, R);
+  return R;
+}
+
+Expected<OptimizationResult>
+OptimizePlanner::optimize(const OpproxArtifact &Art,
+                          const std::vector<double> &Input, double QosBudget,
+                          const OptimizeOptions &Opts) const {
+  // Plan layer: the same request checks (and the same messages) the
+  // pre-pipeline tryOptimizeDetailed performed, with rejections
+  // memoized so repeated malformed requests cost one lookup.
+  bool BudgetValid = std::isfinite(QosBudget) && QosBudget >= 0.0;
+  bool ArityValid = Art.ParameterNames.empty() ||
+                    Input.size() == Art.ParameterNames.size();
+  if (!BudgetValid || !ArityValid) {
+    ScheduleCache::Key Key;
+    if (Cache) {
+      Key = ScheduleCache::makeKey(kUnclassified, Input, QosBudget, Opts);
+      if (std::optional<ScheduleCache::CachedValue> Hit = Cache->lookup(Key))
+        if (Hit->Negative)
+          return Error(Hit->ErrorMessage);
+    }
+    Error E = !BudgetValid
+                  ? Error(format("QoS budget %g is not a non-negative "
+                                 "finite number",
+                                 QosBudget))
+                  : Error(format("request has %zu input values but the "
+                                 "artifact expects %zu",
+                                 Input.size(), Art.ParameterNames.size()));
+    if (Cache)
+      Cache->insertNegative(Key, E.message());
+    return E;
+  }
+  return lookupOrCompute(Art, Art.Model.classOf(Input), Input, QosBudget,
+                         Opts);
+}
+
+OptimizationResult
+OptimizePlanner::optimizeTrusted(const OpproxArtifact &Art,
+                                 const std::vector<double> &Input,
+                                 double QosBudget,
+                                 const OptimizeOptions &Opts) const {
+  if (!(std::isfinite(QosBudget) && QosBudget >= 0.0))
+    // Preserve the trusted-path contract: the compute layer terminates
+    // with the canonical fatal diagnostic.
+    return optimizeSchedule(Art.Model, Input, Art.MaxLevels, QosBudget, Opts);
+  return lookupOrCompute(Art, Art.Model.classOf(Input), Input, QosBudget,
+                         Opts);
+}

@@ -1,0 +1,100 @@
+//===- core/OptimizePlanner.h - Plan/lookup/compute facade -----*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single entry point of the layered optimize pipeline
+/// (docs/ARCHITECTURE.md, "Layered optimize pipeline"). Every caller --
+/// OpproxRuntime, opprox-optimize, the opprox-serve shards -- routes
+/// requests through one OptimizePlanner instead of calling the
+/// optimizer directly:
+///
+///  1. **Plan**: validate and normalize the request (budget finiteness,
+///     input arity) and derive the canonical cache key from the
+///     control-flow class, the raw input/budget bits, and the
+///     decision-relevant options.
+///  2. **Lookup**: consult the sharded ScheduleCache (positive and
+///     negative entries), then the artifact's precomputed budget grids.
+///  3. **Compute**: fall through to the existing pruned/batched
+///     Algorithm-2 search, and memoize the result.
+///
+/// The contract is bit-identity: a result served from any layer is
+/// byte-for-byte what the compute layer would have produced for the
+/// same request (proven by OptimizerEquivalenceTests). Results whose
+/// solve degraded (non-empty DegradedPhases) are never cached, so a
+/// fault-degraded schedule cannot outlive the fault that caused it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CORE_OPTIMIZEPLANNER_H
+#define OPPROX_CORE_OPTIMIZEPLANNER_H
+
+#include "core/ModelArtifact.h"
+#include "core/ScheduleCache.h"
+
+namespace opprox {
+
+struct PlannerOptions {
+  ScheduleCacheOptions Cache;
+  /// False disables the schedule cache entirely: no lookups, no
+  /// insertions, no cache.* traffic (--no-cache / OPPROX_CACHE_DISABLE).
+  bool UseCache = true;
+  /// False ignores the artifact's precomputed budget grids.
+  bool UseGrids = true;
+};
+
+/// PlannerOptions with the OPPROX_CACHE_SHARDS / OPPROX_CACHE_CAPACITY /
+/// OPPROX_CACHE_DISABLE environment overrides applied on top of the
+/// defaults. Unparsable values are ignored.
+PlannerOptions plannerOptionsFromEnv();
+
+/// The plan -> lookup -> compute pipeline for one artifact's requests.
+/// The planner owns the schedule cache; its lifetime *is* the cache
+/// lifetime, which is what makes hot swaps safe -- a new runtime gets a
+/// new planner, so entries from the old artifact are unreachable by
+/// construction. Thread-safe: both optimize entry points may be called
+/// concurrently from any number of threads.
+class OptimizePlanner {
+public:
+  explicit OptimizePlanner(const PlannerOptions &Opts = {});
+
+  /// Request-driven entry point (serving, CLI with untrusted input):
+  /// malformed requests (negative or non-finite budget, wrong input
+  /// arity) come back as an Error -- memoized as a negative cache entry
+  /// so repeat offenders skip revalidation.
+  Expected<OptimizationResult> optimize(const OpproxArtifact &Art,
+                                        const std::vector<double> &Input,
+                                        double QosBudget,
+                                        const OptimizeOptions &Opts) const;
+
+  /// Trusted entry point (in-process callers whose budget is a program
+  /// invariant): an invalid budget falls through to the compute layer,
+  /// which terminates via reportFatalError exactly as the un-layered
+  /// path did. No negative caching.
+  OptimizationResult optimizeTrusted(const OpproxArtifact &Art,
+                                     const std::vector<double> &Input,
+                                     double QosBudget,
+                                     const OptimizeOptions &Opts) const;
+
+  bool cacheEnabled() const { return Cache != nullptr; }
+  /// The owned cache; null when UseCache was false.
+  ScheduleCache *cache() const { return Cache.get(); }
+  const PlannerOptions &options() const { return Opts; }
+
+private:
+  /// Lookup + compute for a validated request: cache, then grids, then
+  /// the full solve.
+  OptimizationResult lookupOrCompute(const OpproxArtifact &Art, int ClassId,
+                                     const std::vector<double> &Input,
+                                     double QosBudget,
+                                     const OptimizeOptions &Opts) const;
+
+  PlannerOptions Opts;
+  std::unique_ptr<ScheduleCache> Cache;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_CORE_OPTIMIZEPLANNER_H

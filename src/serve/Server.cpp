@@ -261,6 +261,14 @@ bool Server::Impl::handleLine(Conn &C, const std::string &Line,
     return Sent;
   }
 
+  if (Req->Stats) {
+    // Statistics request: answer with the cache counter snapshot; no
+    // app resolution, no optimization.
+    bool Sent = respond(C, successResponseLine(Req->Id, cacheStatsJson()));
+    RequestMs.record(Span.seconds() * 1e3);
+    return Sent;
+  }
+
   std::shared_ptr<const RuntimeTable> Snapshot = table();
   std::shared_ptr<const OpproxRuntime> Rt;
   if (Req->App.empty()) {
@@ -471,6 +479,7 @@ Expected<std::unique_ptr<Server>> Server::start(std::vector<ServeAppConfig> Apps
     if (!Rt)
       return Error(format("artifact '%s': %s", App.Path.c_str(),
                           Rt.error().message().c_str()));
+    Rt->configurePlanner(Opts.Planner);
     if (App.Name.empty())
       App.Name = Rt->appName();
     auto [It, Inserted] = NewTable->ByApp.emplace(
@@ -543,6 +552,10 @@ size_t Server::hotSwap() {
     Expected<OpproxRuntime> Rt =
         OpproxRuntime::loadArtifact(App.Path, I->Opts.Load);
     if (Rt) {
+      // A fresh runtime owns a fresh planner and cache: entries keyed
+      // under the outgoing artifact die with it, so the swapped-in
+      // model can never serve a schedule the old model computed.
+      Rt->configurePlanner(I->Opts.Planner);
       NewTable->ByApp[App.Name] =
           std::make_shared<const OpproxRuntime>(std::move(*Rt));
       ++Reloaded;

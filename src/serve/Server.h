@@ -81,6 +81,12 @@ struct ServeOptions {
   size_t MaxRequestBytes = 1 << 20;
   /// Artifact (re)load policy: bounded retry, then last-known-good.
   ArtifactLoadOptions Load;
+  /// Schedule-cache configuration applied to every loaded runtime (and
+  /// to every runtime a hot swap loads). Defaults honor the
+  /// OPPROX_CACHE_* environment overrides; the CLI flags override both.
+  /// Each artifact's cache lives exactly as long as its runtime, so a
+  /// hot swap starts cold instead of ever serving a stale schedule.
+  PlannerOptions Planner = plannerOptionsFromEnv();
   /// Base optimizer options for every request; the request's
   /// confidence/aggressive members override the corresponding fields.
   /// Each request runs serially inside its shard (NumThreads is forced

@@ -63,6 +63,10 @@ Expected<ServeRequest> serve::parseServeRequest(const std::string &Line) {
       if (!Value.isBool())
         return codedError(errc::BadRequest, "'aggressive' must be a boolean");
       Req.Aggressive = Value.asBool();
+    } else if (Key == "stats") {
+      if (!Value.isBool())
+        return codedError(errc::BadRequest, "'stats' must be a boolean");
+      Req.Stats = Value.asBool();
     } else {
       // Unknown members are rejected, mirroring the CLI's unknown-flag
       // policy: a typo must not silently change a request's meaning.
@@ -70,7 +74,7 @@ Expected<ServeRequest> serve::parseServeRequest(const std::string &Line) {
                         format("unknown request member '%s'", Key.c_str()));
     }
   }
-  if (!SawBudget)
+  if (!SawBudget && !Req.Stats)
     return codedError(errc::BadRequest, "missing required member 'budget'");
   return Req;
 }
@@ -96,6 +100,19 @@ Json serve::optimizationResultJson(const OpproxArtifact &Artifact,
   Out.set("schedule", Result.Schedule.toJson());
   Out.set("configs_evaluated", Result.ConfigsEvaluated);
   Out.set("degraded_phases", Result.DegradedPhases.size());
+  return Out;
+}
+
+Json serve::cacheStatsJson() {
+  MetricsRegistry &Registry = MetricsRegistry::global();
+  Json Cache = Json::object();
+  Cache.set("hits", Registry.counter("cache.hits").value());
+  Cache.set("misses", Registry.counter("cache.misses").value());
+  Cache.set("negative_hits", Registry.counter("cache.negative_hits").value());
+  Cache.set("evictions", Registry.counter("cache.evictions").value());
+  Cache.set("grid_hits", Registry.counter("cache.grid_hits").value());
+  Json Out = Json::object();
+  Out.set("cache", std::move(Cache));
   return Out;
 }
 

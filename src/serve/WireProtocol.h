@@ -72,6 +72,10 @@ struct ServeRequest {
   /// Point predictions instead of conservative bounds; absent defers to
   /// the server's configured base OptimizeOptions.
   std::optional<bool> Aggressive;
+  /// `"stats": true` turns the line into a statistics request: the
+  /// server answers with the cache counter snapshot instead of running
+  /// an optimization, and the otherwise-required budget is waived.
+  bool Stats = false;
 };
 
 /// Parses one request line. Malformed JSON or a schema violation comes
@@ -92,6 +96,11 @@ std::string requestErrorCode(const Error &E);
 Json optimizationResultJson(const OpproxArtifact &Artifact, double Budget,
                             const std::vector<double> &Input,
                             const OptimizationResult &Result);
+
+/// The process-wide schedule-cache counter snapshot a `"stats": true`
+/// request is answered with: {"cache": {"hits", "misses",
+/// "negative_hits", "evictions", "grid_hits"}}.
+Json cacheStatsJson();
 
 /// Builds the success response envelope around a result document.
 std::string successResponseLine(const Json &Id, Json ResultDoc);

@@ -115,6 +115,11 @@ std::vector<double> Histogram::latencyBoundsMs() {
           50,   100,   250,  500,  1000, 2500, 5000, 10000, 30000, 60000};
 }
 
+std::vector<double> Histogram::latencyBoundsNs() {
+  return {50,    100,   250,   500,    1000,   2500,    5000,
+          10000, 25000, 50000, 100000, 500000, 1000000, 10000000};
+}
+
 std::vector<double> Histogram::percentBounds() {
   return {0.1, 0.25, 0.5, 1, 2, 5, 10, 15, 20, 25, 50, 100};
 }

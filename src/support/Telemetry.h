@@ -117,6 +117,10 @@ public:
   /// roughly 1-2.5-5 per decade.
   static std::vector<double> latencyBoundsMs();
 
+  /// Default bounds for nanosecond latencies (cache lookups, lock-held
+  /// sections): 50ns .. 10ms.
+  static std::vector<double> latencyBoundsNs();
+
   /// Default bounds for percentage quantities (QoS budgets): 0.1 .. 100.
   static std::vector<double> percentBounds();
 

@@ -16,6 +16,7 @@
 #include "core/Opprox.h"
 #include "core/OpproxRuntime.h"
 #include "support/Json.h"
+#include "support/Telemetry.h"
 #include <cstdio>
 #include <fstream>
 #include <gtest/gtest.h>
@@ -261,4 +262,97 @@ TEST(ArtifactTest, ProvenanceRecordsTrainingConfiguration) {
       OpproxArtifact::deserialize(R.Artifact.serialize());
   ASSERT_TRUE(Back) << Back.error().message();
   EXPECT_EQ(Back->Provenance.ProfileSeed, 0xDEADBEEFCAFEF00Dull);
+}
+
+//===----------------------------------------------------------------------===//
+// Schema 1.2: precomputed budget grids
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Trains pso with the budget-grid sweep enabled over a short budget
+/// list; the resulting artifact carries the schema-1.2 section.
+OpproxArtifact trainGriddedArtifact() {
+  auto App = createApp("pso");
+  OpproxTrainOptions Opts = cheapOptions("pso");
+  Opts.BudgetGrid.Enabled = true;
+  Opts.BudgetGrid.Budgets = {2.0, 10.0, 25.0};
+  return std::move(OfflineTrainer::train(*App, Opts).Artifact);
+}
+
+} // namespace
+
+TEST(ArtifactTest, BudgetGridsRoundTripBitExactly) {
+  OpproxArtifact Art = trainGriddedArtifact();
+  ASSERT_FALSE(Art.BudgetGrids.empty());
+  size_t Points = 0;
+  for (const BudgetGrid &Grid : Art.BudgetGrids)
+    Points += Grid.Points.size();
+  ASSERT_GT(Points, 0u);
+
+  // Byte-exact fixed point, grids included: deserialize and reserialize
+  // yields the identical document, so every grid double (budgets,
+  // predictions, allocated budgets) survived the %.17g round trip.
+  std::string First = Art.serialize();
+  ASSERT_NE(First.find("budget_grids"), std::string::npos);
+  Expected<OpproxArtifact> Back = OpproxArtifact::deserialize(First);
+  ASSERT_TRUE(Back) << Back.error().message();
+  ASSERT_EQ(Back->BudgetGrids.size(), Art.BudgetGrids.size());
+  EXPECT_EQ(Back->serialize(), First);
+}
+
+TEST(ArtifactTest, LegacyMinorSchemaLoadsWithGridsAbsent) {
+  // A 1.1 artifact predates budget_grids entirely: loading one must
+  // succeed with no grids, leaving every request on the compute path.
+  OpproxArtifact Art = trainArtifact("pso"); // No grids requested.
+  EXPECT_TRUE(Art.BudgetGrids.empty());
+  Expected<Json> Doc = Json::parse(Art.serialize());
+  ASSERT_TRUE(Doc);
+  ASSERT_EQ(Doc->find("budget_grids"), nullptr);
+  Json Version = Json::object();
+  Version.set("major", OpproxArtifact::SchemaMajor);
+  Version.set("minor", 1);
+  Doc->set("schema_version", Version);
+  Expected<OpproxArtifact> Back = OpproxArtifact::fromJson(*Doc);
+  ASSERT_TRUE(Back) << Back.error().message();
+  EXPECT_TRUE(Back->BudgetGrids.empty());
+}
+
+TEST(ArtifactTest, CorruptGridSectionDegradesToMissPath) {
+  // budget_grids is an optional acceleration, so a damaged section must
+  // degrade the artifact to grid-less (every request recomputes) rather
+  // than fail the load -- but the degradation has to be visible in
+  // telemetry, not silent.
+  OpproxArtifact Art = trainGriddedArtifact();
+  Counter &LoadErrors =
+      MetricsRegistry::global().counter("cache.grid_load_errors");
+
+  // Structurally wrong: the member is not even an array.
+  Expected<Json> Doc = Json::parse(Art.serialize());
+  ASSERT_TRUE(Doc);
+  Doc->set("budget_grids", std::string("corrupt"));
+  uint64_t Before = LoadErrors.value();
+  Expected<OpproxArtifact> NotArray = OpproxArtifact::fromJson(*Doc);
+  ASSERT_TRUE(NotArray) << NotArray.error().message();
+  EXPECT_TRUE(NotArray->BudgetGrids.empty());
+  EXPECT_GT(LoadErrors.value(), Before);
+
+  // One malformed grid object poisons only the grid section, and still
+  // only the grid section.
+  Expected<Json> Doc2 = Json::parse(Art.serialize());
+  ASSERT_TRUE(Doc2);
+  Json Grids = Json::array();
+  Grids.push(Json::object()); // A grid with every field missing.
+  Doc2->set("budget_grids", std::move(Grids));
+  Before = LoadErrors.value();
+  Expected<OpproxArtifact> BadGrid = OpproxArtifact::fromJson(*Doc2);
+  ASSERT_TRUE(BadGrid) << BadGrid.error().message();
+  EXPECT_TRUE(BadGrid->BudgetGrids.empty());
+  EXPECT_GT(LoadErrors.value(), Before);
+
+  // The degraded artifact still optimizes: the miss path does not care
+  // that the grids were dropped.
+  OpproxRuntime Rt = OpproxRuntime::fromArtifact(*BadGrid);
+  OptimizationResult R = Rt.optimizeDetailed(BadGrid->DefaultInput, 10.0);
+  EXPECT_FALSE(R.Decisions.empty());
 }

@@ -475,3 +475,80 @@ TEST_F(FaultInjectionTest, MalformedRequestsComeBackAsErrors) {
   ASSERT_TRUE(Ok) << Ok.error().message();
   EXPECT_EQ(Ok->Decisions.size(), Runtime.numPhases());
 }
+
+//===----------------------------------------------------------------------===//
+// Schedule cache under faults
+//===----------------------------------------------------------------------===//
+
+TEST_F(FaultInjectionTest, NegativeCacheReplaysMalformedRequestErrors) {
+  // Repeating a malformed request must replay the memoized rejection --
+  // same message, no revalidation -- visible as a negative hit.
+  OpproxRuntime Runtime = OpproxRuntime::fromArtifact(testArtifact());
+  const std::vector<double> Input = Runtime.artifact().DefaultInput;
+  Counter &NegativeHits =
+      MetricsRegistry::global().counter("cache.negative_hits");
+
+  uint64_t Before = NegativeHits.value();
+  Expected<OptimizationResult> First =
+      Runtime.tryOptimizeDetailed(Input, -3.0);
+  ASSERT_FALSE(First);
+  EXPECT_EQ(NegativeHits.value(), Before); // First sighting: a miss.
+  Expected<OptimizationResult> Second =
+      Runtime.tryOptimizeDetailed(Input, -3.0);
+  ASSERT_FALSE(Second);
+  EXPECT_EQ(NegativeHits.value(), Before + 1);
+  EXPECT_EQ(First.error().message(), Second.error().message());
+  EXPECT_NE(First.error().message().find("non-negative"), std::string::npos)
+      << First.error().message();
+
+  // Arity mismatches memoize under their own key.
+  const std::vector<double> WrongArity = {1.0, 2.0, 3.0};
+  Expected<OptimizationResult> Arity1 =
+      Runtime.tryOptimizeDetailed(WrongArity, 5.0);
+  ASSERT_FALSE(Arity1);
+  Expected<OptimizationResult> Arity2 =
+      Runtime.tryOptimizeDetailed(WrongArity, 5.0);
+  ASSERT_FALSE(Arity2);
+  EXPECT_EQ(NegativeHits.value(), Before + 2);
+  EXPECT_EQ(Arity1.error().message(), Arity2.error().message());
+  EXPECT_NE(Arity1.error().message().find("expects"), std::string::npos)
+      << Arity1.error().message();
+}
+
+TEST_F(FaultInjectionTest, DegradedResultsAreNeverCached) {
+  // A result produced under the fault ladder reflects the fault, not
+  // the model; memoizing it would keep serving exact-fallback schedules
+  // long after the fault cleared. So a degraded solve must leave the
+  // cache untouched and the first healthy repeat must recompute.
+  OpproxRuntime Runtime = OpproxRuntime::fromArtifact(testArtifact());
+  const std::vector<double> Input = Runtime.artifact().DefaultInput;
+  Counter &Misses = MetricsRegistry::global().counter("cache.misses");
+  Counter &Hits = MetricsRegistry::global().counter("cache.hits");
+
+  uint64_t MissesBefore = Misses.value();
+  armGlobal("model.predict.nan:1.0");
+  Expected<OptimizationResult> Degraded =
+      Runtime.tryOptimizeDetailed(Input, 10.0);
+  ASSERT_TRUE(Degraded) << Degraded.error().message();
+  ASSERT_FALSE(Degraded->DegradedPhases.empty());
+  EXPECT_EQ(Misses.value(), MissesBefore + 1);
+
+  FaultRegistry::global().clear();
+  uint64_t HitsBefore = Hits.value();
+  Expected<OptimizationResult> Clean =
+      Runtime.tryOptimizeDetailed(Input, 10.0);
+  ASSERT_TRUE(Clean) << Clean.error().message();
+  EXPECT_TRUE(Clean->DegradedPhases.empty());
+  // The healthy repeat was a recompute (miss), not a hit on the
+  // degraded result...
+  EXPECT_EQ(Misses.value(), MissesBefore + 2);
+  EXPECT_EQ(Hits.value(), HitsBefore);
+
+  // ...and the healthy result is what got memoized.
+  Expected<OptimizationResult> FromCache =
+      Runtime.tryOptimizeDetailed(Input, 10.0);
+  ASSERT_TRUE(FromCache) << FromCache.error().message();
+  EXPECT_TRUE(FromCache->DegradedPhases.empty());
+  EXPECT_EQ(Hits.value(), HitsBefore + 1);
+  EXPECT_EQ(FromCache->Schedule.toString(), Clean->Schedule.toString());
+}

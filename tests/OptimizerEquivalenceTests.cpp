@@ -15,16 +15,21 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/BudgetGrid.h"
 #include "core/OpproxRuntime.h"
+#include "core/OptimizePlanner.h"
 #include "core/Optimizer.h"
 #include "core/Sampler.h"
 #include "serve/Server.h"
 #include "serve/WireProtocol.h"
 #include "support/Json.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <gtest/gtest.h>
+#include <thread>
 
 using namespace opprox;
 
@@ -409,4 +414,267 @@ TEST(OptimizerEquivalenceTest, ServerResponsesMatchLocalDocumentBitwise) {
     }
   }
   (*Srv)->shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Layered pipeline: cache and grid hits vs the compute path
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Wraps one of the shared models in an artifact the planner layer can
+/// serve; mirrors the server equivalence test above.
+OpproxArtifact makeArtifact(const AppModel &Model) {
+  OpproxArtifact Art;
+  Art.AppName = "equivalence";
+  Art.ParameterNames = {"n"};
+  Art.MaxLevels = std::vector<int>(Model.numBlocks(), 2);
+  Art.DefaultInput = {2.0};
+  Art.Model = Model;
+  return Art;
+}
+
+/// Serializes a result into the exact wire/CLI document; comparing the
+/// dumps checks every field of the result byte-for-byte (doubles go
+/// through the Json layer's %.17g round-trip contract).
+std::string resultDoc(const OpproxArtifact &Art, double Budget,
+                      const std::vector<double> &Input,
+                      const OptimizationResult &R) {
+  return serve::optimizationResultJson(Art, Budget, Input, R).dump();
+}
+
+uint64_t counterValue(const char *Name) {
+  return MetricsRegistry::global().counter(Name).value();
+}
+
+} // namespace
+
+TEST(OptimizerEquivalenceTest, CachedResultsMatchUncachedBitwise) {
+  // The acceptance bar for the schedule cache: a hit must be
+  // indistinguishable from re-running the optimizer -- across shard
+  // counts, budgets, confidence modes, and worker counts. Each (budget,
+  // mode) pair is solved directly, then requested twice through the
+  // planner; the first planner call misses (compute path), the second
+  // hits (memoized path), and all three must serialize identically.
+  const std::vector<double> Input = {2.0};
+  OpproxArtifact Art = makeArtifact(modelA());
+  for (size_t Shards : {1u, 3u, 8u}) {
+    PlannerOptions POpts;
+    POpts.Cache.Shards = Shards;
+    POpts.Cache.Capacity = 1024;
+    OptimizePlanner Planner(POpts);
+    ASSERT_TRUE(Planner.cacheEnabled());
+
+    for (double Budget : {0.0, 0.02, 0.1, 0.5, 5.0}) {
+      for (bool Conservative : {true, false}) {
+        for (size_t Threads : {1u, 4u}) {
+          OptimizeOptions Opts;
+          Opts.Conservative = Conservative;
+          Opts.NumThreads = Threads;
+          OptimizationResult Ref = optimizeSchedule(
+              Art.Model, Input, Art.MaxLevels, Budget, Opts);
+
+          uint64_t Hits = counterValue("cache.hits");
+          Expected<OptimizationResult> Miss =
+              Planner.optimize(Art, Input, Budget, Opts);
+          ASSERT_TRUE(static_cast<bool>(Miss)) << Miss.error().message();
+          Expected<OptimizationResult> Hit =
+              Planner.optimize(Art, Input, Budget, Opts);
+          ASSERT_TRUE(static_cast<bool>(Hit)) << Hit.error().message();
+
+          std::string What = "shards " + std::to_string(Shards) +
+                             ", budget " + std::to_string(Budget) +
+                             (Conservative ? ", conservative" : ", plain") +
+                             ", threads " + std::to_string(Threads);
+          // NumThreads is decision-irrelevant, so the second Threads
+          // iteration of a (budget, mode) pair is itself a cache hit;
+          // either way the hit count must have moved for the repeat.
+          EXPECT_GT(counterValue("cache.hits"), Hits) << What;
+          expectSameDecisions(Ref, *Miss, What + " (miss path)");
+          expectSameDecisions(Ref, *Hit, What + " (hit path)");
+          EXPECT_EQ(resultDoc(Art, Budget, Input, Ref),
+                    resultDoc(Art, Budget, Input, *Miss))
+              << What;
+          EXPECT_EQ(resultDoc(Art, Budget, Input, Ref),
+                    resultDoc(Art, Budget, Input, *Hit))
+              << What;
+        }
+      }
+    }
+  }
+}
+
+TEST(OptimizerEquivalenceTest, GridHitsMatchFullSolveBitwise) {
+  // Precomputed budget-grid points must survive the artifact's JSON
+  // round trip and come back bit-identical to a fresh solve. The
+  // planner runs with the cache disabled so the only short-circuit
+  // available is the grid itself (proven via the grid_hits counter).
+  const std::vector<double> Input = {2.0};
+  const std::vector<double> Budgets = {0.02, 0.1, 0.5, 5.0};
+  OpproxArtifact Art = makeArtifact(modelB());
+
+  BudgetGridOptions GridOpts;
+  GridOpts.Enabled = true;
+  GridOpts.Budgets = Budgets;
+  Art.BudgetGrids = computeBudgetGrids(Art.Model, Art.MaxLevels,
+                                       Art.DefaultInput, {}, GridOpts);
+  ASSERT_EQ(Art.BudgetGrids.size(), 1u);
+  ASSERT_EQ(Art.BudgetGrids[0].Points.size(), Budgets.size());
+
+  Expected<OpproxArtifact> Reloaded =
+      OpproxArtifact::deserialize(Art.serialize());
+  ASSERT_TRUE(static_cast<bool>(Reloaded)) << Reloaded.error().message();
+  ASSERT_EQ(Reloaded->BudgetGrids.size(), 1u);
+
+  PlannerOptions POpts;
+  POpts.UseCache = false;
+  OptimizePlanner Planner(POpts);
+  ASSERT_FALSE(Planner.cacheEnabled());
+
+  for (double Budget : Budgets) {
+    OptimizeOptions Opts; // Grid solve defaults: conservative, p=0.99.
+    OptimizationResult Ref = optimizeSchedule(
+        Reloaded->Model, Input, Reloaded->MaxLevels, Budget, Opts);
+
+    uint64_t GridHits = counterValue("cache.grid_hits");
+    Expected<OptimizationResult> Got =
+        Planner.optimize(*Reloaded, Input, Budget, Opts);
+    ASSERT_TRUE(static_cast<bool>(Got)) << Got.error().message();
+    EXPECT_EQ(counterValue("cache.grid_hits"), GridHits + 1)
+        << "budget " << Budget << " should resolve from the grid";
+
+    expectSameDecisions(Ref, *Got, "grid budget " + std::to_string(Budget));
+    EXPECT_EQ(resultDoc(*Reloaded, Budget, Input, Ref),
+              resultDoc(*Reloaded, Budget, Input, *Got))
+        << "grid budget " << Budget;
+  }
+
+  // A request the grid does not cover -- different confidence mode --
+  // must fall through to the compute path, not misapply a grid point.
+  OptimizeOptions Aggressive;
+  Aggressive.Conservative = false;
+  uint64_t GridHits = counterValue("cache.grid_hits");
+  OptimizationResult Ref = optimizeSchedule(
+      Reloaded->Model, Input, Reloaded->MaxLevels, Budgets[0], Aggressive);
+  Expected<OptimizationResult> Got =
+      Planner.optimize(*Reloaded, Input, Budgets[0], Aggressive);
+  ASSERT_TRUE(static_cast<bool>(Got)) << Got.error().message();
+  EXPECT_EQ(counterValue("cache.grid_hits"), GridHits)
+      << "aggressive request must not hit a conservative grid";
+  expectSameDecisions(Ref, *Got, "aggressive fall-through");
+}
+
+//===----------------------------------------------------------------------===//
+// Cache concurrency (suite runs under TSan in CI; see .github/workflows)
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduleCacheConcurrencyTest, HammerLookupOrComputeStaysBitIdentical) {
+  // Many threads fight over the same small key set; every response --
+  // whether it was computed on a miss or served from a shard -- must
+  // serialize to the exact reference document. gtest assertions are not
+  // thread-safe, so workers count mismatches and the main thread judges.
+  const std::vector<double> Input = {2.0};
+  const std::vector<double> Budgets = {0.0,  0.02, 0.05, 0.1, 0.2,
+                                       0.35, 0.5,  1.0,  2.0, 5.0};
+  OpproxArtifact Art = makeArtifact(modelA());
+
+  std::vector<std::string> RefDocs;
+  for (double Budget : Budgets) {
+    OptimizeOptions Opts;
+    RefDocs.push_back(resultDoc(
+        Art, Budget, Input,
+        optimizeSchedule(Art.Model, Input, Art.MaxLevels, Budget, Opts)));
+  }
+
+  PlannerOptions POpts;
+  POpts.Cache.Shards = 4;
+  POpts.Cache.Capacity = 1024;
+  OptimizePlanner Planner(POpts);
+
+  constexpr size_t NumThreads = 8;
+  constexpr size_t Iterations = 120;
+  std::atomic<size_t> Mismatches{0};
+  std::atomic<size_t> Failures{0};
+  std::vector<std::thread> Workers;
+  for (size_t T = 0; T < NumThreads; ++T) {
+    Workers.emplace_back([&, T] {
+      for (size_t I = 0; I < Iterations; ++I) {
+        size_t Pick = (T * 7 + I) % Budgets.size();
+        OptimizeOptions Opts;
+        Expected<OptimizationResult> R =
+            Planner.optimize(Art, Input, Budgets[Pick], Opts);
+        if (!R) {
+          Failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (resultDoc(Art, Budgets[Pick], Input, *R) != RefDocs[Pick])
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Mismatches.load(), 0u);
+  // The key set is tiny and hot, so almost everything after the first
+  // wave of misses must have been served from the cache.
+  EXPECT_GT(counterValue("cache.hits"),
+            NumThreads * Iterations / 2);
+}
+
+TEST(ScheduleCacheConcurrencyTest, EvictionUnderContentionStaysBitIdentical) {
+  // A deliberately tiny cache (capacity 4 across 2 shards) with a key
+  // set three times its size forces constant LRU eviction while threads
+  // race lookups, inserts, and evictions on the same shards. Responses
+  // must stay bit-identical throughout and the eviction counter must
+  // actually move -- this is the test that puts insert/evict/splice
+  // under TSan.
+  const std::vector<double> Input = {1.0};
+  std::vector<double> Budgets;
+  for (size_t I = 0; I < 12; ++I)
+    Budgets.push_back(0.05 * static_cast<double>(I + 1));
+  OpproxArtifact Art = makeArtifact(modelB());
+
+  std::vector<std::string> RefDocs;
+  for (double Budget : Budgets) {
+    OptimizeOptions Opts;
+    RefDocs.push_back(resultDoc(
+        Art, Budget, Input,
+        optimizeSchedule(Art.Model, Input, Art.MaxLevels, Budget, Opts)));
+  }
+
+  PlannerOptions POpts;
+  POpts.Cache.Shards = 2;
+  POpts.Cache.Capacity = 4;
+  OptimizePlanner Planner(POpts);
+  uint64_t Evictions = counterValue("cache.evictions");
+
+  constexpr size_t NumThreads = 6;
+  constexpr size_t Iterations = 60;
+  std::atomic<size_t> Mismatches{0};
+  std::atomic<size_t> Failures{0};
+  std::vector<std::thread> Workers;
+  for (size_t T = 0; T < NumThreads; ++T) {
+    Workers.emplace_back([&, T] {
+      for (size_t I = 0; I < Iterations; ++I) {
+        size_t Pick = (T * 5 + I) % Budgets.size();
+        OptimizeOptions Opts;
+        Expected<OptimizationResult> R =
+            Planner.optimize(Art, Input, Budgets[Pick], Opts);
+        if (!R) {
+          Failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (resultDoc(Art, Budgets[Pick], Input, *R) != RefDocs[Pick])
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Mismatches.load(), 0u);
+  EXPECT_GT(counterValue("cache.evictions"), Evictions);
 }

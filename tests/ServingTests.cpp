@@ -24,6 +24,7 @@
 #include "serve/WireProtocol.h"
 #include "support/FaultInjection.h"
 #include "support/Json.h"
+#include "support/StringUtils.h"
 #include "support/Telemetry.h"
 #include <algorithm>
 #include <atomic>
@@ -650,11 +651,13 @@ TEST_F(ServingTest, DegradedPhasesAreReportedPerResponse) {
   EXPECT_EQ(*Degraded, 0u);
 
   // Arm NaN predictions: rung 3 of the ladder serves exact
-  // configurations per phase, and the count crosses the wire.
+  // configurations per phase, and the count crosses the wire. A fresh
+  // budget keys past the schedule cache (the healthy result above is
+  // cached and would otherwise answer without touching the models).
   ASSERT_FALSE(FaultRegistry::global()
                    .configure("model.predict.nan:1.0:42")
                    .has_value());
-  Json Faulty = C.roundTrip("{\"budget\": 10}");
+  Json Faulty = C.roundTrip("{\"budget\": 12}");
   ASSERT_TRUE(responseOk(Faulty)) << "degradation must not fail the request";
   Result = getObject(Faulty, "result");
   ASSERT_TRUE(static_cast<bool>(Result));
@@ -662,13 +665,130 @@ TEST_F(ServingTest, DegradedPhasesAreReportedPerResponse) {
   ASSERT_TRUE(static_cast<bool>(Degraded));
   EXPECT_GE(*Degraded, 1u);
 
-  // Disarm: the same connection recovers to clean responses.
+  // Disarm: the same connection recovers to clean responses. Repeating
+  // the faulty request's budget also proves the degraded result was not
+  // cached -- a memoized fallback would outlive the fault.
   FaultRegistry::global().clear();
-  Json Recovered = C.roundTrip("{\"budget\": 10}");
+  Json Recovered = C.roundTrip("{\"budget\": 12}");
   ASSERT_TRUE(responseOk(Recovered));
   Result = getObject(Recovered, "result");
   ASSERT_TRUE(static_cast<bool>(Result));
   Degraded = getSize(**Result, "degraded_phases");
   ASSERT_TRUE(static_cast<bool>(Degraded));
   EXPECT_EQ(*Degraded, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Schedule cache across the wire
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServingTest, StatsRequestReportsCacheCounters) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  TestClient C = TestClient::connectTo(Srv->port());
+
+  uint64_t HitsBefore = MetricsRegistry::global().counter("cache.hits").value();
+
+  // Identical requests: the first misses and computes, the repeats hit.
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(responseOk(C.roundTrip("{\"budget\": 10}")));
+
+  // The stats request waives the required budget and answers with the
+  // counter snapshot instead of an optimization.
+  Json Stats = C.roundTrip("{\"stats\": true, \"id\": 99}");
+  ASSERT_TRUE(responseOk(Stats));
+  Expected<const Json *> Result = getObject(Stats, "result");
+  ASSERT_TRUE(static_cast<bool>(Result));
+  Expected<const Json *> Cache = getObject(**Result, "cache");
+  ASSERT_TRUE(static_cast<bool>(Cache));
+  Expected<size_t> Hits = getSize(**Cache, "hits");
+  ASSERT_TRUE(static_cast<bool>(Hits));
+  EXPECT_GE(*Hits, HitsBefore + 2)
+      << "two repeats of a cached request must be two hits";
+  EXPECT_TRUE(static_cast<bool>(getSize(**Cache, "misses")));
+  EXPECT_TRUE(static_cast<bool>(getSize(**Cache, "negative_hits")));
+  EXPECT_TRUE(static_cast<bool>(getSize(**Cache, "evictions")));
+  EXPECT_TRUE(static_cast<bool>(getSize(**Cache, "grid_hits")));
+}
+
+TEST_F(ServingTest, HotSwapDoesNotServeCachedSchedulesFromTheOldArtifact) {
+  // Two deliberately different trainings of the same application: the
+  // swap must change what the server answers, and the pre-swap cache
+  // must not leak the old model's schedules past the swap.
+  auto App = createApp("pso");
+  OpproxTrainOptions OptsA;
+  OptsA.Profiling.RandomJointSamples = 6;
+  OptsA.TrainingInputs = {{30, 5}, {45, 6}};
+  OpproxArtifact ArtA = OfflineTrainer::train(*App, OptsA).Artifact;
+  OpproxTrainOptions OptsB;
+  OptsB.Profiling.RandomJointSamples = 14;
+  OptsB.Profiling.Seed = 0x5EED5;
+  OptsB.TrainingInputs = {{24, 4}, {60, 8}};
+  OpproxArtifact ArtB = OfflineTrainer::train(*App, OptsB).Artifact;
+
+  const std::vector<double> Budgets = {2.0, 10.0, 25.0};
+  const std::vector<double> &Input = ArtA.DefaultInput;
+  const OptimizeOptions ServerDefaults; // What the server runs per request.
+
+  // The expected post-swap responses, computed locally from artifact B
+  // (the serving suite already proves server responses are byte-equal
+  // to local documents for one artifact; here that pins down *which*
+  // artifact answered).
+  OpproxRuntime RtA = OpproxRuntime::fromArtifact(ArtA);
+  OpproxRuntime RtB = OpproxRuntime::fromArtifact(ArtB);
+  std::vector<std::string> DocsA, DocsB;
+  for (double Budget : Budgets) {
+    DocsA.push_back(optimizationResultJson(
+                        RtA.artifact(), Budget, Input,
+                        RtA.optimizeDetailed(Input, Budget, ServerDefaults))
+                        .dump());
+    DocsB.push_back(optimizationResultJson(
+                        RtB.artifact(), Budget, Input,
+                        RtB.optimizeDetailed(Input, Budget, ServerDefaults))
+                        .dump());
+  }
+  // The swap must be observable, or this test could not catch a stale
+  // cache; the trainings above are different enough that at least one
+  // budget decides differently (both sides are deterministic).
+  ASSERT_NE(DocsA, DocsB)
+      << "test artifacts must disagree on at least one budget";
+
+  std::string Path = tempPath("serving-hot-swap-cache.opprox.json");
+  ASSERT_FALSE(ArtA.save(Path).has_value());
+
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts, {{"", Path}});
+  ASSERT_NE(Srv, nullptr);
+  TestClient C = TestClient::connectTo(Srv->port());
+
+  // Warm the cache: every budget twice, so the second answer of each is
+  // served from the cache keyed under artifact A.
+  for (int Round = 0; Round < 2; ++Round)
+    for (size_t I = 0; I < Budgets.size(); ++I) {
+      Json Response =
+          C.roundTrip(format("{\"budget\": %g}", Budgets[I]));
+      ASSERT_TRUE(responseOk(Response));
+      Expected<const Json *> Result = getObject(Response, "result");
+      ASSERT_TRUE(static_cast<bool>(Result));
+      EXPECT_EQ((*Result)->dump(), DocsA[I]);
+    }
+
+  ASSERT_FALSE(ArtB.save(Path).has_value());
+  EXPECT_EQ(Srv->hotSwap(), 1u);
+
+  // Every post-swap answer must come from artifact B's model -- byte for
+  // byte -- even though the same (budget, input) keys were cached hot
+  // moments ago under artifact A.
+  for (size_t I = 0; I < Budgets.size(); ++I) {
+    Json Response = C.roundTrip(format("{\"budget\": %g}", Budgets[I]));
+    ASSERT_TRUE(responseOk(Response));
+    Expected<const Json *> Result = getObject(Response, "result");
+    ASSERT_TRUE(static_cast<bool>(Result));
+    EXPECT_EQ((*Result)->dump(), DocsB[I])
+        << "budget " << Budgets[I]
+        << ": response does not match the swapped-in artifact";
+  }
 }

@@ -34,6 +34,9 @@ int main(int Argc, char **Argv) {
   long LoadRetries = 3;
   double RetryBackoffMs = 10.0;
   bool NoLastGood = false;
+  long CacheShards = -1;
+  long CacheCapacity = -1;
+  bool NoCache = false;
   TelemetryOptions Telemetry;
 
   FlagParser Flags;
@@ -54,6 +57,15 @@ int main(int Argc, char **Argv) {
                 "Initial sleep between load attempts (doubles each retry)");
   Flags.addFlag("no-last-good", &NoLastGood,
                 "Do not fall back to the last successfully loaded artifact");
+  Flags.addFlag("cache-shards", &CacheShards,
+                "Schedule-cache lock shards (default 8, or "
+                "OPPROX_CACHE_SHARDS)");
+  Flags.addFlag("cache-capacity", &CacheCapacity,
+                "Schedule-cache entries; 0 caches nothing (default 4096, "
+                "or OPPROX_CACHE_CAPACITY)");
+  Flags.addFlag("no-cache", &NoCache,
+                "Disable the schedule cache (and precomputed budget-grid "
+                "lookups keep working; the cache only memoizes)");
   addTelemetryFlags(Flags, Telemetry);
   if (!Flags.parse(Argc, Argv))
     return 1;
@@ -82,6 +94,14 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: %s\n", Runtime.error().message().c_str());
     return 1;
   }
+  PlannerOptions Planner = plannerOptionsFromEnv();
+  if (CacheShards >= 0)
+    Planner.Cache.Shards = static_cast<size_t>(CacheShards);
+  if (CacheCapacity >= 0)
+    Planner.Cache.Capacity = static_cast<size_t>(CacheCapacity);
+  if (NoCache)
+    Planner.UseCache = false;
+  Runtime->configurePlanner(Planner);
   const OpproxArtifact &Art = Runtime->artifact();
 
   std::vector<double> Input = Art.DefaultInput;

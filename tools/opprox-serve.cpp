@@ -57,6 +57,9 @@ int main(int Argc, char **Argv) {
   long LoadRetries = 3;
   double RetryBackoffMs = 10.0;
   bool NoLastGood = false;
+  long CacheShards = -1;
+  long CacheCapacity = -1;
+  bool NoCache = false;
   TelemetryOptions Telemetry;
 
   FlagParser Flags;
@@ -84,6 +87,15 @@ int main(int Argc, char **Argv) {
                 "Initial sleep between load attempts (doubles each retry)");
   Flags.addFlag("no-last-good", &NoLastGood,
                 "Do not fall back to the last successfully loaded artifact");
+  Flags.addFlag("cache-shards", &CacheShards,
+                "Schedule-cache lock shards per artifact (default 8, or "
+                "OPPROX_CACHE_SHARDS)");
+  Flags.addFlag("cache-capacity", &CacheCapacity,
+                "Schedule-cache entries per artifact; 0 caches nothing "
+                "(default 4096, or OPPROX_CACHE_CAPACITY)");
+  Flags.addFlag("no-cache", &NoCache,
+                "Disable the schedule cache entirely (every request runs "
+                "the full optimizer)");
   addTelemetryFlags(Flags, Telemetry);
   if (!Flags.parse(Argc, Argv))
     return 1;
@@ -126,6 +138,14 @@ int main(int Argc, char **Argv) {
   Opts.Load.Retry.MaxAttempts = static_cast<size_t>(LoadRetries);
   Opts.Load.Retry.InitialBackoffMs = RetryBackoffMs;
   Opts.Load.UseLastGood = !NoLastGood;
+  // Opts.Planner already carries the OPPROX_CACHE_* environment
+  // overrides; explicit flags beat the environment.
+  if (CacheShards >= 0)
+    Opts.Planner.Cache.Shards = static_cast<size_t>(CacheShards);
+  if (CacheCapacity >= 0)
+    Opts.Planner.Cache.Capacity = static_cast<size_t>(CacheCapacity);
+  if (NoCache)
+    Opts.Planner.UseCache = false;
 
   // Install the signal plumbing before the server threads exist so every
   // thread inherits the disposition and signals land on the self-pipe.
