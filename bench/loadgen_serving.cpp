@@ -21,8 +21,10 @@
 ///    omission correction).
 ///
 /// Emits BENCH_serving.json (schema opprox.bench.serving.v1) with RPS,
-/// p50/p99/p999 latency, and the shed rate; docs/SERVING.md explains how
-/// to read it for capacity planning.
+/// p50/p99/p999 latency, the shed rate, and -- when the server speaks
+/// the stats probe -- its cache counters and per-stage latency
+/// attribution (stage_attribution); docs/SERVING.md explains how to
+/// read it for capacity planning.
 ///
 ///   loadgen_serving --port 7657 --connections 8 --duration-s 5
 ///   loadgen_serving --port 7657 --rate 2000 --out BENCH_serving.json
@@ -346,6 +348,7 @@ int main(int Argc, char **Argv) {
   // connection after the run. Omitted (not fatal) when the server
   // predates the stats verb.
   Json ServerCache;
+  Json StageAttribution;
   {
     Expected<Socket> StatsSock = connectWithRetries(Opts);
     if (StatsSock) {
@@ -358,7 +361,49 @@ int main(int Argc, char **Argv) {
           recvLine(*StatsSock, Framer, Line)) {
         Expected<Json> Response = Json::parse(Line);
         if (Response) {
-          if (const Json *Result = Response->find("result"))
+          if (const Json *Result = Response->find("result")) {
+            // Server-side stage attribution (docs/OBSERVABILITY.md): the
+            // serve.stage_ms.* histograms partition serve.request_ms, so
+            // their sums say where server time went during the run.
+            // Lifetime counters, not run-windowed, like server_cache.
+            if (const Json *Hists = Result->find("histograms")) {
+              static constexpr const char *StageNames[] = {
+                  "parse", "plan", "lookup", "compute", "serialize"};
+              Json Stages = Json::object();
+              double SumTotal = 0.0;
+              for (const char *Stage : StageNames)
+                if (const Json *H = Hists->find(
+                        std::string("serve.stage_ms.") + Stage))
+                  if (const Json *Sum = H->find("sum"))
+                    SumTotal += Sum->asNumber();
+              for (const char *Stage : StageNames) {
+                const Json *H =
+                    Hists->find(std::string("serve.stage_ms.") + Stage);
+                if (!H)
+                  continue;
+                Json Entry = Json::object();
+                for (const char *Key :
+                     {"count", "sum", "mean", "p50", "p95", "p99"})
+                  if (const Json *V = H->find(Key))
+                    Entry.set(Key, V->asNumber());
+                double Sum = 0.0;
+                if (const Json *V = H->find("sum"))
+                  Sum = V->asNumber();
+                Entry.set("share", SumTotal > 0.0 ? Sum / SumTotal : 0.0);
+                Stages.set(Stage, std::move(Entry));
+              }
+              if (Stages.size() > 0) {
+                StageAttribution = std::move(Stages);
+                std::printf("server stages:");
+                for (const auto &[Stage, Entry] :
+                     StageAttribution.members()) {
+                  const Json *Share = Entry.find("share");
+                  std::printf(" %s %.1f%%", Stage.c_str(),
+                              (Share ? Share->asNumber() : 0.0) * 100.0);
+                }
+                std::printf("\n");
+              }
+            }
             if (const Json *Cache = Result->find("cache")) {
               double Hits = 0.0, Misses = 0.0;
               if (const Json *H = Cache->find("hits"))
@@ -375,6 +420,7 @@ int main(int Argc, char **Argv) {
                           Hits + Misses > 0.0 ? Hits / (Hits + Misses)
                                               : 0.0);
             }
+          }
         }
       }
     }
@@ -397,6 +443,8 @@ int main(int Argc, char **Argv) {
   Out.set("latency_ms", std::move(LatencyMs));
   if (ServerCache.isObject())
     Out.set("server_cache", std::move(ServerCache));
+  if (StageAttribution.isObject())
+    Out.set("stage_attribution", std::move(StageAttribution));
   if (std::optional<Error> E = writeFile(OutPath, Out.dump(2) + "\n")) {
     std::fprintf(stderr, "error: %s\n", E->message().c_str());
     return 1;

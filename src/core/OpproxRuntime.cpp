@@ -119,7 +119,8 @@ OpproxRuntime::optimizeDetailed(const std::vector<double> &Input,
 Expected<OptimizationResult>
 OpproxRuntime::tryOptimizeDetailed(const std::vector<double> &Input,
                                    double QosBudget,
-                                   const OptimizeOptions &Opts) const {
+                                   const OptimizeOptions &Opts,
+                                   PlannerStageBreakdown *Stages) const {
   assert(Art.Model.numPhases() > 0 && "optimize on an empty runtime");
-  return Planner->optimize(Art, Input, QosBudget, Opts);
+  return Planner->optimize(Art, Input, QosBudget, Opts, Stages);
 }

@@ -76,10 +76,13 @@ public:
   /// optimizeDetailed() for request-driven hosts: a malformed request
   /// (negative or non-finite budget, wrong input arity) comes back as
   /// an Error instead of terminating the process, since request values
-  /// are the caller's data, not program invariants.
+  /// are the caller's data, not program invariants. \p Stages (nullable)
+  /// receives the planner's lookup/compute attribution; the default null
+  /// keeps latency-critical callers free of the extra clock reads.
   Expected<OptimizationResult>
   tryOptimizeDetailed(const std::vector<double> &Input, double QosBudget,
-                      const OptimizeOptions &Opts = {}) const;
+                      const OptimizeOptions &Opts = {},
+                      PlannerStageBreakdown *Stages = nullptr) const;
 
   /// Replaces the planner (and with it the schedule cache) with one
   /// built from \p Opts. Hosts call this once after loading, before the

@@ -7,6 +7,7 @@
 #include "core/OptimizePlanner.h"
 #include "core/BudgetGrid.h"
 #include "support/StringUtils.h"
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 
@@ -48,35 +49,62 @@ OptimizePlanner::OptimizePlanner(const PlannerOptions &Opts) : Opts(Opts) {
 OptimizationResult
 OptimizePlanner::lookupOrCompute(const OpproxArtifact &Art, int ClassId,
                                  const std::vector<double> &Input,
-                                 double QosBudget,
-                                 const OptimizeOptions &Opts) const {
+                                 double QosBudget, const OptimizeOptions &Opts,
+                                 PlannerStageBreakdown *Stages) const {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point LookupStart;
+  if (Stages)
+    LookupStart = Clock::now();
+  auto finishLookup = [&](bool CacheHit, bool GridHit) {
+    if (!Stages)
+      return;
+    Stages->LookupMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - LookupStart)
+            .count();
+    Stages->CacheHit = CacheHit;
+    Stages->GridHit = GridHit;
+  };
+
   ScheduleCache::Key Key;
   if (Cache) {
     Key = ScheduleCache::makeKey(ClassId, Input, QosBudget, Opts);
     if (std::optional<ScheduleCache::CachedValue> Hit = Cache->lookup(Key))
-      if (!Hit->Negative)
+      if (!Hit->Negative) {
+        finishLookup(/*CacheHit=*/true, /*GridHit=*/false);
         return std::move(Hit->Result);
+      }
   }
   if (this->Opts.UseGrids)
     if (const OptimizationResult *Grid =
             findGridResult(Art.BudgetGrids, ClassId, Input, QosBudget, Opts)) {
       if (Cache)
         Cache->insert(Key, *Grid);
+      finishLookup(/*CacheHit=*/false, /*GridHit=*/true);
       return *Grid;
     }
+  finishLookup(/*CacheHit=*/false, /*GridHit=*/false);
+
+  Clock::time_point ComputeStart;
+  if (Stages)
+    ComputeStart = Clock::now();
   OptimizationResult R =
       optimizeSchedule(Art.Model, Input, Art.MaxLevels, QosBudget, Opts);
   // A degraded result is the fault ladder's answer for *this* request;
   // memoizing it would keep serving the fallback after the fault clears.
   if (Cache && R.DegradedPhases.empty())
     Cache->insert(Key, R);
+  if (Stages)
+    Stages->ComputeMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - ComputeStart)
+            .count();
   return R;
 }
 
 Expected<OptimizationResult>
 OptimizePlanner::optimize(const OpproxArtifact &Art,
                           const std::vector<double> &Input, double QosBudget,
-                          const OptimizeOptions &Opts) const {
+                          const OptimizeOptions &Opts,
+                          PlannerStageBreakdown *Stages) const {
   // Plan layer: the same request checks (and the same messages) the
   // pre-pipeline tryOptimizeDetailed performed, with rejections
   // memoized so repeated malformed requests cost one lookup.
@@ -102,8 +130,8 @@ OptimizePlanner::optimize(const OpproxArtifact &Art,
       Cache->insertNegative(Key, E.message());
     return E;
   }
-  return lookupOrCompute(Art, Art.Model.classOf(Input), Input, QosBudget,
-                         Opts);
+  return lookupOrCompute(Art, Art.Model.classOf(Input), Input, QosBudget, Opts,
+                         Stages);
 }
 
 OptimizationResult
@@ -115,6 +143,6 @@ OptimizePlanner::optimizeTrusted(const OpproxArtifact &Art,
     // Preserve the trusted-path contract: the compute layer terminates
     // with the canonical fatal diagnostic.
     return optimizeSchedule(Art.Model, Input, Art.MaxLevels, QosBudget, Opts);
-  return lookupOrCompute(Art, Art.Model.classOf(Input), Input, QosBudget,
-                         Opts);
+  return lookupOrCompute(Art, Art.Model.classOf(Input), Input, QosBudget, Opts,
+                         /*Stages=*/nullptr);
 }

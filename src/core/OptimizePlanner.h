@@ -50,6 +50,18 @@ struct PlannerOptions {
 /// defaults. Unparsable values are ignored.
 PlannerOptions plannerOptionsFromEnv();
 
+/// Per-request latency attribution filled in by the planner when the
+/// caller hands one in (the serving tier's serve.stage_ms.* histograms).
+/// The out-param is optional precisely so the warm-cache hot path pays
+/// zero extra clock reads when nobody is watching: with a null pointer
+/// the planner takes no timestamps at all.
+struct PlannerStageBreakdown {
+  double LookupMs = 0.0;  ///< Key building + cache probe + grid probe.
+  double ComputeMs = 0.0; ///< Full Algorithm-2 solve + memoization.
+  bool CacheHit = false;  ///< Served from the schedule cache.
+  bool GridHit = false;   ///< Served from a precomputed budget grid.
+};
+
 /// The plan -> lookup -> compute pipeline for one artifact's requests.
 /// The planner owns the schedule cache; its lifetime *is* the cache
 /// lifetime, which is what makes hot swaps safe -- a new runtime gets a
@@ -63,11 +75,13 @@ public:
   /// Request-driven entry point (serving, CLI with untrusted input):
   /// malformed requests (negative or non-finite budget, wrong input
   /// arity) come back as an Error -- memoized as a negative cache entry
-  /// so repeat offenders skip revalidation.
-  Expected<OptimizationResult> optimize(const OpproxArtifact &Art,
-                                        const std::vector<double> &Input,
-                                        double QosBudget,
-                                        const OptimizeOptions &Opts) const;
+  /// so repeat offenders skip revalidation. When \p Stages is non-null
+  /// the lookup/compute intervals and hit flags are reported through it;
+  /// validation time is the caller-visible residual.
+  Expected<OptimizationResult>
+  optimize(const OpproxArtifact &Art, const std::vector<double> &Input,
+           double QosBudget, const OptimizeOptions &Opts,
+           PlannerStageBreakdown *Stages = nullptr) const;
 
   /// Trusted entry point (in-process callers whose budget is a program
   /// invariant): an invalid budget falls through to the compute layer,
@@ -85,11 +99,12 @@ public:
 
 private:
   /// Lookup + compute for a validated request: cache, then grids, then
-  /// the full solve.
+  /// the full solve. \p Stages (nullable) receives the layer timings.
   OptimizationResult lookupOrCompute(const OpproxArtifact &Art, int ClassId,
                                      const std::vector<double> &Input,
                                      double QosBudget,
-                                     const OptimizeOptions &Opts) const;
+                                     const OptimizeOptions &Opts,
+                                     PlannerStageBreakdown *Stages) const;
 
   PlannerOptions Opts;
   std::unique_ptr<ScheduleCache> Cache;

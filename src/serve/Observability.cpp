@@ -1,0 +1,195 @@
+//===- serve/Observability.cpp --------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Observability.h"
+#include "serve/WireProtocol.h"
+#include "support/Log.h"
+#include "support/StringUtils.h"
+#include <algorithm>
+
+using namespace opprox;
+using namespace opprox::serve;
+
+Json serve::statsSnapshotJson() {
+  Json Out = MetricsRegistry::global().snapshotJson();
+  // Keep the document alive past the find(): the pointer aims into it.
+  Json CacheDoc = cacheStatsJson();
+  const Json *Cache = CacheDoc.find("cache");
+  Out.set("cache", Cache ? *Cache : Json::object());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// ServerProbes
+//===----------------------------------------------------------------------===//
+
+ServerProbes::ServerProbes()
+    : DeltaBase(MetricsRegistry::global().captureBaseline()),
+      HealthBase(MetricsRegistry::global().captureBaseline()) {}
+
+Json ServerProbes::statsDelta() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return MetricsRegistry::global().deltaJson(DeltaBase);
+}
+
+const char *ServerProbes::statusFor(double ShedRate, uint64_t DegradedPhases,
+                                    uint64_t HotSwapFailures,
+                                    uint64_t LastGoodLoads) {
+  if (ShedRate > 0.05)
+    return "overloaded";
+  if (DegradedPhases > 0 || HotSwapFailures > 0 || LastGoodLoads > 0)
+    return "degraded";
+  return "ok";
+}
+
+Json ServerProbes::health(const HealthContext &Ctx) {
+  MetricsBaseline Now;
+  MetricsBaseline Prev;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Now = MetricsRegistry::global().captureBaseline();
+    Prev = std::move(HealthBase);
+    HealthBase = Now;
+  }
+  auto Windowed = [&](const char *Name) -> uint64_t {
+    auto NowIt = Now.Counters.find(Name);
+    if (NowIt == Now.Counters.end())
+      return 0;
+    auto PrevIt = Prev.Counters.find(Name);
+    uint64_t Base = PrevIt == Prev.Counters.end() ? 0 : PrevIt->second;
+    return NowIt->second >= Base ? NowIt->second - Base : 0;
+  };
+
+  double IntervalS =
+      std::chrono::duration<double>(Now.TakenAt - Prev.TakenAt).count();
+  uint64_t Requests = Windowed("serve.requests");
+  uint64_t Shed = Windowed("serve.shed");
+  uint64_t Errors = Windowed("serve.errors");
+  uint64_t Degraded = Windowed("runtime.degraded_phases");
+  uint64_t SwapFailures = Windowed("serve.hot_swap_failures");
+  uint64_t LastGood = Windowed("runtime.artifact_last_good");
+  // Shed *lines* are counted in serve.requests, but accept-time
+  // connection sheds are not, so the rate uses the larger of the two as
+  // denominator: a window of nothing but connection sheds still reads
+  // as fully overloaded instead of dividing by zero.
+  double ShedRate = Shed > 0 ? static_cast<double>(Shed) /
+                                   static_cast<double>(std::max(Requests, Shed))
+                             : 0.0;
+
+  Json Window = Json::object();
+  Window.set("interval_s", IntervalS);
+  Window.set("requests", static_cast<double>(Requests));
+  Window.set("shed", static_cast<double>(Shed));
+  Window.set("errors", static_cast<double>(Errors));
+  Window.set("shed_rate", ShedRate);
+  Window.set("degraded_phases", static_cast<double>(Degraded));
+  Window.set("hot_swap_failures", static_cast<double>(SwapFailures));
+  Window.set("artifact_last_good", static_cast<double>(LastGood));
+
+  Json Connections = Json::object();
+  Connections.set("active", static_cast<double>(Ctx.ActiveConnections));
+  Connections.set("capacity", static_cast<double>(Ctx.ConnectionCapacity));
+
+  Json Health = Json::object();
+  Health.set("status", statusFor(ShedRate, Degraded, SwapFailures, LastGood));
+  Health.set("uptime_s", Ctx.UptimeS);
+  Health.set("artifact_generation",
+             static_cast<double>(Ctx.ArtifactGeneration));
+  Health.set("shards", static_cast<double>(Ctx.Shards));
+  Json Apps = Json::array();
+  for (const std::string &App : Ctx.Apps)
+    Apps.push(App);
+  Health.set("apps", std::move(Apps));
+  Health.set("connections", std::move(Connections));
+  Health.set("window", std::move(Window));
+
+  Json Out = Json::object();
+  Out.set("health", std::move(Health));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// SlowRequestSampler
+//===----------------------------------------------------------------------===//
+
+SlowRequestSampler::SlowRequestSampler(size_t WindowSize, size_t TopN,
+                                       uint64_t Seed, size_t ShardIndex,
+                                       Sink Out)
+    : WindowSize(WindowSize), TopN(TopN), ShardIndex(ShardIndex),
+      Out(std::move(Out)) {
+  // Distinct shards with the same seed must not pick the same in-window
+  // indexes in lockstep; fold the shard in, and keep the state nonzero
+  // (xorshift's fixed point).
+  State = Seed ^ (0x9E3779B97F4A7C15ull * (ShardIndex + 1));
+  if (State == 0)
+    State = 0x2545F4914F6CDD1Dull;
+  if (WindowSize)
+    SpotlightIndex = static_cast<size_t>(nextRandom() % WindowSize);
+}
+
+uint64_t SlowRequestSampler::nextRandom() {
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return State * 0x2545F4914F6CDD1Dull;
+}
+
+void SlowRequestSampler::observe(const StageSample &S) {
+  if (WindowSize == 0 || TopN == 0)
+    return;
+  if (SeenInWindow == SpotlightIndex) {
+    Spotlight = S;
+    HaveSpotlight = true;
+  }
+  if (Slowest.size() < TopN) {
+    Slowest.push_back(S);
+  } else {
+    auto MinIt =
+        std::min_element(Slowest.begin(), Slowest.end(),
+                         [](const StageSample &A, const StageSample &B) {
+                           return A.TotalMs < B.TotalMs;
+                         });
+    if (S.TotalMs > MinIt->TotalMs)
+      *MinIt = S;
+  }
+  if (++SeenInWindow >= WindowSize)
+    flush();
+}
+
+void SlowRequestSampler::flush() {
+  // Slowest-first; break latency ties by id text so replays log
+  // identically.
+  std::sort(Slowest.begin(), Slowest.end(),
+            [](const StageSample &A, const StageSample &B) {
+              if (A.TotalMs != B.TotalMs)
+                return A.TotalMs > B.TotalMs;
+              return A.Id < B.Id;
+            });
+  auto Emit = [&](const std::string &Line) {
+    if (Out)
+      Out(Line);
+    else
+      logInfo("%s", Line.c_str());
+  };
+  auto Describe = [&](const char *Kind, size_t Rank, const StageSample &S) {
+    return format("serve: %s shard=%zu window=%llu rank=%zu/%zu id=%s "
+                  "total_ms=%.4f parse_ms=%.4f plan_ms=%.4f lookup_ms=%.4f "
+                  "compute_ms=%.4f serialize_ms=%.4f",
+                  Kind, ShardIndex, static_cast<unsigned long long>(Windows),
+                  Rank, Slowest.size(), S.Id.c_str(), S.TotalMs, S.ParseMs,
+                  S.PlanMs, S.LookupMs, S.ComputeMs, S.SerializeMs);
+  };
+  for (size_t I = 0; I < Slowest.size(); ++I)
+    Emit(Describe("slow-request", I + 1, Slowest[I]));
+  if (HaveSpotlight)
+    Emit(Describe("sample-request", 0, Spotlight));
+
+  ++Windows;
+  SeenInWindow = 0;
+  Slowest.clear();
+  HaveSpotlight = false;
+  SpotlightIndex = static_cast<size_t>(nextRandom() % WindowSize);
+}

@@ -1,0 +1,141 @@
+//===- serve/Observability.h - Live serving observability ------*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime-observability surface of the serving tier (docs/
+/// OBSERVABILITY.md, "Live probes"): the response builders behind the
+/// `{"stats": true}` / `{"stats": "delta"}` / `{"health": true}` wire
+/// probes, and the seed-deterministic slow-request sampler that logs the
+/// N slowest requests per window with their full stage breakdown.
+///
+/// Everything here reads the process-wide MetricsRegistry; the serving
+/// loop stays the only writer of serve.* instruments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SERVE_OBSERVABILITY_H
+#define OPPROX_SERVE_OBSERVABILITY_H
+
+#include "support/Json.h"
+#include "support/Telemetry.h"
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace opprox {
+namespace serve {
+
+/// The `{"stats": true}` response document: the full lifetime metrics
+/// snapshot (schema "opprox-metrics-1", byte-identical to what
+/// --metrics-out writes) plus the legacy "cache" counter rollup, so
+/// existing stats consumers keep reading result.cache.* unchanged.
+Json statsSnapshotJson();
+
+/// Server-side facts only the Server knows, folded into every health
+/// response alongside the windowed rates.
+struct HealthContext {
+  double UptimeS = 0.0;
+  size_t ArtifactGeneration = 0;
+  size_t Shards = 0;
+  size_t ActiveConnections = 0;
+  size_t ConnectionCapacity = 0; ///< Shards x MaxConnectionsPerShard.
+  std::vector<std::string> Apps;
+};
+
+/// Baseline state behind the delta and health probes. One instance per
+/// Server; construction seeds both baselines, so the first probe after
+/// startup reports the window since the server came up (which is what
+/// lets `opprox-top --once` work without a warmup poll). The two probes
+/// keep independent baselines: a health poller does not shrink a stats
+/// poller's window or vice versa. Windows are server-global -- multiple
+/// concurrent pollers of the *same* probe split the traffic between
+/// their windows, so run one monitoring poller per probe.
+class ServerProbes {
+public:
+  ServerProbes();
+
+  /// The `{"stats": "delta"}` response: MetricsRegistry::deltaJson()
+  /// since the previous delta probe (schema "opprox-metrics-delta-1").
+  Json statsDelta();
+
+  /// The `{"health": true}` response: static server facts from \p Ctx
+  /// plus a "window" object of per-interval counts and the derived
+  /// ok|degraded|overloaded status.
+  Json health(const HealthContext &Ctx);
+
+  /// The status rule, exposed for tests: "overloaded" when the windowed
+  /// shed rate exceeds 5% (and anything was shed), else "degraded" when
+  /// the window saw degraded phases, hot-swap failures, or last-good
+  /// artifact fallbacks, else "ok".
+  static const char *statusFor(double ShedRate, uint64_t DegradedPhases,
+                               uint64_t HotSwapFailures,
+                               uint64_t LastGoodLoads);
+
+private:
+  std::mutex Mutex; ///< Probes are rare; contention is irrelevant.
+  MetricsBaseline DeltaBase;
+  MetricsBaseline HealthBase;
+};
+
+/// One served request's latency attribution, as fed to the slow-request
+/// sampler and recorded into the serve.stage_ms.* histograms. The five
+/// stages partition the request's wall clock exactly: parse + plan +
+/// lookup + compute + serialize == total (plan is the residual between
+/// parsing and the planner's measured layers, serialize covers response
+/// building and the socket write).
+struct StageSample {
+  std::string Id; ///< The wire request id, serialized; "null" when absent.
+  double TotalMs = 0.0;
+  double ParseMs = 0.0;
+  double PlanMs = 0.0;
+  double LookupMs = 0.0;
+  double ComputeMs = 0.0;
+  double SerializeMs = 0.0;
+};
+
+/// Logs the N slowest requests of every fixed-size window with their
+/// full stage breakdown, plus one seed-deterministically chosen
+/// "spotlight" request per window as an unbiased baseline sample. Not
+/// thread-safe: each serve shard owns one instance (samplers are cheap;
+/// the log lines carry the shard index). Determinism contract: the same
+/// request stream through the same (seed, window, shard) produces the
+/// same spotlight picks and the same log lines, so incidents replay.
+class SlowRequestSampler {
+public:
+  /// Lines are emitted through \p Out; the default sink is logInfo.
+  /// \p WindowSize == 0 disables the sampler entirely.
+  using Sink = std::function<void(const std::string &)>;
+  SlowRequestSampler(size_t WindowSize, size_t TopN, uint64_t Seed,
+                     size_t ShardIndex, Sink Out = {});
+
+  /// Feeds one completed request; flushes the window's log lines when it
+  /// fills.
+  void observe(const StageSample &S);
+
+  uint64_t windowsCompleted() const { return Windows; }
+
+private:
+  void flush();
+  uint64_t nextRandom(); ///< xorshift64*; seeded per (seed, shard).
+
+  size_t WindowSize;
+  size_t TopN;
+  size_t ShardIndex;
+  Sink Out;
+  uint64_t State; ///< PRNG state; never 0.
+  uint64_t Windows = 0;
+  size_t SeenInWindow = 0;
+  size_t SpotlightIndex = 0;
+  std::vector<StageSample> Slowest; ///< At most TopN, unsorted until flush.
+  StageSample Spotlight;
+  bool HaveSpotlight = false;
+};
+
+} // namespace serve
+} // namespace opprox
+
+#endif // OPPROX_SERVE_OBSERVABILITY_H

@@ -5,12 +5,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "serve/Server.h"
+#include "serve/Observability.h"
 #include "serve/WireProtocol.h"
 #include "support/Log.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fcntl.h>
@@ -110,6 +112,8 @@ struct Server::Impl {
     /// Owned + queued connections; read by the acceptor for placement.
     std::atomic<size_t> NumConns{0};
     std::vector<Conn> Conns; ///< Shard-thread private.
+    /// Shard-thread private, like Conns: observe() needs no locks.
+    std::unique_ptr<SlowRequestSampler> Sampler;
   };
   std::vector<std::unique_ptr<Shard>> Shards;
 
@@ -142,7 +146,28 @@ struct Server::Impl {
       MetricsRegistry::global().gauge("serve.artifact_generation");
   Histogram &RequestMs =
       MetricsRegistry::global().histogram("serve.request_ms");
+  /// Probe lines (stats/health) are counted here and deliberately kept
+  /// out of serve.requests / serve.request_ms, so a monitoring poller
+  /// cannot skew the latency statistics it reads.
+  Counter &ProbeCount = MetricsRegistry::global().counter("serve.probes");
+  /// Per-request stage attribution on the fine-grained sub-microsecond
+  /// grid: the five stages exactly partition each request's wall clock.
+  Histogram &StageParseMs = MetricsRegistry::global().histogram(
+      "serve.stage_ms.parse", Histogram::stageBoundsMs());
+  Histogram &StagePlanMs = MetricsRegistry::global().histogram(
+      "serve.stage_ms.plan", Histogram::stageBoundsMs());
+  Histogram &StageLookupMs = MetricsRegistry::global().histogram(
+      "serve.stage_ms.lookup", Histogram::stageBoundsMs());
+  Histogram &StageComputeMs = MetricsRegistry::global().histogram(
+      "serve.stage_ms.compute", Histogram::stageBoundsMs());
+  Histogram &StageSerializeMs = MetricsRegistry::global().histogram(
+      "serve.stage_ms.serialize", Histogram::stageBoundsMs());
   std::atomic<size_t> TotalConns{0};
+
+  Clock::time_point StartTime = Clock::now();
+  /// Delta/health probe baselines; seeded at construction so the first
+  /// probe after startup covers the window since the server came up.
+  ServerProbes ProbeState;
 
   std::shared_ptr<const RuntimeTable> table() {
     std::lock_guard<std::mutex> Lock(TableMutex);
@@ -165,7 +190,9 @@ struct Server::Impl {
 
   void acceptLoop();
   void shardLoop(size_t Index);
-  bool handleLine(Conn &C, const std::string &Line, size_t &CycleBudget);
+  bool handleLine(Conn &C, const std::string &Line, Shard &S,
+                  size_t &CycleBudget);
+  bool handleProbe(Conn &C, const ServeRequest &Req);
   bool respond(Conn &C, const std::string &Line);
 };
 
@@ -232,16 +259,48 @@ bool Server::Impl::respond(Conn &C, const std::string &Line) {
   return !sendAll(C.Sock, Line).has_value();
 }
 
+/// Answers a stats/health probe line. Probes bypass the optimizer, the
+/// latency histograms, and serve.requests: a monitoring poller must not
+/// skew the statistics it reads. They are counted in serve.probes.
+bool Server::Impl::handleProbe(Conn &C, const ServeRequest &Req) {
+  ProbeCount.add();
+  Json Doc;
+  if (Req.Health) {
+    HealthContext Ctx;
+    Ctx.UptimeS =
+        std::chrono::duration<double>(Clock::now() - StartTime).count();
+    Ctx.ArtifactGeneration = static_cast<size_t>(GenerationGauge.value());
+    Ctx.Shards = Shards.size();
+    Ctx.ActiveConnections = TotalConns.load(std::memory_order_relaxed);
+    Ctx.ConnectionCapacity = Shards.size() * Opts.MaxConnectionsPerShard;
+    for (const auto &[Name, Unused] : table()->ByApp)
+      Ctx.Apps.push_back(Name);
+    Doc = ProbeState.health(Ctx);
+  } else if (Req.StatsDelta) {
+    Doc = ProbeState.statsDelta();
+  } else {
+    Doc = statsSnapshotJson();
+  }
+  return respond(C, successResponseLine(Req.Id, std::move(Doc)));
+}
+
 /// Parses and serves one request line, or sheds it when the shard's
 /// per-cycle budget is spent. Never throws; every outcome is a response
 /// line. Returns false when the response could not be (fully) written:
 /// the peer may hold a truncated line, so the caller must close the
 /// connection -- appending anything after a partial write would corrupt
 /// the in-order response stream.
-bool Server::Impl::handleLine(Conn &C, const std::string &Line,
+///
+/// Latency accounting: four timestamps partition the request exactly.
+/// T0..T1 is parse, T1..T2 is the optimize interval (the planner
+/// reports its lookup and compute layers precisely; the residual is
+/// "plan": validation, app resolution, option merging), and T2..T3 is
+/// serialize (response construction + the socket write). The stage
+/// histograms therefore sum to serve.request_ms by construction.
+bool Server::Impl::handleLine(Conn &C, const std::string &Line, Shard &S,
                               size_t &CycleBudget) {
-  Requests.add();
   if (CycleBudget == 0) {
+    Requests.add();
     ShedCount.add();
     return respond(C, errorResponseLine(Json(), errc::Overloaded,
                                         format("shard request queue full "
@@ -251,22 +310,77 @@ bool Server::Impl::handleLine(Conn &C, const std::string &Line,
   --CycleBudget;
 
   TraceSpan Span("serve.request", "serve");
+  Clock::time_point T0 = Clock::now();
   Expected<ServeRequest> Req = parseServeRequest(Line);
-  if (!Req) {
-    ErrorCount.add();
-    bool Sent = respond(C, errorResponseLine(Json(),
-                                             requestErrorCode(Req.error()),
-                                             errorDetail(Req.error())));
-    RequestMs.record(Span.seconds() * 1e3);
-    return Sent;
-  }
+  Clock::time_point T1 = Clock::now();
 
-  if (Req->Stats) {
-    // Statistics request: answer with the cache counter snapshot; no
-    // app resolution, no optimization.
-    bool Sent = respond(C, successResponseLine(Req->Id, cacheStatsJson()));
-    RequestMs.record(Span.seconds() * 1e3);
+  if (Req && Req->isProbe()) {
+    Span.arg("probe", 1.0);
+    return handleProbe(C, *Req);
+  }
+  Requests.add();
+
+  // Every non-probe outcome funnels through here. \p T2 is taken by the
+  // caller *before* building the response line, so serialize covers
+  // construction and the write.
+  PlannerStageBreakdown PB;
+  auto Finish = [&](const Json &Id, Clock::time_point T2, bool IsError,
+                    const std::string &Response) -> bool {
+    if (IsError)
+      ErrorCount.add();
+    bool Sent = respond(C, Response);
+    Clock::time_point T3 = Clock::now();
+    auto MsBetween = [](Clock::time_point A, Clock::time_point B) {
+      return std::chrono::duration<double, std::milli>(B - A).count();
+    };
+    double ParseMs = MsBetween(T0, T1);
+    double PlanMs =
+        std::max(0.0, MsBetween(T1, T2) - PB.LookupMs - PB.ComputeMs);
+    double SerializeMs = MsBetween(T2, T3);
+    double TotalMs = MsBetween(T0, T3);
+    RequestMs.record(TotalMs);
+    StageParseMs.record(ParseMs);
+    StagePlanMs.record(PlanMs);
+    StageLookupMs.record(PB.LookupMs);
+    StageComputeMs.record(PB.ComputeMs);
+    StageSerializeMs.record(SerializeMs);
+    if (Span.recording()) {
+      Span.arg("parse_ms", ParseMs);
+      Span.arg("plan_ms", PlanMs);
+      Span.arg("lookup_ms", PB.LookupMs);
+      Span.arg("compute_ms", PB.ComputeMs);
+      Span.arg("serialize_ms", SerializeMs);
+      Span.arg("cache_hit", PB.CacheHit ? 1.0 : 0.0);
+      Span.arg("grid_hit", PB.GridHit ? 1.0 : 0.0);
+    }
+    if (S.Sampler) {
+      StageSample Sample;
+      Sample.Id = Id.dump();
+      Sample.TotalMs = TotalMs;
+      Sample.ParseMs = ParseMs;
+      Sample.PlanMs = PlanMs;
+      Sample.LookupMs = PB.LookupMs;
+      Sample.ComputeMs = PB.ComputeMs;
+      Sample.SerializeMs = SerializeMs;
+      S.Sampler->observe(Sample);
+    }
+    if (IsError)
+      logDebug("serve: request id=%s answered with an error after %.3f ms",
+               Id.dump().c_str(), TotalMs);
     return Sent;
+  };
+
+  if (!Req) {
+    // Echo the caller's id even when the request is rejected: re-parse
+    // the raw line for it (error path only, so no hot-path cost).
+    Json Id;
+    if (Expected<Json> Doc = Json::parse(Line))
+      if (const Json *IdField = Doc->find("id"))
+        Id = *IdField;
+    Clock::time_point T2 = Clock::now();
+    return Finish(Id, T2, /*IsError=*/true,
+                  errorResponseLine(Id, requestErrorCode(Req.error()),
+                                    errorDetail(Req.error())));
   }
 
   std::shared_ptr<const RuntimeTable> Snapshot = table();
@@ -275,14 +389,12 @@ bool Server::Impl::handleLine(Conn &C, const std::string &Line,
     if (Snapshot->ByApp.size() == 1) {
       Rt = Snapshot->ByApp.begin()->second;
     } else {
-      ErrorCount.add();
-      bool Sent =
-          respond(C, errorResponseLine(Req->Id, errc::BadRequest,
-                                       format("'app' is required when %zu "
-                                              "artifacts are resident",
-                                              Snapshot->ByApp.size())));
-      RequestMs.record(Span.seconds() * 1e3);
-      return Sent;
+      Clock::time_point T2 = Clock::now();
+      return Finish(Req->Id, T2, /*IsError=*/true,
+                    errorResponseLine(Req->Id, errc::BadRequest,
+                                      format("'app' is required when %zu "
+                                             "artifacts are resident",
+                                             Snapshot->ByApp.size())));
     }
   } else {
     auto It = Snapshot->ByApp.find(Req->App);
@@ -290,15 +402,13 @@ bool Server::Impl::handleLine(Conn &C, const std::string &Line,
       std::vector<std::string> Names;
       for (const auto &[Name, Unused] : Snapshot->ByApp)
         Names.push_back(Name);
-      ErrorCount.add();
-      bool Sent =
-          respond(C, errorResponseLine(Req->Id, errc::UnknownApp,
-                                       format("no artifact for '%s' "
-                                              "(resident: %s)",
-                                              Req->App.c_str(),
-                                              join(Names, ", ").c_str())));
-      RequestMs.record(Span.seconds() * 1e3);
-      return Sent;
+      Clock::time_point T2 = Clock::now();
+      return Finish(Req->Id, T2, /*IsError=*/true,
+                    errorResponseLine(Req->Id, errc::UnknownApp,
+                                      format("no artifact for '%s' "
+                                             "(resident: %s)",
+                                             Req->App.c_str(),
+                                             join(Names, ", ").c_str())));
     }
     Rt = It->second;
   }
@@ -314,21 +424,17 @@ bool Server::Impl::handleLine(Conn &C, const std::string &Line,
     OptimizeOpts.Conservative = !*Req->Aggressive;
 
   Expected<OptimizationResult> Result =
-      Rt->tryOptimizeDetailed(Input, Req->Budget, OptimizeOpts);
-  if (!Result) {
-    ErrorCount.add();
-    bool Sent = respond(C, errorResponseLine(Req->Id, errc::BadRequest,
-                                             Result.error().message()));
-    RequestMs.record(Span.seconds() * 1e3);
-    return Sent;
-  }
-  bool Sent = respond(
-      C, successResponseLine(Req->Id,
-                             optimizationResultJson(Rt->artifact(),
-                                                    Req->Budget, Input,
-                                                    *Result)));
-  RequestMs.record(Span.seconds() * 1e3);
-  return Sent;
+      Rt->tryOptimizeDetailed(Input, Req->Budget, OptimizeOpts, &PB);
+  Clock::time_point T2 = Clock::now();
+  if (!Result)
+    return Finish(Req->Id, T2, /*IsError=*/true,
+                  errorResponseLine(Req->Id, errc::BadRequest,
+                                    Result.error().message()));
+  return Finish(Req->Id, T2, /*IsError=*/false,
+                successResponseLine(Req->Id,
+                                    optimizationResultJson(Rt->artifact(),
+                                                           Req->Budget, Input,
+                                                           *Result)));
 }
 
 void Server::Impl::shardLoop(size_t Index) {
@@ -377,7 +483,7 @@ void Server::Impl::shardLoop(size_t Index) {
         return false;
       }
       while (C.Framer.next(Line))
-        if (!handleLine(C, Line, CycleBudget)) {
+        if (!handleLine(C, Line, S, CycleBudget)) {
           logDebug("serve: closing connection after failed response write");
           return false;
         }
@@ -507,6 +613,12 @@ Expected<std::unique_ptr<Server>> Server::start(std::vector<ServeAppConfig> Apps
     auto Sh = std::make_unique<Impl::Shard>();
     if (std::optional<Error> E = Sh->Wake.init())
       return *E;
+    // No sampler object at all when disabled: the request loop gates
+    // its StageSample (and the id serialization) on the pointer.
+    if (Opts.SlowRequestWindow > 0 && Opts.SlowRequestTopN > 0)
+      Sh->Sampler = std::make_unique<SlowRequestSampler>(
+          Opts.SlowRequestWindow, Opts.SlowRequestTopN, Opts.SlowRequestSeed,
+          S);
     ImplPtr->Shards.push_back(std::move(Sh));
   }
 

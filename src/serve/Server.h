@@ -92,6 +92,14 @@ struct ServeOptions {
   /// Each request runs serially inside its shard (NumThreads is forced
   /// to 1): concurrency comes from shards, not per-request fan-out.
   OptimizeOptions Optimize;
+  /// Slow-request sampling: every shard logs its SlowRequestTopN slowest
+  /// requests per SlowRequestWindow served requests, with the full
+  /// parse/plan/lookup/compute/serialize breakdown, plus one
+  /// seed-deterministic spotlight request per window as an unbiased
+  /// baseline. Window 0 disables the sampler.
+  size_t SlowRequestWindow = 256;
+  size_t SlowRequestTopN = 3;
+  uint64_t SlowRequestSeed = 42;
 };
 
 /// A running server. Construction through start() binds, loads every

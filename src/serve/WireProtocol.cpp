@@ -64,9 +64,19 @@ Expected<ServeRequest> serve::parseServeRequest(const std::string &Line) {
         return codedError(errc::BadRequest, "'aggressive' must be a boolean");
       Req.Aggressive = Value.asBool();
     } else if (Key == "stats") {
+      if (Value.isBool()) {
+        Req.Stats = Value.asBool();
+      } else if (Value.isString() && Value.asString() == "delta") {
+        Req.Stats = true;
+        Req.StatsDelta = true;
+      } else {
+        return codedError(errc::BadRequest,
+                          "'stats' must be a boolean or the string \"delta\"");
+      }
+    } else if (Key == "health") {
       if (!Value.isBool())
-        return codedError(errc::BadRequest, "'stats' must be a boolean");
-      Req.Stats = Value.asBool();
+        return codedError(errc::BadRequest, "'health' must be a boolean");
+      Req.Health = Value.asBool();
     } else {
       // Unknown members are rejected, mirroring the CLI's unknown-flag
       // policy: a typo must not silently change a request's meaning.
@@ -74,7 +84,7 @@ Expected<ServeRequest> serve::parseServeRequest(const std::string &Line) {
                         format("unknown request member '%s'", Key.c_str()));
     }
   }
-  if (!SawBudget && !Req.Stats)
+  if (!SawBudget && !Req.isProbe())
     return codedError(errc::BadRequest, "missing required member 'budget'");
   return Req;
 }

@@ -72,10 +72,24 @@ struct ServeRequest {
   /// Point predictions instead of conservative bounds; absent defers to
   /// the server's configured base OptimizeOptions.
   std::optional<bool> Aggressive;
-  /// `"stats": true` turns the line into a statistics request: the
-  /// server answers with the cache counter snapshot instead of running
-  /// an optimization, and the otherwise-required budget is waived.
+  /// `"stats": true` turns the line into a statistics probe: the server
+  /// answers with the full metrics snapshot (plus a "cache" rollup)
+  /// instead of running an optimization, and the otherwise-required
+  /// budget is waived.
   bool Stats = false;
+  /// `"stats": "delta"` asks for the windowed snapshot since the
+  /// previous delta probe (MetricsRegistry::deltaJson) instead of the
+  /// lifetime one. Implies Stats.
+  bool StatsDelta = false;
+  /// `"health": true` turns the line into a health probe: uptime,
+  /// artifact generation, shard/connection state, and windowed shed/
+  /// degraded rates summarized as ok|degraded|overloaded.
+  bool Health = false;
+
+  /// True for any probe line (stats, delta, health). Probes bypass the
+  /// optimizer and are accounted in serve.probes, never in
+  /// serve.requests / serve.request_ms.
+  bool isProbe() const { return Stats || Health; }
 };
 
 /// Parses one request line. Malformed JSON or a schema violation comes
@@ -97,9 +111,9 @@ Json optimizationResultJson(const OpproxArtifact &Artifact, double Budget,
                             const std::vector<double> &Input,
                             const OptimizationResult &Result);
 
-/// The process-wide schedule-cache counter snapshot a `"stats": true`
-/// request is answered with: {"cache": {"hits", "misses",
-/// "negative_hits", "evictions", "grid_hits"}}.
+/// The process-wide schedule-cache counter rollup embedded in every
+/// `"stats": true` response (and usable standalone): {"cache": {"hits",
+/// "misses", "negative_hits", "evictions", "grid_hits"}}.
 Json cacheStatsJson();
 
 /// Builds the success response envelope around a result document.

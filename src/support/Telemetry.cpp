@@ -124,6 +124,57 @@ std::vector<double> Histogram::percentBounds() {
   return {0.1, 0.25, 0.5, 1, 2, 5, 10, 15, 20, 25, 50, 100};
 }
 
+std::vector<double> Histogram::stageBoundsMs() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+          0.05,   0.1,     0.25,   0.5,   1,      2.5,   5,    10,
+          25,     50,      100,    250,   1000};
+}
+
+double Histogram::percentileFromCounts(const std::vector<double> &Bounds,
+                                       const std::vector<uint64_t> &Counts,
+                                       double P) {
+  assert(Counts.size() == Bounds.size() + 1 &&
+         "counts must carry one overflow bucket");
+  uint64_t Total = 0;
+  for (uint64_t C : Counts)
+    Total += C;
+  if (Total == 0 || Bounds.empty())
+    return 0.0;
+
+  auto LowerEdge = [&](size_t I) { return I == 0 ? 0.0 : Bounds[I - 1]; };
+  // The overflow bucket has no upper edge; collapse it to the last finite
+  // bound so interval percentiles stay a conservative lower estimate.
+  auto UpperEdge = [&](size_t I) {
+    return I < Bounds.size() ? Bounds[I] : Bounds.back();
+  };
+
+  if (P <= 0.0) {
+    for (size_t I = 0; I < Counts.size(); ++I)
+      if (Counts[I])
+        return LowerEdge(I);
+    return 0.0;
+  }
+  if (P >= 100.0) {
+    for (size_t I = Counts.size(); I-- > 0;)
+      if (Counts[I])
+        return UpperEdge(I);
+    return 0.0;
+  }
+
+  double Target = P / 100.0 * static_cast<double>(Total);
+  double Before = 0.0;
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    double InBucket = static_cast<double>(Counts[I]);
+    if (InBucket == 0.0 || Before + InBucket < Target) {
+      Before += InBucket;
+      continue;
+    }
+    double Fraction = (Target - Before) / InBucket;
+    return LowerEdge(I) + (UpperEdge(I) - LowerEdge(I)) * Fraction;
+  }
+  return UpperEdge(Counts.size() - 1);
+}
+
 //===----------------------------------------------------------------------===//
 // MetricsRegistry
 //===----------------------------------------------------------------------===//
@@ -190,6 +241,97 @@ Json MetricsRegistry::snapshotJson() const {
     HistObj.set(Name, std::move(Entry));
   }
   Out.set("histograms", std::move(HistObj));
+  return Out;
+}
+
+MetricsBaseline MetricsRegistry::captureBaseline() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MetricsBaseline Out;
+  Out.TakenAt = std::chrono::steady_clock::now();
+  for (const auto &[Name, C] : Counters)
+    Out.Counters[Name] = C->value();
+  for (const auto &[Name, H] : Histograms) {
+    MetricsBaseline::HistogramState State;
+    State.Buckets = H->bucketCounts();
+    // Derive the count from the bucket vector rather than the Count
+    // atomic: record() bumps them independently, and the bucket sum is
+    // what interval percentiles are computed from.
+    for (uint64_t B : State.Buckets)
+      State.Count += B;
+    State.Sum = H->sum();
+    Out.Histograms[Name] = std::move(State);
+  }
+  return Out;
+}
+
+Json MetricsRegistry::deltaJson(MetricsBaseline &Since) const {
+  MetricsBaseline Now = captureBaseline();
+  double IntervalS =
+      std::chrono::duration<double>(Now.TakenAt - Since.TakenAt).count();
+  double RateDivisor = std::max(IntervalS, 1e-9);
+
+  Json Out = Json::object();
+  Out.set("schema", "opprox-metrics-delta-1");
+  Out.set("interval_s", IntervalS);
+
+  Json CounterObj = Json::object();
+  Json RateObj = Json::object();
+  for (const auto &[Name, Value] : Now.Counters) {
+    auto It = Since.Counters.find(Name);
+    uint64_t Baseline = It == Since.Counters.end() ? 0 : It->second;
+    uint64_t Delta = Value >= Baseline ? Value - Baseline : 0;
+    if (Delta == 0)
+      continue;
+    CounterObj.set(Name, static_cast<double>(Delta));
+    RateObj.set(Name, static_cast<double>(Delta) / RateDivisor);
+  }
+  Out.set("counters", std::move(CounterObj));
+  Out.set("rates_per_sec", std::move(RateObj));
+
+  Json GaugeObj = Json::object();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &[Name, G] : Gauges)
+      GaugeObj.set(Name, G->value());
+  }
+  Out.set("gauges", std::move(GaugeObj));
+
+  Json HistObj = Json::object();
+  for (const auto &[Name, State] : Now.Histograms) {
+    auto It = Since.Histograms.find(Name);
+    const MetricsBaseline::HistogramState *Base =
+        It == Since.Histograms.end() ? nullptr : &It->second;
+    std::vector<uint64_t> DeltaBuckets = State.Buckets;
+    uint64_t DeltaCount = State.Count;
+    double DeltaSum = State.Sum;
+    if (Base && Base->Buckets.size() == State.Buckets.size()) {
+      for (size_t I = 0; I < DeltaBuckets.size(); ++I)
+        DeltaBuckets[I] -= std::min(Base->Buckets[I], DeltaBuckets[I]);
+      DeltaCount -= std::min(Base->Count, DeltaCount);
+      DeltaSum -= Base->Sum;
+    }
+    if (DeltaCount == 0)
+      continue;
+    std::vector<double> Bounds;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      auto HistIt = Histograms.find(Name);
+      if (HistIt == Histograms.end())
+        continue;
+      Bounds = HistIt->second->bounds();
+    }
+    Json Entry = Json::object();
+    Entry.set("count", static_cast<double>(DeltaCount));
+    Entry.set("sum", DeltaSum);
+    Entry.set("mean", DeltaSum / static_cast<double>(DeltaCount));
+    Entry.set("p50", Histogram::percentileFromCounts(Bounds, DeltaBuckets, 50));
+    Entry.set("p95", Histogram::percentileFromCounts(Bounds, DeltaBuckets, 95));
+    Entry.set("p99", Histogram::percentileFromCounts(Bounds, DeltaBuckets, 99));
+    HistObj.set(Name, std::move(Entry));
+  }
+  Out.set("histograms", std::move(HistObj));
+
+  Since = std::move(Now);
   return Out;
 }
 

@@ -124,6 +124,22 @@ public:
   /// Default bounds for percentage quantities (QoS budgets): 0.1 .. 100.
   static std::vector<double> percentBounds();
 
+  /// Fine-grained bounds for per-request stage latencies: 100ns .. 1s.
+  /// Warm-cache serve stages sit well under a microsecond, which the
+  /// 10us-floor latencyBoundsMs() grid cannot resolve.
+  static std::vector<double> stageBoundsMs();
+
+  /// Percentile estimate over a standalone bucket-count vector (e.g. the
+  /// difference of two bucketCounts() captures). \p Counts must have
+  /// Bounds.size() + 1 entries (overflow last). Interpolates linearly
+  /// inside the selected bucket; the first bucket's lower edge is 0 and
+  /// the overflow bucket collapses to the last finite bound (a
+  /// conservative lower estimate, since no per-interval max is tracked).
+  /// Returns 0 when the counts are all zero.
+  static double percentileFromCounts(const std::vector<double> &Bounds,
+                                     const std::vector<uint64_t> &Counts,
+                                     double P);
+
 private:
   friend class MetricsRegistry;
   explicit Histogram(std::vector<double> Bounds);
@@ -139,6 +155,24 @@ private:
 /// A flattened (name, value) metrics summary, name-sorted. Used to diff
 /// training cost into artifact provenance.
 using MetricsSummary = std::vector<std::pair<std::string, double>>;
+
+/// Point-in-time capture of every monotone instrument (counter values,
+/// histogram count/sum/bucket vectors) plus a steady-clock timestamp.
+/// Feed it back to MetricsRegistry::deltaJson() to get a *windowed*
+/// snapshot -- per-interval counts, rates per second, and interval
+/// percentiles -- instead of lifetime aggregates. This is what the
+/// serving tier's `{"stats": "delta"}` wire probe and `opprox-top` are
+/// built on.
+struct MetricsBaseline {
+  struct HistogramState {
+    uint64_t Count = 0;
+    double Sum = 0.0;
+    std::vector<uint64_t> Buckets;
+  };
+  std::chrono::steady_clock::time_point TakenAt{};
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, HistogramState> Histograms;
+};
 
 /// Named-instrument registry. Registration takes a mutex; returned
 /// references stay valid for the registry's lifetime (the global one
@@ -167,6 +201,19 @@ public:
   /// "histograms"} with instruments in name order; serializing the same
   /// state always yields the same bytes.
   Json snapshotJson() const;
+
+  /// Captures the monotone state of every instrument for later use with
+  /// deltaJson(). Cheap: one atomic read per counter/bucket.
+  MetricsBaseline captureBaseline() const;
+
+  /// Windowed snapshot since \p Since: {"schema": "opprox-metrics-delta-1",
+  /// "interval_s", "counters" (per-window deltas), "rates_per_sec",
+  /// "gauges" (current values), "histograms" (per-window count/sum/mean/
+  /// p50/p95/p99 from bucket-count differences)}. Zero-delta counters and
+  /// histograms are dropped, so idle windows serialize small. \p Since is
+  /// advanced to the fresh capture, giving pollers back-to-back windows
+  /// with no gap: `Json W = Reg.deltaJson(Base);` is the whole loop body.
+  Json deltaJson(MetricsBaseline &Since) const;
 
   /// The monotone slice of the registry -- counters plus histogram
   /// "<name>.count"/"<name>.sum" -- suitable for before/after diffing.
@@ -286,6 +333,10 @@ public:
   /// Attaches a numeric argument shown in the trace viewer's detail
   /// pane. No-op when the span is not recording.
   void arg(const std::string &Key, double Value);
+
+  /// True when the span will be recorded: lets hot paths skip building
+  /// arg keys entirely instead of paying for throwaway temporaries.
+  bool recording() const { return Rec != nullptr; }
 
   /// Elapsed seconds since construction (recording or not).
   double seconds() const;

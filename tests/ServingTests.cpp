@@ -20,6 +20,7 @@
 
 #include "apps/AppRegistry.h"
 #include "core/OfflineTrainer.h"
+#include "serve/Observability.h"
 #include "serve/Server.h"
 #include "serve/WireProtocol.h"
 #include "support/FaultInjection.h"
@@ -711,6 +712,301 @@ TEST_F(ServingTest, StatsRequestReportsCacheCounters) {
   EXPECT_TRUE(static_cast<bool>(getSize(**Cache, "negative_hits")));
   EXPECT_TRUE(static_cast<bool>(getSize(**Cache, "evictions")));
   EXPECT_TRUE(static_cast<bool>(getSize(**Cache, "grid_hits")));
+}
+
+//===----------------------------------------------------------------------===//
+// Live probes: {"stats": true} / {"stats": "delta"} / {"health": true}
+// (docs/OBSERVABILITY.md, "Live probes")
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServingTest, StatsProbeReturnsTheFullMetricsSnapshot) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  TestClient C = TestClient::connectTo(Srv->port());
+  for (int I = 0; I < 4; ++I)
+    ASSERT_TRUE(responseOk(C.roundTrip("{\"budget\": 10}")));
+
+  Json Stats = C.roundTrip("{\"stats\": true, \"id\": \"s\"}");
+  ASSERT_TRUE(responseOk(Stats));
+  Expected<const Json *> Result = getObject(Stats, "result");
+  ASSERT_TRUE(static_cast<bool>(Result));
+  // Same document --metrics-out writes, plus the legacy cache rollup.
+  Expected<std::string> Schema = getString(**Result, "schema");
+  ASSERT_TRUE(static_cast<bool>(Schema));
+  EXPECT_EQ(*Schema, "opprox-metrics-1");
+  EXPECT_TRUE(static_cast<bool>(getObject(**Result, "counters")));
+  EXPECT_TRUE(static_cast<bool>(getObject(**Result, "gauges")));
+  EXPECT_TRUE(static_cast<bool>(getObject(**Result, "cache")));
+  Expected<const Json *> Hists = getObject(**Result, "histograms");
+  ASSERT_TRUE(static_cast<bool>(Hists));
+  EXPECT_TRUE((*Hists)->find("serve.request_ms"));
+  for (const char *Stage :
+       {"parse", "plan", "lookup", "compute", "serialize"})
+    EXPECT_TRUE((*Hists)->find(std::string("serve.stage_ms.") + Stage))
+        << Stage;
+}
+
+TEST_F(ServingTest, HealthProbeReportsServerFactsAndWindowedRates) {
+  ServeOptions Opts;
+  Opts.Shards = 2;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  TestClient C = TestClient::connectTo(Srv->port());
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(responseOk(C.roundTrip("{\"budget\": 10}")));
+
+  Json First = C.roundTrip("{\"health\": true}");
+  ASSERT_TRUE(responseOk(First));
+  Expected<const Json *> Result = getObject(First, "result");
+  ASSERT_TRUE(static_cast<bool>(Result));
+  Expected<const Json *> Health = getObject(**Result, "health");
+  ASSERT_TRUE(static_cast<bool>(Health));
+
+  Expected<std::string> Status = getString(**Health, "status");
+  ASSERT_TRUE(static_cast<bool>(Status));
+  EXPECT_EQ(*Status, "ok");
+  Expected<double> Uptime = getNumber(**Health, "uptime_s");
+  ASSERT_TRUE(static_cast<bool>(Uptime));
+  EXPECT_GT(*Uptime, 0.0);
+  Expected<size_t> Generation = getSize(**Health, "artifact_generation");
+  ASSERT_TRUE(static_cast<bool>(Generation));
+  EXPECT_EQ(*Generation, 0u);
+  Expected<size_t> Shards = getSize(**Health, "shards");
+  ASSERT_TRUE(static_cast<bool>(Shards));
+  EXPECT_EQ(*Shards, 2u);
+  Expected<const Json *> Conns = getObject(**Health, "connections");
+  ASSERT_TRUE(static_cast<bool>(Conns));
+  Expected<size_t> Capacity = getSize(**Conns, "capacity");
+  ASSERT_TRUE(static_cast<bool>(Capacity));
+  EXPECT_EQ(*Capacity, 2 * Opts.MaxConnectionsPerShard);
+  Expected<const Json *> Window = getObject(**Health, "window");
+  ASSERT_TRUE(static_cast<bool>(Window));
+  Expected<size_t> Requests = getSize(**Window, "requests");
+  ASSERT_TRUE(static_cast<bool>(Requests));
+  EXPECT_EQ(*Requests, 3u);
+  EXPECT_TRUE(static_cast<bool>(getNumber(**Window, "shed_rate")));
+
+  // Health windows are relative to the previous health probe: a quiet
+  // gap reports zero requests. And hot swaps bump the generation.
+  Srv->hotSwap();
+  Json Second = C.roundTrip("{\"health\": true}");
+  ASSERT_TRUE(responseOk(Second));
+  Expected<const Json *> Result2 = getObject(Second, "result");
+  ASSERT_TRUE(static_cast<bool>(Result2));
+  Expected<const Json *> Health2 = getObject(**Result2, "health");
+  ASSERT_TRUE(static_cast<bool>(Health2));
+  Expected<size_t> Generation2 = getSize(**Health2, "artifact_generation");
+  ASSERT_TRUE(static_cast<bool>(Generation2));
+  EXPECT_EQ(*Generation2, 1u);
+  Expected<const Json *> Window2 = getObject(**Health2, "window");
+  ASSERT_TRUE(static_cast<bool>(Window2));
+  Expected<size_t> Requests2 = getSize(**Window2, "requests");
+  ASSERT_TRUE(static_cast<bool>(Requests2));
+  EXPECT_EQ(*Requests2, 0u);
+}
+
+TEST_F(ServingTest, DeltaProbeWindowsAreGaplessAndPerServer) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  TestClient C = TestClient::connectTo(Srv->port());
+
+  for (int I = 0; I < 5; ++I)
+    ASSERT_TRUE(responseOk(C.roundTrip("{\"budget\": 10}")));
+  Json First = C.roundTrip("{\"stats\": \"delta\"}");
+  ASSERT_TRUE(responseOk(First));
+  Expected<const Json *> Result = getObject(First, "result");
+  ASSERT_TRUE(static_cast<bool>(Result));
+  Expected<std::string> Schema = getString(**Result, "schema");
+  ASSERT_TRUE(static_cast<bool>(Schema));
+  EXPECT_EQ(*Schema, "opprox-metrics-delta-1");
+  Expected<const Json *> Counters = getObject(**Result, "counters");
+  ASSERT_TRUE(static_cast<bool>(Counters));
+  Expected<double> Requests = getNumber(**Counters, "serve.requests");
+  ASSERT_TRUE(static_cast<bool>(Requests));
+  EXPECT_DOUBLE_EQ(*Requests, 5.0)
+      << "the first delta window starts at server construction";
+
+  // The next window carries only the traffic since the previous delta
+  // probe -- and the probes themselves never count as requests.
+  for (int I = 0; I < 2; ++I)
+    ASSERT_TRUE(responseOk(C.roundTrip("{\"budget\": 10}")));
+  Json Second = C.roundTrip("{\"stats\": \"delta\"}");
+  ASSERT_TRUE(responseOk(Second));
+  Expected<const Json *> Result2 = getObject(Second, "result");
+  ASSERT_TRUE(static_cast<bool>(Result2));
+  Expected<const Json *> Counters2 = getObject(**Result2, "counters");
+  ASSERT_TRUE(static_cast<bool>(Counters2));
+  Expected<double> Requests2 = getNumber(**Counters2, "serve.requests");
+  ASSERT_TRUE(static_cast<bool>(Requests2));
+  EXPECT_DOUBLE_EQ(*Requests2, 2.0);
+}
+
+TEST_F(ServingTest, ProbesAreCountedAsProbesNotRequests) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  TestClient C = TestClient::connectTo(Srv->port());
+
+  MetricsRegistry &Reg = MetricsRegistry::global();
+  uint64_t SerializeBefore =
+      Reg.histogram("serve.stage_ms.serialize", Histogram::stageBoundsMs())
+          .count();
+  ASSERT_TRUE(responseOk(C.roundTrip("{\"budget\": 10}")));
+  // The shard records instruments after writing the response; wait for
+  // the optimize request's records to land before taking the baseline.
+  for (int Spin = 0;
+       Reg.histogram("serve.stage_ms.serialize").count() <
+           SerializeBefore + 1 &&
+       Spin < 1000;
+       ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  uint64_t RequestsBefore = Reg.counter("serve.requests").value();
+  uint64_t ProbesBefore = Reg.counter("serve.probes").value();
+  uint64_t LatencyCountBefore =
+      Reg.histogram("serve.request_ms").count();
+
+  ASSERT_TRUE(responseOk(C.roundTrip("{\"stats\": true}")));
+  ASSERT_TRUE(responseOk(C.roundTrip("{\"stats\": \"delta\"}")));
+  ASSERT_TRUE(responseOk(C.roundTrip("{\"health\": true}")));
+
+  // Monitoring must not pollute the latency the SLO is written against.
+  EXPECT_EQ(Reg.counter("serve.requests").value(), RequestsBefore);
+  EXPECT_EQ(Reg.histogram("serve.request_ms").count(), LatencyCountBefore);
+  EXPECT_EQ(Reg.counter("serve.probes").value(), ProbesBefore + 3);
+}
+
+TEST_F(ServingTest, StageAttributionSumsToRequestLatency) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  TestClient C = TestClient::connectTo(Srv->port());
+
+  MetricsRegistry &Reg = MetricsRegistry::global();
+  const char *StageNames[] = {
+      "serve.stage_ms.parse", "serve.stage_ms.plan", "serve.stage_ms.lookup",
+      "serve.stage_ms.compute", "serve.stage_ms.serialize"};
+  double StageSumBefore = 0.0;
+  for (const char *Name : StageNames)
+    StageSumBefore += Reg.histogram(Name, Histogram::stageBoundsMs()).sum();
+  double RequestSumBefore = Reg.histogram("serve.request_ms").sum();
+  uint64_t CountBefore = Reg.histogram("serve.request_ms").count();
+  uint64_t SerializeCountBefore =
+      Reg.histogram("serve.stage_ms.serialize").count();
+
+  // A mix of misses, cache hits, and error responses: the attribution
+  // invariant holds for every outcome, not just the happy path.
+  for (int I = 0; I < 8; ++I)
+    ASSERT_TRUE(responseOk(
+        C.roundTrip(format("{\"budget\": %d}", 5 + I % 3))));
+  EXPECT_FALSE(responseOk(C.roundTrip("{\"budget\": -1}")));
+  EXPECT_FALSE(responseOk(C.roundTrip("{broken")));
+
+  // The shard records the histograms *after* writing the response (the
+  // serialize stage covers the socket write), so wait for the last
+  // stage record of the last request before reading the sums.
+  for (int Spin = 0;
+       Reg.histogram("serve.stage_ms.serialize").count() <
+           SerializeCountBefore + 10 &&
+       Spin < 1000;
+       ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  double StageSum = -StageSumBefore;
+  for (const char *Name : StageNames)
+    StageSum += Reg.histogram(Name).sum();
+  double RequestSum = Reg.histogram("serve.request_ms").sum() -
+                      RequestSumBefore;
+  uint64_t Count = Reg.histogram("serve.request_ms").count() - CountBefore;
+  EXPECT_EQ(Count, 10u);
+  ASSERT_GT(RequestSum, 0.0);
+  // The acceptance bar: the five stages account for the request clock
+  // to within 5% (by construction they partition it exactly; the
+  // tolerance absorbs histogram float accumulation).
+  EXPECT_NEAR(StageSum, RequestSum, 0.05 * RequestSum);
+}
+
+//===----------------------------------------------------------------------===//
+// Slow-request sampler determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::string> runSampler(size_t Window, size_t TopN, uint64_t Seed,
+                                    size_t Shard, size_t Requests) {
+  std::vector<std::string> Lines;
+  SlowRequestSampler Sampler(Window, TopN, Seed, Shard,
+                             [&Lines](const std::string &Line) {
+                               Lines.push_back(Line);
+                             });
+  for (size_t I = 0; I < Requests; ++I) {
+    StageSample S;
+    S.Id = std::to_string(I);
+    // A deterministic sawtooth with one large spike per window.
+    S.TotalMs = (I % 7 == 3) ? 50.0 + static_cast<double>(I)
+                             : 1.0 + static_cast<double>(I % 5);
+    S.ParseMs = 0.25 * S.TotalMs;
+    S.PlanMs = 0.25 * S.TotalMs;
+    S.SerializeMs = 0.5 * S.TotalMs;
+    Sampler.observe(S);
+  }
+  return Lines;
+}
+
+} // namespace
+
+TEST(SlowRequestSamplerTest, ReplaysIdenticallyForTheSameSeedAndShard) {
+  std::vector<std::string> A = runSampler(16, 3, 42, 0, 64);
+  std::vector<std::string> B = runSampler(16, 3, 42, 0, 64);
+  EXPECT_FALSE(A.empty());
+  EXPECT_EQ(A, B) << "same (seed, shard, stream) must log the same lines";
+
+  // Per window: TopN slow-request lines plus one spotlight sample.
+  EXPECT_EQ(A.size(), (64 / 16) * (3 + 1));
+  size_t Slow = 0, Spot = 0;
+  for (const std::string &Line : A) {
+    if (Line.find("slow-request") != std::string::npos)
+      ++Slow;
+    if (Line.find("sample-request") != std::string::npos)
+      ++Spot;
+    EXPECT_NE(Line.find("total_ms="), std::string::npos) << Line;
+    EXPECT_NE(Line.find("parse_ms="), std::string::npos) << Line;
+  }
+  EXPECT_EQ(Slow, (64 / 16) * 3);
+  EXPECT_EQ(Spot, 64 / 16);
+}
+
+TEST(SlowRequestSamplerTest, ShardsWithTheSameSeedDivergeAndRanksAreSorted) {
+  std::vector<std::string> Shard0 = runSampler(16, 2, 7, 0, 32);
+  std::vector<std::string> Shard1 = runSampler(16, 2, 7, 1, 32);
+  // The slowest requests agree (same stream) but the spotlight picks
+  // must not march in lockstep across shards.
+  EXPECT_NE(Shard0, Shard1);
+
+  // rank=1 is the slowest of its window: ranks never increase in speed.
+  auto TotalOf = [](const std::string &Line) {
+    size_t At = Line.find("total_ms=");
+    return std::stod(Line.substr(At + 9));
+  };
+  double Rank1 = 0.0;
+  for (const std::string &Line : Shard0) {
+    if (Line.find("rank=1/") != std::string::npos)
+      Rank1 = TotalOf(Line);
+    else if (Line.find("rank=2/") != std::string::npos)
+      EXPECT_LE(TotalOf(Line), Rank1) << Line;
+  }
+}
+
+TEST(SlowRequestSamplerTest, DisabledSamplerNeverEmits) {
+  EXPECT_TRUE(runSampler(0, 3, 42, 0, 64).empty());
+  std::vector<std::string> NoTop = runSampler(8, 0, 42, 0, 64);
+  EXPECT_TRUE(NoTop.empty());
 }
 
 TEST_F(ServingTest, HotSwapDoesNotServeCachedSchedulesFromTheOldArtifact) {

@@ -229,6 +229,148 @@ TEST(TelemetryTest, MonotoneSummaryDiff) {
 }
 
 //===----------------------------------------------------------------------===//
+// Baseline capture and windowed deltas (the layer behind {"stats":
+// "delta"} and the health probe, docs/OBSERVABILITY.md)
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, DeltaJsonReportsOnlyTheWindowAndAdvancesTheBaseline) {
+  MetricsRegistry Registry;
+  Counter &Runs = Registry.counter("runs");
+  Histogram &Ms = Registry.histogram("ms", {1.0, 10.0, 100.0});
+  Runs.add(7);
+  Ms.record(0.5);
+  Ms.record(5.0);
+
+  MetricsBaseline Base = Registry.captureBaseline();
+  Runs.add(3);
+  Registry.counter("fresh").add(2); // Born inside the window.
+  Ms.record(50.0);
+  Ms.record(50.0);
+
+  Json W1 = Registry.deltaJson(Base);
+  Expected<std::string> Schema = getString(W1, "schema");
+  ASSERT_TRUE(static_cast<bool>(Schema));
+  EXPECT_EQ(*Schema, "opprox-metrics-delta-1");
+  Expected<double> Interval = getNumber(W1, "interval_s");
+  ASSERT_TRUE(static_cast<bool>(Interval));
+  EXPECT_GE(*Interval, 0.0);
+
+  Expected<const Json *> Counters = getObject(W1, "counters");
+  ASSERT_TRUE(static_cast<bool>(Counters));
+  Expected<double> RunsDelta = getNumber(**Counters, "runs");
+  ASSERT_TRUE(static_cast<bool>(RunsDelta));
+  EXPECT_DOUBLE_EQ(*RunsDelta, 3.0) << "pre-baseline counts must not leak in";
+  Expected<double> FreshDelta = getNumber(**Counters, "fresh");
+  ASSERT_TRUE(static_cast<bool>(FreshDelta));
+  EXPECT_DOUBLE_EQ(*FreshDelta, 2.0);
+
+  Expected<const Json *> Rates = getObject(W1, "rates_per_sec");
+  ASSERT_TRUE(static_cast<bool>(Rates));
+  Expected<double> RunsRate = getNumber(**Rates, "runs");
+  ASSERT_TRUE(static_cast<bool>(RunsRate));
+  EXPECT_GT(*RunsRate, 0.0);
+
+  Expected<const Json *> Hists = getObject(W1, "histograms");
+  ASSERT_TRUE(static_cast<bool>(Hists));
+  Expected<const Json *> MsEntry = getObject(**Hists, "ms");
+  ASSERT_TRUE(static_cast<bool>(MsEntry));
+  Expected<double> MsCount = getNumber(**MsEntry, "count");
+  ASSERT_TRUE(static_cast<bool>(MsCount));
+  EXPECT_DOUBLE_EQ(*MsCount, 2.0);
+  Expected<double> MsSum = getNumber(**MsEntry, "sum");
+  ASSERT_TRUE(static_cast<bool>(MsSum));
+  EXPECT_DOUBLE_EQ(*MsSum, 100.0);
+  // Both window recordings sit in the (10, 100] bucket, so the interval
+  // percentiles interpolate inside it -- untouched by the two
+  // pre-baseline recordings in lower buckets.
+  Expected<double> P50 = getNumber(**MsEntry, "p50");
+  ASSERT_TRUE(static_cast<bool>(P50));
+  EXPECT_GT(*P50, 10.0);
+  EXPECT_LE(*P50, 100.0);
+
+  // deltaJson advanced the baseline in place: a quiet second window is
+  // empty rather than repeating the first.
+  Json W2 = Registry.deltaJson(Base);
+  Expected<const Json *> Counters2 = getObject(W2, "counters");
+  ASSERT_TRUE(static_cast<bool>(Counters2));
+  EXPECT_FALSE((*Counters2)->find("runs"))
+      << "zero-delta instruments must be dropped from the window";
+  Expected<const Json *> Hists2 = getObject(W2, "histograms");
+  ASSERT_TRUE(static_cast<bool>(Hists2));
+  EXPECT_FALSE((*Hists2)->find("ms"));
+
+  // And the third window sees exactly the traffic after the second.
+  Runs.add(4);
+  Json W3 = Registry.deltaJson(Base);
+  Expected<const Json *> Counters3 = getObject(W3, "counters");
+  ASSERT_TRUE(static_cast<bool>(Counters3));
+  Expected<double> RunsDelta3 = getNumber(**Counters3, "runs");
+  ASSERT_TRUE(static_cast<bool>(RunsDelta3));
+  EXPECT_DOUBLE_EQ(*RunsDelta3, 4.0);
+}
+
+TEST(TelemetryTest, DeltaJsonSurvivesARegistryResetMidWindow) {
+  MetricsRegistry Registry;
+  Counter &Runs = Registry.counter("runs");
+  Histogram &Ms = Registry.histogram("ms", {1.0});
+  Runs.add(9);
+  Ms.record(0.5);
+  MetricsBaseline Base = Registry.captureBaseline();
+
+  Registry.reset(); // Counters fall below the baseline.
+  Runs.add(2);
+  Json W = Registry.deltaJson(Base);
+  // Windowed values clamp at zero instead of wrapping around; the
+  // post-reset traffic that fits under the old baseline is absorbed.
+  Expected<const Json *> Counters = getObject(W, "counters");
+  ASSERT_TRUE(static_cast<bool>(Counters));
+  EXPECT_FALSE((*Counters)->find("runs"));
+
+  // Once the baseline has caught up, windows report correctly again.
+  Runs.add(5);
+  Json W2 = Registry.deltaJson(Base);
+  Expected<const Json *> Counters2 = getObject(W2, "counters");
+  ASSERT_TRUE(static_cast<bool>(Counters2));
+  Expected<double> RunsDelta = getNumber(**Counters2, "runs");
+  ASSERT_TRUE(static_cast<bool>(RunsDelta));
+  EXPECT_DOUBLE_EQ(*RunsDelta, 5.0);
+}
+
+TEST(TelemetryTest, PercentileFromCountsEdgeCases) {
+  const std::vector<double> Bounds = {1.0, 10.0};
+  // Empty window: every percentile is zero.
+  EXPECT_DOUBLE_EQ(Histogram::percentileFromCounts(Bounds, {0, 0, 0}, 50), 0.0);
+  // A single sample in a finite bucket answers within that bucket.
+  double Single = Histogram::percentileFromCounts(Bounds, {0, 1, 0}, 50);
+  EXPECT_GT(Single, 1.0);
+  EXPECT_LE(Single, 10.0);
+  // All mass in the overflow bucket: interpolation has no upper edge, so
+  // the answer collapses to the last finite bound, never infinity.
+  double Overflow = Histogram::percentileFromCounts(Bounds, {0, 0, 4}, 99);
+  EXPECT_DOUBLE_EQ(Overflow, 10.0);
+  // P clamps: P <= 0 is the lower edge of the first populated bucket,
+  // P >= 100 the upper edge of the last populated one.
+  EXPECT_DOUBLE_EQ(Histogram::percentileFromCounts(Bounds, {2, 2, 0}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::percentileFromCounts(Bounds, {2, 2, 0}, 100),
+                   10.0);
+}
+
+TEST(TelemetryTest, GaugeSetMaxConcurrentHammerKeepsTheHighWater) {
+  MetricsRegistry Registry;
+  Gauge &G = Registry.gauge("high_water");
+  constexpr size_t Lanes = 16;
+  constexpr size_t PerLane = 2000;
+  ThreadPool Pool(8);
+  Pool.parallelFor(Lanes, [&G](size_t Lane) {
+    for (size_t I = 1; I <= PerLane; ++I)
+      G.setMax(static_cast<double>(Lane * PerLane + I));
+  });
+  // The CAS loop must never regress the gauge: the final value is the
+  // global maximum ever offered, regardless of interleaving.
+  EXPECT_DOUBLE_EQ(G.value(), static_cast<double>(Lanes * PerLane));
+}
+
+//===----------------------------------------------------------------------===//
 // Chrome trace output
 //===----------------------------------------------------------------------===//
 

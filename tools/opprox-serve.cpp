@@ -60,6 +60,9 @@ int main(int Argc, char **Argv) {
   long CacheShards = -1;
   long CacheCapacity = -1;
   bool NoCache = false;
+  long SlowWindow = 256;
+  long SlowTop = 3;
+  long SlowSeed = 42;
   TelemetryOptions Telemetry;
 
   FlagParser Flags;
@@ -96,6 +99,14 @@ int main(int Argc, char **Argv) {
   Flags.addFlag("no-cache", &NoCache,
                 "Disable the schedule cache entirely (every request runs "
                 "the full optimizer)");
+  Flags.addFlag("slow-window", &SlowWindow,
+                "Requests per shard between slow-request log flushes; "
+                "0 disables the sampler");
+  Flags.addFlag("slow-top", &SlowTop,
+                "Slowest requests logged per window, with their stage "
+                "breakdown");
+  Flags.addFlag("slow-seed", &SlowSeed,
+                "Seed of the deterministic per-window spotlight sample");
   addTelemetryFlags(Flags, Telemetry);
   if (!Flags.parse(Argc, Argv))
     return 1;
@@ -146,6 +157,13 @@ int main(int Argc, char **Argv) {
     Opts.Planner.Cache.Capacity = static_cast<size_t>(CacheCapacity);
   if (NoCache)
     Opts.Planner.UseCache = false;
+  if (SlowWindow < 0 || SlowTop < 0) {
+    std::fprintf(stderr, "error: --slow-window/--slow-top must be >= 0\n");
+    return 1;
+  }
+  Opts.SlowRequestWindow = static_cast<size_t>(SlowWindow);
+  Opts.SlowRequestTopN = static_cast<size_t>(SlowTop);
+  Opts.SlowRequestSeed = static_cast<uint64_t>(SlowSeed);
 
   // Install the signal plumbing before the server threads exist so every
   // thread inherits the disposition and signals land on the self-pipe.
@@ -175,5 +193,10 @@ int main(int Argc, char **Argv) {
       break;
   }
   (*Srv)->shutdown();
+  // Export on the drain path explicitly, not just via the atexit hook: a
+  // daemon's telemetry must survive every orderly kill, and the explicit
+  // call also captures it should a later teardown step crash the
+  // process. Writing twice is idempotent.
+  (void)exportTelemetry(Telemetry);
   return 0;
 }
