@@ -10,7 +10,14 @@
 /// synthetic 6-block x 4-level model (4096 configurations per phase).
 /// Verifies the engines return bit-identical decisions, reports
 /// configs/sec and the optimize.ms p50/p99 from the telemetry histogram,
-/// and writes the machine-readable summary to BENCH_optimizer.json.
+/// sweeps executors x space size for the thread-scaling curve, and
+/// writes the machine-readable summary to BENCH_optimizer.json.
+///
+/// The parallel engine is deliberately oversubscribed when --threads is
+/// 0 and the host has fewer than four hardware threads: the point of the
+/// bench is the scheduling behavior (chunk geometry, bit-identical
+/// reduction) at realistic executor counts, and the JSON records the
+/// honest hardware_concurrency so consumers can judge the speedups.
 ///
 /// Run:   ./build/bench/micro_optimizer [--blocks 6] [--levels 3]
 ///            [--phases 4] [--repeats 5] [--budget 0.5] [--threads 0]
@@ -25,12 +32,15 @@
 #include "core/Sampler.h"
 #include "support/CommandLine.h"
 #include "support/Json.h"
+#include "support/Simd.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
+#include <thread>
 
 using namespace opprox;
 using namespace opprox::bench;
@@ -203,12 +213,20 @@ int main(int Argc, char **Argv) {
                           static_cast<size_t>(Blocks), BOpts);
   std::vector<double> Input = {2.0};
 
+  std::printf("simd tier: %s\n", simd::activeTierName());
+
   OptimizeOptions Naive;
   Naive.UseNaiveScan = true;
   OptimizeOptions Batched; // Defaults: batched + pruned, serial.
   OptimizeOptions Parallel = Batched;
-  ThreadPool Pool(ThreadPool::resolveWorkers(
-      static_cast<size_t>(std::max(0l, Threads))));
+  // --threads 0 used to resolve through resolveWorkers(0) = 0 workers,
+  // so the "parallel" row silently measured a 1-executor pool. Auto now
+  // means at least 4 executors (oversubscribed on small hosts; see the
+  // file comment), and the reported executor count is the resolved one.
+  size_t WantExecutors =
+      Threads > 0 ? static_cast<size_t>(Threads)
+                  : std::max<size_t>(4, ThreadPool::defaultWorkerCount());
+  ThreadPool Pool(ThreadPool::resolveWorkers(WantExecutors));
   Parallel.Pool = &Pool;
   size_t Executors = Pool.numWorkers() + 1;
 
@@ -273,6 +291,100 @@ int main(int Argc, char **Argv) {
   std::printf("\npruned %zu of %zu configs (%.1f%%), scored %zu\n",
               BatchedR.Opt.ConfigsPruned, TotalConfigs,
               PrunedFraction * 100.0, BatchedR.Opt.ConfigsScored);
+
+  //===--------------------------------------------------------------------===//
+  // Thread-scaling sweep: executors x space size, each space its own
+  // trained model (one extra block per step, so the spaces stay inside
+  // the trained level range instead of extrapolating). Every point is
+  // verified bit-identical to the batched serial scan on the same model
+  // before its throughput is reported.
+  //===--------------------------------------------------------------------===//
+
+  struct ScalePoint {
+    size_t ThreadsRequested = 0;
+    size_t Executors = 0;
+    double ConfigsPerSec = 0.0;
+    double SpeedupVsBatched = 0.0;
+    bool Identical = false;
+  };
+  struct ScaleSpace {
+    size_t Blocks = 0;
+    size_t Space = 0;
+    double BatchedConfigsPerSec = 0.0;
+    std::vector<ScalePoint> Points;
+  };
+  const size_t ThreadCounts[] = {1, 2, 4, 8};
+  std::vector<ScaleSpace> Scaling;
+  bool ScalingIdentical = true;
+  std::printf("\nthread-scaling sweep (threads x space size)...\n");
+  for (size_t ExtraBlocks = 0; ExtraBlocks < 3; ++ExtraBlocks) {
+    size_t SweepBlocks = static_cast<size_t>(Blocks) + ExtraBlocks;
+    std::vector<int> SweepMax(SweepBlocks, static_cast<int>(Levels));
+    size_t SweepSpace = 1;
+    for (int M : SweepMax)
+      SweepSpace *= static_cast<size_t>(M) + 1;
+    const AppModel *SweepModel = &Model;
+    AppModel Grown;
+    if (ExtraBlocks > 0) {
+      TrainingSet SweepData = makeSyntheticData(
+          SweepBlocks, static_cast<int>(Levels),
+          static_cast<size_t>(Phases), static_cast<size_t>(Joint), 0xB16B00);
+      Grown = ModelBuilder::build(SweepData, static_cast<size_t>(Phases),
+                                  SweepBlocks, BOpts);
+      SweepModel = &Grown;
+    }
+
+    ScaleSpace SS;
+    SS.Blocks = SweepBlocks;
+    SS.Space = SweepSpace;
+    OptimizeOptions Serial; // Batched + pruned, serial, auto chunking.
+    (void)optimizeSchedule(*SweepModel, Input, SweepMax, Budget, Serial);
+    EngineResult Base = timeEngine(*SweepModel, Input, SweepMax, Budget,
+                                   Serial, static_cast<size_t>(Repeats));
+    SS.BatchedConfigsPerSec = Base.ConfigsPerSec;
+
+    for (size_t T : ThreadCounts) {
+      OptimizeOptions P = Serial;
+      std::unique_ptr<ThreadPool> TP;
+      ScalePoint Point;
+      Point.ThreadsRequested = T;
+      Point.Executors = 1;
+      if (T > 1) {
+        TP = std::make_unique<ThreadPool>(T - 1);
+        P.Pool = TP.get();
+        Point.Executors = TP->numWorkers() + 1;
+      }
+      (void)optimizeSchedule(*SweepModel, Input, SweepMax, Budget, P);
+      EngineResult E = timeEngine(*SweepModel, Input, SweepMax, Budget, P,
+                                  static_cast<size_t>(Repeats));
+      Point.ConfigsPerSec = E.ConfigsPerSec;
+      Point.SpeedupVsBatched =
+          Base.ConfigsPerSec > 0.0 ? E.ConfigsPerSec / Base.ConfigsPerSec
+                                   : 0.0;
+      Point.Identical = sameDecisions(E.Opt, Base.Opt);
+      ScalingIdentical &= Point.Identical;
+      SS.Points.push_back(Point);
+    }
+    Scaling.push_back(std::move(SS));
+  }
+  if (!ScalingIdentical) {
+    std::fprintf(stderr, "FAIL: a scaling sweep point diverged from the "
+                         "batched serial scan\n");
+    return 1;
+  }
+  std::printf("determinism: every sweep point is bit-identical to the "
+              "batched serial scan\n\n");
+
+  Table ScaleTable({"space_configs", "threads", "executors",
+                    "configs_per_sec", "speedup_vs_batched"});
+  for (const ScaleSpace &SS : Scaling)
+    for (const ScalePoint &P : SS.Points)
+      ScaleTable.addRow({format("%zu", SS.Space),
+                         format("%zu", P.ThreadsRequested),
+                         format("%zu", P.Executors),
+                         format("%.0f", P.ConfigsPerSec),
+                         format("%.2fx", P.SpeedupVsBatched)});
+  emit("micro_optimizer scaling", ScaleTable);
 
   //===--------------------------------------------------------------------===//
   // Schedule-cache layer: warm/cold latency by shard count, plus a
@@ -412,6 +524,7 @@ int main(int Argc, char **Argv) {
   Out.set("repeats", Repeats);
   Out.set("budget", Budget);
   Out.set("decisions_bit_identical", Identical);
+  Out.set("simd_tier", simd::activeTierName());
   Out.set("configs_pruned", BatchedR.Opt.ConfigsPruned);
   Out.set("configs_scored", BatchedR.Opt.ConfigsScored);
   Out.set("pruned_fraction", PrunedFraction);
@@ -432,6 +545,31 @@ int main(int Argc, char **Argv) {
           BatchedR.ConfigsPerSec / NaiveR.ConfigsPerSec);
   Out.set("speedup_parallel_vs_naive",
           ParallelR.ConfigsPerSec / NaiveR.ConfigsPerSec);
+  Json ScalingJson = Json::object();
+  ScalingJson.set("hardware_concurrency",
+                  static_cast<size_t>(std::thread::hardware_concurrency()));
+  ScalingJson.set("repeats", Repeats);
+  Json SpacesJson = Json::array();
+  for (const ScaleSpace &SS : Scaling) {
+    Json SpaceJson = Json::object();
+    SpaceJson.set("blocks", SS.Blocks);
+    SpaceJson.set("space_configs", SS.Space);
+    SpaceJson.set("batched_configs_per_sec", SS.BatchedConfigsPerSec);
+    Json Points = Json::array();
+    for (const ScalePoint &P : SS.Points) {
+      Json PointJson = Json::object();
+      PointJson.set("threads", P.ThreadsRequested);
+      PointJson.set("executors", P.Executors);
+      PointJson.set("configs_per_sec", P.ConfigsPerSec);
+      PointJson.set("speedup_vs_batched", P.SpeedupVsBatched);
+      PointJson.set("decisions_bit_identical", P.Identical);
+      Points.push(std::move(PointJson));
+    }
+    SpaceJson.set("points", std::move(Points));
+    SpacesJson.push(std::move(SpaceJson));
+  }
+  ScalingJson.set("spaces", std::move(SpacesJson));
+  Out.set("scaling", std::move(ScalingJson));
   Json Cached = Json::object();
   Cached.set("bit_identical", CacheIdentical);
   Cached.set("warm_iterations", WarmIters);

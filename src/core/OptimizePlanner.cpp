@@ -7,6 +7,7 @@
 #include "core/OptimizePlanner.h"
 #include "core/BudgetGrid.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -38,12 +39,24 @@ PlannerOptions opprox::plannerOptionsFromEnv() {
   if (const char *Disable = std::getenv("OPPROX_CACHE_DISABLE"))
     if (*Disable && std::string(Disable) != "0")
       Opts.UseCache = false;
+  if (std::optional<size_t> ScanThreads = envSize("OPPROX_SCAN_THREADS"))
+    Opts.ScanThreads = *ScanThreads;
   return Opts;
 }
 
 OptimizePlanner::OptimizePlanner(const PlannerOptions &Opts) : Opts(Opts) {
   if (Opts.UseCache)
     Cache = std::make_unique<ScheduleCache>(Opts.Cache);
+  size_t Executors = Opts.ScanThreads ? Opts.ScanThreads
+                                      : ThreadPool::defaultWorkerCount();
+  if (Executors > 1)
+    ScanPool = std::make_unique<ThreadPool>(Executors - 1);
+}
+
+OptimizePlanner::~OptimizePlanner() = default;
+
+size_t OptimizePlanner::scanExecutors() const {
+  return ScanPool ? ScanPool->numWorkers() + 1 : 1;
 }
 
 OptimizationResult
@@ -87,8 +100,16 @@ OptimizePlanner::lookupOrCompute(const OpproxArtifact &Art, int ClassId,
   Clock::time_point ComputeStart;
   if (Stages)
     ComputeStart = Clock::now();
-  OptimizationResult R =
-      optimizeSchedule(Art.Model, Input, Art.MaxLevels, QosBudget, Opts);
+  // Cache miss: the full solve. When the planner owns a scan pool and
+  // the caller did not bring its own, fan the chunked scan across it --
+  // this is how serve shards (workers of the *server's* pool) reach
+  // real scan parallelism; cross-pool parallelFor fans out (see
+  // support/ThreadPool.h). Decision-irrelevant, so cache keys ignore it.
+  OptimizeOptions ComputeOpts = Opts;
+  if (ScanPool && ComputeOpts.Pool == nullptr)
+    ComputeOpts.Pool = ScanPool.get();
+  OptimizationResult R = optimizeSchedule(Art.Model, Input, Art.MaxLevels,
+                                          QosBudget, ComputeOpts);
   // A degraded result is the fault ladder's answer for *this* request;
   // memoizing it would keep serving the fallback after the fault clears.
   if (Cache && R.DegradedPhases.empty())

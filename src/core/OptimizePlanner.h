@@ -43,6 +43,15 @@ struct PlannerOptions {
   bool UseCache = true;
   /// False ignores the artifact's precomputed budget grids.
   bool UseGrids = true;
+  /// Executors for the compute layer's chunked scan: 1 = serial (the
+  /// default -- cache-miss solves run inline on the calling thread),
+  /// 0 = auto-detect (OPPROX_THREADS, else hardware concurrency), N =
+  /// exactly N. Above 1 the planner owns one shared ThreadPool that
+  /// every compute-layer solve fans its chunks across -- including
+  /// solves issued from other pools' workers, like the opprox-serve
+  /// shards (--scan-threads / OPPROX_SCAN_THREADS). Decision-
+  /// irrelevant: the scan is bit-identical for every executor count.
+  size_t ScanThreads = 1;
 };
 
 /// PlannerOptions with the OPPROX_CACHE_SHARDS / OPPROX_CACHE_CAPACITY /
@@ -71,6 +80,7 @@ struct PlannerStageBreakdown {
 class OptimizePlanner {
 public:
   explicit OptimizePlanner(const PlannerOptions &Opts = {});
+  ~OptimizePlanner(); // Out of line: ThreadPool is incomplete here.
 
   /// Request-driven entry point (serving, CLI with untrusted input):
   /// malformed requests (negative or non-finite budget, wrong input
@@ -95,6 +105,11 @@ public:
   bool cacheEnabled() const { return Cache != nullptr; }
   /// The owned cache; null when UseCache was false.
   ScheduleCache *cache() const { return Cache.get(); }
+  /// The owned scan pool; null when ScanThreads resolved to serial.
+  ThreadPool *scanPool() const { return ScanPool.get(); }
+  /// Executors a compute-layer solve engages: the scan pool's workers
+  /// plus the calling thread, or 1 when solves run serially.
+  size_t scanExecutors() const;
   const PlannerOptions &options() const { return Opts; }
 
 private:
@@ -108,6 +123,10 @@ private:
 
   PlannerOptions Opts;
   std::unique_ptr<ScheduleCache> Cache;
+  /// Shared across all concurrent compute-layer solves; parallelFor is
+  /// safe from any number of callers, and chunk tasks from concurrent
+  /// requests simply interleave in the FIFO queue.
+  std::unique_ptr<ThreadPool> ScanPool;
 };
 
 } // namespace opprox

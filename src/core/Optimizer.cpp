@@ -26,10 +26,12 @@
 #include "core/Optimizer.h"
 #include "core/Sampler.h"
 #include "support/Log.h"
+#include "support/Simd.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -77,7 +79,10 @@ struct OptimizerMetrics {
   Counter &LeftoverRedistributed;
   Counter &DegradedPhases;
   Gauge &ConfigsPerSec;
+  Gauge &SimdTier;
+  Gauge &ScanExecutors;
   Histogram &BatchSize;
+  Histogram &ExecutorUtilizationPct;
   Histogram &PhaseBudgetPct;
   Histogram &OptimizeMs;
 
@@ -89,9 +94,14 @@ struct OptimizerMetrics {
         MetricsRegistry::global().counter("optimize.leftover_redistributed"),
         MetricsRegistry::global().counter("runtime.degraded_phases"),
         MetricsRegistry::global().gauge("optimize.configs_per_sec"),
+        MetricsRegistry::global().gauge("optimize.simd_tier"),
+        MetricsRegistry::global().gauge("optimize.scan_executors"),
         MetricsRegistry::global().histogram("optimize.batch_size",
                                             {1, 8, 32, 64, 128, 256, 512,
                                              1024}),
+        MetricsRegistry::global().histogram(
+            "optimize.executor_utilization_pct",
+            Histogram::percentBounds()),
         MetricsRegistry::global().histogram("optimize.phase_budget_pct",
                                             Histogram::percentBounds()),
         MetricsRegistry::global().histogram("optimize.ms")};
@@ -108,6 +118,7 @@ struct RangeBest {
   bool Found = false; // Whether any config strictly beat the baseline.
   size_t Pruned = 0;
   size_t Scored = 0;
+  double Seconds = 0.0; // Chunk execution time, for utilization metrics.
 };
 
 /// Reused buffers for one scan task; thread_local so concurrent chunks
@@ -255,6 +266,35 @@ void scanRange(const PhaseModels &Models, const PhaseEvalPlan &Plan,
   }
 }
 
+/// Executors the scan will engage: the pool's workers plus the
+/// participating caller when one is supplied, otherwise the NumThreads
+/// request (0 = auto via OPPROX_THREADS / hardware concurrency).
+size_t resolveScanExecutors(const OptimizeOptions &Opts) {
+  if (Opts.Pool != nullptr)
+    return Opts.Pool->numWorkers() + 1;
+  return std::max<size_t>(
+      1, Opts.NumThreads ? Opts.NumThreads : ThreadPool::defaultWorkerCount());
+}
+
+/// Chunk geometry for one phase scan. An explicit ChunkSize pins it;
+/// 0 (auto) sizes chunks off the space and the executor count: about
+/// four chunks per executor -- enough slack for dynamic balancing when
+/// pruning makes chunk costs uneven -- rounded up to whole batches, and
+/// one single chunk when the scan is serial anyway. Decisions and stats
+/// are chunking-invariant (see batchedScan), so this is purely a
+/// throughput knob.
+size_t resolveChunkSize(size_t Total, size_t Executors,
+                        const OptimizeOptions &Opts) {
+  if (Opts.ChunkSize != 0)
+    return Opts.ChunkSize;
+  if (Executors <= 1 || Total == 0)
+    return std::max<size_t>(Total, 1);
+  size_t TargetChunks = Executors * 4;
+  size_t Chunk = (Total + TargetChunks - 1) / TargetChunks;
+  Chunk = std::max(Chunk, Opts.BatchSize);
+  return (Chunk + Opts.BatchSize - 1) / Opts.BatchSize * Opts.BatchSize;
+}
+
 /// The serving engine: batched, pruned, and (for > 1 executor) chunked
 /// across the pool.
 PhaseDecision batchedScan(const PhaseModels &Models,
@@ -262,6 +302,10 @@ PhaseDecision batchedScan(const PhaseModels &Models,
                           const std::vector<int> &MaxLevels, double Budget,
                           const OptimizeOptions &Opts,
                           PhaseSearchStats &Stats) {
+  // A zero batch would turn the scan loop into silent no-progress
+  // spinning; it is a caller bug on par with a negative budget.
+  if (Opts.BatchSize == 0)
+    reportFatalError("OptimizeOptions::BatchSize must be positive");
   OptimizerMetrics &Metrics = OptimizerMetrics::get();
   PhaseEvalPlan Plan =
       Models.makeEvalPlan(Input, MaxLevels, Opts.Conservative,
@@ -269,35 +313,51 @@ PhaseDecision batchedScan(const PhaseModels &Models,
   size_t Total = ConfigCursor(MaxLevels).spaceSize();
   Stats.ConfigsEvaluated += Total;
 
-  size_t ChunkSize = std::max<size_t>(Opts.ChunkSize, 1);
+  size_t Executors = resolveScanExecutors(Opts);
+  size_t ChunkSize = resolveChunkSize(Total, Executors, Opts);
   size_t NumChunks = (Total + ChunkSize - 1) / ChunkSize;
   std::vector<RangeBest> Chunks(NumChunks);
+  Metrics.ScanExecutors.set(static_cast<double>(Executors));
 
-  // Chunk boundaries depend only on ChunkSize, each chunk writes its own
-  // slot, and the reduction below runs in ascending order -- so the
-  // result is identical for every worker count, including zero.
+  // Chunk boundaries depend only on the resolved geometry, each chunk
+  // writes its own slot, and the reduction below runs in ascending
+  // order -- so the result is identical for every worker count,
+  // including zero. Worker count *may* shift the auto boundaries, but
+  // that too is decision- and stats-invariant: the reduction replays
+  // the serial first-best-wins order, and a pruned subtree clipped at a
+  // boundary is re-pruned from the next chunk's first configuration, so
+  // the per-config pruned/scored partition is unchanged.
+  using Clock = std::chrono::steady_clock;
   auto RunChunk = [&](size_t C) {
     thread_local ScanScratch Scratch;
+    Clock::time_point Start = Clock::now();
     scanRange(Models, Plan, Budget, Opts, C * ChunkSize,
               std::min((C + 1) * ChunkSize, Total), Chunks[C], Scratch,
               Metrics);
+    Chunks[C].Seconds =
+        std::chrono::duration<double>(Clock::now() - Start).count();
   };
+  Clock::time_point ScanStart = Clock::now();
   if (Opts.Pool != nullptr) {
     Opts.Pool->parallelFor(NumChunks, RunChunk);
-  } else if (Opts.NumThreads == 1 || NumChunks <= 1) {
+  } else if (Executors == 1 || NumChunks <= 1) {
     for (size_t C = 0; C < NumChunks; ++C)
       RunChunk(C);
   } else {
-    ThreadPool Pool(ThreadPool::resolveWorkers(Opts.NumThreads));
+    ThreadPool Pool(Executors - 1);
     Pool.parallelFor(NumChunks, RunChunk);
   }
+  double ScanSeconds =
+      std::chrono::duration<double>(Clock::now() - ScanStart).count();
 
   PhaseDecision Best;
   Best.Levels.assign(MaxLevels.size(), 0);
   Best.AllocatedBudget = Budget;
+  double BusySeconds = 0.0;
   for (const RangeBest &R : Chunks) {
     Stats.ConfigsPruned += R.Pruned;
     Stats.ConfigsScored += R.Scored;
+    BusySeconds += R.Seconds;
     // Strict > replays the reference's earliest-wins tie-break: a later
     // chunk only displaces an earlier equal-speedup configuration if the
     // sequential scan would have, i.e. never.
@@ -307,6 +367,13 @@ PhaseDecision batchedScan(const PhaseModels &Models,
       Best.PredictedQos = R.Qos;
     }
   }
+  // How much of the executors' combined capacity the chunks filled:
+  // 100% means every executor was busy for the whole scan wall time.
+  if (Executors > 1 && NumChunks > 1 && ScanSeconds > 0.0)
+    Metrics.ExecutorUtilizationPct.record(
+        std::min(100.0, BusySeconds /
+                            (static_cast<double>(Executors) * ScanSeconds) *
+                            100.0));
   return Best;
 }
 } // namespace
@@ -349,6 +416,10 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
   size_t NumPhases = Model.numPhases();
   OptimizerMetrics &Metrics = OptimizerMetrics::get();
   Metrics.Calls.add();
+  // Which kernel tier the batch predictions dispatch to (0 = generic,
+  // 1 = avx2, 2 = neon); decision-irrelevant by the bit-identity
+  // contract, exported so operators can confirm what a host runs.
+  Metrics.SimdTier.set(static_cast<double>(simd::activeTier()));
   TraceSpan ScheduleSpan("optimize.schedule", "optimize");
   ScheduleSpan.arg("phases", static_cast<double>(NumPhases));
   ScheduleSpan.arg("qos_budget", QosBudget);

@@ -38,12 +38,20 @@ struct OptimizeOptions {
   /// budget. Pruning only removes provably infeasible configurations,
   /// so it never changes the decision; off is for diagnostics.
   bool Prune = true;
-  /// Configurations predicted per model-batch call.
+  /// Configurations predicted per model-batch call. Must be positive;
+  /// 0 is a caller bug and fails loudly (reportFatalError) in every
+  /// build type.
   size_t BatchSize = 256;
-  /// Enumeration-index span each scan task claims. Chunk boundaries are
-  /// fixed by this value alone (never by worker count), which keeps the
-  /// scan deterministic.
-  size_t ChunkSize = 2048;
+  /// Enumeration-index span each scan task claims. 0 (the default)
+  /// auto-sizes chunks from the space size and the resolved executor
+  /// count -- enough chunks that every executor gets several, rounded
+  /// to whole batches -- so large spaces actually engage the whole
+  /// pool. A positive value pins the geometry explicitly. Either way
+  /// the decision (and the search stats) are chunking-invariant: the
+  /// reduction replays the serial scan's first-best-wins order, and a
+  /// subtree clipped at a chunk boundary is re-pruned from the next
+  /// chunk's start.
+  size_t ChunkSize = 0;
   /// Worker threads for the per-phase scan when \c Pool is null:
   /// 1 = serial, 0 = auto (OPPROX_THREADS, else hardware concurrency).
   size_t NumThreads = 1;

@@ -204,28 +204,32 @@ void SelectedModel::predictBatch(const Matrix &X, std::vector<double> &Out,
                                  BatchScratch &S) const {
   assert(!Submodels.empty() && "predict on untrained model");
   size_t N = X.rows();
-  S.Filtered.reshape(N, KeptFeatures.size());
-  for (size_t R = 0; R < N; ++R) {
-    const double *Row = X.rowData(R);
-    double *Dst = S.Filtered.rowData(R);
-    for (size_t F = 0; F < KeptFeatures.size(); ++F) {
-      assert(KeptFeatures[F] < X.cols() && "feature vector too short");
-      Dst[F] = Row[KeptFeatures[F]];
-    }
+  size_t NumKept = KeptFeatures.size();
+  size_t Stride = AlignedBuffer<double>::paddedStride(N);
+  // MIC filter as a transpose: kept feature F becomes the contiguous
+  // column Filtered + F * Stride, which the polynomial kernels consume
+  // directly.
+  double *Filtered = S.Filtered.ensure(NumKept * Stride);
+  for (size_t F = 0; F < NumKept; ++F) {
+    assert(KeptFeatures[F] < X.cols() && "feature vector too short");
+    double *Dst = Filtered + F * Stride;
+    for (size_t R = 0; R < N; ++R)
+      Dst[R] = X.at(R, KeptFeatures[F]);
   }
   if (SplitBoundaries.empty()) {
-    Submodels.front().predictBatch(S.Filtered, Out, S.Poly);
+    Submodels.front().predictBatchColumns(Filtered, Stride, N, Out, S.Poly);
     return;
   }
-  // Subcategory models: gather each sub-model's rows into a contiguous
-  // batch, evaluate, and scatter results back. Row results do not depend
-  // on which other rows share the batch, so this matches the scalar path
-  // bit for bit.
+  // Subcategory models: gather each sub-model's points into contiguous
+  // columns, evaluate, and scatter results back. Point results do not
+  // depend on which other points share the batch, so this matches the
+  // scalar path bit for bit.
   Out.resize(N);
+  const double *SplitCol = Filtered + SplitFeature * Stride;
   for (size_t M = 0; M < Submodels.size(); ++M) {
     S.GroupRows.clear();
     for (size_t R = 0; R < N; ++R) {
-      double Value = S.Filtered.at(R, SplitFeature);
+      double Value = SplitCol[R];
       size_t Part = SplitBoundaries.size();
       for (size_t B = 0; B < SplitBoundaries.size(); ++B) {
         if (Value < SplitBoundaries[B]) {
@@ -238,13 +242,18 @@ void SelectedModel::predictBatch(const Matrix &X, std::vector<double> &Out,
     }
     if (S.GroupRows.empty())
       continue;
-    S.GroupX.reshape(S.GroupRows.size(), KeptFeatures.size());
-    for (size_t I = 0; I < S.GroupRows.size(); ++I) {
-      const double *Src = S.Filtered.rowData(S.GroupRows[I]);
-      std::copy(Src, Src + KeptFeatures.size(), S.GroupX.rowData(I));
+    size_t GroupN = S.GroupRows.size();
+    size_t GroupStride = AlignedBuffer<double>::paddedStride(GroupN);
+    double *GroupX = S.GroupX.ensure(NumKept * GroupStride);
+    for (size_t F = 0; F < NumKept; ++F) {
+      const double *Src = Filtered + F * Stride;
+      double *Dst = GroupX + F * GroupStride;
+      for (size_t I = 0; I < GroupN; ++I)
+        Dst[I] = Src[S.GroupRows[I]];
     }
-    Submodels[M].predictBatch(S.GroupX, S.GroupOut, S.Poly);
-    for (size_t I = 0; I < S.GroupRows.size(); ++I)
+    Submodels[M].predictBatchColumns(GroupX, GroupStride, GroupN, S.GroupOut,
+                                     S.Poly);
+    for (size_t I = 0; I < GroupN; ++I)
       Out[S.GroupRows[I]] = S.GroupOut[I];
   }
 }

@@ -23,6 +23,7 @@
 #include "ml/ConfidenceInterval.h"
 #include "ml/Dataset.h"
 #include "ml/PolynomialRegression.h"
+#include "support/AlignedBuffer.h"
 #include "support/Random.h"
 #include <limits>
 
@@ -64,19 +65,22 @@ public:
   double predict(const std::vector<double> &X) const;
 
   /// Caller-owned workspace for predictBatch; reuse across calls to keep
-  /// the batch path allocation-free at steady state.
+  /// the batch path allocation-free at steady state. The batch flows
+  /// through as 64-byte-aligned per-feature columns end to end (see
+  /// docs/ARCHITECTURE.md, "Optimizer hot path").
   struct BatchScratch {
-    Matrix Filtered;               ///< Batch x keptFeatures raw columns.
-    Matrix GroupX;                 ///< Rows gathered for one submodel.
-    std::vector<size_t> GroupRows; ///< Original indices of gathered rows.
-    std::vector<double> GroupOut;  ///< Submodel outputs before scatter.
+    AlignedBuffer<double> Filtered; ///< keptFeatures raw columns.
+    AlignedBuffer<double> GroupX;   ///< Columns gathered for one submodel.
+    std::vector<size_t> GroupRows;  ///< Original indices of gathered rows.
+    std::vector<double> GroupOut;   ///< Submodel outputs before scatter.
     PolynomialRegression::Scratch Poly;
   };
 
   /// Predicts every row of \p X (one raw feature vector per row) into
-  /// \p Out, resized to X.rows(). Rows are MIC-filtered, routed to their
-  /// subcategory sub-model, and evaluated in per-submodel batches; each
-  /// row's result is bit-identical to predict() on that row.
+  /// \p Out, resized to X.rows(). Rows are MIC-filtered into contiguous
+  /// per-feature columns, routed to their subcategory sub-model, and
+  /// evaluated in per-submodel columnar batches; each row's result is
+  /// bit-identical to predict() on that row.
   void predictBatch(const Matrix &X, std::vector<double> &Out,
                     BatchScratch &S) const;
 

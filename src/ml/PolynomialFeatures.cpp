@@ -5,7 +5,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "ml/PolynomialFeatures.h"
+#include "support/Simd.h"
 #include "support/StringUtils.h"
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -33,6 +35,16 @@ PolynomialFeatures::PolynomialFeatures(size_t NumFeatures, int Degree,
          "polynomial basis too large; lower the degree or filter features");
   std::vector<int> Current(NumFeatures, 0);
   enumerateExponents(0, NumFeatures, Degree, Current, Exponents);
+
+  // Flatten each term's multiply chain for the batch kernel.
+  ChainBegin.reserve(Exponents.size() + 1);
+  ChainBegin.push_back(0);
+  for (const std::vector<int> &Exp : Exponents) {
+    for (size_t F = 0; F < NumFeatures; ++F)
+      for (int E = 0; E < Exp[F]; ++E)
+        ChainFeatures.push_back(static_cast<uint32_t>(F));
+    ChainBegin.push_back(static_cast<uint32_t>(ChainFeatures.size()));
+  }
 }
 
 std::vector<double>
@@ -44,14 +56,45 @@ PolynomialFeatures::expand(const std::vector<double> &X) const {
 }
 
 void PolynomialFeatures::expandInto(const double *X, double *Out) const {
+  // Walks the precomputed chains: the same left-to-right multiply
+  // sequence as the original per-exponent loops (zero exponents never
+  // multiplied anything), so values are unchanged bit for bit.
   for (size_t T = 0; T < Exponents.size(); ++T) {
-    const std::vector<int> &Exp = Exponents[T];
     double Term = 1.0;
-    for (size_t F = 0; F < NumFeatures; ++F) {
-      for (int E = 0; E < Exp[F]; ++E)
-        Term *= X[F];
-    }
+    for (uint32_t I = ChainBegin[T]; I < ChainBegin[T + 1]; ++I)
+      Term *= X[ChainFeatures[I]];
     Out[T] = Term;
+  }
+}
+
+void PolynomialFeatures::evaluateColumns(const double *Cols, size_t Stride,
+                                         size_t N, const double *Coeffs,
+                                         double *Out,
+                                         double *TermScratch) const {
+  std::fill(Out, Out + N, 0.0);
+  for (size_t T = 0; T < Exponents.size(); ++T) {
+    uint32_t Begin = ChainBegin[T], End = ChainBegin[T + 1];
+    double C = Coeffs[T];
+    if (Begin == End) {
+      // Constant term: scalar path adds C * 1.0 == C exactly.
+      simd::addScalar(Out, C, N);
+      continue;
+    }
+    const double *First = Cols + ChainFeatures[Begin] * Stride;
+    if (End - Begin == 1) {
+      // Degree-1 term: the chain is the column itself (1.0 * x == x).
+      simd::axpy(Out, C, First, N);
+      continue;
+    }
+    // Left-to-right column product, replaying the scalar chain
+    // (((x_a * x_b) * x_c) ...); 1.0 * x_a == x_a exactly, so starting
+    // from the first column drops no bits.
+    simd::mul(TermScratch, First, Cols + ChainFeatures[Begin + 1] * Stride,
+              N);
+    for (uint32_t I = Begin + 2; I < End; ++I)
+      simd::mul(TermScratch, TermScratch, Cols + ChainFeatures[I] * Stride,
+                N);
+    simd::axpy(Out, C, TermScratch, N);
   }
 }
 

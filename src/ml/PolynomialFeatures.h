@@ -16,6 +16,7 @@
 #define OPPROX_ML_POLYNOMIALFEATURES_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,25 @@ public:
   /// values.
   void expandInto(const double *X, double *Out) const;
 
+  /// The structure-of-arrays batch kernel: evaluates the full polynomial
+  /// sum(Coeffs[t] * term_t) over \p N points laid out as contiguous
+  /// per-feature columns (column F at Cols + F * Stride), writing one
+  /// value per point into \p Out.
+  ///
+  /// Every point is evaluated with the exact operation sequence of the
+  /// scalar path -- each term's column product replays expandInto()'s
+  /// left-to-right multiply chain, and coefficient accumulation runs in
+  /// ascending term order -- so Out[i] is bit-identical to expanding
+  /// point i scalar-wise and dotting with \p Coeffs. The column ops
+  /// dispatch through support/Simd.h.
+  ///
+  /// \p TermScratch must hold at least \p N doubles (ideally 64-byte
+  /// aligned, see support/AlignedBuffer.h); it stages one term-product
+  /// column at a time.
+  void evaluateColumns(const double *Cols, size_t Stride, size_t N,
+                       const double *Coeffs, double *Out,
+                       double *TermScratch) const;
+
   /// Exponent vector of term \p Term (length numInputs()).
   const std::vector<int> &exponents(size_t Term) const {
     return Exponents[Term];
@@ -58,6 +78,13 @@ private:
   size_t NumFeatures;
   int Degree;
   std::vector<std::vector<int>> Exponents;
+  /// Flattened multiply chains: term T multiplies the feature columns
+  /// ChainFeatures[ChainBegin[T] .. ChainBegin[T+1]) left to right --
+  /// feature F appears Exponents[T][F] times, in feature order. This is
+  /// exactly the sequence expandInto() walks, precomputed so the batch
+  /// kernel skips zero exponents without branching per feature.
+  std::vector<uint32_t> ChainFeatures;
+  std::vector<uint32_t> ChainBegin; // numTerms() + 1 offsets.
 };
 
 } // namespace opprox

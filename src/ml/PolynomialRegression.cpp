@@ -7,6 +7,7 @@
 #include "ml/PolynomialRegression.h"
 #include "linalg/LeastSquares.h"
 #include "support/Json.h"
+#include "support/Simd.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include <cmath>
@@ -79,18 +80,36 @@ void PolynomialRegression::predictBatch(const Matrix &X,
   assert(X.cols() == Mean.size() && "feature count mismatch");
   size_t N = X.rows();
   size_t NumInputs = Mean.size();
-  S.Std.reshape(N, NumInputs);
-  for (size_t R = 0; R < N; ++R) {
-    const double *Row = X.rowData(R);
-    double *Z = S.Std.rowData(R);
+  size_t Stride = AlignedBuffer<double>::paddedStride(N);
+  // Transpose the row-major batch into raw feature columns, then run
+  // the columnar pipeline. The gather stages one contiguous column at a
+  // time so standardization stays a vector op.
+  double *Z = S.Z.ensure(NumInputs * Stride);
+  double *Staged = S.Gather.ensure(Stride);
+  for (size_t F = 0; F < NumInputs; ++F) {
+    for (size_t R = 0; R < N; ++R)
+      Staged[R] = X.at(R, F);
     // Same expression as standardize(); keeps the batch path bit-exact.
-    for (size_t F = 0; F < NumInputs; ++F)
-      Z[F] = (Row[F] - Mean[F]) / Scale[F];
+    simd::standardize(Z + F * Stride, Staged, Mean[F], Scale[F], N);
   }
-  S.Expanded.reshape(N, Basis.numTerms());
-  for (size_t R = 0; R < N; ++R)
-    Basis.expandInto(S.Std.rowData(R), S.Expanded.rowData(R));
-  S.Expanded.multiplyInto(Coefficients, Out);
+  Out.resize(N);
+  Basis.evaluateColumns(Z, Stride, N, Coefficients.data(), Out.data(),
+                        S.Term.ensure(Stride));
+}
+
+void PolynomialRegression::predictBatchColumns(const double *Cols,
+                                               size_t Stride, size_t N,
+                                               std::vector<double> &Out,
+                                               Scratch &S) const {
+  size_t NumInputs = Mean.size();
+  size_t ZStride = AlignedBuffer<double>::paddedStride(N);
+  double *Z = S.Z.ensure(NumInputs * ZStride);
+  for (size_t F = 0; F < NumInputs; ++F)
+    simd::standardize(Z + F * ZStride, Cols + F * Stride, Mean[F], Scale[F],
+                      N);
+  Out.resize(N);
+  Basis.evaluateColumns(Z, ZStride, N, Coefficients.data(), Out.data(),
+                        S.Term.ensure(ZStride));
 }
 
 namespace {

@@ -17,6 +17,7 @@
 #include "linalg/Matrix.h"
 #include "ml/Dataset.h"
 #include "ml/PolynomialFeatures.h"
+#include "support/AlignedBuffer.h"
 #include "support/Error.h"
 #include <memory>
 #include <utility>
@@ -45,21 +46,32 @@ public:
   /// Predicts the target for one raw feature vector.
   double predict(const std::vector<double> &X) const;
 
-  /// Caller-owned workspace for predictBatch. Reusing one across calls
-  /// makes the batch path allocation-free once the buffers have grown to
-  /// the largest batch shape.
+  /// Caller-owned workspace for the batch paths: 64-byte-aligned
+  /// structure-of-arrays columns (see docs/ARCHITECTURE.md, "Optimizer
+  /// hot path"). Reusing one across calls makes the batch path
+  /// allocation-free once the buffers have grown to the largest batch
+  /// shape.
   struct Scratch {
-    Matrix Std;      ///< Batch x numInputs standardized rows.
-    Matrix Expanded; ///< Batch x numTerms monomial rows.
+    AlignedBuffer<double> Z;      ///< numInputs standardized columns.
+    AlignedBuffer<double> Gather; ///< Stages one column of row-major input.
+    AlignedBuffer<double> Term;   ///< One term-product column.
   };
 
   /// Predicts every row of \p X (one raw feature vector per row) into
-  /// \p Out, resized to X.rows(). The rows are standardized into one
-  /// feature matrix and pushed through a single mat-vec; each row's
-  /// result is bit-identical to predict() on that row, independent of
-  /// batch size or composition.
+  /// \p Out, resized to X.rows(). Rows are transposed into per-feature
+  /// columns and evaluated by the columnar kernel; each row's result is
+  /// bit-identical to predict() on that row, independent of batch size,
+  /// composition, or SIMD dispatch tier.
   void predictBatch(const Matrix &X, std::vector<double> &Out,
                     Scratch &S) const;
+
+  /// The structure-of-arrays entry point: \p Cols holds numInputs()
+  /// contiguous raw (unstandardized) feature columns, column F starting
+  /// at Cols + F * Stride, each \p N values long. Standardizes every
+  /// column and evaluates the monomial sum per point; bit-identical to
+  /// predict() on each point, for any stride and any SIMD tier.
+  void predictBatchColumns(const double *Cols, size_t Stride, size_t N,
+                           std::vector<double> &Out, Scratch &S) const;
 
   /// Certified bounds on predict() over the axis-aligned box
   /// [Lo[i], Hi[i]] of raw features: every prediction for a point in the

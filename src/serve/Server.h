@@ -89,8 +89,11 @@ struct ServeOptions {
   PlannerOptions Planner = plannerOptionsFromEnv();
   /// Base optimizer options for every request; the request's
   /// confidence/aggressive members override the corresponding fields.
-  /// Each request runs serially inside its shard (NumThreads is forced
-  /// to 1): concurrency comes from shards, not per-request fan-out.
+  /// Request-level options stay serial (NumThreads is forced to 1):
+  /// request concurrency comes from shards. Cache-miss solves can still
+  /// fan their chunked scan across the planner's shared scan pool when
+  /// Planner.ScanThreads asks for one (--scan-threads); the pool is
+  /// injected at the compute layer, below the per-request options.
   OptimizeOptions Optimize;
   /// Slow-request sampling: every shard logs its SlowRequestTopN slowest
   /// requests per SlowRequestWindow served requests, with the full

@@ -1,0 +1,98 @@
+//===- support/AlignedBuffer.h - 64-byte-aligned scratch buffer -*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A grow-only, cache-line-aligned array for the batch-kernel scratch
+/// buffers (PolynomialRegression::Scratch, SelectedModel::BatchScratch).
+/// Starting every column on a 64-byte boundary lets the SIMD kernels in
+/// support/Simd.h use aligned vector loads for the bulk of each column,
+/// and keeps concurrently-scanned scratch buffers from false-sharing
+/// cache lines.
+///
+/// The contract mirrors Matrix::reshape: ensure() only reallocates when
+/// the requested capacity exceeds what is already owned, so steady-state
+/// batch evaluation is allocation-free; contents are unspecified after a
+/// growing ensure(). Restricted to trivial element types -- these are
+/// raw numeric scratch areas, never object storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_SUPPORT_ALIGNEDBUFFER_H
+#define OPPROX_SUPPORT_ALIGNEDBUFFER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <type_traits>
+
+namespace opprox {
+
+template <typename T> class AlignedBuffer {
+  static_assert(std::is_trivial_v<T>,
+                "AlignedBuffer is raw scratch storage for trivial types");
+
+public:
+  /// Every allocation starts on a cache-line boundary.
+  static constexpr size_t Alignment = 64;
+
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { std::free(Data); }
+
+  AlignedBuffer(const AlignedBuffer &) = delete;
+  AlignedBuffer &operator=(const AlignedBuffer &) = delete;
+
+  AlignedBuffer(AlignedBuffer &&Other) noexcept
+      : Data(Other.Data), Capacity(Other.Capacity) {
+    Other.Data = nullptr;
+    Other.Capacity = 0;
+  }
+  AlignedBuffer &operator=(AlignedBuffer &&Other) noexcept {
+    if (this != &Other) {
+      std::free(Data);
+      Data = Other.Data;
+      Capacity = Other.Capacity;
+      Other.Data = nullptr;
+      Other.Capacity = 0;
+    }
+    return *this;
+  }
+
+  /// Guarantees capacity for \p N elements and returns the (aligned)
+  /// storage. Growing discards previous contents -- callers treat this
+  /// as per-call scratch, exactly like Matrix::reshape.
+  T *ensure(size_t N) {
+    if (N > Capacity) {
+      std::free(Data);
+      size_t Bytes = N * sizeof(T);
+      // aligned_alloc requires the size to be a multiple of the
+      // alignment; round up (the padding is never addressed).
+      Bytes = (Bytes + Alignment - 1) / Alignment * Alignment;
+      Data = static_cast<T *>(std::aligned_alloc(Alignment, Bytes));
+      assert(Data && "aligned scratch allocation failed");
+      Capacity = Bytes / sizeof(T);
+    }
+    return Data;
+  }
+
+  T *data() { return Data; }
+  const T *data() const { return Data; }
+  size_t capacity() const { return Capacity; }
+
+  /// Column stride (in elements) that keeps every column of an N-row
+  /// column-major block starting on an Alignment boundary.
+  static size_t paddedStride(size_t N) {
+    constexpr size_t PerLine = Alignment / sizeof(T);
+    return (N + PerLine - 1) / PerLine * PerLine;
+  }
+
+private:
+  T *Data = nullptr;
+  size_t Capacity = 0;
+};
+
+} // namespace opprox
+
+#endif // OPPROX_SUPPORT_ALIGNEDBUFFER_H

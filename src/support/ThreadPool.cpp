@@ -29,10 +29,15 @@ static Gauge &queueDepthMax() {
   return G;
 }
 
-/// True on threads spawned by any ThreadPool, for the whole thread
-/// lifetime. Workers only ever run pool tasks, so a thread-lifetime flag
-/// is equivalent to an "executing a task" flag and cheaper to maintain.
-static thread_local bool InWorkerThread = false;
+/// The pool that spawned the current thread, for the whole thread
+/// lifetime (null on non-worker threads). Workers only ever run their
+/// own pool's tasks, so a thread-lifetime pointer is equivalent to an
+/// "executing a task of pool P" flag and cheaper to maintain. Tracking
+/// the owner -- not just a boolean -- is what lets parallelFor() on a
+/// *different* pool fan out instead of inlining: the serving tier's
+/// shard threads (workers of the server's pool) hand scan chunks to the
+/// planner's dedicated scan pool this way.
+static thread_local const ThreadPool *CurrentWorkerPool = nullptr;
 
 ThreadPool::ThreadPool(size_t NumWorkers) {
   Workers.reserve(NumWorkers);
@@ -51,7 +56,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::workerLoop() {
-  InWorkerThread = true;
+  CurrentWorkerPool = this;
   for (;;) {
     std::packaged_task<void()> Task;
     {
@@ -67,7 +72,9 @@ void ThreadPool::workerLoop() {
   }
 }
 
-bool ThreadPool::insideWorker() { return InWorkerThread; }
+bool ThreadPool::insideWorker() { return CurrentWorkerPool != nullptr; }
+
+bool ThreadPool::insideThisPool() const { return CurrentWorkerPool == this; }
 
 std::future<void> ThreadPool::submit(std::function<void()> Task) {
   // The fault fires inside the packaged task so the injected death takes
@@ -95,9 +102,11 @@ void ThreadPool::parallelFor(size_t N,
                              const std::function<void(size_t)> &Body) {
   if (N == 0)
     return;
-  // Inline when there is nothing to fan out to, or when already on a
-  // worker (nested parallelism; see the header's design rules).
-  if (Workers.empty() || insideWorker() || N == 1) {
+  // Inline when there is nothing to fan out to, or when already on one
+  // of *this* pool's workers (same-pool nesting; see the header's design
+  // rules). A worker of a different pool fans out normally -- cross-pool
+  // handoff is how serve shards reach the planner's scan pool.
+  if (Workers.empty() || insideThisPool() || N == 1) {
     tasksExecuted().add(); // The caller's drain is one executor turn.
     for (size_t I = 0; I < N; ++I) {
       throwOnFault(faults::ThreadPoolTask);

@@ -20,10 +20,14 @@
 ///  - A pool constructed with 0 workers degrades to inline execution on
 ///    the calling thread; code written against the pool never needs a
 ///    separate serial path.
-///  - parallelFor() called from inside a pool task runs inline on that
-///    worker. Nested parallelism therefore cannot deadlock the queue,
-///    and inner loops (e.g. CV folds inside a model-fit task) simply
-///    stay serial within their task.
+///  - parallelFor() called from inside a task of the *same* pool runs
+///    inline on that worker. Same-pool nesting therefore cannot
+///    deadlock the queue, and inner loops (e.g. CV folds inside a
+///    model-fit task) simply stay serial within their task. A worker of
+///    a *different* pool fans out normally (the serve shards hand scan
+///    chunks to the planner's scan pool this way); cross-pool handoff
+///    must stay acyclic -- pool A's tasks may wait on pool B only if
+///    B's tasks never wait on A.
 ///  - The first exception thrown by any task of a parallelFor() is
 ///    rethrown on the caller after all in-flight tasks drain; remaining
 ///    unstarted indices are abandoned. submit() delivers exceptions
@@ -71,12 +75,17 @@ public:
   /// the workers dynamically; the calling thread participates too, so a
   /// W-worker pool applies W+1 executors. Returns when every index has
   /// completed. Rethrows the first task exception. Called from inside a
-  /// pool task, runs the whole range inline (see file comment).
+  /// task of this same pool, runs the whole range inline; from a worker
+  /// of a different pool it fans out normally (see file comment).
   void parallelFor(size_t N, const std::function<void(size_t)> &Body);
 
   /// True when the current thread is a pool worker executing a task
-  /// (of any pool); parallelFor uses this to inline nested calls.
+  /// (of any pool).
   static bool insideWorker();
+
+  /// True when the current thread is one of *this* pool's workers;
+  /// parallelFor uses this to inline same-pool nested calls.
+  bool insideThisPool() const;
 
   /// Worker count requested by the environment: OPPROX_THREADS when set
   /// to a positive integer, otherwise std::thread::hardware_concurrency

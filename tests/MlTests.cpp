@@ -11,6 +11,8 @@
 #include "ml/Mic.h"
 #include "ml/PolynomialFeatures.h"
 #include "ml/PolynomialRegression.h"
+#include "support/AlignedBuffer.h"
+#include "support/Simd.h"
 #include <cmath>
 #include <cstring>
 #include <gtest/gtest.h>
@@ -182,6 +184,65 @@ TEST(PolyRegTest, PredictBatchMatchesPredictBitwise) {
   std::vector<double> Single;
   M.predictBatch(One, Single, S);
   EXPECT_EQ(std::memcmp(&Single[0], &Out[5], sizeof(double)), 0);
+}
+
+TEST(PolyRegTest, SimdTiersMatchGenericBitwise) {
+  // The vector kernels use the same expressions as the generic loops
+  // (independent lanes, two-rounding axpy, no FMA), so every tier must
+  // produce the generic bits exactly -- across degrees, batch sizes with
+  // unaligned tails, and both batch entry points. On a host whose best
+  // tier is already Generic this degenerates to a self-comparison; the
+  // CI AVX2 leg carries the real cross-tier check.
+  const simd::Tier Best = simd::activeTier();
+  for (int Degree : {1, 2, 3, 4}) {
+    Dataset D = makeQuadratic(70, 0.05, 11 + static_cast<uint64_t>(Degree));
+    PolynomialRegression::Options O;
+    O.Degree = Degree;
+    PolynomialRegression M = PolynomialRegression::fit(D, O);
+
+    for (size_t N : {1u, 3u, 5u, 7u, 8u, 13u, 31u, 100u}) {
+      Rng R(1000 * static_cast<uint64_t>(Degree) + N);
+      Matrix X(N, 2);
+      for (size_t I = 0; I < N; ++I) {
+        X.at(I, 0) = R.uniform(-3, 3);
+        X.at(I, 1) = R.uniform(-3, 3);
+      }
+
+      PolynomialRegression::Scratch SG, SB;
+      std::vector<double> OutG, OutB;
+      ASSERT_EQ(simd::setActiveTier(simd::Tier::Generic),
+                simd::Tier::Generic);
+      M.predictBatch(X, OutG, SG);
+      simd::setActiveTier(Best);
+      M.predictBatch(X, OutB, SB);
+      ASSERT_EQ(OutG.size(), N);
+      ASSERT_EQ(OutB.size(), N);
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_EQ(std::memcmp(&OutG[I], &OutB[I], sizeof(double)), 0)
+            << "degree " << Degree << ", batch " << N << ", row " << I;
+
+      // The columnar entry point, fed deliberately misaligned columns
+      // (offset by one double) so the unaligned loads are exercised.
+      size_t Stride = N + 1;
+      std::vector<double> Cols(1 + 2 * Stride);
+      for (size_t I = 0; I < N; ++I) {
+        Cols[1 + I] = X.at(I, 0);
+        Cols[1 + Stride + I] = X.at(I, 1);
+      }
+      std::vector<double> ColG, ColB;
+      simd::setActiveTier(simd::Tier::Generic);
+      M.predictBatchColumns(Cols.data() + 1, Stride, N, ColG, SG);
+      simd::setActiveTier(Best);
+      M.predictBatchColumns(Cols.data() + 1, Stride, N, ColB, SB);
+      for (size_t I = 0; I < N; ++I) {
+        EXPECT_EQ(std::memcmp(&ColG[I], &ColB[I], sizeof(double)), 0)
+            << "columns, degree " << Degree << ", batch " << N;
+        EXPECT_EQ(std::memcmp(&ColG[I], &OutG[I], sizeof(double)), 0)
+            << "columns vs rows, degree " << Degree << ", batch " << N;
+      }
+    }
+  }
+  simd::setActiveTier(Best);
 }
 
 TEST(PolyRegTest, BoundsOverContainsBoxPredictions) {

@@ -23,6 +23,7 @@
 #include "serve/Server.h"
 #include "serve/WireProtocol.h"
 #include "support/Json.h"
+#include "support/Simd.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include <atomic>
@@ -164,8 +165,10 @@ TEST(OptimizerEquivalenceTest, BatchAndChunkGeometryIrrelevant) {
   OptimizationResult Ref =
       optimizeSchedule(modelA(), Input, MaxLevels, 0.3, Naive);
 
+  // ChunkSize 0 is the auto-sizing default: the geometry then depends on
+  // the resolved executor count, which must stay decision-irrelevant.
   for (size_t BatchSize : {1u, 3u, 17u, 4096u}) {
-    for (size_t ChunkSize : {1u, 5u, 29u, 1000000u}) {
+    for (size_t ChunkSize : {0u, 1u, 5u, 29u, 1000000u}) {
       for (bool Prune : {true, false}) {
         OptimizeOptions Opts;
         Opts.BatchSize = BatchSize;
@@ -215,6 +218,18 @@ TEST(OptimizerEquivalenceTest, NegativeOrNanBudgetFailsLoudly) {
   EXPECT_DEATH(optimizeSchedule(modelA(), Input, MaxLevels,
                                 std::nan(""), Opts),
                "non-negative");
+}
+
+TEST(OptimizerEquivalenceTest, ZeroBatchSizeFailsLoudly) {
+  // BatchSize 0 has no auto meaning (unlike ChunkSize 0) and used to be
+  // silent divide-by-zero territory in the chunk math; it must die with
+  // the canonical diagnostic instead.
+  const std::vector<double> Input = {1.0};
+  std::vector<int> MaxLevels(modelA().numBlocks(), 2);
+  OptimizeOptions Opts;
+  Opts.BatchSize = 0;
+  EXPECT_DEATH(optimizeSchedule(modelA(), Input, MaxLevels, 0.3, Opts),
+               "must be positive");
 }
 
 //===----------------------------------------------------------------------===//
@@ -331,6 +346,75 @@ TEST(OptimizerParallelTest, ExternalPoolMatchesSerialBitwise) {
     expectSameDecisions(Ref, Got,
                         "pool repeat " + std::to_string(Repeat));
   }
+}
+
+TEST(OptimizerParallelTest, ThreadScalingDeterministicWithAutoChunks) {
+  // The bench's scaling sweep as a test: auto chunk sizing (ChunkSize 0,
+  // the default) makes the chunk geometry a function of the executor
+  // count, so this is the case where worker count could most plausibly
+  // leak into decisions or stats. It must not: every thread count
+  // returns the naive reference bitwise, and the search stats partition
+  // the space identically at every point.
+  const std::vector<double> Input = {2.0};
+  std::vector<int> MaxLevels(modelA().numBlocks(), 2);
+  size_t Space = 81 * modelA().numPhases(); // 3^4 per phase.
+  OptimizeOptions Naive;
+  Naive.UseNaiveScan = true;
+  OptimizationResult Ref =
+      optimizeSchedule(modelA(), Input, MaxLevels, 0.25, Naive);
+
+  OptimizeOptions Serial; // Batched, pruned, auto chunking, 1 executor.
+  OptimizationResult Base =
+      optimizeSchedule(modelA(), Input, MaxLevels, 0.25, Serial);
+  expectSameDecisions(Ref, Base, "serial auto-chunk");
+  EXPECT_EQ(Base.ConfigsEvaluated, Space);
+  EXPECT_EQ(Base.ConfigsScored + Base.ConfigsPruned + modelA().numPhases(),
+            Base.ConfigsEvaluated);
+
+  for (size_t Threads : {1u, 2u, 4u, 8u}) {
+    OptimizeOptions Opts;
+    Opts.NumThreads = Threads;
+    OptimizationResult Got =
+        optimizeSchedule(modelA(), Input, MaxLevels, 0.25, Opts);
+    std::string What = "auto chunks, threads " + std::to_string(Threads);
+    expectSameDecisions(Ref, Got, What);
+    // Stats are chunking-invariant, not just decision-invariant: a
+    // subtree clipped at a chunk boundary is re-pruned from the next
+    // chunk's start, so the scored/pruned split cannot depend on where
+    // the executor count put the boundaries.
+    EXPECT_EQ(Got.ConfigsScored, Base.ConfigsScored) << What;
+    EXPECT_EQ(Got.ConfigsPruned, Base.ConfigsPruned) << What;
+    EXPECT_EQ(Got.ConfigsScored + Got.ConfigsPruned + modelA().numPhases(),
+              Got.ConfigsEvaluated)
+        << What;
+  }
+}
+
+TEST(OptimizerParallelTest, SimdTierIsDecisionIrrelevant) {
+  // Forcing the generic kernels must not move a single bit of any
+  // decision relative to the host's best tier. On hosts without a
+  // vector tier this degenerates to generic-vs-generic, which is still
+  // a valid (if vacuous) check -- the CI AVX2 leg carries the real
+  // comparison.
+  const std::vector<double> Input = {2.0};
+  const simd::Tier Original = simd::activeTier();
+  for (const AppModel *Model : {&modelA(), &modelB()}) {
+    std::vector<int> MaxLevels(Model->numBlocks(), 2);
+    for (double Budget : {0.05, 0.3, 2.0}) {
+      OptimizeOptions Opts;
+      ASSERT_EQ(simd::setActiveTier(simd::Tier::Generic),
+                simd::Tier::Generic);
+      OptimizationResult GenericR =
+          optimizeSchedule(*Model, Input, MaxLevels, Budget, Opts);
+      simd::setActiveTier(Original);
+      OptimizationResult BestR =
+          optimizeSchedule(*Model, Input, MaxLevels, Budget, Opts);
+      expectSameDecisions(GenericR, BestR,
+                          std::string("tier ") + simd::tierName(Original) +
+                              ", budget " + std::to_string(Budget));
+    }
+  }
+  simd::setActiveTier(Original);
 }
 
 //===----------------------------------------------------------------------===//
@@ -677,4 +761,99 @@ TEST(ScheduleCacheConcurrencyTest, EvictionUnderContentionStaysBitIdentical) {
   EXPECT_EQ(Failures.load(), 0u);
   EXPECT_EQ(Mismatches.load(), 0u);
   EXPECT_GT(counterValue("cache.evictions"), Evictions);
+}
+
+TEST(OptimizerParallelTest, PlannerScanPoolMatchesSerialBitwise) {
+  // A planner built with ScanThreads > 1 owns a shared pool and injects
+  // it into every compute-layer solve; the schedule cache key ignores
+  // it, so the only acceptable observable difference is speed. Cache
+  // and grids are disabled so every request exercises the compute path.
+  const std::vector<double> Input = {2.0};
+  OpproxArtifact Art = makeArtifact(modelA());
+
+  PlannerOptions SerialOpts;
+  SerialOpts.UseCache = false;
+  SerialOpts.UseGrids = false;
+  OptimizePlanner Serial(SerialOpts);
+  EXPECT_EQ(Serial.scanExecutors(), 1u);
+  EXPECT_EQ(Serial.scanPool(), nullptr);
+
+  PlannerOptions PoolOpts = SerialOpts;
+  PoolOpts.ScanThreads = 4;
+  OptimizePlanner Pooled(PoolOpts);
+  EXPECT_EQ(Pooled.scanExecutors(), 4u);
+  ASSERT_NE(Pooled.scanPool(), nullptr);
+
+  for (double Budget : {0.0, 0.05, 0.3, 2.0}) {
+    OptimizeOptions Opts;
+    Expected<OptimizationResult> Ref =
+        Serial.optimize(Art, Input, Budget, Opts);
+    ASSERT_TRUE(static_cast<bool>(Ref)) << Ref.error().message();
+    Expected<OptimizationResult> Got =
+        Pooled.optimize(Art, Input, Budget, Opts);
+    ASSERT_TRUE(static_cast<bool>(Got)) << Got.error().message();
+    expectSameDecisions(*Ref, *Got,
+                        "scan pool, budget " + std::to_string(Budget));
+  }
+}
+
+TEST(ScheduleCacheConcurrencyTest, SharedScanPoolHammerStaysBitIdentical) {
+  // Concurrent requests racing into one planner whose cache-miss solves
+  // all fan across the same shared scan pool -- the serving tier's
+  // --scan-threads shape, and the test that puts cross-pool parallelFor
+  // (requests running *on* other pools' worker threads) under TSan. A
+  // tiny cache keeps real compute in the mix throughout.
+  const std::vector<double> Input = {1.0};
+  std::vector<double> Budgets;
+  for (size_t I = 0; I < 10; ++I)
+    Budgets.push_back(0.06 * static_cast<double>(I + 1));
+  OpproxArtifact Art = makeArtifact(modelB());
+
+  std::vector<std::string> RefDocs;
+  for (double Budget : Budgets) {
+    OptimizeOptions Opts;
+    RefDocs.push_back(resultDoc(
+        Art, Budget, Input,
+        optimizeSchedule(Art.Model, Input, Art.MaxLevels, Budget, Opts)));
+  }
+
+  PlannerOptions POpts;
+  POpts.Cache.Shards = 2;
+  POpts.Cache.Capacity = 4;
+  POpts.ScanThreads = 3;
+  OptimizePlanner Planner(POpts);
+  ASSERT_EQ(Planner.scanExecutors(), 3u);
+
+  // Half the clients call from plain threads, half from inside another
+  // ThreadPool's workers (as the serve shards do), so both the direct
+  // and the cross-pool fan-out paths are exercised.
+  ThreadPool ClientPool(3);
+  constexpr size_t NumThreads = 6;
+  constexpr size_t Iterations = 40;
+  std::atomic<size_t> Mismatches{0};
+  std::atomic<size_t> Failures{0};
+  auto Client = [&](size_t T) {
+    for (size_t I = 0; I < Iterations; ++I) {
+      size_t Pick = (T * 3 + I) % Budgets.size();
+      OptimizeOptions Opts;
+      Expected<OptimizationResult> R =
+          Planner.optimize(Art, Input, Budgets[Pick], Opts);
+      if (!R) {
+        Failures.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (resultDoc(Art, Budgets[Pick], Input, *R) != RefDocs[Pick])
+        Mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> Workers;
+  for (size_t T = 0; T < NumThreads / 2; ++T)
+    Workers.emplace_back([&, T] { Client(T); });
+  ClientPool.parallelFor(NumThreads / 2,
+                         [&](size_t T) { Client(NumThreads / 2 + T); });
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Mismatches.load(), 0u);
 }

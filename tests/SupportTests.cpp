@@ -4,15 +4,21 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/AlignedBuffer.h"
 #include "support/CommandLine.h"
 #include "support/Error.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
+#include "support/Simd.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "support/Timer.h"
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <gtest/gtest.h>
 #include <set>
+#include <vector>
 
 using namespace opprox;
 
@@ -391,4 +397,111 @@ TEST(TimerTest, MonotoneNonNegative) {
   EXPECT_GE(B, A);
   T.reset();
   EXPECT_LT(T.seconds(), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// AlignedBuffer + SIMD kernels
+//===----------------------------------------------------------------------===//
+
+TEST(AlignedBufferTest, EnsureReturnsAlignedGrowOnlyStorage) {
+  AlignedBuffer<double> B;
+  double *P = B.ensure(3);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % AlignedBuffer<double>::Alignment,
+            0u);
+  P[0] = 1.0;
+  P[2] = 3.0;
+  // A smaller request must not reallocate (grow-only scratch contract).
+  EXPECT_EQ(B.ensure(2), P);
+  EXPECT_DOUBLE_EQ(P[0], 1.0);
+  double *Q = B.ensure(4096);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Q) % AlignedBuffer<double>::Alignment,
+            0u);
+  Q[4095] = 7.0; // The whole span must be writable.
+}
+
+TEST(AlignedBufferTest, PaddedStrideAlignsEveryColumn) {
+  // Strides round N up so each column of a column-major block starts on
+  // a 64-byte boundary: multiples of 8 doubles, and never smaller than N.
+  EXPECT_EQ(AlignedBuffer<double>::paddedStride(0), 0u);
+  for (size_t N : {1u, 7u, 8u, 9u, 63u, 64u, 100u}) {
+    size_t Stride = AlignedBuffer<double>::paddedStride(N);
+    EXPECT_GE(Stride, N);
+    EXPECT_EQ(Stride % 8, 0u) << "N " << N;
+    EXPECT_LT(Stride, N + 8) << "N " << N;
+  }
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer<double> A;
+  double *P = A.ensure(16);
+  P[15] = 2.5;
+  AlignedBuffer<double> B = std::move(A);
+  EXPECT_EQ(B.ensure(16), P);
+  EXPECT_DOUBLE_EQ(P[15], 2.5);
+}
+
+TEST(SimdTest, TierControlClampsAndReports) {
+  const simd::Tier Best = simd::activeTier();
+  EXPECT_TRUE(simd::tierSupported(simd::Tier::Generic));
+  EXPECT_TRUE(simd::tierSupported(Best));
+  EXPECT_STREQ(simd::tierName(simd::Tier::Generic), "generic");
+  EXPECT_STREQ(simd::activeTierName(), simd::tierName(Best));
+  // Forcing generic always succeeds; an unsupported tier clamps to
+  // generic instead of installing kernels the host cannot run.
+  EXPECT_EQ(simd::setActiveTier(simd::Tier::Generic), simd::Tier::Generic);
+#if defined(__aarch64__)
+  simd::Tier Foreign = simd::Tier::Avx2;
+#else
+  simd::Tier Foreign = simd::Tier::Neon;
+#endif
+  EXPECT_FALSE(simd::tierSupported(Foreign));
+  EXPECT_EQ(simd::setActiveTier(Foreign), simd::Tier::Generic);
+  EXPECT_EQ(simd::setActiveTier(Best), Best);
+}
+
+TEST(SimdTest, KernelsMatchScalarReferenceBitwise) {
+  // Each kernel against a plain scalar loop using the same expressions,
+  // on sizes with every tail length, on every tier the host supports.
+  const simd::Tier Best = simd::activeTier();
+  Rng R(77);
+  for (size_t N : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 33u, 100u}) {
+    std::vector<double> A(N), B(N), RefMul(N), RefAdd(N), RefStd(N);
+    for (size_t I = 0; I < N; ++I) {
+      A[I] = R.uniform(-10, 10);
+      B[I] = R.uniform(-10, 10);
+    }
+    double C = R.uniform(-2, 2), Mean = R.uniform(-1, 1),
+           Scale = R.uniform(0.5, 2);
+    for (size_t I = 0; I < N; ++I) {
+      RefMul[I] = A[I] * B[I];
+      RefAdd[I] = A[I] + C;
+      RefStd[I] = (A[I] - Mean) / Scale;
+    }
+    for (simd::Tier T : {simd::Tier::Generic, Best}) {
+      simd::setActiveTier(T);
+      std::vector<double> Out(N);
+      simd::mul(Out.data(), A.data(), B.data(), N);
+      EXPECT_EQ(std::memcmp(Out.data(), RefMul.data(), N * sizeof(double)),
+                0)
+          << "mul, N " << N << ", tier " << simd::tierName(T);
+      std::copy(A.begin(), A.end(), Out.begin());
+      simd::axpy(Out.data(), C, B.data(), N);
+      for (size_t I = 0; I < N; ++I) {
+        double Want = A[I] + C * B[I];
+        EXPECT_EQ(std::memcmp(&Out[I], &Want, sizeof(double)), 0)
+            << "axpy, N " << N << ", tier " << simd::tierName(T);
+      }
+      std::copy(A.begin(), A.end(), Out.begin());
+      simd::addScalar(Out.data(), C, N);
+      EXPECT_EQ(std::memcmp(Out.data(), RefAdd.data(), N * sizeof(double)),
+                0)
+          << "addScalar, N " << N << ", tier " << simd::tierName(T);
+      simd::standardize(Out.data(), A.data(), Mean, Scale, N);
+      EXPECT_EQ(std::memcmp(Out.data(), RefStd.data(), N * sizeof(double)),
+                0)
+          << "standardize, N " << N << ", tier " << simd::tierName(T);
+    }
+  }
+  simd::setActiveTier(Best);
 }

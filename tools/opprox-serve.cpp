@@ -60,6 +60,7 @@ int main(int Argc, char **Argv) {
   long CacheShards = -1;
   long CacheCapacity = -1;
   bool NoCache = false;
+  long ScanThreads = -1;
   long SlowWindow = 256;
   long SlowTop = 3;
   long SlowSeed = 42;
@@ -99,6 +100,10 @@ int main(int Argc, char **Argv) {
   Flags.addFlag("no-cache", &NoCache,
                 "Disable the schedule cache entirely (every request runs "
                 "the full optimizer)");
+  Flags.addFlag("scan-threads", &ScanThreads,
+                "Executors for each cache-miss solve's chunked scan: 1 = "
+                "serial, 0 = auto (default 1, or OPPROX_SCAN_THREADS); the "
+                "shards share one scan pool");
   Flags.addFlag("slow-window", &SlowWindow,
                 "Requests per shard between slow-request log flushes; "
                 "0 disables the sampler");
@@ -157,6 +162,8 @@ int main(int Argc, char **Argv) {
     Opts.Planner.Cache.Capacity = static_cast<size_t>(CacheCapacity);
   if (NoCache)
     Opts.Planner.UseCache = false;
+  if (ScanThreads >= 0)
+    Opts.Planner.ScanThreads = static_cast<size_t>(ScanThreads);
   if (SlowWindow < 0 || SlowTop < 0) {
     std::fprintf(stderr, "error: --slow-window/--slow-top must be >= 0\n");
     return 1;
