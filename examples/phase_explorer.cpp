@@ -9,7 +9,11 @@
 /// five applications: applies one configuration to each phase in turn
 /// and prints the ground-truth speedup / QoS / iteration count -- the raw
 /// observation behind the whole paper ("in which phase you approximate
-/// matters as much as how much").
+/// matters as much as how much"). The phase column uses the offline
+/// convention (the iteration space cut into N contiguous near-equal
+/// ranges); a second section then segments the same run online, feeding
+/// the exact run's per-iteration work signature through the runtime
+/// PhaseDetector (src/control) to show where behavior actually shifts.
 ///
 /// Build and run:
 /// ./build/examples/phase_explorer --app lulesh --phases 4 --level 3
@@ -18,6 +22,7 @@
 
 #include "ExampleSupport.h"
 #include "approx/WorkCounter.h"
+#include "control/PhaseDetector.h"
 #include <cstdio>
 
 using namespace opprox;
@@ -67,5 +72,42 @@ int main(int Argc, char **Argv) {
                                       Levels));
   }
   Report("all", PhaseSchedule::uniform(static_cast<size_t>(Phases), Levels));
+
+  // Online detection: run a staircase schedule (each phase at a
+  // different level, so each phase does observably different work),
+  // chunk the run's per-iteration work signature into short intervals,
+  // and let the detector place the boundaries instead of assuming N
+  // contiguous near-equal ranges.
+  PhaseSchedule Staircase(static_cast<size_t>(Phases), Levels.size());
+  for (size_t P = 0; P < static_cast<size_t>(Phases); ++P) {
+    std::vector<int> Step;
+    for (int Max : App->maxLevels())
+      Step.push_back(std::min<int>(
+          static_cast<int>(P * static_cast<size_t>(Level + 1) /
+                           std::max<size_t>(1, Phases - 1)),
+          Max));
+    Staircase.setPhaseLevels(P, Step);
+  }
+  RunResult Stepped = App->run(Input, Staircase, Exact.OuterIterations);
+  control::PhaseDetector Detector;
+  const size_t Chunk = std::max<size_t>(1, Stepped.OuterIterations / 32);
+  for (size_t I = 0; I < Stepped.WorkPerIteration.size(); I += Chunk) {
+    control::IntervalSample S;
+    size_t End = std::min(I + Chunk, Stepped.WorkPerIteration.size());
+    for (size_t J = I; J < End; ++J)
+      S.WorkUnits += Stepped.WorkPerIteration[J];
+    S.Iterations = End - I;
+    Detector.observe(S);
+  }
+  std::printf("\ndetected phases (work-signature segmentation): %zu\n",
+              Detector.numDetectedPhases());
+  std::printf("  boundaries at iteration:");
+  for (size_t Start : Detector.phaseStarts())
+    std::printf(" %zu", Start);
+  std::printf("\n  static convention would cut at:");
+  for (size_t P = 0; P < static_cast<size_t>(Phases); ++P)
+    std::printf(" %zu", P * Exact.OuterIterations /
+                            static_cast<size_t>(Phases));
+  std::printf("\n");
   return 0;
 }

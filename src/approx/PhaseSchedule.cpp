@@ -30,6 +30,14 @@ std::pair<size_t, size_t> PhaseMap::phaseRange(size_t Phase) const {
   return {Begin, End};
 }
 
+std::vector<uint64_t> PhaseMap::splitWorkByPhase(
+    const std::vector<uint64_t> &WorkPerIteration) const {
+  std::vector<uint64_t> Totals(NumPhases, 0);
+  for (size_t I = 0; I < WorkPerIteration.size(); ++I)
+    Totals[phaseOf(I)] += WorkPerIteration[I];
+  return Totals;
+}
+
 PhaseSchedule::PhaseSchedule(size_t NumPhases, size_t NumBlocks)
     : NumPhases(NumPhases), NumBlocks(NumBlocks),
       Levels(NumPhases * NumBlocks, 0) {
@@ -69,6 +77,15 @@ void PhaseSchedule::setPhaseLevels(size_t Phase,
   assert(PhaseLevels.size() == NumBlocks && "level count mismatch");
   for (size_t B = 0; B < NumBlocks; ++B)
     setLevel(Phase, B, PhaseLevels[B]);
+}
+
+void PhaseSchedule::overlayTail(const PhaseSchedule &Tail, size_t FirstPhase) {
+  assert(Tail.NumPhases == NumPhases && Tail.NumBlocks == NumBlocks &&
+         "overlay dimensions mismatch");
+  assert(FirstPhase <= NumPhases && "first phase out of range");
+  for (size_t P = FirstPhase; P < NumPhases; ++P)
+    for (size_t B = 0; B < NumBlocks; ++B)
+      setLevel(P, B, Tail.level(P, B));
 }
 
 bool PhaseSchedule::isExact() const {

@@ -44,6 +44,15 @@ public:
   /// [begin, end) nominal-iteration range of \p Phase.
   std::pair<size_t, size_t> phaseRange(size_t Phase) const;
 
+  /// Aggregates a per-iteration work trace (RunResult::WorkPerIteration)
+  /// into per-phase totals: entry P sums the work of every iteration
+  /// phaseOf() maps to P. Overrun iterations past the nominal count
+  /// land in the final phase, matching phaseOf(). This is the
+  /// observation side of the online control loop: it turns a run's raw
+  /// trace into the per-phase work feedback the controller consumes.
+  std::vector<uint64_t>
+  splitWorkByPhase(const std::vector<uint64_t> &WorkPerIteration) const;
+
 private:
   size_t NominalIterations;
   size_t NumPhases;
@@ -80,6 +89,13 @@ public:
 
   /// Replaces all levels of one phase.
   void setPhaseLevels(size_t Phase, const std::vector<int> &PhaseLevels);
+
+  /// Grafts the remaining phases of a tail re-solve onto this schedule:
+  /// phases [FirstPhase, numPhases) take \p Tail's levels, earlier
+  /// (already-executed) phases keep theirs. Dimensions must match; the
+  /// online controller uses this to adopt a corrected plan without
+  /// rewriting history.
+  void overlayTail(const PhaseSchedule &Tail, size_t FirstPhase);
 
   /// True when every level is 0.
   bool isExact() const;

@@ -34,13 +34,29 @@ class WorkCounter {
 public:
   void add(uint64_t Units) { Total += Units; }
   uint64_t total() const { return Total; }
-  void reset() { Total = 0; }
 
   /// Work since \p Mark; use with total() to attribute work to intervals.
   uint64_t since(uint64_t Mark) const { return Total - Mark; }
 
+  /// Interval mark for online observation: returns the work accumulated
+  /// since the previous takeInterval() (or construction/reset) and
+  /// advances the mark, so successive calls partition total() exactly.
+  /// This is how a host slices one run's work into the per-interval
+  /// samples a phase detector consumes.
+  uint64_t takeInterval() {
+    uint64_t Delta = Total - Mark;
+    Mark = Total;
+    return Delta;
+  }
+
+  void reset() {
+    Total = 0;
+    Mark = 0;
+  }
+
 private:
   uint64_t Total = 0;
+  uint64_t Mark = 0;
 };
 
 /// Speedup of an approximate run relative to the exact run, in the

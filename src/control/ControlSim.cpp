@@ -1,0 +1,281 @@
+//===- control/ControlSim.cpp ---------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "control/ControlSim.h"
+#include "support/Random.h"
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace opprox;
+using namespace opprox::control;
+
+static bool allZero(const std::vector<int> &Levels) {
+  for (int L : Levels)
+    if (L != 0)
+      return false;
+  return true;
+}
+
+double control::driftFactor(const DriftSpec &Spec, double Fraction,
+                            size_t Phase) {
+  switch (Spec.DriftKind) {
+  case DriftSpec::Kind::None:
+  case DriftSpec::Kind::Misclassify:
+    // Misclassification drifts through the feedback *source* (the
+    // shadow class's models), not a multiplier.
+    return 1.0;
+  case DriftSpec::Kind::Sudden:
+    return Fraction >= Spec.Onset ? 1.0 + Spec.Magnitude : 1.0;
+  case DriftSpec::Kind::Gradual: {
+    if (Fraction < Spec.Onset)
+      return 1.0;
+    double Span = std::max(1.0 - Spec.Onset, 1e-9);
+    double Ramp = std::min((Fraction - Spec.Onset) / Span, 1.0);
+    return 1.0 + Spec.Magnitude * Ramp;
+  }
+  case DriftSpec::Kind::Noise: {
+    // Per-phase draw from an order-independent stream: phase 3's jitter
+    // is the same whether or not anyone sampled phase 2.
+    Rng Stream(deriveSeed(Spec.Seed, static_cast<uint64_t>(Phase) + 1));
+    return 1.0 + Spec.Magnitude * (2.0 * Stream.uniform() - 1.0);
+  }
+  }
+  return 1.0;
+}
+
+Expected<SimOutcome> control::runScriptedSim(const OpproxRuntime &Rt,
+                                             const std::vector<double> &Input,
+                                             double QosBudget,
+                                             const DriftSpec &Drift,
+                                             const ControllerOptions &Opts) {
+  size_t N = Rt.numPhases();
+  // The fake app's observation for one phase under one schedule: the
+  // model's own point prediction at the levels the phase runs (from the
+  // shadow input's class under Misclassify), times the drift factor.
+  // With Kind::None this is exactly the point prediction, which sits at
+  // the center of the controller's trust band -- the no-op case.
+  const std::vector<double> &Source =
+      Drift.DriftKind == DriftSpec::Kind::Misclassify &&
+              !Drift.ShadowInput.empty()
+          ? Drift.ShadowInput
+          : Input;
+  auto observedFor = [&](const PhaseSchedule &S, size_t P) {
+    std::vector<int> Levels = S.phaseLevels(P);
+    if (allZero(Levels))
+      return 0.0;
+    double Point = Rt.model().phaseModels(Source, P).predictQos(Source, Levels);
+    double Fraction = (static_cast<double>(P) + 0.5) / static_cast<double>(N);
+    return Point * driftFactor(Drift, Fraction, P);
+  };
+
+  Expected<OptimizationResult> Offline =
+      Rt.tryOptimizeDetailed(Input, QosBudget, Opts.Optimize);
+  if (!Offline)
+    return Offline.error();
+  SimOutcome O;
+  O.OfflineSchedule = Offline->Schedule;
+  for (size_t P = 0; P < N; ++P)
+    O.OfflineQos += observedFor(Offline->Schedule, P);
+
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, Input, QosBudget, Opts);
+  if (!C)
+    return C.error();
+  for (size_t P = 0; P < N; ++P) {
+    PhaseObservation Obs;
+    Obs.Phase = P;
+    Obs.ObservedQos = observedFor(C->schedule(), P);
+    Obs.WorkUnits = 1000 * (P + 1);
+    Obs.Iterations = 100;
+    // The phase has executed by the time feedback arrives: its QoS is
+    // spent whether or not the controller hears about it.
+    O.ControlledQos += Obs.ObservedQos;
+    C->onPhaseComplete(Obs);
+    O.ScheduleTrace.push_back(C->schedule().toString());
+  }
+  O.FinalSchedule = C->schedule();
+  O.Stats = C->stats();
+  O.DistrustRatio = C->distrustRatio();
+  return O;
+}
+
+namespace {
+/// Lazily measured per-phase ground truth: the QoS degradation of
+/// approximating \p Phase alone under \p Levels, memoized per (phase,
+/// levels) since corrections revisit the same configurations.
+class PhaseTruth {
+public:
+  PhaseTruth(const ApproxApp &App, GoldenCache &Golden,
+             const std::vector<double> &Input, size_t NumPhases)
+      : App(App), Golden(Golden), Input(Input), NumPhases(NumPhases) {}
+
+  double qosOf(size_t Phase, const std::vector<int> &Levels) {
+    if (allZero(Levels))
+      return 0.0;
+    auto Key = std::make_pair(Phase, Levels);
+    auto It = Cache.find(Key);
+    if (It != Cache.end())
+      return It->second;
+    EvalOutcome Out = evaluateSchedule(
+        App, Golden, Input, PhaseSchedule::singlePhase(NumPhases, Phase,
+                                                       Levels));
+    double Qos = Out.QosDegradation;
+    Cache.emplace(std::move(Key), Qos);
+    return Qos;
+  }
+
+private:
+  const ApproxApp &App;
+  GoldenCache &Golden;
+  const std::vector<double> &Input;
+  size_t NumPhases;
+  std::map<std::pair<size_t, std::vector<int>>, double> Cache;
+};
+} // namespace
+
+Expected<SimOutcome> control::runGroundTruthSim(
+    const ApproxApp &App, GoldenCache &Golden, const OpproxRuntime &Rt,
+    const std::vector<double> &Input, double QosBudget,
+    const DriftSpec &Drift, const ControllerOptions &Opts) {
+  size_t N = Rt.numPhases();
+  size_t Nominal = Golden.nominalIterations(Input);
+  PhaseMap Map(Nominal, N);
+  PhaseTruth Truth(App, Golden, Input, N);
+  auto observedFor = [&](const PhaseSchedule &S, size_t P) {
+    auto Range = Map.phaseRange(P);
+    double Fraction = Nominal == 0
+                          ? 0.0
+                          : (static_cast<double>(Range.first + Range.second) /
+                             2.0) /
+                                static_cast<double>(Nominal);
+    return Truth.qosOf(P, S.phaseLevels(P)) * driftFactor(Drift, Fraction, P);
+  };
+
+  Expected<OptimizationResult> Offline =
+      Rt.tryOptimizeDetailed(Input, QosBudget, Opts.Optimize);
+  if (!Offline)
+    return Offline.error();
+  SimOutcome O;
+  O.OfflineSchedule = Offline->Schedule;
+  for (size_t P = 0; P < N; ++P)
+    O.OfflineQos += observedFor(Offline->Schedule, P);
+
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, Input, QosBudget, Opts);
+  if (!C)
+    return C.error();
+  for (size_t P = 0; P < N; ++P) {
+    auto Range = Map.phaseRange(P);
+    PhaseObservation Obs;
+    Obs.Phase = P;
+    Obs.ObservedQos = observedFor(C->schedule(), P);
+    Obs.Iterations = Range.second - Range.first;
+    O.ControlledQos += Obs.ObservedQos;
+    C->onPhaseComplete(Obs);
+    O.ScheduleTrace.push_back(C->schedule().toString());
+  }
+  O.FinalSchedule = C->schedule();
+  O.Stats = C->stats();
+  O.DistrustRatio = C->distrustRatio();
+  return O;
+}
+
+Expected<SimOutcome> control::runDetectedSim(
+    const ApproxApp &App, GoldenCache &Golden, const OpproxRuntime &Rt,
+    const std::vector<double> &Input, double QosBudget,
+    const DriftSpec &Drift, ControllerOptions Opts,
+    size_t IntervalsPerPhase) {
+  size_t N = Rt.numPhases();
+  size_t Nominal = Golden.nominalIterations(Input);
+  if (Nominal == 0)
+    return Error("detected-mode simulation needs a nonzero nominal "
+                 "iteration count");
+  if (IntervalsPerPhase == 0)
+    IntervalsPerPhase = 1;
+  Opts.NominalIterations = Nominal;
+  PhaseMap Map(Nominal, N);
+  PhaseTruth Truth(App, Golden, Input, N);
+
+  Expected<OptimizationResult> Offline =
+      Rt.tryOptimizeDetailed(Input, QosBudget, Opts.Optimize);
+  if (!Offline)
+    return Offline.error();
+  // One real run under the offline schedule supplies the per-iteration
+  // work trace the detector's signatures are built from; corrections
+  // shift QoS contributions but the work *shape* of each phase is the
+  // application's own.
+  RunResult Trace = App.run(Input, Offline->Schedule, Nominal);
+
+  auto sliceWork = [&](size_t Begin, size_t End) {
+    uint64_t W = 0;
+    for (size_t I = Begin; I < End && I < Trace.WorkPerIteration.size(); ++I)
+      W += Trace.WorkPerIteration[I];
+    return W;
+  };
+
+  SimOutcome O;
+  O.OfflineSchedule = Offline->Schedule;
+  auto contribution = [&](const PhaseSchedule &S, size_t P, size_t Begin,
+                          size_t End) {
+    auto Range = Map.phaseRange(P);
+    double PhaseLen = static_cast<double>(Range.second - Range.first);
+    double Frac = PhaseLen > 0.0
+                      ? static_cast<double>(End - Begin) / PhaseLen
+                      : 0.0;
+    double Mid = (static_cast<double>(Begin + End) / 2.0) /
+                 static_cast<double>(Nominal);
+    return Truth.qosOf(P, S.phaseLevels(P)) * Frac *
+           driftFactor(Drift, std::min(Mid, 1.0), P);
+  };
+
+  // Interval boundaries: each model phase's nominal range in
+  // IntervalsPerPhase near-equal slices; iterations the approximate run
+  // executes past the nominal count extend the final slice.
+  struct Interval {
+    size_t Phase;
+    size_t Begin;
+    size_t End;
+  };
+  std::vector<Interval> Intervals;
+  for (size_t P = 0; P < N; ++P) {
+    auto Range = Map.phaseRange(P);
+    size_t Len = Range.second - Range.first;
+    size_t Slices = std::max<size_t>(1, std::min(IntervalsPerPhase, Len));
+    for (size_t S = 0; S < Slices; ++S) {
+      size_t B = Range.first + Len * S / Slices;
+      size_t E = Range.first + Len * (S + 1) / Slices;
+      if (E > B)
+        Intervals.push_back({P, B, E});
+    }
+  }
+  if (!Intervals.empty() && Trace.WorkPerIteration.size() > Nominal)
+    Intervals.back().End = Trace.WorkPerIteration.size();
+
+  for (const Interval &I : Intervals)
+    O.OfflineQos += contribution(Offline->Schedule, I.Phase, I.Begin, I.End);
+
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, Input, QosBudget, Opts);
+  if (!C)
+    return C.error();
+  for (const Interval &I : Intervals) {
+    IntervalSample S;
+    S.WorkUnits = sliceWork(I.Begin, I.End);
+    S.Iterations = I.End - I.Begin;
+    S.QosDelta = contribution(C->schedule(), I.Phase, I.Begin, I.End);
+    O.ControlledQos += S.QosDelta;
+    ControlAction A = C->onInterval(S);
+    if (A.Resolved || A.Corrected || A.Distrusted)
+      O.ScheduleTrace.push_back(C->schedule().toString());
+  }
+  C->finishRun();
+  O.FinalSchedule = C->schedule();
+  O.Stats = C->stats();
+  O.DistrustRatio = C->distrustRatio();
+  O.DetectedPhases = C->detector().numDetectedPhases();
+  return O;
+}

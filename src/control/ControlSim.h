@@ -1,0 +1,116 @@
+//===- control/ControlSim.h - Deterministic control-loop sims --*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulation side of the control loop's test story: seeded drift
+/// traces replayed against an OnlineController, with every quantity --
+/// drift factors, observations, re-solves -- a pure function of
+/// (artifact, input, budget, DriftSpec, ControllerOptions). The same
+/// spec therefore reproduces the same reactive decisions bit for bit,
+/// which is what lets ControllerSimTests assert on them and the drift
+/// bench (bench/control_drift.cpp) publish them.
+///
+/// Three harnesses, sharing one drift model:
+///
+///  - runScriptedSim: model-space fake app. A phase's observed QoS is
+///    the model's own point prediction under the levels the phase
+///    actually runs, times the drift factor -- fast, artifact-only, and
+///    with Kind::None *exactly* inside the controller's trust band, so
+///    the no-op guarantee is testable in isolation.
+///  - runGroundTruthSim: real mini-app. A phase's observed QoS is the
+///    measured degradation of approximating that phase alone (the
+///    paper's per-phase probing model, evaluateSchedule on a
+///    singlePhase schedule), times the drift factor.
+///  - runDetectedSim: runGroundTruthSim delivered as per-interval
+///    samples through the PhaseDetector instead of at known static
+///    boundaries -- the detected-vs-static comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CONTROL_CONTROLSIM_H
+#define OPPROX_CONTROL_CONTROLSIM_H
+
+#include "control/OnlineController.h"
+#include "core/Evaluator.h"
+
+namespace opprox {
+namespace control {
+
+/// A seeded, injected QoS drift: how far and in what shape the run's
+/// observed behavior departs from what the models were trained on.
+struct DriftSpec {
+  enum class Kind {
+    None,       ///< Observations match the model exactly.
+    Sudden,     ///< A step: phases past Onset inflate by Magnitude.
+    Gradual,    ///< A ramp from Onset to the end of the run.
+    Noise,      ///< Seeded per-phase jitter of amplitude Magnitude.
+    Misclassify ///< Observations come from ShadowInput's control-flow
+                ///< class while the controller plans for the real input.
+  };
+  Kind DriftKind = Kind::None;
+  /// Fractional QoS inflation at full strength (0.5 = observations run
+  /// 50% hotter than truth); for Noise, the jitter amplitude.
+  double Magnitude = 0.0;
+  /// Fraction of the run where Sudden/Gradual drift begins.
+  double Onset = 0.5;
+  /// Noise stream seed; per-phase draws are independent of visit order.
+  uint64_t Seed = 0;
+  /// Misclassify only: the input whose class generates the feedback.
+  std::vector<double> ShadowInput;
+};
+
+/// Multiplier on the true QoS contribution of a phase whose midpoint
+/// sits at \p Fraction (in [0, 1]) of the run. Deterministic in
+/// (Spec, Fraction, Phase).
+double driftFactor(const DriftSpec &Spec, double Fraction, size_t Phase);
+
+/// What one simulated run produced, offline and controlled side by side.
+struct SimOutcome {
+  /// Final QoS of the untouched offline schedule under the drift.
+  double OfflineQos = 0.0;
+  /// Final QoS with the controller reacting at boundaries.
+  double ControlledQos = 0.0;
+  PhaseSchedule OfflineSchedule{1, 1};
+  PhaseSchedule FinalSchedule{1, 1};
+  ControllerStats Stats;
+  double DistrustRatio = 1.0;
+  /// Phases the detector flagged (runDetectedSim only; 0 otherwise).
+  size_t DetectedPhases = 0;
+  /// schedule().toString() after each ingested boundary, for bit-level
+  /// replay assertions.
+  std::vector<std::string> ScheduleTrace;
+};
+
+/// Model-space scripted simulation; needs no application.
+Expected<SimOutcome> runScriptedSim(const OpproxRuntime &Rt,
+                                    const std::vector<double> &Input,
+                                    double QosBudget, const DriftSpec &Drift,
+                                    const ControllerOptions &Opts = {});
+
+/// Ground-truth simulation over a real mini-app with static (model)
+/// phase boundaries.
+Expected<SimOutcome> runGroundTruthSim(const ApproxApp &App,
+                                       GoldenCache &Golden,
+                                       const OpproxRuntime &Rt,
+                                       const std::vector<double> &Input,
+                                       double QosBudget,
+                                       const DriftSpec &Drift,
+                                       const ControllerOptions &Opts = {});
+
+/// Ground-truth simulation delivered as interval samples through the
+/// phase detector: each model phase is sliced into \p IntervalsPerPhase
+/// intervals carrying the app's real per-iteration work signature.
+Expected<SimOutcome> runDetectedSim(const ApproxApp &App, GoldenCache &Golden,
+                                    const OpproxRuntime &Rt,
+                                    const std::vector<double> &Input,
+                                    double QosBudget, const DriftSpec &Drift,
+                                    ControllerOptions Opts = {},
+                                    size_t IntervalsPerPhase = 4);
+
+} // namespace control
+} // namespace opprox
+
+#endif // OPPROX_CONTROL_CONTROLSIM_H

@@ -1,0 +1,283 @@
+//===- control/OnlineController.cpp ---------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "control/OnlineController.h"
+#include "support/FaultInjection.h"
+#include "support/Log.h"
+#include "support/Telemetry.h"
+#include <algorithm>
+#include <cmath>
+
+using namespace opprox;
+using namespace opprox::control;
+
+namespace {
+struct ControlMetrics {
+  Counter &Resolves;
+  Counter &Corrections;
+  Counter &Distrusts;
+  Counter &RejectedResolves;
+  Counter &DroppedObservations;
+  Gauge &DistrustRatio;
+
+  static ControlMetrics &get() {
+    static ControlMetrics M{
+        MetricsRegistry::global().counter("control.resolves"),
+        MetricsRegistry::global().counter("control.corrections"),
+        MetricsRegistry::global().counter("control.model_distrust"),
+        MetricsRegistry::global().counter("control.rejected_resolves"),
+        MetricsRegistry::global().counter("control.dropped_observations"),
+        MetricsRegistry::global().gauge("control.distrust_ratio")};
+    return M;
+  }
+};
+
+bool allZero(const std::vector<int> &Levels) {
+  for (int L : Levels)
+    if (L != 0)
+      return false;
+  return true;
+}
+} // namespace
+
+Expected<OnlineController>
+OnlineController::start(const OpproxRuntime &Rt, std::vector<double> Input,
+                        double QosBudget, const ControllerOptions &Opts) {
+  // The initial plan is the plain offline solve -- same planner entry,
+  // same cache keys -- so a run that never distrusts executes exactly
+  // what the offline pipeline would have handed it.
+  Expected<OptimizationResult> Initial =
+      Rt.tryOptimizeDetailed(Input, QosBudget, Opts.Optimize);
+  if (!Initial)
+    return Initial.error();
+  OnlineController C(Rt, std::move(Input), QosBudget, Opts);
+  C.Plan = std::move(*Initial);
+  return C;
+}
+
+OnlineController::OnlineController(const OpproxRuntime &Rt,
+                                   std::vector<double> Input, double QosBudget,
+                                   const ControllerOptions &Opts)
+    : Rt(&Rt), Input(std::move(Input)), TotalBudget(QosBudget), Opts(Opts),
+      Detector([&] {
+        PhaseDetectorOptions D = Opts.Detect;
+        if (D.NominalIterations == 0)
+          D.NominalIterations = Opts.NominalIterations;
+        return D;
+      }()) {}
+
+double OnlineController::remainingBudget() const {
+  return std::max(0.0, TotalBudget - SpentQos);
+}
+
+/// Point prediction and half-width for one phase under the levels the
+/// current schedule assigns it. Exact (all-zero) levels predict zero by
+/// the same convention the optimizer uses: the level-0 baseline is known
+/// ground truth, not a model output.
+static void phasePrediction(const OpproxRuntime &Rt,
+                            const std::vector<double> &Input,
+                            const OptimizationResult &Plan, size_t Phase,
+                            double ConfidenceP, double &Point,
+                            double &HalfWidth) {
+  std::vector<int> Levels = Plan.Schedule.phaseLevels(Phase);
+  if (allZero(Levels)) {
+    Point = 0.0;
+    HalfWidth = 0.0;
+    return;
+  }
+  const PhaseModels &PM = Rt.model().phaseModels(Input, Phase);
+  Point = PM.predictQos(Input, Levels);
+  HalfWidth =
+      std::max(PM.conservativeQos(Input, Levels, ConfidenceP) - Point, 0.0);
+}
+
+void OnlineController::predictRange(size_t Begin, size_t End, double &Point,
+                                    double &HalfWidth) const {
+  Point = 0.0;
+  HalfWidth = 0.0;
+  size_t N = numPhases();
+  PhaseMap Map(Opts.NominalIterations, N);
+  for (size_t P = 0; P < N; ++P) {
+    auto Range = Map.phaseRange(P);
+    size_t PhaseEnd = Range.second;
+    // Iterations past the nominal count belong to the final phase
+    // (PhaseMap::phaseOf), so its overlap window is open-ended; the
+    // pro-rating denominator stays the nominal length, letting an
+    // overrunning segment scale the final phase's prediction up
+    // proportionally.
+    size_t OverlapEnd = (P + 1 == N) ? End : std::min(End, PhaseEnd);
+    size_t OverlapBegin = std::max(Begin, Range.first);
+    if (OverlapEnd <= OverlapBegin || Range.second <= Range.first)
+      continue;
+    double Frac = static_cast<double>(OverlapEnd - OverlapBegin) /
+                  static_cast<double>(Range.second - Range.first);
+    double PPoint = 0.0, PHalf = 0.0;
+    phasePrediction(*Rt, Input, Plan, P, Opts.Optimize.ConfidenceP, PPoint,
+                    PHalf);
+    Point += Frac * PPoint;
+    HalfWidth += Frac * PHalf;
+  }
+}
+
+/// The reactive core: account the observation, apply the distrust rule,
+/// and re-solve the tail when the model lost credibility. \p Point and
+/// \p HalfWidth are the prediction for exactly what the observation
+/// covers; \p ResumePhase is the first model phase with no executed
+/// iterations (numPhases() when the run is over).
+ControlAction OnlineController::observeRange(size_t ResumePhase,
+                                             double Point, double HalfWidth,
+                                             const PhaseObservation &Obs) {
+  ControlMetrics &M = ControlMetrics::get();
+  ControlAction A;
+  ++Stats.Observations;
+  SpentQos += std::max(Obs.ObservedQos, 0.0);
+  NextPhase = std::max(NextPhase, std::min(ResumePhase, numPhases()));
+  A.SpentQos = SpentQos;
+  A.RemainingBudget = remainingBudget();
+
+  double Band = Opts.DistrustFactor * HalfWidth + Opts.QosSlack;
+  bool Overrun = Obs.ObservedQos > Point + Band;
+  bool Underrun = Obs.ObservedQos < Point - Band;
+  A.Distrusted = Overrun || (Opts.CorrectUnderruns && Underrun);
+  if (!A.Distrusted)
+    return A;
+
+  ++Stats.Distrusts;
+  M.Distrusts.add();
+  // How far off the model is, as a multiplicative factor; the EWMA is
+  // what rescales every later re-solve's budget. The floor keeps a
+  // drifting observation over a near-zero prediction from exploding the
+  // ratio.
+  double Floor = std::max(Opts.QosSlack, 1e-6);
+  double Ratio = std::max(Obs.ObservedQos, 0.0) / std::max(Point, Floor);
+  DistrustRatio =
+      (1.0 - Opts.RatioAlpha) * DistrustRatio + Opts.RatioAlpha * Ratio;
+  M.DistrustRatio.set(DistrustRatio);
+
+  if (NextPhase >= numPhases() || Stats.Resolves >= Opts.MaxResolves)
+    return A;
+
+  // Re-solve the remaining phases with the unspent budget, discounted by
+  // the distrust ratio: if observations run Ratio x the predictions, a
+  // schedule planned under Remaining / Ratio is expected to *observe*
+  // within Remaining.
+  double Scale = std::max(DistrustRatio, 1.0 / Opts.MaxBudgetGrowth);
+  double Effective = remainingBudget() / Scale;
+  ++Stats.Resolves;
+  M.Resolves.add();
+  A.Resolved = true;
+  Expected<OptimizationResult> Tail =
+      Rt->tryOptimizeTail(Input, Effective, NextPhase, Opts.Optimize);
+  if (!Tail || !Tail->DegradedPhases.empty()) {
+    // The re-solve itself failed or degraded (fault ladder): the last
+    // valid schedule stays in force. Any runtime.degraded_phases
+    // accounting happened inside the solve; rejecting the result here
+    // must not add to it.
+    ++Stats.RejectedResolves;
+    M.RejectedResolves.add();
+    A.RejectedDegraded = true;
+    if (!Tail)
+      logInfo("online re-solve from phase %zu rejected: %s", NextPhase,
+              Tail.error().message().c_str());
+    else
+      logInfo("online re-solve from phase %zu degraded; keeping the last "
+              "valid schedule",
+              NextPhase);
+    return A;
+  }
+
+  bool Changed = false;
+  for (size_t P = NextPhase; P < numPhases() && !Changed; ++P)
+    Changed = Tail->Schedule.phaseLevels(P) != Plan.Schedule.phaseLevels(P);
+  if (Changed) {
+    Plan.Schedule.overlayTail(Tail->Schedule, NextPhase);
+    for (size_t P = NextPhase; P < numPhases(); ++P)
+      Plan.Decisions[P] = Tail->Decisions[P];
+    ++Stats.Corrections;
+    M.Corrections.add();
+    A.Corrected = true;
+  }
+  return A;
+}
+
+ControlAction OnlineController::onPhaseComplete(const PhaseObservation &Obs) {
+  ControlAction A;
+  if (faultPoint(faults::ControlObserve) || Obs.Phase != NextPhase ||
+      NextPhase >= numPhases()) {
+    // Lost, out-of-order, or post-run feedback: observations are run
+    // data, not invariants -- drop and count, never crash. A dropped
+    // observation is invisible to budget accounting by design.
+    ++Stats.DroppedObservations;
+    ControlMetrics::get().DroppedObservations.add();
+    A.Dropped = true;
+    A.SpentQos = SpentQos;
+    A.RemainingBudget = remainingBudget();
+    return A;
+  }
+  double Point = 0.0, HalfWidth = 0.0;
+  phasePrediction(*Rt, Input, Plan, Obs.Phase, Opts.Optimize.ConfidenceP,
+                  Point, HalfWidth);
+  return observeRange(Obs.Phase + 1, Point, HalfWidth, Obs);
+}
+
+ControlAction OnlineController::onInterval(const IntervalSample &S) {
+  ControlAction A;
+  size_t Iters = S.Iterations == 0 ? 1 : S.Iterations;
+  bool Boundary = Detector.observe(S);
+  if (Boundary && SegmentOpen)
+    A = closeSegment();
+  if (!SegmentOpen) {
+    Segment = PhaseObservation();
+    Segment.Phase = NextPhase;
+    SegmentOpen = true;
+  }
+  Segment.ObservedQos += S.QosDelta;
+  Segment.WorkUnits += S.WorkUnits;
+  Segment.Iterations += Iters;
+  return A;
+}
+
+ControlAction OnlineController::finishRun() {
+  if (!SegmentOpen) {
+    ControlAction A;
+    A.SpentQos = SpentQos;
+    A.RemainingBudget = remainingBudget();
+    return A;
+  }
+  return closeSegment();
+}
+
+ControlAction OnlineController::closeSegment() {
+  ControlAction A;
+  size_t End = SegmentBegin + Segment.Iterations;
+  if (faultPoint(faults::ControlObserve)) {
+    ++Stats.DroppedObservations;
+    ControlMetrics::get().DroppedObservations.add();
+    A.Dropped = true;
+    A.SpentQos = SpentQos;
+    A.RemainingBudget = remainingBudget();
+  } else {
+    double Point = 0.0, HalfWidth = 0.0;
+    predictRange(SegmentBegin, End, Point, HalfWidth);
+    // Resume at the first phase with no executed iterations; a segment
+    // ending mid-phase leaves that phase's levels alone (it is already
+    // running) and re-plans from the next one.
+    size_t N = numPhases();
+    PhaseMap Map(Opts.NominalIterations, N);
+    size_t Resume;
+    if (End >= Opts.NominalIterations)
+      Resume = N;
+    else {
+      size_t P = Map.phaseOf(End);
+      Resume = Map.phaseRange(P).first == End ? P : P + 1;
+    }
+    A = observeRange(Resume, Point, HalfWidth, Segment);
+  }
+  SegmentOpen = false;
+  SegmentBegin = End;
+  Segment = PhaseObservation();
+  return A;
+}

@@ -1,0 +1,196 @@
+//===- control/OnlineController.h - Reactive schedule control --*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closes the loop the offline pipeline leaves open (docs/CONTROL.md).
+/// The offline solver plans a full phase schedule once and replays it
+/// blind; this controller wraps an OpproxRuntime, consumes observed
+/// per-phase QoS/work feedback at phase boundaries, and reacts when the
+/// observations leave the model's confidence band:
+///
+///  1. **Distrust rule**: each completed phase's observed QoS is
+///     compared against the model's point prediction for the levels the
+///     phase actually ran, widened by DistrustFactor confidence-interval
+///     half-widths plus QosSlack. An observation outside that band
+///     means the model is wrong for this run (drift, input shift, or a
+///     misclassified control-flow class).
+///  2. **Budget correction**: a running observed/predicted ratio
+///     (EWMA, the control.distrust_ratio gauge) estimates how far off
+///     the model is; the unspent budget is rescaled by it so a model
+///     that under-reports QoS cost gets a proportionally smaller budget
+///     to re-spend (and an over-reporter a larger one, capped by
+///     MaxBudgetGrowth).
+///  3. **Re-solve**: the remaining phases are re-planned through
+///     OptimizePlanner::optimizeTail -- the same plan/lookup/compute
+///     pipeline as every other optimize call, so re-solves hit the
+///     schedule cache and an identical feedback stream reproduces
+///     bit-identical decisions.
+///
+/// Observations inside the band change nothing: with zero observed
+/// drift the final schedule is bit-identical to the offline path (the
+/// no-op guarantee, enforced by PropertyTests). A re-solve that comes
+/// back degraded (non-empty DegradedPhases -- the fault ladder fired
+/// mid-solve) is discarded and the last valid schedule stays in force.
+///
+/// Ingestion comes in two shapes: onPhaseComplete() for hosts that keep
+/// the offline static-N phase boundaries, and onInterval() feeding a
+/// PhaseDetector for hosts that discover boundaries online. Instances
+/// are not thread-safe; one controller steers one run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CONTROL_ONLINECONTROLLER_H
+#define OPPROX_CONTROL_ONLINECONTROLLER_H
+
+#include "control/PhaseDetector.h"
+#include "core/OpproxRuntime.h"
+
+namespace opprox {
+namespace control {
+
+/// Feedback for one completed phase, in model-phase space.
+struct PhaseObservation {
+  size_t Phase = 0;
+  /// Observed QoS degradation attributed to the phase, in the percent
+  /// units the models predict.
+  double ObservedQos = 0.0;
+  /// Abstract work units the phase executed (informational).
+  uint64_t WorkUnits = 0;
+  /// Outer-loop iterations the phase executed (informational).
+  size_t Iterations = 0;
+};
+
+struct ControllerOptions {
+  /// Decision-relevant optimizer options, shared by the initial solve
+  /// and every re-solve (they key the schedule cache).
+  OptimizeOptions Optimize;
+  /// Width of the trust band in confidence-interval half-widths.
+  double DistrustFactor = 1.0;
+  /// Absolute band slack in percent QoS, so near-zero predictions with
+  /// near-zero half-widths do not distrust on rounding noise.
+  double QosSlack = 0.05;
+  /// React when a phase spends *less* than predicted too (reclaims
+  /// headroom for the remaining phases). Overspends always react.
+  bool CorrectUnderruns = true;
+  /// Cap on re-solves per run; SIZE_MAX = unlimited.
+  size_t MaxResolves = SIZE_MAX;
+  /// Upper clamp on the budget rescale when the model over-reported
+  /// cost (distrust ratio < 1): the effective budget never exceeds
+  /// MaxBudgetGrowth x the unspent budget.
+  double MaxBudgetGrowth = 4.0;
+  /// EWMA weight of the newest observed/predicted ratio sample.
+  double RatioAlpha = 0.5;
+  /// Boundary detection for onInterval() ingestion. Leave StaticPhases
+  /// at 0 for signature detection; set it (plus NominalIterations) to
+  /// replay the offline slicing through the same code path.
+  PhaseDetectorOptions Detect;
+  /// Nominal (exact-run) iteration count; required by onInterval()
+  /// ingestion to map detected segments onto model phases. 0 keeps
+  /// onPhaseComplete()-only operation.
+  size_t NominalIterations = 0;
+};
+
+/// What one ingested observation caused.
+struct ControlAction {
+  bool Distrusted = false;       ///< Observation left the trust band.
+  bool Resolved = false;         ///< A tail re-solve was issued.
+  bool Corrected = false;        ///< The re-solve changed remaining levels.
+  bool RejectedDegraded = false; ///< Degraded re-solve discarded.
+  bool Dropped = false;          ///< Observation lost (fault injection).
+  double SpentQos = 0.0;         ///< Cumulative observed QoS so far.
+  double RemainingBudget = 0.0;  ///< Unspent budget after this phase.
+};
+
+/// Per-run decision counts, mirrored into the control.* telemetry.
+struct ControllerStats {
+  size_t Observations = 0;
+  size_t Distrusts = 0;
+  size_t Resolves = 0;
+  size_t Corrections = 0;
+  size_t RejectedResolves = 0;
+  size_t DroppedObservations = 0;
+};
+
+class OnlineController {
+public:
+  /// Solves the initial schedule through the runtime's planner -- the
+  /// exact offline optimize path -- and arms the controller. Fails for
+  /// the same malformed requests tryOptimizeDetailed rejects.
+  static Expected<OnlineController> start(const OpproxRuntime &Rt,
+                                          std::vector<double> Input,
+                                          double QosBudget,
+                                          const ControllerOptions &Opts = {});
+
+  /// Static-boundary ingestion: feedback for the next un-observed model
+  /// phase. Out-of-order phases are dropped (counted, never fatal):
+  /// feedback is run data, not a program invariant.
+  ControlAction onPhaseComplete(const PhaseObservation &Obs);
+
+  /// Interval-driven ingestion: feeds the phase detector; when an
+  /// interval starts a new detected phase, the closed segment becomes
+  /// one observation attributed to the model phases its iterations
+  /// span (predictions pro-rated by nominal-range overlap). Requires
+  /// ControllerOptions::NominalIterations.
+  ControlAction onInterval(const IntervalSample &S);
+
+  /// Flushes the trailing detected segment at end of run.
+  ControlAction finishRun();
+
+  /// The schedule the run should execute from here on: the initial plan
+  /// with every adopted correction overlaid.
+  const PhaseSchedule &schedule() const { return Plan.Schedule; }
+
+  /// The full plan (decisions for executed phases keep their original
+  /// values; corrected phases carry the re-solve's).
+  const OptimizationResult &plan() const { return Plan; }
+
+  /// First model phase no observation has covered yet.
+  size_t nextPhase() const { return NextPhase; }
+
+  double spentQos() const { return SpentQos; }
+  double remainingBudget() const;
+  /// Current observed/predicted EWMA ratio (1 = model trusted).
+  double distrustRatio() const { return DistrustRatio; }
+  const ControllerStats &stats() const { return Stats; }
+  const PhaseDetector &detector() const { return Detector; }
+  size_t numPhases() const { return Rt->numPhases(); }
+
+private:
+  OnlineController(const OpproxRuntime &Rt, std::vector<double> Input,
+                   double QosBudget, const ControllerOptions &Opts);
+
+  /// Shared ingestion core: accounts one observation whose prediction
+  /// is (\p Point, \p HalfWidth), applies the distrust rule, and
+  /// re-solves from \p ResumePhase when the model lost credibility.
+  ControlAction observeRange(size_t ResumePhase, double Point,
+                             double HalfWidth, const PhaseObservation &Obs);
+  /// Point prediction and CI half-width for the current schedule over
+  /// nominal iterations [Begin, End), pro-rated per model phase.
+  void predictRange(size_t Begin, size_t End, double &Point,
+                    double &HalfWidth) const;
+  ControlAction closeSegment();
+
+  const OpproxRuntime *Rt;
+  std::vector<double> Input;
+  double TotalBudget = 0.0;
+  ControllerOptions Opts;
+  OptimizationResult Plan;
+  size_t NextPhase = 0;
+  double SpentQos = 0.0;
+  double DistrustRatio = 1.0;
+  ControllerStats Stats;
+
+  // onInterval() segment state.
+  PhaseDetector Detector;
+  size_t SegmentBegin = 0;
+  PhaseObservation Segment;
+  bool SegmentOpen = false;
+};
+
+} // namespace control
+} // namespace opprox
+
+#endif // OPPROX_CONTROL_ONLINECONTROLLER_H

@@ -1,0 +1,64 @@
+//===- control/PhaseDetector.cpp ------------------------------------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "control/PhaseDetector.h"
+#include "approx/PhaseSchedule.h"
+#include "support/Telemetry.h"
+#include <cmath>
+
+using namespace opprox;
+using namespace opprox::control;
+
+/// Relative divergence floor: centroid magnitudes below this are treated
+/// as this, so a near-zero centroid does not turn every fluctuation into
+/// an infinite relative distance.
+static constexpr double kEps = 1e-9;
+
+static double relativeDistance(double X, double C) {
+  return std::fabs(X - C) / std::max(std::fabs(C), kEps);
+}
+
+PhaseDetector::PhaseDetector(const PhaseDetectorOptions &Opts) : Opts(Opts) {}
+
+bool PhaseDetector::observe(const IntervalSample &S) {
+  size_t Iters = S.Iterations == 0 ? 1 : S.Iterations;
+  double WorkPerIter = static_cast<double>(S.WorkUnits) /
+                       static_cast<double>(Iters);
+  double QosPerIter = S.QosDelta / static_cast<double>(Iters);
+
+  bool Boundary = false;
+  if (Starts.empty()) {
+    // The first interval opens phase 0 by definition; not a boundary.
+    Starts.push_back(0);
+  } else if (Opts.StaticPhases > 0) {
+    // Fallback: replay the offline PhaseMap slicing. A boundary fires
+    // when this interval's first iteration falls in a later static
+    // phase than the previous interval's.
+    PhaseMap Map(Opts.NominalIterations, Opts.StaticPhases);
+    if (Map.phaseOf(IterSeen) > Map.phaseOf(Starts.back()) &&
+        Starts.size() < Opts.MaxPhases)
+      Boundary = true;
+  } else if (IntervalsInPhase >= Opts.MinIntervalsPerPhase &&
+             Starts.size() < Opts.MaxPhases) {
+    double Dist = std::max(relativeDistance(WorkPerIter, CentroidWork),
+                           relativeDistance(QosPerIter, CentroidQos));
+    Boundary = Dist > Opts.BoundaryThreshold;
+  }
+
+  if (Boundary) {
+    Starts.push_back(IterSeen);
+    IntervalsInPhase = 0;
+    MetricsRegistry::global().counter("control.detected_phases").add();
+  }
+  // Fold this interval's signature into the (possibly fresh) phase
+  // centroid.
+  double N = static_cast<double>(IntervalsInPhase);
+  CentroidWork = (CentroidWork * N + WorkPerIter) / (N + 1.0);
+  CentroidQos = (CentroidQos * N + QosPerIter) / (N + 1.0);
+  ++IntervalsInPhase;
+  IterSeen += Iters;
+  return Boundary;
+}

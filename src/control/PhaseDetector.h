@@ -1,0 +1,107 @@
+//===- control/PhaseDetector.h - Online phase-boundary detection -*- C++ -*-===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Online counterpart of the offline phase-count search (Algorithm 1,
+/// core/PhaseDetector.h): instead of slicing the run into N fixed
+/// near-equal ranges up front, this detector watches the metrics a run
+/// actually produces -- work counters and QoS-proxy deltas, delivered as
+/// per-interval samples -- builds a signature vector per interval, and
+/// flags a phase boundary whenever an interval's signature diverges from
+/// the running centroid of the current phase. The phase-classification
+/// literature calls this signature-vector change-point detection; here
+/// it is deliberately minimal and, above all, deterministic: boundaries
+/// are a pure function of the sample stream and the options, so a
+/// replayed trace detects bit-identical boundaries.
+///
+/// A static-N fallback (StaticPhases > 0) reproduces the offline
+/// PhaseMap slicing exactly, so hosts can run the same ingestion code
+/// path with detection disabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPROX_CONTROL_PHASEDETECTOR_H
+#define OPPROX_CONTROL_PHASEDETECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace opprox {
+namespace control {
+
+/// One observation interval: a contiguous slice of outer-loop
+/// iterations with the metrics accumulated over it. Hosts produce these
+/// with WorkCounter::takeInterval() plus whatever QoS proxy they track.
+struct IntervalSample {
+  /// Abstract work units charged during the interval.
+  uint64_t WorkUnits = 0;
+  /// Outer-loop iterations the interval covers (must be > 0).
+  size_t Iterations = 0;
+  /// QoS-proxy degradation accrued over the interval, in the same
+  /// percent units the models predict.
+  double QosDelta = 0.0;
+};
+
+struct PhaseDetectorOptions {
+  /// Relative per-dimension divergence (|x - c| / max(|c|, eps)) beyond
+  /// which an interval no longer belongs to the current phase.
+  double BoundaryThreshold = 0.25;
+  /// Hysteresis: a phase must absorb this many intervals before the
+  /// next boundary can fire, so one noisy interval cannot split a
+  /// phase.
+  size_t MinIntervalsPerPhase = 2;
+  /// Hard cap on detected phases; past it the detector stops flagging.
+  size_t MaxPhases = 16;
+  /// Fallback: when > 0, signatures are ignored and boundaries replay
+  /// the offline PhaseMap slicing of NominalIterations into this many
+  /// near-equal ranges.
+  size_t StaticPhases = 0;
+  /// Nominal (exact-run) iteration count; required by the static
+  /// fallback, ignored by signature detection.
+  size_t NominalIterations = 0;
+};
+
+/// Streaming phase-boundary detector. Not thread-safe; one instance
+/// belongs to one run.
+class PhaseDetector {
+public:
+  explicit PhaseDetector(const PhaseDetectorOptions &Opts = {});
+
+  /// Ingests one interval. Returns true when this interval *starts* a
+  /// new phase (its signature diverged from the current phase's
+  /// centroid, or a static-fallback boundary was crossed). The first
+  /// interval starts phase 0 and never flags. Each flagged boundary
+  /// counts control.detected_phases.
+  bool observe(const IntervalSample &S);
+
+  /// Index of the phase the most recent interval belongs to.
+  size_t currentPhase() const { return Starts.empty() ? 0 : Starts.size() - 1; }
+
+  /// Phases seen so far (currentPhase() + 1 once observing began).
+  size_t numDetectedPhases() const { return Starts.size(); }
+
+  /// Start iteration of every detected phase; Starts[0] == 0.
+  const std::vector<size_t> &phaseStarts() const { return Starts; }
+
+  /// Iterations ingested so far.
+  size_t iterationsSeen() const { return IterSeen; }
+
+private:
+  PhaseDetectorOptions Opts;
+  std::vector<size_t> Starts;
+  size_t IterSeen = 0;
+  /// Running per-dimension centroid of the current phase's signatures
+  /// (work per iteration, QoS delta per iteration).
+  double CentroidWork = 0.0;
+  double CentroidQos = 0.0;
+  size_t IntervalsInPhase = 0;
+};
+
+} // namespace control
+} // namespace opprox
+
+#endif // OPPROX_CONTROL_PHASEDETECTOR_H

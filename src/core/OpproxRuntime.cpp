@@ -124,3 +124,13 @@ OpproxRuntime::tryOptimizeDetailed(const std::vector<double> &Input,
   assert(Art.Model.numPhases() > 0 && "optimize on an empty runtime");
   return Planner->optimize(Art, Input, QosBudget, Opts, Stages);
 }
+
+Expected<OptimizationResult>
+OpproxRuntime::tryOptimizeTail(const std::vector<double> &Input,
+                               double QosBudget, size_t FirstPhase,
+                               const OptimizeOptions &Opts,
+                               PlannerStageBreakdown *Stages) const {
+  assert(Art.Model.numPhases() > 0 && "optimize on an empty runtime");
+  return Planner->optimizeTail(Art, Input, QosBudget, FirstPhase, Opts,
+                               Stages);
+}

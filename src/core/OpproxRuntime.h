@@ -84,6 +84,18 @@ public:
                       const OptimizeOptions &Opts = {},
                       PlannerStageBreakdown *Stages = nullptr) const;
 
+  /// The online controller's feedback hook: re-solves phases
+  /// [FirstPhase, numPhases) under \p QosBudget (the budget still
+  /// unspent after the phases a run has executed), leaving earlier
+  /// phases exact in the returned schedule. Routed through the planner,
+  /// so identical (input, budget, first-phase) re-solves hit the
+  /// schedule cache and stay bit-deterministic. FirstPhase == 0 is
+  /// exactly tryOptimizeDetailed.
+  Expected<OptimizationResult>
+  tryOptimizeTail(const std::vector<double> &Input, double QosBudget,
+                  size_t FirstPhase, const OptimizeOptions &Opts = {},
+                  PlannerStageBreakdown *Stages = nullptr) const;
+
   /// Replaces the planner (and with it the schedule cache) with one
   /// built from \p Opts. Hosts call this once after loading, before the
   /// runtime goes concurrent; the cache then lives exactly as long as

@@ -62,7 +62,8 @@ size_t OptimizePlanner::scanExecutors() const {
 OptimizationResult
 OptimizePlanner::lookupOrCompute(const OpproxArtifact &Art, int ClassId,
                                  const std::vector<double> &Input,
-                                 double QosBudget, const OptimizeOptions &Opts,
+                                 double QosBudget, size_t FirstPhase,
+                                 const OptimizeOptions &Opts,
                                  PlannerStageBreakdown *Stages) const {
   using Clock = std::chrono::steady_clock;
   Clock::time_point LookupStart;
@@ -80,14 +81,16 @@ OptimizePlanner::lookupOrCompute(const OpproxArtifact &Art, int ClassId,
 
   ScheduleCache::Key Key;
   if (Cache) {
-    Key = ScheduleCache::makeKey(ClassId, Input, QosBudget, Opts);
+    Key = ScheduleCache::makeKey(ClassId, Input, QosBudget, Opts, FirstPhase);
     if (std::optional<ScheduleCache::CachedValue> Hit = Cache->lookup(Key))
       if (!Hit->Negative) {
         finishLookup(/*CacheHit=*/true, /*GridHit=*/false);
         return std::move(Hit->Result);
       }
   }
-  if (this->Opts.UseGrids)
+  // Budget grids precompute full-schedule solves; a tail re-solve can
+  // only be answered by the cache or the compute layer.
+  if (this->Opts.UseGrids && FirstPhase == 0)
     if (const OptimizationResult *Grid =
             findGridResult(Art.BudgetGrids, ClassId, Input, QosBudget, Opts)) {
       if (Cache)
@@ -108,8 +111,8 @@ OptimizePlanner::lookupOrCompute(const OpproxArtifact &Art, int ClassId,
   OptimizeOptions ComputeOpts = Opts;
   if (ScanPool && ComputeOpts.Pool == nullptr)
     ComputeOpts.Pool = ScanPool.get();
-  OptimizationResult R = optimizeSchedule(Art.Model, Input, Art.MaxLevels,
-                                          QosBudget, ComputeOpts);
+  OptimizationResult R = optimizeScheduleTail(
+      Art.Model, Input, Art.MaxLevels, QosBudget, FirstPhase, ComputeOpts);
   // A degraded result is the fault ladder's answer for *this* request;
   // memoizing it would keep serving the fallback after the fault clears.
   if (Cache && R.DegradedPhases.empty())
@@ -126,16 +129,27 @@ OptimizePlanner::optimize(const OpproxArtifact &Art,
                           const std::vector<double> &Input, double QosBudget,
                           const OptimizeOptions &Opts,
                           PlannerStageBreakdown *Stages) const {
+  return optimizeTail(Art, Input, QosBudget, /*FirstPhase=*/0, Opts, Stages);
+}
+
+Expected<OptimizationResult>
+OptimizePlanner::optimizeTail(const OpproxArtifact &Art,
+                              const std::vector<double> &Input,
+                              double QosBudget, size_t FirstPhase,
+                              const OptimizeOptions &Opts,
+                              PlannerStageBreakdown *Stages) const {
   // Plan layer: the same request checks (and the same messages) the
   // pre-pipeline tryOptimizeDetailed performed, with rejections
   // memoized so repeated malformed requests cost one lookup.
   bool BudgetValid = std::isfinite(QosBudget) && QosBudget >= 0.0;
   bool ArityValid = Art.ParameterNames.empty() ||
                     Input.size() == Art.ParameterNames.size();
-  if (!BudgetValid || !ArityValid) {
+  bool FirstPhaseValid = FirstPhase == 0 || FirstPhase < Art.numPhases();
+  if (!BudgetValid || !ArityValid || !FirstPhaseValid) {
     ScheduleCache::Key Key;
     if (Cache) {
-      Key = ScheduleCache::makeKey(kUnclassified, Input, QosBudget, Opts);
+      Key = ScheduleCache::makeKey(kUnclassified, Input, QosBudget, Opts,
+                                   FirstPhase);
       if (std::optional<ScheduleCache::CachedValue> Hit = Cache->lookup(Key))
         if (Hit->Negative)
           return Error(Hit->ErrorMessage);
@@ -144,15 +158,19 @@ OptimizePlanner::optimize(const OpproxArtifact &Art,
                   ? Error(format("QoS budget %g is not a non-negative "
                                  "finite number",
                                  QosBudget))
-                  : Error(format("request has %zu input values but the "
+              : !ArityValid
+                  ? Error(format("request has %zu input values but the "
                                  "artifact expects %zu",
-                                 Input.size(), Art.ParameterNames.size()));
+                                 Input.size(), Art.ParameterNames.size()))
+                  : Error(format("first phase %zu is out of range for a "
+                                 "%zu-phase artifact",
+                                 FirstPhase, Art.numPhases()));
     if (Cache)
       Cache->insertNegative(Key, E.message());
     return E;
   }
-  return lookupOrCompute(Art, Art.Model.classOf(Input), Input, QosBudget, Opts,
-                         Stages);
+  return lookupOrCompute(Art, Art.Model.classOf(Input), Input, QosBudget,
+                         FirstPhase, Opts, Stages);
 }
 
 OptimizationResult
@@ -164,6 +182,6 @@ OptimizePlanner::optimizeTrusted(const OpproxArtifact &Art,
     // Preserve the trusted-path contract: the compute layer terminates
     // with the canonical fatal diagnostic.
     return optimizeSchedule(Art.Model, Input, Art.MaxLevels, QosBudget, Opts);
-  return lookupOrCompute(Art, Art.Model.classOf(Input), Input, QosBudget, Opts,
-                         /*Stages=*/nullptr);
+  return lookupOrCompute(Art, Art.Model.classOf(Input), Input, QosBudget,
+                         /*FirstPhase=*/0, Opts, /*Stages=*/nullptr);
 }

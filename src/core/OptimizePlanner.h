@@ -102,6 +102,21 @@ public:
                                      double QosBudget,
                                      const OptimizeOptions &Opts) const;
 
+  /// The online controller's re-solve entry point: Algorithm 2 over
+  /// phases [FirstPhase, numPhases) only, with phases the run already
+  /// executed pinned to the exact configuration. Same plan/lookup/
+  /// compute pipeline as optimize() -- tail results are memoized under
+  /// keys that include FirstPhase, so a controller replaying the same
+  /// feedback stream hits the cache and stays bit-deterministic -- but
+  /// the budget-grid layer is skipped for FirstPhase > 0 (grids
+  /// precompute full-schedule solves only). FirstPhase == 0 is exactly
+  /// optimize(); FirstPhase >= numPhases is rejected as an Error.
+  Expected<OptimizationResult>
+  optimizeTail(const OpproxArtifact &Art, const std::vector<double> &Input,
+               double QosBudget, size_t FirstPhase,
+               const OptimizeOptions &Opts,
+               PlannerStageBreakdown *Stages = nullptr) const;
+
   bool cacheEnabled() const { return Cache != nullptr; }
   /// The owned cache; null when UseCache was false.
   ScheduleCache *cache() const { return Cache.get(); }
@@ -113,11 +128,13 @@ public:
   const PlannerOptions &options() const { return Opts; }
 
 private:
-  /// Lookup + compute for a validated request: cache, then grids, then
-  /// the full solve. \p Stages (nullable) receives the layer timings.
+  /// Lookup + compute for a validated request: cache, then grids (full
+  /// solves only -- FirstPhase must be 0 for a grid hit), then the
+  /// (possibly tail-restricted) solve. \p Stages (nullable) receives the
+  /// layer timings.
   OptimizationResult lookupOrCompute(const OpproxArtifact &Art, int ClassId,
                                      const std::vector<double> &Input,
-                                     double QosBudget,
+                                     double QosBudget, size_t FirstPhase,
                                      const OptimizeOptions &Opts,
                                      PlannerStageBreakdown *Stages) const;
 

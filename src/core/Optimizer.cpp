@@ -402,11 +402,14 @@ PhaseDecision opprox::optimizePhase(const PhaseModels &Models,
   return Decision;
 }
 
-OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
-                                            const std::vector<double> &Input,
-                                            const std::vector<int> &MaxLevels,
-                                            double QosBudget,
-                                            const OptimizeOptions &Opts) {
+/// Shared Algorithm 2 engine over phases [FirstPhase, numPhases).
+/// optimizeSchedule calls with FirstPhase == 0; every statement below is
+/// written so that case executes the exact operation sequence the
+/// full-schedule solver always ran (the bit-identity contract).
+static OptimizationResult
+optimizeScheduleImpl(const AppModel &Model, const std::vector<double> &Input,
+                     const std::vector<int> &MaxLevels, double QosBudget,
+                     size_t FirstPhase, const OptimizeOptions &Opts) {
   // A negative (or NaN) budget is a caller bug that would silently yield
   // the all-exact schedule in release builds; fail loudly everywhere.
   if (!(QosBudget >= 0.0))
@@ -414,6 +417,11 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
                             "budget, got %g",
                             QosBudget));
   size_t NumPhases = Model.numPhases();
+  if (FirstPhase != 0 && FirstPhase >= NumPhases)
+    reportFatalError(format("optimizeScheduleTail first phase %zu is out of "
+                            "range for a %zu-phase model",
+                            FirstPhase, NumPhases));
+  size_t TailCount = NumPhases - FirstPhase;
   OptimizerMetrics &Metrics = OptimizerMetrics::get();
   Metrics.Calls.add();
   // Which kernel tier the batch predictions dispatch to (0 = generic,
@@ -423,28 +431,33 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
   TraceSpan ScheduleSpan("optimize.schedule", "optimize");
   ScheduleSpan.arg("phases", static_cast<double>(NumPhases));
   ScheduleSpan.arg("qos_budget", QosBudget);
+  if (FirstPhase > 0)
+    ScheduleSpan.arg("first_phase", static_cast<double>(FirstPhase));
 
   OptimizationResult Result;
   Result.Schedule = PhaseSchedule(NumPhases, MaxLevels.size());
   Result.Decisions.resize(NumPhases);
 
-  // Phase ROIs and the initial normalized shares the paper reports.
-  std::vector<double> Roi(NumPhases);
+  // Phase ROIs and the normalized shares the paper reports; already-run
+  // phases keep zero ROI and stay at the exact (all-zero) levels the
+  // schedule was constructed with.
+  std::vector<double> Roi(NumPhases, 0.0);
   double RoiSum = 0.0;
-  for (size_t P = 0; P < NumPhases; ++P) {
+  for (size_t P = FirstPhase; P < NumPhases; ++P) {
     Roi[P] = std::max(Model.phaseModels(Input, P).roi(), 0.0);
     RoiSum += Roi[P];
   }
-  Result.NormalizedRoi.resize(NumPhases, 1.0 / static_cast<double>(NumPhases));
-  if (RoiSum > 0.0)
-    for (size_t P = 0; P < NumPhases; ++P)
-      Result.NormalizedRoi[P] = Roi[P] / RoiSum;
+  Result.NormalizedRoi.resize(NumPhases, 0.0);
+  for (size_t P = FirstPhase; P < NumPhases; ++P)
+    Result.NormalizedRoi[P] = RoiSum > 0.0
+                                  ? Roi[P] / RoiSum
+                                  : 1.0 / static_cast<double>(TailCount);
 
   // Visit phases in decreasing ROI; each gets the share of the budget
   // still unspent, proportional to its ROI among the remaining phases.
   // Unused allocation therefore flows to later (lower-ROI) phases.
-  std::vector<size_t> Order(NumPhases);
-  std::iota(Order.begin(), Order.end(), 0);
+  std::vector<size_t> Order(TailCount);
+  std::iota(Order.begin(), Order.end(), FirstPhase);
   std::stable_sort(Order.begin(), Order.end(),
                    [&](size_t A, size_t B) { return Roi[A] > Roi[B]; });
 
@@ -455,7 +468,7 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
     size_t Phase = Order[Rank];
     double Share = RemainingRoiSum > 0.0
                        ? Roi[Phase] / RemainingRoiSum
-                       : 1.0 / static_cast<double>(NumPhases - Rank);
+                       : 1.0 / static_cast<double>(Order.size() - Rank);
     double PhaseBudget = RemainingBudget * Share;
     // The Eq. 1 allocation decision, as a share of the overall budget.
     if (QosBudget > 0.0)
@@ -509,4 +522,21 @@ OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
                               Elapsed);
   Metrics.OptimizeMs.record(Elapsed * 1e3);
   return Result;
+}
+
+OptimizationResult opprox::optimizeSchedule(const AppModel &Model,
+                                            const std::vector<double> &Input,
+                                            const std::vector<int> &MaxLevels,
+                                            double QosBudget,
+                                            const OptimizeOptions &Opts) {
+  return optimizeScheduleImpl(Model, Input, MaxLevels, QosBudget,
+                              /*FirstPhase=*/0, Opts);
+}
+
+OptimizationResult opprox::optimizeScheduleTail(
+    const AppModel &Model, const std::vector<double> &Input,
+    const std::vector<int> &MaxLevels, double QosBudget, size_t FirstPhase,
+    const OptimizeOptions &Opts) {
+  return optimizeScheduleImpl(Model, Input, MaxLevels, QosBudget, FirstPhase,
+                              Opts);
 }

@@ -124,6 +124,20 @@ OptimizationResult optimizeSchedule(const AppModel &Model,
                                     double QosBudget,
                                     const OptimizeOptions &Opts);
 
+/// Algorithm 2 restricted to phases [FirstPhase, numPhases): the online
+/// controller's re-solve primitive. Phases before \p FirstPhase -- the
+/// ones a run has already executed -- come back exact (level 0,
+/// default-constructed decisions, zero ROI share); ROI normalization,
+/// the visiting order, and budget flow-down all operate over the tail
+/// only. With FirstPhase == 0 this is bit-identical to
+/// optimizeSchedule (same operations in the same order), and
+/// FirstPhase >= numPhases is a caller bug reported fatally.
+OptimizationResult optimizeScheduleTail(const AppModel &Model,
+                                        const std::vector<double> &Input,
+                                        const std::vector<int> &MaxLevels,
+                                        double QosBudget, size_t FirstPhase,
+                                        const OptimizeOptions &Opts);
+
 } // namespace opprox
 
 #endif // OPPROX_CORE_OPTIMIZER_H

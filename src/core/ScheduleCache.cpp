@@ -51,12 +51,15 @@ uint64_t fnv1a(const std::string &Bytes) {
 ScheduleCache::Key ScheduleCache::makeKey(int ClassId,
                                           const std::vector<double> &Input,
                                           double Budget,
-                                          const OptimizeOptions &Opts) {
+                                          const OptimizeOptions &Opts,
+                                          size_t FirstPhase) {
   Key K;
-  K.Bytes.reserve(2 * sizeof(double) + sizeof(int32_t) + 1 +
+  K.Bytes.reserve(2 * sizeof(double) + sizeof(int32_t) + sizeof(uint32_t) + 1 +
                   Input.size() * sizeof(double));
   int32_t Class = static_cast<int32_t>(ClassId);
   appendRaw(K.Bytes, &Class, sizeof(Class));
+  uint32_t First = static_cast<uint32_t>(FirstPhase);
+  appendRaw(K.Bytes, &First, sizeof(First));
   // Raw bit patterns, not values: -0.0 vs 0.0 and distinct NaN payloads
   // are distinct keys, which is what keeps a hit bit-identical to the
   // compute path for *this exact* request.

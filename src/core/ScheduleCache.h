@@ -61,12 +61,15 @@ public:
   };
 
   /// Canonical encoding of everything the decision depends on: class id,
-  /// raw budget bits, raw ConfidenceP bits, the Conservative flag, and
-  /// the raw bits of every input value. \p ClassId is the model's
-  /// control-flow class for the input (pass a negative sentinel for
-  /// requests too malformed to classify).
+  /// raw budget bits, raw ConfidenceP bits, the Conservative flag, the
+  /// first phase the solve covers (0 for full-schedule solves, the
+  /// resume phase for online tail re-solves), and the raw bits of every
+  /// input value. \p ClassId is the model's control-flow class for the
+  /// input (pass a negative sentinel for requests too malformed to
+  /// classify).
   static Key makeKey(int ClassId, const std::vector<double> &Input,
-                     double Budget, const OptimizeOptions &Opts);
+                     double Budget, const OptimizeOptions &Opts,
+                     size_t FirstPhase = 0);
 
   explicit ScheduleCache(const ScheduleCacheOptions &Opts = {});
 

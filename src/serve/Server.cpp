@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "serve/Server.h"
+#include "control/OnlineController.h"
 #include "serve/Observability.h"
 #include "serve/WireProtocol.h"
 #include "support/Log.h"
@@ -422,6 +423,61 @@ bool Server::Impl::handleLine(Conn &C, const std::string &Line, Shard &S,
     OptimizeOpts.ConfidenceP = *Req->Confidence;
   if (Req->Aggressive)
     OptimizeOpts.Conservative = !*Req->Aggressive;
+
+  if (Req->HasFeedback) {
+    // Online-control path: replay the observed per-phase QoS values
+    // through a controller over this runtime -- its initial solve and
+    // every tail re-solve route through the same shared planner as
+    // plain requests, so identical feedback streams hit the schedule
+    // cache and stay bit-deterministic.
+    Clock::time_point T2;
+    if (!Opts.OnlineControl) {
+      T2 = Clock::now();
+      return Finish(Req->Id, T2, /*IsError=*/true,
+                    errorResponseLine(Req->Id, errc::BadRequest,
+                                      "'feedback' requires the server's "
+                                      "--online-control opt-in"));
+    }
+    if (Req->Feedback.size() > Rt->numPhases()) {
+      T2 = Clock::now();
+      return Finish(Req->Id, T2, /*IsError=*/true,
+                    errorResponseLine(
+                        Req->Id, errc::BadRequest,
+                        format("'feedback' has %zu entries but the artifact "
+                               "has %zu phases",
+                               Req->Feedback.size(), Rt->numPhases())));
+    }
+    control::ControllerOptions CtrlOpts;
+    CtrlOpts.Optimize = OptimizeOpts;
+    Expected<control::OnlineController> Ctrl = control::OnlineController::start(
+        *Rt, Input, Req->Budget, CtrlOpts);
+    T2 = Clock::now();
+    if (!Ctrl)
+      return Finish(Req->Id, T2, /*IsError=*/true,
+                    errorResponseLine(Req->Id, errc::BadRequest,
+                                      Ctrl.error().message()));
+    for (size_t P = 0; P < Req->Feedback.size(); ++P) {
+      control::PhaseObservation Obs;
+      Obs.Phase = P;
+      Obs.ObservedQos = Req->Feedback[P];
+      Ctrl->onPhaseComplete(Obs);
+    }
+    Json Doc = optimizationResultJson(Rt->artifact(), Req->Budget, Input,
+                                      Ctrl->plan());
+    Json Control = Json::object();
+    Control.set("next_phase", Ctrl->nextPhase());
+    Control.set("spent_qos", Ctrl->spentQos());
+    Control.set("remaining_budget", Ctrl->remainingBudget());
+    Control.set("distrust_ratio", Ctrl->distrustRatio());
+    Control.set("distrusts", Ctrl->stats().Distrusts);
+    Control.set("resolves", Ctrl->stats().Resolves);
+    Control.set("corrections", Ctrl->stats().Corrections);
+    Control.set("rejected_resolves", Ctrl->stats().RejectedResolves);
+    Doc.set("control", std::move(Control));
+    T2 = Clock::now();
+    return Finish(Req->Id, T2, /*IsError=*/false,
+                  successResponseLine(Req->Id, std::move(Doc)));
+  }
 
   Expected<OptimizationResult> Result =
       Rt->tryOptimizeDetailed(Input, Req->Budget, OptimizeOpts, &PB);

@@ -103,6 +103,14 @@ struct ServeOptions {
   size_t SlowRequestWindow = 256;
   size_t SlowRequestTopN = 3;
   uint64_t SlowRequestSeed = 42;
+  /// Opt-in for the per-request "feedback" member (--online-control):
+  /// when set, a request carrying observed per-phase QoS values is
+  /// replayed through an OnlineController over the resident artifact
+  /// and answered with the corrected remaining-phase schedule. Off by
+  /// default -- feedback ingestion costs a controller replay per
+  /// request, and hosts that never send feedback should not expose the
+  /// surface.
+  bool OnlineControl = false;
 };
 
 /// A running server. Construction through start() binds, loads every

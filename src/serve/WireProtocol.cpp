@@ -77,6 +77,19 @@ Expected<ServeRequest> serve::parseServeRequest(const std::string &Line) {
       if (!Value.isBool())
         return codedError(errc::BadRequest, "'health' must be a boolean");
       Req.Health = Value.asBool();
+    } else if (Key == "feedback") {
+      if (!Value.isArray())
+        return codedError(errc::BadRequest,
+                          "'feedback' must be an array of numbers");
+      for (size_t I = 0; I < Value.size(); ++I) {
+        if (!Value.at(I).isNumber() ||
+            !std::isfinite(Value.at(I).asNumber()))
+          return codedError(
+              errc::BadRequest,
+              format("'feedback'[%zu] must be a finite number", I));
+        Req.Feedback.push_back(Value.at(I).asNumber());
+      }
+      Req.HasFeedback = true;
     } else {
       // Unknown members are rejected, mirroring the CLI's unknown-flag
       // policy: a typo must not silently change a request's meaning.

@@ -85,6 +85,15 @@ struct ServeRequest {
   /// artifact generation, shard/connection state, and windowed shed/
   /// degraded rates summarized as ok|degraded|overloaded.
   bool Health = false;
+  /// `"feedback": [qos0, qos1, ...]` -- observed per-phase QoS
+  /// degradations for the phases a run has already executed, in phase
+  /// order. The server replays them through an OnlineController over
+  /// the resident artifact and answers with the corrected
+  /// remaining-phase schedule plus a "control" member. Requires the
+  /// server's --online-control opt-in; rejected as bad_request
+  /// otherwise.
+  std::vector<double> Feedback;
+  bool HasFeedback = false;
 
   /// True for any probe line (stats, delta, health). Probes bypass the
   /// optimizer and are accounted in serve.probes, never in

@@ -18,9 +18,9 @@ std::atomic<bool> opprox::detail::GlobalFaultsArmed{true};
 
 const std::vector<std::string> &opprox::allFaultSites() {
   static const std::vector<std::string> Sites = {
-      faults::JsonRead,     faults::JsonParse,  faults::ArtifactCorrupt,
-      faults::ArtifactWrite, faults::RuntimeLoad, faults::PredictNan,
-      faults::PredictInf,   faults::ThreadPoolTask};
+      faults::JsonRead,     faults::JsonParse,      faults::ArtifactCorrupt,
+      faults::ArtifactWrite, faults::RuntimeLoad,    faults::PredictNan,
+      faults::PredictInf,   faults::ThreadPoolTask, faults::ControlObserve};
   return Sites;
 }
 

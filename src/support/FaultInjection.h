@@ -64,6 +64,9 @@ inline constexpr const char *PredictNan = "model.predict.nan";
 inline constexpr const char *PredictInf = "model.predict.inf";
 /// A thread-pool task dies on startup (throws FaultInjectedError).
 inline constexpr const char *ThreadPoolTask = "threadpool.task";
+/// The online controller loses one phase observation before ingesting
+/// it (simulated dropped/late feedback; counted, never fatal).
+inline constexpr const char *ControlObserve = "control.observe";
 } // namespace faults
 
 /// All registered site names, in deterministic (registration) order.

@@ -39,6 +39,43 @@ TEST(PhaseMapTest, OverrunIterationsLandInLastPhase) {
   EXPECT_EQ(PM.phaseOf(500), 3u);
 }
 
+TEST(PhaseMapTest, SplitWorkByPhaseFollowsPhaseOf) {
+  // 10 iterations, 4 phases: lengths 2/2/2/4 (remainder to the last).
+  PhaseMap PM(10, 4);
+  std::vector<uint64_t> Work = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<uint64_t> ByPhase = PM.splitWorkByPhase(Work);
+  ASSERT_EQ(ByPhase.size(), 4u);
+  EXPECT_EQ(ByPhase[0], 1u + 2u);
+  EXPECT_EQ(ByPhase[1], 3u + 4u);
+  EXPECT_EQ(ByPhase[2], 5u + 6u);
+  EXPECT_EQ(ByPhase[3], 7u + 8u + 9u + 10u);
+}
+
+TEST(PhaseMapTest, SplitWorkByPhaseRoutesOverrunToTheLastPhase) {
+  // A 12-entry trace over a 10-iteration nominal run: the two overrun
+  // iterations belong to the final phase, matching phaseOf().
+  PhaseMap PM(10, 4);
+  std::vector<uint64_t> Work(12, 1);
+  std::vector<uint64_t> ByPhase = PM.splitWorkByPhase(Work);
+  ASSERT_EQ(ByPhase.size(), 4u);
+  EXPECT_EQ(ByPhase[3], 4u + 2u);
+  uint64_t Sum = 0;
+  for (uint64_t W : ByPhase)
+    Sum += W;
+  EXPECT_EQ(Sum, 12u); // Nothing lost, nothing double-counted.
+}
+
+TEST(PhaseMapTest, SplitWorkByPhaseOfShortTraceLeavesTailPhasesEmpty) {
+  PhaseMap PM(10, 4);
+  std::vector<uint64_t> Work = {5, 5, 5}; // Run aborted in phase 1.
+  std::vector<uint64_t> ByPhase = PM.splitWorkByPhase(Work);
+  ASSERT_EQ(ByPhase.size(), 4u);
+  EXPECT_EQ(ByPhase[0], 10u);
+  EXPECT_EQ(ByPhase[1], 5u);
+  EXPECT_EQ(ByPhase[2], 0u);
+  EXPECT_EQ(ByPhase[3], 0u);
+}
+
 TEST(PhaseMapTest, SinglePhaseCoversEverything) {
   PhaseMap PM(50, 1);
   EXPECT_EQ(PM.phaseOf(0), 0u);
@@ -199,6 +236,59 @@ TEST(WorkTest, AccumulatesAndMarks) {
   EXPECT_EQ(WC.since(Mark), 7u);
   WC.reset();
   EXPECT_EQ(WC.total(), 0u);
+}
+
+TEST(ScheduleTest, OverlayTailGraftsOnlyTheRemainingPhases) {
+  // The controller's correction primitive: executed phases keep their
+  // history, phases from FirstPhase on adopt the re-solve's levels.
+  PhaseSchedule Base = PhaseSchedule::uniform(4, {1, 1});
+  PhaseSchedule Tail(4, 2);
+  for (size_t P = 0; P < 4; ++P)
+    Tail.setPhaseLevels(P, {3, 4});
+  Base.overlayTail(Tail, 2);
+  EXPECT_EQ(Base.phaseLevels(0), (std::vector<int>{1, 1}));
+  EXPECT_EQ(Base.phaseLevels(1), (std::vector<int>{1, 1}));
+  EXPECT_EQ(Base.phaseLevels(2), (std::vector<int>{3, 4}));
+  EXPECT_EQ(Base.phaseLevels(3), (std::vector<int>{3, 4}));
+}
+
+TEST(ScheduleTest, OverlayTailAtPhaseZeroReplacesEverything) {
+  PhaseSchedule Base = PhaseSchedule::uniform(3, {2});
+  PhaseSchedule Tail = PhaseSchedule::uniform(3, {5});
+  Base.overlayTail(Tail, 0);
+  EXPECT_EQ(Base.toString(), Tail.toString());
+}
+
+TEST(ScheduleTest, OverlayTailPastTheEndIsANoOp) {
+  PhaseSchedule Base = PhaseSchedule::uniform(3, {2});
+  std::string Before = Base.toString();
+  PhaseSchedule Tail = PhaseSchedule::uniform(3, {5});
+  Base.overlayTail(Tail, 3);
+  EXPECT_EQ(Base.toString(), Before);
+}
+
+TEST(WorkTest, TakeIntervalPartitionsTheTotal) {
+  // The online observation hook: successive takeInterval() calls slice
+  // one run's work into disjoint interval samples that sum to total().
+  WorkCounter WC;
+  WC.add(10);
+  EXPECT_EQ(WC.takeInterval(), 10u);
+  WC.add(3);
+  WC.add(4);
+  EXPECT_EQ(WC.takeInterval(), 7u);
+  EXPECT_EQ(WC.takeInterval(), 0u); // Nothing accrued since the mark.
+  WC.add(5);
+  EXPECT_EQ(WC.takeInterval(), 5u);
+  EXPECT_EQ(WC.total(), 22u); // The mark never disturbs the total.
+}
+
+TEST(WorkTest, ResetClearsTheIntervalMark) {
+  WorkCounter WC;
+  WC.add(9);
+  WC.takeInterval();
+  WC.reset();
+  WC.add(2);
+  EXPECT_EQ(WC.takeInterval(), 2u);
 }
 
 TEST(WorkTest, SpeedupRatio) {

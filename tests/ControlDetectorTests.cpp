@@ -1,0 +1,210 @@
+//===- tests/ControlDetectorTests.cpp - online phase detection ------------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// The contract under test (control/PhaseDetector.h): boundaries are a
+// pure function of the sample stream and the options -- a replayed trace
+// detects bit-identical boundaries -- the first interval opens phase 0
+// without flagging, hysteresis keeps one noisy interval from splitting a
+// phase, MaxPhases caps detection, and the static-N fallback reproduces
+// the offline PhaseMap slicing exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "approx/PhaseSchedule.h"
+#include "control/PhaseDetector.h"
+#include "support/Telemetry.h"
+#include <gtest/gtest.h>
+
+using namespace opprox;
+using namespace opprox::control;
+
+namespace {
+
+IntervalSample sample(uint64_t Work, size_t Iters, double Qos = 0.0) {
+  IntervalSample S;
+  S.WorkUnits = Work;
+  S.Iterations = Iters;
+  S.QosDelta = Qos;
+  return S;
+}
+
+/// Feeds \p Samples in order and returns the per-interval boundary flags.
+std::vector<bool> feed(PhaseDetector &D,
+                       const std::vector<IntervalSample> &Samples) {
+  std::vector<bool> Flags;
+  Flags.reserve(Samples.size());
+  for (const IntervalSample &S : Samples)
+    Flags.push_back(D.observe(S));
+  return Flags;
+}
+
+} // namespace
+
+TEST(PhaseDetectorTest, FirstIntervalOpensPhaseZeroWithoutFlagging) {
+  PhaseDetector D;
+  EXPECT_EQ(D.numDetectedPhases(), 0u);
+  EXPECT_EQ(D.currentPhase(), 0u);
+  EXPECT_FALSE(D.observe(sample(1000, 10)));
+  EXPECT_EQ(D.numDetectedPhases(), 1u);
+  EXPECT_EQ(D.currentPhase(), 0u);
+  ASSERT_EQ(D.phaseStarts().size(), 1u);
+  EXPECT_EQ(D.phaseStarts()[0], 0u);
+  EXPECT_EQ(D.iterationsSeen(), 10u);
+}
+
+TEST(PhaseDetectorTest, SteadySignatureStaysOnePhase) {
+  PhaseDetector D;
+  for (int I = 0; I < 40; ++I)
+    EXPECT_FALSE(D.observe(sample(1000, 10, 0.5)));
+  EXPECT_EQ(D.numDetectedPhases(), 1u);
+  EXPECT_EQ(D.iterationsSeen(), 400u);
+}
+
+TEST(PhaseDetectorTest, SuddenWorkShiftFlagsBoundaryAtTheShiftIteration) {
+  PhaseDetector D;
+  for (int I = 0; I < 4; ++I)
+    EXPECT_FALSE(D.observe(sample(1000, 10)));
+  // Work per iteration doubles: relative distance 1.0 >> 0.25.
+  EXPECT_TRUE(D.observe(sample(2000, 10)));
+  EXPECT_EQ(D.numDetectedPhases(), 2u);
+  EXPECT_EQ(D.currentPhase(), 1u);
+  ASSERT_EQ(D.phaseStarts().size(), 2u);
+  // The boundary is the first iteration of the diverging interval.
+  EXPECT_EQ(D.phaseStarts()[1], 40u);
+}
+
+TEST(PhaseDetectorTest, QosDimensionAloneCanFlagABoundary) {
+  PhaseDetector D;
+  // Work stays flat; only the QoS-proxy delta shifts.
+  for (int I = 0; I < 4; ++I)
+    EXPECT_FALSE(D.observe(sample(1000, 10, 1.0)));
+  EXPECT_TRUE(D.observe(sample(1000, 10, 3.0)));
+  EXPECT_EQ(D.numDetectedPhases(), 2u);
+}
+
+TEST(PhaseDetectorTest, SubThresholdDriftNeverSplits) {
+  PhaseDetector D;
+  // +20% work per iteration: below the 0.25 default threshold.
+  for (int I = 0; I < 4; ++I)
+    EXPECT_FALSE(D.observe(sample(1000, 10)));
+  EXPECT_FALSE(D.observe(sample(1200, 10)));
+  EXPECT_EQ(D.numDetectedPhases(), 1u);
+}
+
+TEST(PhaseDetectorTest, HysteresisAbsorbsEarlyNoise) {
+  // MinIntervalsPerPhase = 2 (default): the interval right after a
+  // fresh phase opened cannot flag, however divergent, so one noisy
+  // interval cannot split a phase in two.
+  PhaseDetector D;
+  for (int I = 0; I < 3; ++I)
+    D.observe(sample(1000, 10));
+  EXPECT_TRUE(D.observe(sample(4000, 10)));  // Boundary: phase 1 opens.
+  EXPECT_FALSE(D.observe(sample(1000, 10))); // Divergent but absorbed.
+  EXPECT_EQ(D.numDetectedPhases(), 2u);
+}
+
+TEST(PhaseDetectorTest, MinIntervalsGateDelaysTheFirstPossibleBoundary) {
+  PhaseDetectorOptions Opts;
+  Opts.MinIntervalsPerPhase = 4;
+  PhaseDetector D(Opts);
+  D.observe(sample(1000, 10));
+  // Intervals 2..4 diverge hugely but the phase has not yet absorbed
+  // MinIntervalsPerPhase intervals, so nothing may flag. They drag the
+  // centroid, so the boundary needs a signature far from the mix.
+  EXPECT_FALSE(D.observe(sample(9000, 10)));
+  EXPECT_FALSE(D.observe(sample(9000, 10)));
+  EXPECT_FALSE(D.observe(sample(9000, 10)));
+  EXPECT_TRUE(D.observe(sample(90000, 10)));
+  EXPECT_EQ(D.numDetectedPhases(), 2u);
+}
+
+TEST(PhaseDetectorTest, MaxPhasesCapStopsFlagging) {
+  PhaseDetectorOptions Opts;
+  Opts.MaxPhases = 3;
+  PhaseDetector D(Opts);
+  uint64_t Work = 1000;
+  size_t Boundaries = 0;
+  for (int Phase = 0; Phase < 8; ++Phase) {
+    for (int I = 0; I < 4; ++I)
+      if (D.observe(sample(Work, 10)))
+        ++Boundaries;
+    Work *= 4; // Each burst is unmistakably a new signature.
+  }
+  EXPECT_EQ(Boundaries, 2u); // Phases 1 and 2 opened; the cap ate the rest.
+  EXPECT_EQ(D.numDetectedPhases(), 3u);
+  EXPECT_EQ(D.currentPhase(), 2u);
+}
+
+TEST(PhaseDetectorTest, StaticFallbackReplaysThePhaseMapSlicing) {
+  const size_t Nominal = 103, Phases = 4;
+  PhaseDetectorOptions Opts;
+  Opts.StaticPhases = Phases;
+  Opts.NominalIterations = Nominal;
+  PhaseDetector D(Opts);
+  // Deliver wildly varying signatures one iteration at a time: the
+  // fallback must ignore them and cut exactly where the offline map
+  // does.
+  for (size_t I = 0; I < Nominal; ++I)
+    D.observe(sample(I % 7 == 0 ? 50000 : 10, 1, (I % 3) * 2.0));
+  PhaseMap Map(Nominal, Phases);
+  ASSERT_EQ(D.numDetectedPhases(), Phases);
+  for (size_t P = 0; P < Phases; ++P)
+    EXPECT_EQ(D.phaseStarts()[P], Map.phaseRange(P).first) << "phase " << P;
+}
+
+TEST(PhaseDetectorTest, StaticFallbackHonorsTheMaxPhasesCap) {
+  PhaseDetectorOptions Opts;
+  Opts.StaticPhases = 8;
+  Opts.NominalIterations = 80;
+  Opts.MaxPhases = 2;
+  PhaseDetector D(Opts);
+  for (size_t I = 0; I < 80; ++I)
+    D.observe(sample(10, 1));
+  EXPECT_EQ(D.numDetectedPhases(), 2u);
+}
+
+TEST(PhaseDetectorTest, ReplayedTraceDetectsBitIdenticalBoundaries) {
+  // Determinism is the detector's headline property: boundaries are a
+  // pure function of (stream, options).
+  std::vector<IntervalSample> Trace;
+  uint64_t State = 0x9e3779b97f4a7c15ull; // Fixed-seed xorshift stream.
+  for (int I = 0; I < 200; ++I) {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    Trace.push_back(sample(100 + State % 5000, 1 + State % 9,
+                           static_cast<double>(State % 100) / 10.0));
+  }
+  PhaseDetector A, B;
+  std::vector<bool> FlagsA = feed(A, Trace);
+  std::vector<bool> FlagsB = feed(B, Trace);
+  EXPECT_EQ(FlagsA, FlagsB);
+  EXPECT_EQ(A.phaseStarts(), B.phaseStarts());
+  EXPECT_EQ(A.numDetectedPhases(), B.numDetectedPhases());
+  EXPECT_EQ(A.iterationsSeen(), B.iterationsSeen());
+}
+
+TEST(PhaseDetectorTest, ZeroIterationIntervalsAreClampedToOne) {
+  PhaseDetector D;
+  D.observe(sample(1000, 0)); // Degenerate host input: treated as 1 iter.
+  EXPECT_EQ(D.iterationsSeen(), 1u);
+  D.observe(sample(1000, 0));
+  EXPECT_EQ(D.iterationsSeen(), 2u);
+  EXPECT_EQ(D.numDetectedPhases(), 1u);
+}
+
+TEST(PhaseDetectorTest, EveryBoundaryCountsDetectedPhasesTelemetry) {
+  Counter &C = MetricsRegistry::global().counter("control.detected_phases");
+  uint64_t Before = C.value();
+  PhaseDetector D;
+  for (int I = 0; I < 4; ++I)
+    D.observe(sample(1000, 10));
+  D.observe(sample(8000, 10)); // Boundary 1.
+  for (int I = 0; I < 4; ++I)
+    D.observe(sample(8000, 10));
+  D.observe(sample(1000, 10)); // Boundary 2.
+  EXPECT_EQ(C.value() - Before, 2u);
+  // Opening phase 0 is not a boundary and must not count.
+  EXPECT_EQ(D.numDetectedPhases(), 3u);
+}

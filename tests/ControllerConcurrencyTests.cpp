@@ -1,0 +1,189 @@
+//===- tests/ControllerConcurrencyTests.cpp - control vs. shards ----------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// TSan-facing suite (run under the sanitizer CI job): online controllers
+// ingesting drifting feedback race serve-shard-style optimize calls
+// through one shared OpproxRuntime -- one planner, one schedule cache,
+// one scan pool. The contract: a controller instance belongs to one
+// thread (OnlineController.h documents non-thread-safety), but any
+// number of controllers and plain optimize callers may hammer the
+// shared planner concurrently, and every decision stays bit-identical
+// to a serial replay.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "control/ControlSim.h"
+#include "core/OfflineTrainer.h"
+#include "core/OpproxRuntime.h"
+#include <atomic>
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+using namespace opprox;
+using namespace opprox::control;
+
+namespace {
+
+/// One cheap trained artifact shared by every test in this file.
+const OpproxArtifact &testArtifact() {
+  static OpproxArtifact Art = [] {
+    auto App = createApp("pso");
+    OpproxTrainOptions Opts;
+    Opts.Profiling.RandomJointSamples = 6;
+    Opts.TrainingInputs = {{30, 5}, {45, 6}};
+    return OfflineTrainer::train(*App, Opts).Artifact;
+  }();
+  return Art;
+}
+
+std::vector<double> testInput() { return {30, 5}; }
+
+ControllerOptions reactiveOptions() {
+  ControllerOptions Opts;
+  Opts.Optimize.Conservative = false;
+  Opts.DistrustFactor = 0.0;
+  Opts.RatioAlpha = 1.0;
+  return Opts;
+}
+
+DriftSpec suddenDrift(double Magnitude) {
+  DriftSpec D;
+  D.DriftKind = DriftSpec::Kind::Sudden;
+  D.Magnitude = Magnitude;
+  D.Onset = 0.0;
+  return D;
+}
+
+} // namespace
+
+TEST(ControllerConcurrencyTest, FeedbackIngestionRacesShardOptimizesSafely) {
+  // The serving topology under --online-control: shard threads answer
+  // plain optimize requests while controller-carrying requests re-solve
+  // tails -- all through the same planner, schedule cache, and shared
+  // scan pool (ScanThreads 2 makes cache-miss solves fan out, so pool
+  // workers of different origins interleave).
+  OpproxRuntime Rt = OpproxRuntime::fromArtifact(testArtifact());
+  PlannerOptions Planner;
+  Planner.ScanThreads = 2;
+  Rt.configurePlanner(Planner);
+
+  constexpr int OptimizerThreads = 3;
+  constexpr int ControllerThreads = 3;
+  constexpr int RoundsPerThread = 8;
+
+  // Serial reference decisions, established before going concurrent.
+  std::vector<std::string> SerialSchedules;
+  for (int Round = 0; Round < RoundsPerThread; ++Round) {
+    double Budget = 2.0 + Round;
+    SerialSchedules.push_back(
+        Rt.optimizeDetailed(testInput(), Budget).Schedule.toString());
+  }
+  Expected<SimOutcome> SerialSim = runScriptedSim(
+      Rt, testInput(), 10.0, suddenDrift(4.0), reactiveOptions());
+  ASSERT_TRUE(static_cast<bool>(SerialSim)) << SerialSim.error().message();
+
+  std::atomic<bool> Start{false};
+  std::atomic<int> Mismatches{0};
+  std::vector<std::thread> Threads;
+
+  for (int T = 0; T < OptimizerThreads; ++T)
+    Threads.emplace_back([&, T] {
+      while (!Start.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      for (int Round = 0; Round < RoundsPerThread; ++Round) {
+        double Budget = 2.0 + ((Round + T) % RoundsPerThread);
+        OptimizationResult R = Rt.optimizeDetailed(testInput(), Budget);
+        size_t Index = static_cast<size_t>((Round + T) % RoundsPerThread);
+        if (R.Schedule.toString() != SerialSchedules[Index])
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+        // Tail re-solves from every phase share the same cache shards.
+        size_t First = 1 + static_cast<size_t>(Round) % 3;
+        Expected<OptimizationResult> Tail =
+            Rt.tryOptimizeTail(testInput(), Budget, First);
+        if (!Tail)
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  for (int T = 0; T < ControllerThreads; ++T)
+    Threads.emplace_back([&] {
+      while (!Start.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      for (int Round = 0; Round < RoundsPerThread; ++Round) {
+        // Each iteration runs a full drifting control loop -- initial
+        // solve, distrusts, tail re-solves -- against the shared
+        // runtime. One controller per iteration, never shared.
+        Expected<SimOutcome> O = runScriptedSim(
+            Rt, testInput(), 10.0, suddenDrift(4.0), reactiveOptions());
+        if (!O ||
+            O->FinalSchedule.toString() !=
+                SerialSim->FinalSchedule.toString() ||
+            O->Stats.Corrections != SerialSim->Stats.Corrections)
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  Start.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0);
+}
+
+TEST(ControllerConcurrencyTest, MixedDriftTracesStayDeterministicUnderLoad) {
+  // Different drift kinds re-solve from different phases with different
+  // budgets: the cache sees a broad key mix while every thread checks
+  // its own trace against a serial replay.
+  OpproxRuntime Rt = OpproxRuntime::fromArtifact(testArtifact());
+  PlannerOptions Planner;
+  Planner.ScanThreads = 2;
+  Rt.configurePlanner(Planner);
+
+  std::vector<DriftSpec> Specs;
+  Specs.push_back(suddenDrift(2.0));
+  Specs.push_back(suddenDrift(-0.9));
+  {
+    DriftSpec Gradual;
+    Gradual.DriftKind = DriftSpec::Kind::Gradual;
+    Gradual.Magnitude = 4.0;
+    Gradual.Onset = 0.25;
+    Specs.push_back(Gradual);
+  }
+  {
+    DriftSpec Noise;
+    Noise.DriftKind = DriftSpec::Kind::Noise;
+    Noise.Magnitude = 2.0;
+    Noise.Seed = 7;
+    Specs.push_back(Noise);
+  }
+
+  std::vector<SimOutcome> Serial;
+  for (const DriftSpec &Spec : Specs) {
+    Expected<SimOutcome> O = runScriptedSim(Rt, testInput(), 10.0, Spec,
+                                            reactiveOptions());
+    ASSERT_TRUE(static_cast<bool>(O)) << O.error().message();
+    Serial.push_back(std::move(*O));
+  }
+
+  std::atomic<bool> Start{false};
+  std::atomic<int> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (size_t T = 0; T < Specs.size(); ++T)
+    Threads.emplace_back([&, T] {
+      while (!Start.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      for (int Round = 0; Round < 6; ++Round) {
+        Expected<SimOutcome> O = runScriptedSim(
+            Rt, testInput(), 10.0, Specs[T], reactiveOptions());
+        if (!O || O->ScheduleTrace != Serial[T].ScheduleTrace ||
+            O->Stats.Distrusts != Serial[T].Stats.Distrusts)
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  Start.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0);
+}

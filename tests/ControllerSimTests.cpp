@@ -1,0 +1,633 @@
+//===- tests/ControllerSimTests.cpp - online controller simulation --------===//
+//
+// Part of the OPPROX reproduction project, under the MIT License.
+//
+// The headline test asset of the control loop (docs/CONTROL.md): a
+// deterministic scripted fake-app replays seeded drift traces -- sudden
+// shift, gradual drift, noise-only, adversarial misclassification --
+// against an OnlineController, and every reactive decision must be
+// reproducible bit for bit. The no-op guarantee anchors everything:
+// with zero observed drift the controller is indistinguishable from the
+// offline pipeline, down to the final schedule's bits.
+//
+// All tests share one cheap PSO artifact (4 phases, 1 control-flow
+// class, 3 blocks), trained before any fault is armed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppRegistry.h"
+#include "control/ControlSim.h"
+#include "core/OfflineTrainer.h"
+#include "core/OpproxRuntime.h"
+#include "support/FaultInjection.h"
+#include "support/Telemetry.h"
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace opprox;
+using namespace opprox::control;
+
+namespace {
+
+bool bitEqual(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+/// One cheap trained artifact shared by every test in this file;
+/// trained before any fault is armed.
+const OpproxArtifact &testArtifact() {
+  static OpproxArtifact Art = [] {
+    auto App = createApp("pso");
+    OpproxTrainOptions Opts;
+    Opts.Profiling.RandomJointSamples = 6;
+    Opts.TrainingInputs = {{30, 5}, {45, 6}};
+    return OfflineTrainer::train(*App, Opts).Artifact;
+  }();
+  return Art;
+}
+
+const OpproxRuntime &testRuntime() {
+  static OpproxRuntime Rt = OpproxRuntime::fromArtifact(testArtifact());
+  return Rt;
+}
+
+std::vector<double> testInput() { return {30, 5}; }
+
+/// The controller regime the drift bench runs (see bench/control_drift.cpp):
+/// aggressive point planning, pure point tracking, full ratio adoption.
+/// In model space a scripted zero-drift run sits exactly on the point
+/// prediction, so even a zero-width band never distrusts it.
+ControllerOptions modelTrustingOptions() {
+  ControllerOptions Opts;
+  Opts.Optimize.Conservative = false;
+  Opts.DistrustFactor = 0.0;
+  Opts.RatioAlpha = 1.0;
+  return Opts;
+}
+
+DriftSpec drift(DriftSpec::Kind Kind, double Magnitude, double Onset = 0.0,
+                uint64_t Seed = 0) {
+  DriftSpec D;
+  D.DriftKind = Kind;
+  D.Magnitude = Magnitude;
+  D.Onset = Onset;
+  D.Seed = Seed;
+  return D;
+}
+
+bool sameDecisions(const SimOutcome &A, const SimOutcome &B) {
+  return A.ScheduleTrace == B.ScheduleTrace &&
+         A.FinalSchedule.toString() == B.FinalSchedule.toString() &&
+         A.Stats.Observations == B.Stats.Observations &&
+         A.Stats.Distrusts == B.Stats.Distrusts &&
+         A.Stats.Resolves == B.Stats.Resolves &&
+         A.Stats.Corrections == B.Stats.Corrections &&
+         A.Stats.RejectedResolves == B.Stats.RejectedResolves &&
+         A.Stats.DroppedObservations == B.Stats.DroppedObservations &&
+         bitEqual(A.DistrustRatio, B.DistrustRatio) &&
+         bitEqual(A.ControlledQos, B.ControlledQos);
+}
+
+/// Fault state must never leak across tests.
+class ControllerSimTest : public ::testing::Test {
+protected:
+  void TearDown() override { FaultRegistry::global().clear(); }
+
+  void armGlobal(const std::string &Spec) {
+    std::optional<Error> E = FaultRegistry::global().configure(Spec);
+    ASSERT_FALSE(E.has_value()) << E->message();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Startup: the controller begins as the offline pipeline
+//===----------------------------------------------------------------------===//
+
+TEST_F(ControllerSimTest, StartSolvesTheExactOfflineSchedule) {
+  const OpproxRuntime &Rt = testRuntime();
+  OptimizationResult Offline = Rt.optimizeDetailed(testInput(), 10.0);
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, testInput(), 10.0);
+  ASSERT_TRUE(static_cast<bool>(C)) << C.error().message();
+  EXPECT_EQ(C->schedule().toString(), Offline.Schedule.toString());
+  EXPECT_EQ(C->nextPhase(), 0u);
+  EXPECT_EQ(C->spentQos(), 0.0);
+  EXPECT_EQ(C->remainingBudget(), 10.0);
+  EXPECT_EQ(C->distrustRatio(), 1.0);
+  EXPECT_EQ(C->numPhases(), Rt.numPhases());
+  EXPECT_EQ(C->stats().Observations, 0u);
+}
+
+TEST_F(ControllerSimTest, StartRejectsMalformedRequestsLikeTheServingPath) {
+  const OpproxRuntime &Rt = testRuntime();
+  Expected<OnlineController> BadArity =
+      OnlineController::start(Rt, {1.0, 2.0, 3.0}, 10.0);
+  EXPECT_FALSE(static_cast<bool>(BadArity));
+  Expected<OnlineController> BadBudget =
+      OnlineController::start(Rt, testInput(), -1.0);
+  EXPECT_FALSE(static_cast<bool>(BadBudget));
+}
+
+TEST_F(ControllerSimTest, InBandObservationAdvancesWithoutReacting) {
+  const OpproxRuntime &Rt = testRuntime();
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, testInput(), 10.0);
+  ASSERT_TRUE(static_cast<bool>(C));
+  std::string Before = C->schedule().toString();
+  PhaseObservation Obs;
+  Obs.Phase = 0;
+  Obs.ObservedQos = 0.0; // Conservative phase 0 is exact: predicts 0.
+  ControlAction A = C->onPhaseComplete(Obs);
+  EXPECT_FALSE(A.Distrusted);
+  EXPECT_FALSE(A.Resolved);
+  EXPECT_FALSE(A.Dropped);
+  EXPECT_EQ(C->nextPhase(), 1u);
+  EXPECT_EQ(C->schedule().toString(), Before);
+  EXPECT_EQ(C->stats().Observations, 1u);
+  EXPECT_EQ(C->stats().Distrusts, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The no-op guarantee
+//===----------------------------------------------------------------------===//
+
+TEST_F(ControllerSimTest, ZeroDriftRunIsBitIdenticalToOffline) {
+  Expected<SimOutcome> O =
+      runScriptedSim(testRuntime(), testInput(), 10.0,
+                     drift(DriftSpec::Kind::None, 0.0));
+  ASSERT_TRUE(static_cast<bool>(O)) << O.error().message();
+  EXPECT_EQ(O->FinalSchedule.toString(), O->OfflineSchedule.toString());
+  EXPECT_EQ(O->Stats.Distrusts, 0u);
+  EXPECT_EQ(O->Stats.Resolves, 0u);
+  EXPECT_EQ(O->Stats.Corrections, 0u);
+  // Every intermediate boundary left the schedule untouched too.
+  for (const std::string &S : O->ScheduleTrace)
+    EXPECT_EQ(S, O->OfflineSchedule.toString());
+  EXPECT_TRUE(bitEqual(O->ControlledQos, O->OfflineQos));
+}
+
+TEST_F(ControllerSimTest, ZeroDriftHoldsInTheModelTrustingRegimeToo) {
+  // Even with a zero-width trust band (DistrustFactor 0), scripted
+  // zero-drift observations sit exactly on the point prediction and
+  // never distrust: the no-op guarantee does not depend on band slack.
+  Expected<SimOutcome> O =
+      runScriptedSim(testRuntime(), testInput(), 10.0,
+                     drift(DriftSpec::Kind::None, 0.0),
+                     modelTrustingOptions());
+  ASSERT_TRUE(static_cast<bool>(O)) << O.error().message();
+  EXPECT_EQ(O->FinalSchedule.toString(), O->OfflineSchedule.toString());
+  EXPECT_EQ(O->Stats.Distrusts, 0u);
+  EXPECT_EQ(O->Stats.Corrections, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded drift traces replay bit-for-bit
+//===----------------------------------------------------------------------===//
+
+TEST_F(ControllerSimTest, SuddenDriftTraceReplaysBitForBit) {
+  DriftSpec D = drift(DriftSpec::Kind::Sudden, 4.0, 0.0);
+  Expected<SimOutcome> A = runScriptedSim(testRuntime(), testInput(), 10.0, D,
+                                          modelTrustingOptions());
+  Expected<SimOutcome> B = runScriptedSim(testRuntime(), testInput(), 10.0, D,
+                                          modelTrustingOptions());
+  ASSERT_TRUE(static_cast<bool>(A)) << A.error().message();
+  ASSERT_TRUE(static_cast<bool>(B)) << B.error().message();
+  EXPECT_TRUE(sameDecisions(*A, *B));
+  // And the trace is non-trivial: the drift was actually reacted to.
+  EXPECT_GT(A->Stats.Distrusts, 0u);
+}
+
+TEST_F(ControllerSimTest, GradualDriftTraceReplaysBitForBit) {
+  DriftSpec D = drift(DriftSpec::Kind::Gradual, 4.0, 0.25);
+  Expected<SimOutcome> A = runScriptedSim(testRuntime(), testInput(), 10.0, D,
+                                          modelTrustingOptions());
+  Expected<SimOutcome> B = runScriptedSim(testRuntime(), testInput(), 10.0, D,
+                                          modelTrustingOptions());
+  ASSERT_TRUE(static_cast<bool>(A)) << A.error().message();
+  ASSERT_TRUE(static_cast<bool>(B)) << B.error().message();
+  EXPECT_TRUE(sameDecisions(*A, *B));
+  EXPECT_GT(A->Stats.Distrusts, 0u);
+  // A ramp of inflated observations drags the EWMA ratio above 1.
+  EXPECT_GT(A->DistrustRatio, 1.0);
+}
+
+TEST_F(ControllerSimTest, NoiseDriftIsAPureFunctionOfTheSeed) {
+  DriftSpec D = drift(DriftSpec::Kind::Noise, 2.0, 0.0, /*Seed=*/7);
+  Expected<SimOutcome> A = runScriptedSim(testRuntime(), testInput(), 10.0, D,
+                                          modelTrustingOptions());
+  Expected<SimOutcome> B = runScriptedSim(testRuntime(), testInput(), 10.0, D,
+                                          modelTrustingOptions());
+  ASSERT_TRUE(static_cast<bool>(A)) << A.error().message();
+  ASSERT_TRUE(static_cast<bool>(B)) << B.error().message();
+  EXPECT_TRUE(sameDecisions(*A, *B));
+}
+
+TEST_F(ControllerSimTest, ZeroAmplitudeNoiseEqualsNoDrift) {
+  Expected<SimOutcome> Noise =
+      runScriptedSim(testRuntime(), testInput(), 10.0,
+                     drift(DriftSpec::Kind::Noise, 0.0, 0.0, /*Seed=*/99),
+                     modelTrustingOptions());
+  Expected<SimOutcome> None =
+      runScriptedSim(testRuntime(), testInput(), 10.0,
+                     drift(DriftSpec::Kind::None, 0.0),
+                     modelTrustingOptions());
+  ASSERT_TRUE(static_cast<bool>(Noise)) << Noise.error().message();
+  ASSERT_TRUE(static_cast<bool>(None)) << None.error().message();
+  EXPECT_TRUE(sameDecisions(*Noise, *None));
+}
+
+TEST_F(ControllerSimTest, MisclassifiedFeedbackIsAdversarialYetDeterministic) {
+  // Feedback generated from a *different* input's models (the
+  // adversarial misclassification trace): predictions are evaluated at
+  // the shadow input's features, so the observations genuinely depart
+  // from the plan -- and the controller's reaction to them must still
+  // replay bit for bit.
+  DriftSpec D = drift(DriftSpec::Kind::Misclassify, 0.0);
+  D.ShadowInput = {45, 6};
+  Expected<SimOutcome> A = runScriptedSim(testRuntime(), testInput(), 10.0, D,
+                                          modelTrustingOptions());
+  Expected<SimOutcome> B = runScriptedSim(testRuntime(), testInput(), 10.0, D,
+                                          modelTrustingOptions());
+  ASSERT_TRUE(static_cast<bool>(A)) << A.error().message();
+  ASSERT_TRUE(static_cast<bool>(B)) << B.error().message();
+  EXPECT_GT(A->Stats.Distrusts, 0u);
+  EXPECT_TRUE(sameDecisions(*A, *B));
+}
+
+TEST_F(ControllerSimTest, MisclassifyAsTheTrueClassIsANoOp) {
+  // A "misclassification" that lands on the run's own input produces
+  // feedback identical to the plan's predictions: nothing to react to.
+  DriftSpec D = drift(DriftSpec::Kind::Misclassify, 0.0);
+  D.ShadowInput = testInput();
+  Expected<SimOutcome> Mis = runScriptedSim(testRuntime(), testInput(), 10.0,
+                                            D, modelTrustingOptions());
+  Expected<SimOutcome> None =
+      runScriptedSim(testRuntime(), testInput(), 10.0,
+                     drift(DriftSpec::Kind::None, 0.0),
+                     modelTrustingOptions());
+  ASSERT_TRUE(static_cast<bool>(Mis)) << Mis.error().message();
+  ASSERT_TRUE(static_cast<bool>(None)) << None.error().message();
+  EXPECT_EQ(Mis->Stats.Distrusts, 0u);
+  EXPECT_TRUE(sameDecisions(*Mis, *None));
+}
+
+//===----------------------------------------------------------------------===//
+// Reactions: distrust, budget correction, caps
+//===----------------------------------------------------------------------===//
+
+TEST_F(ControllerSimTest, SuddenDriftShedsQosAgainstTheBlindSchedule) {
+  // Observations running 5x the model from the first phase: the
+  // controller discounts the unspent budget by the observed ratio and
+  // re-plans a cooler tail, so the controlled run must end below the
+  // blind offline replay.
+  Expected<SimOutcome> O =
+      runScriptedSim(testRuntime(), testInput(), 10.0,
+                     drift(DriftSpec::Kind::Sudden, 4.0, 0.0),
+                     modelTrustingOptions());
+  ASSERT_TRUE(static_cast<bool>(O)) << O.error().message();
+  EXPECT_GT(O->Stats.Distrusts, 0u);
+  EXPECT_GT(O->Stats.Resolves, 0u);
+  EXPECT_GT(O->Stats.Corrections, 0u);
+  EXPECT_LT(O->ControlledQos, O->OfflineQos);
+  EXPECT_NE(O->FinalSchedule.toString(), O->OfflineSchedule.toString());
+}
+
+TEST_F(ControllerSimTest, UnderrunsReclaimHeadroomByDefault) {
+  // Observations at 10% of prediction: the model over-reports cost, the
+  // ratio sinks below 1, and underrun corrections may re-spend the
+  // freed budget (growth capped by MaxBudgetGrowth).
+  Expected<SimOutcome> O =
+      runScriptedSim(testRuntime(), testInput(), 10.0,
+                     drift(DriftSpec::Kind::Sudden, -0.9, 0.0),
+                     modelTrustingOptions());
+  ASSERT_TRUE(static_cast<bool>(O)) << O.error().message();
+  EXPECT_GT(O->Stats.Distrusts, 0u);
+  EXPECT_LT(O->DistrustRatio, 1.0);
+}
+
+TEST_F(ControllerSimTest, CorrectUnderrunsFalseTrustsCheapObservations) {
+  ControllerOptions Opts = modelTrustingOptions();
+  Opts.CorrectUnderruns = false;
+  Expected<SimOutcome> O =
+      runScriptedSim(testRuntime(), testInput(), 10.0,
+                     drift(DriftSpec::Kind::Sudden, -0.9, 0.0), Opts);
+  ASSERT_TRUE(static_cast<bool>(O)) << O.error().message();
+  EXPECT_EQ(O->Stats.Distrusts, 0u);
+  EXPECT_EQ(O->FinalSchedule.toString(), O->OfflineSchedule.toString());
+}
+
+TEST_F(ControllerSimTest, MaxResolvesCapsReSolvesButNotAccounting) {
+  ControllerOptions Opts = modelTrustingOptions();
+  Opts.MaxResolves = 1;
+  Expected<SimOutcome> O =
+      runScriptedSim(testRuntime(), testInput(), 10.0,
+                     drift(DriftSpec::Kind::Sudden, 4.0, 0.0), Opts);
+  ASSERT_TRUE(static_cast<bool>(O)) << O.error().message();
+  EXPECT_LE(O->Stats.Resolves, 1u);
+  // Later out-of-band observations still count as distrusts: the cap
+  // limits re-planning, not the books.
+  EXPECT_GE(O->Stats.Distrusts, O->Stats.Resolves);
+}
+
+//===----------------------------------------------------------------------===//
+// Feedback is run data: drops are counted, never fatal
+//===----------------------------------------------------------------------===//
+
+TEST_F(ControllerSimTest, OutOfOrderFeedbackIsDroppedWithoutSpending) {
+  const OpproxRuntime &Rt = testRuntime();
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, testInput(), 10.0);
+  ASSERT_TRUE(static_cast<bool>(C));
+  PhaseObservation Obs;
+  Obs.Phase = 2; // Next expected phase is 0.
+  Obs.ObservedQos = 50.0;
+  ControlAction A = C->onPhaseComplete(Obs);
+  EXPECT_TRUE(A.Dropped);
+  EXPECT_FALSE(A.Distrusted);
+  EXPECT_EQ(C->spentQos(), 0.0);
+  EXPECT_EQ(C->nextPhase(), 0u);
+  EXPECT_EQ(C->stats().DroppedObservations, 1u);
+  EXPECT_EQ(C->stats().Observations, 0u);
+}
+
+TEST_F(ControllerSimTest, PostRunFeedbackIsDropped) {
+  const OpproxRuntime &Rt = testRuntime();
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, testInput(), 10.0);
+  ASSERT_TRUE(static_cast<bool>(C));
+  for (size_t P = 0; P < Rt.numPhases(); ++P) {
+    PhaseObservation Obs;
+    Obs.Phase = P;
+    ControlAction A = C->onPhaseComplete(Obs);
+    EXPECT_FALSE(A.Dropped);
+  }
+  EXPECT_EQ(C->nextPhase(), Rt.numPhases());
+  PhaseObservation Late;
+  Late.Phase = Rt.numPhases() - 1;
+  ControlAction A = C->onPhaseComplete(Late);
+  EXPECT_TRUE(A.Dropped);
+  EXPECT_EQ(C->stats().DroppedObservations, 1u);
+}
+
+TEST_F(ControllerSimTest, InjectedObservationLossDegradesToBlindReplay) {
+  const OpproxRuntime &Rt = testRuntime();
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, testInput(), 10.0);
+  ASSERT_TRUE(static_cast<bool>(C));
+  std::string Offline = C->schedule().toString();
+  Counter &Dropped =
+      MetricsRegistry::global().counter("control.dropped_observations");
+  uint64_t Before = Dropped.value();
+  armGlobal("control.observe:1.0");
+  for (size_t P = 0; P < Rt.numPhases(); ++P) {
+    PhaseObservation Obs;
+    Obs.Phase = P;
+    Obs.ObservedQos = 100.0; // Would distrust loudly if it arrived.
+    ControlAction A = C->onPhaseComplete(Obs);
+    EXPECT_TRUE(A.Dropped);
+  }
+  // Every observation was lost: the run degrades to the blind offline
+  // replay -- counted in telemetry, no crash, no reaction.
+  EXPECT_EQ(C->schedule().toString(), Offline);
+  EXPECT_EQ(C->spentQos(), 0.0);
+  EXPECT_EQ(C->stats().DroppedObservations, Rt.numPhases());
+  EXPECT_EQ(Dropped.value() - Before, Rt.numPhases());
+  EXPECT_EQ(C->stats().Distrusts, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Degraded re-solves: reject, keep the last valid schedule
+//===----------------------------------------------------------------------===//
+
+TEST_F(ControllerSimTest, DegradedReSolveIsRejectedKeepingLastValidSchedule) {
+  const OpproxRuntime &Rt = testRuntime();
+  // Default (conservative) options: phase 0 of the offline schedule is
+  // exact, so the distrust decision itself needs no model call and the
+  // armed prediction faults hit only the re-solve.
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, testInput(), 10.0);
+  ASSERT_TRUE(static_cast<bool>(C));
+  std::string Offline = C->schedule().toString();
+  armGlobal("model.predict.nan:1.0");
+  PhaseObservation Obs;
+  Obs.Phase = 0;
+  Obs.ObservedQos = 5.0; // Far outside the band around the exact phase.
+  ControlAction A = C->onPhaseComplete(Obs);
+  EXPECT_TRUE(A.Distrusted);
+  EXPECT_TRUE(A.Resolved);
+  EXPECT_TRUE(A.RejectedDegraded);
+  EXPECT_FALSE(A.Corrected);
+  EXPECT_EQ(C->schedule().toString(), Offline);
+  EXPECT_EQ(C->stats().RejectedResolves, 1u);
+  EXPECT_EQ(C->stats().Corrections, 0u);
+  // The budget accounting survives the rejection.
+  EXPECT_EQ(C->spentQos(), 5.0);
+  EXPECT_EQ(C->nextPhase(), 1u);
+}
+
+TEST_F(ControllerSimTest, RejectionDoesNotDoubleCountDegradedPhases) {
+  const OpproxRuntime &Rt = testRuntime();
+  Counter &Degraded =
+      MetricsRegistry::global().counter("runtime.degraded_phases");
+
+  // Baseline: a distrust that never re-solves (MaxResolves 0) counts
+  // zero degraded phases even with prediction faults armed -- proving
+  // the controller's rejection path itself adds nothing.
+  {
+    ControllerOptions Opts;
+    Opts.MaxResolves = 0;
+    Expected<OnlineController> C =
+        OnlineController::start(Rt, testInput(), 10.0, Opts);
+    ASSERT_TRUE(static_cast<bool>(C));
+    armGlobal("model.predict.nan:1.0");
+    uint64_t Before = Degraded.value();
+    PhaseObservation Obs;
+    Obs.Phase = 0;
+    Obs.ObservedQos = 5.0;
+    ControlAction A = C->onPhaseComplete(Obs);
+    EXPECT_TRUE(A.Distrusted);
+    EXPECT_FALSE(A.Resolved);
+    EXPECT_EQ(Degraded.value() - Before, 0u);
+    FaultRegistry::global().clear();
+  }
+
+  // With the re-solve allowed, the degradation is counted inside the
+  // solve (phases whose chosen decision went non-finite) and the
+  // controller's rejection adds nothing on top: the count is identical
+  // across a repeat of the same rejected re-solve.
+  uint64_t FirstDelta = 0;
+  for (int Round = 0; Round < 2; ++Round) {
+    Expected<OnlineController> C =
+        OnlineController::start(Rt, testInput(), 10.0);
+    ASSERT_TRUE(static_cast<bool>(C));
+    armGlobal("model.predict.nan:1.0");
+    uint64_t Before = Degraded.value();
+    PhaseObservation Obs;
+    Obs.Phase = 0;
+    Obs.ObservedQos = 5.0;
+    ControlAction A = C->onPhaseComplete(Obs);
+    EXPECT_TRUE(A.RejectedDegraded);
+    uint64_t Delta = Degraded.value() - Before;
+    EXPECT_GT(Delta, 0u);
+    if (Round == 0)
+      FirstDelta = Delta;
+    else
+      EXPECT_EQ(Delta, FirstDelta);
+    FaultRegistry::global().clear();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The tail re-solve primitive under the controller
+//===----------------------------------------------------------------------===//
+
+TEST_F(ControllerSimTest, TailSolveAtPhaseZeroIsBitIdenticalToFullSolve) {
+  const OpproxRuntime &Rt = testRuntime();
+  OptimizationResult Full = Rt.optimizeDetailed(testInput(), 10.0);
+  Expected<OptimizationResult> Tail =
+      Rt.tryOptimizeTail(testInput(), 10.0, 0);
+  ASSERT_TRUE(static_cast<bool>(Tail)) << Tail.error().message();
+  EXPECT_EQ(Tail->Schedule.toString(), Full.Schedule.toString());
+  ASSERT_EQ(Tail->Decisions.size(), Full.Decisions.size());
+  for (size_t P = 0; P < Full.Decisions.size(); ++P) {
+    EXPECT_EQ(Tail->Decisions[P].Levels, Full.Decisions[P].Levels);
+    EXPECT_TRUE(bitEqual(Tail->Decisions[P].PredictedQos,
+                         Full.Decisions[P].PredictedQos))
+        << "phase " << P;
+  }
+}
+
+TEST_F(ControllerSimTest, TailSolvesPinExecutedPhasesExactPerFirstPhase) {
+  // Different FirstPhase values must come back from distinct cache
+  // entries: each pins exactly the phases before it to level 0.
+  const OpproxRuntime &Rt = testRuntime();
+  for (size_t First = 1; First < Rt.numPhases(); ++First) {
+    Expected<OptimizationResult> Tail =
+        Rt.tryOptimizeTail(testInput(), 10.0, First);
+    ASSERT_TRUE(static_cast<bool>(Tail)) << Tail.error().message();
+    for (size_t P = 0; P < First; ++P)
+      for (int L : Tail->Schedule.phaseLevels(P))
+        EXPECT_EQ(L, 0) << "FirstPhase " << First << " phase " << P;
+  }
+}
+
+TEST_F(ControllerSimTest, TailSolvePastTheLastPhaseIsAnError) {
+  const OpproxRuntime &Rt = testRuntime();
+  Expected<OptimizationResult> Tail =
+      Rt.tryOptimizeTail(testInput(), 10.0, Rt.numPhases());
+  EXPECT_FALSE(static_cast<bool>(Tail));
+}
+
+//===----------------------------------------------------------------------===//
+// Interval-driven ingestion through the detector
+//===----------------------------------------------------------------------===//
+
+TEST_F(ControllerSimTest, IntervalIngestionCoversTheRunWithoutReacting) {
+  const OpproxRuntime &Rt = testRuntime();
+  const size_t Nominal = 400;
+  ControllerOptions Opts;
+  Opts.NominalIterations = Nominal;
+  Opts.Detect.StaticPhases = Rt.numPhases(); // Replay the offline slicing.
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, testInput(), 10.0, Opts);
+  ASSERT_TRUE(static_cast<bool>(C));
+  std::string Offline = C->schedule().toString();
+  // In-band feedback: the conservative schedule's phases predict 0 (or
+  // nearly so) and each interval reports 0 observed QoS.
+  for (size_t P = 0; P < Rt.numPhases(); ++P) {
+    IntervalSample S;
+    S.WorkUnits = 1000;
+    S.Iterations = Nominal / Rt.numPhases();
+    S.QosDelta = 0.0;
+    C->onInterval(S);
+  }
+  C->finishRun();
+  EXPECT_EQ(C->nextPhase(), Rt.numPhases());
+  EXPECT_EQ(C->stats().Observations, Rt.numPhases());
+  EXPECT_EQ(C->schedule().toString(), Offline);
+  EXPECT_EQ(C->detector().numDetectedPhases(), Rt.numPhases());
+}
+
+TEST_F(ControllerSimTest, OverrunningSegmentDistrustsThroughIntervals) {
+  const OpproxRuntime &Rt = testRuntime();
+  const size_t Nominal = 400;
+  ControllerOptions Opts;
+  Opts.NominalIterations = Nominal;
+  Opts.Detect.StaticPhases = Rt.numPhases();
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, testInput(), 10.0, Opts);
+  ASSERT_TRUE(static_cast<bool>(C));
+  // Phase 0's segment burns 5% QoS against an exact (predict-0) phase.
+  IntervalSample Hot;
+  Hot.WorkUnits = 1000;
+  Hot.Iterations = Nominal / Rt.numPhases();
+  Hot.QosDelta = 5.0;
+  C->onInterval(Hot);
+  // The next interval opens phase 1, closing and accounting the hot
+  // segment.
+  IntervalSample Cold;
+  Cold.WorkUnits = 1000;
+  Cold.Iterations = Nominal / Rt.numPhases();
+  Cold.QosDelta = 0.0;
+  ControlAction A = C->onInterval(Cold);
+  EXPECT_TRUE(A.Distrusted);
+  EXPECT_EQ(C->stats().Distrusts, 1u);
+  EXPECT_EQ(C->spentQos(), 5.0);
+  EXPECT_EQ(C->nextPhase(), 1u);
+}
+
+TEST_F(ControllerSimTest, FinishRunFlushesTheTrailingSegment) {
+  const OpproxRuntime &Rt = testRuntime();
+  const size_t Nominal = 400;
+  ControllerOptions Opts;
+  Opts.NominalIterations = Nominal;
+  Opts.Detect.StaticPhases = Rt.numPhases();
+  Expected<OnlineController> C =
+      OnlineController::start(Rt, testInput(), 10.0, Opts);
+  ASSERT_TRUE(static_cast<bool>(C));
+  IntervalSample S;
+  S.WorkUnits = 1000;
+  S.Iterations = Nominal; // One segment spanning the whole run.
+  S.QosDelta = 1.0;
+  C->onInterval(S);
+  EXPECT_EQ(C->stats().Observations, 0u); // Still buffered.
+  C->finishRun();
+  EXPECT_EQ(C->stats().Observations, 1u);
+  EXPECT_EQ(C->spentQos(), 1.0);
+  EXPECT_EQ(C->nextPhase(), Rt.numPhases());
+}
+
+//===----------------------------------------------------------------------===//
+// Ground-truth and detected simulations stay deterministic
+//===----------------------------------------------------------------------===//
+
+TEST_F(ControllerSimTest, GroundTruthSimReplaysBitForBit) {
+  auto App = createApp("pso");
+  GoldenCache GoldenA(*App), GoldenB(*App);
+  DriftSpec D = drift(DriftSpec::Kind::Sudden, 2.0, 0.0);
+  Expected<SimOutcome> A = runGroundTruthSim(
+      *App, GoldenA, testRuntime(), testInput(), 10.0, D);
+  Expected<SimOutcome> B = runGroundTruthSim(
+      *App, GoldenB, testRuntime(), testInput(), 10.0, D);
+  ASSERT_TRUE(static_cast<bool>(A)) << A.error().message();
+  ASSERT_TRUE(static_cast<bool>(B)) << B.error().message();
+  EXPECT_TRUE(sameDecisions(*A, *B));
+  EXPECT_TRUE(bitEqual(A->OfflineQos, B->OfflineQos));
+}
+
+TEST_F(ControllerSimTest, DetectedSimSegmentsTheRunAndReplaysBitForBit) {
+  auto App = createApp("pso");
+  GoldenCache GoldenA(*App), GoldenB(*App);
+  DriftSpec D = drift(DriftSpec::Kind::Sudden, 2.0, 0.0);
+  Expected<SimOutcome> A = runDetectedSim(
+      *App, GoldenA, testRuntime(), testInput(), 10.0, D);
+  Expected<SimOutcome> B = runDetectedSim(
+      *App, GoldenB, testRuntime(), testInput(), 10.0, D);
+  ASSERT_TRUE(static_cast<bool>(A)) << A.error().message();
+  ASSERT_TRUE(static_cast<bool>(B)) << B.error().message();
+  EXPECT_TRUE(sameDecisions(*A, *B));
+  EXPECT_EQ(A->DetectedPhases, B->DetectedPhases);
+  EXPECT_GT(A->DetectedPhases, 0u);
+}

@@ -10,8 +10,10 @@
 #include "approx/PhaseSchedule.h"
 #include "approx/Techniques.h"
 #include "apps/AppRegistry.h"
+#include "control/ControlSim.h"
 #include "core/ModelArtifact.h"
 #include "core/OfflineTrainer.h"
+#include "core/OpproxRuntime.h"
 #include "core/Sampler.h"
 #include "linalg/Decompositions.h"
 #include "ml/Mic.h"
@@ -334,3 +336,46 @@ TEST(RegressionProperty, PredictionScalesWithTarget) {
   for (double X : {-1.5, 0.0, 0.7})
     EXPECT_NEAR(10 * M.predict({X}), M10.predict({X}), 1e-6);
 }
+
+//===----------------------------------------------------------------------===//
+// Online control: the zero-drift no-op guarantee across apps and seeds
+//===----------------------------------------------------------------------===//
+
+class ZeroDriftNoOpProperty : public testing::TestWithParam<const char *> {};
+
+TEST_P(ZeroDriftNoOpProperty, ControllerMatchesOfflineBitForBitAcross50Seeds) {
+  // The control loop's anchor invariant (docs/CONTROL.md): when a run's
+  // observations match the model exactly -- zero drift -- the online
+  // controller never distrusts, never re-solves, and finishes with a
+  // schedule bit-identical to the offline pipeline's, for every app and
+  // any budget. A controller that reacts to clean feedback would make
+  // opting into --online-control a behavior change even for healthy
+  // runs.
+  auto App = createApp(GetParam());
+  OpproxTrainOptions Opts;
+  Opts.Profiling.RandomJointSamples = 4;
+  OpproxRuntime Rt =
+      OpproxRuntime::fromArtifact(OfflineTrainer::train(*App, Opts).Artifact);
+  const std::vector<double> Input = Rt.artifact().DefaultInput;
+  for (uint64_t Seed = 0; Seed < 50; ++Seed) {
+    Rng R(deriveSeed(0xC047801u, Seed));
+    double Budget = R.uniform(0.5, 20.0);
+    control::DriftSpec NoDrift; // Kind::None.
+    Expected<control::SimOutcome> O =
+        control::runScriptedSim(Rt, Input, Budget, NoDrift);
+    ASSERT_TRUE(static_cast<bool>(O))
+        << "seed " << Seed << ": " << O.error().message();
+    ASSERT_EQ(O->FinalSchedule.toString(), O->OfflineSchedule.toString())
+        << GetParam() << " seed " << Seed << " budget " << Budget;
+    ASSERT_EQ(O->Stats.Distrusts, 0u) << "seed " << Seed;
+    ASSERT_EQ(O->Stats.Resolves, 0u) << "seed " << Seed;
+    ASSERT_EQ(O->Stats.Corrections, 0u) << "seed " << Seed;
+    ASSERT_EQ(std::memcmp(&O->ControlledQos, &O->OfflineQos, sizeof(double)),
+              0)
+        << "seed " << Seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ZeroDriftNoOpProperty,
+                         testing::Values("lulesh", "comd", "ffmpeg",
+                                         "bodytrack", "pso"));

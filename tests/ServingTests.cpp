@@ -444,6 +444,89 @@ TEST_F(ServingTest, ServerConfiguredOptimizeOptionsApplyWhenRequestOmitsThem) {
   EXPECT_EQ((*Result)->dump(), LocalDoc);
 }
 
+TEST_F(ServingTest, FeedbackRequiresTheOnlineControlOptIn) {
+  // ServeOptions::OnlineControl defaults to off: a "feedback" member is
+  // a bad request, not a silently ignored one, and the connection keeps
+  // serving afterwards.
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  TestClient C = TestClient::connectTo(Srv->port());
+  Json Rejected = C.roundTrip("{\"budget\": 10, \"feedback\": [1.5]}");
+  EXPECT_FALSE(responseOk(Rejected));
+  EXPECT_EQ(responseErrorCode(Rejected), "bad_request");
+  Json Plain = C.roundTrip("{\"budget\": 10}");
+  EXPECT_TRUE(responseOk(Plain));
+}
+
+TEST_F(ServingTest, FeedbackArityBeyondThePhaseCountIsRejected) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  Opts.OnlineControl = true;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  TestClient C = TestClient::connectTo(Srv->port());
+  // The shared artifact has 4 phases; 5 observations cannot map.
+  Json Response =
+      C.roundTrip("{\"budget\": 10, \"feedback\": [0, 0, 0, 0, 0]}");
+  EXPECT_FALSE(responseOk(Response));
+  EXPECT_EQ(responseErrorCode(Response), "bad_request");
+}
+
+TEST_F(ServingTest, FeedbackStepsTheControllerAndReportsControlState) {
+  ServeOptions Opts;
+  Opts.Shards = 1;
+  Opts.OnlineControl = true;
+  std::unique_ptr<Server> Srv = startTestServer(Opts);
+  ASSERT_NE(Srv, nullptr);
+  TestClient C = TestClient::connectTo(Srv->port());
+
+  // Zero-drift feedback: the controller must not react, and the planned
+  // schedule must match the plain (feedback-free) optimize response.
+  Json Plain = C.roundTrip("{\"budget\": 10}");
+  ASSERT_TRUE(responseOk(Plain));
+  Expected<const Json *> PlainResult = getObject(Plain, "result");
+  ASSERT_TRUE(static_cast<bool>(PlainResult));
+  Expected<const Json *> PlainSchedule =
+      getMember(**PlainResult, "schedule");
+  ASSERT_TRUE(static_cast<bool>(PlainSchedule));
+
+  Json Calm = C.roundTrip("{\"budget\": 10, \"feedback\": [0, 0, 0, 0]}");
+  ASSERT_TRUE(responseOk(Calm));
+  Expected<const Json *> CalmResult = getObject(Calm, "result");
+  ASSERT_TRUE(static_cast<bool>(CalmResult));
+  Expected<const Json *> Control = getObject(**CalmResult, "control");
+  ASSERT_TRUE(static_cast<bool>(Control));
+  Expected<double> NextPhase = getNumber(**Control, "next_phase");
+  ASSERT_TRUE(static_cast<bool>(NextPhase));
+  EXPECT_EQ(*NextPhase, 4.0);
+  Expected<double> Corrections = getNumber(**Control, "corrections");
+  ASSERT_TRUE(static_cast<bool>(Corrections));
+  EXPECT_EQ(*Corrections, 0.0);
+  Expected<const Json *> CalmSchedule = getMember(**CalmResult, "schedule");
+  ASSERT_TRUE(static_cast<bool>(CalmSchedule));
+  EXPECT_EQ((*CalmSchedule)->dump(), (*PlainSchedule)->dump());
+
+  // A loud first-phase overrun: the controller distrusts and reports
+  // its accounting; the response is still a success.
+  Json Hot = C.roundTrip("{\"budget\": 10, \"feedback\": [8.0]}");
+  ASSERT_TRUE(responseOk(Hot));
+  Expected<const Json *> HotResult = getObject(Hot, "result");
+  ASSERT_TRUE(static_cast<bool>(HotResult));
+  Expected<const Json *> HotControl = getObject(**HotResult, "control");
+  ASSERT_TRUE(static_cast<bool>(HotControl));
+  Expected<double> Distrusts = getNumber(**HotControl, "distrusts");
+  ASSERT_TRUE(static_cast<bool>(Distrusts));
+  EXPECT_GE(*Distrusts, 1.0);
+  Expected<double> Spent = getNumber(**HotControl, "spent_qos");
+  ASSERT_TRUE(static_cast<bool>(Spent));
+  EXPECT_EQ(*Spent, 8.0);
+  Expected<double> Remaining = getNumber(**HotControl, "remaining_budget");
+  ASSERT_TRUE(static_cast<bool>(Remaining));
+  EXPECT_EQ(*Remaining, 2.0);
+}
+
 TEST_F(ServingTest, HotSwapUnderLoadLosesNoRequests) {
   ServeOptions Opts;
   Opts.Shards = 2;

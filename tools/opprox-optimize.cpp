@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "control/OnlineController.h"
 #include "core/OpproxRuntime.h"
 #include "serve/WireProtocol.h"
 #include "support/CommandLine.h"
@@ -37,6 +38,8 @@ int main(int Argc, char **Argv) {
   long CacheShards = -1;
   long CacheCapacity = -1;
   bool NoCache = false;
+  bool OnlineControl = false;
+  std::string FeedbackText;
   TelemetryOptions Telemetry;
 
   FlagParser Flags;
@@ -66,6 +69,13 @@ int main(int Argc, char **Argv) {
   Flags.addFlag("no-cache", &NoCache,
                 "Disable the schedule cache (and precomputed budget-grid "
                 "lookups keep working; the cache only memoizes)");
+  Flags.addFlag("online-control", &OnlineControl,
+                "Run the schedule through the online controller (required "
+                "by --feedback)");
+  Flags.addFlag("feedback", &FeedbackText,
+                "Comma-separated observed per-phase QoS degradations, in "
+                "phase order; replayed through the online controller to "
+                "correct the remaining phases");
   addTelemetryFlags(Flags, Telemetry);
   if (!Flags.parse(Argc, Argv))
     return 1;
@@ -128,6 +138,75 @@ int main(int Argc, char **Argv) {
   OptimizeOptions Opts;
   Opts.ConfidenceP = Confidence;
   Opts.Conservative = !Aggressive;
+
+  if (!FeedbackText.empty() && !OnlineControl) {
+    std::fprintf(stderr, "error: --feedback requires --online-control\n");
+    return 1;
+  }
+  if (OnlineControl) {
+    std::vector<double> Feedback;
+    for (const std::string &Field : split(FeedbackText, ',')) {
+      if (trim(Field).empty())
+        continue;
+      double Value = 0.0;
+      if (!parseDouble(trim(Field), Value)) {
+        std::fprintf(stderr, "error: bad feedback value '%s'\n",
+                     Field.c_str());
+        return 1;
+      }
+      Feedback.push_back(Value);
+    }
+    if (Feedback.size() > Art.numPhases()) {
+      std::fprintf(stderr,
+                   "error: --feedback has %zu entries but the artifact has "
+                   "%zu phases\n",
+                   Feedback.size(), Art.numPhases());
+      return 1;
+    }
+    control::ControllerOptions CtrlOpts;
+    CtrlOpts.Optimize = Opts;
+    Expected<control::OnlineController> Ctrl =
+        control::OnlineController::start(*Runtime, Input, Budget, CtrlOpts);
+    if (!Ctrl) {
+      std::fprintf(stderr, "error: %s\n", Ctrl.error().message().c_str());
+      return 1;
+    }
+    for (size_t P = 0; P < Feedback.size(); ++P) {
+      control::PhaseObservation Obs;
+      Obs.Phase = P;
+      Obs.ObservedQos = Feedback[P];
+      Ctrl->onPhaseComplete(Obs);
+    }
+    const control::ControllerStats &Stats = Ctrl->stats();
+    if (JsonOutput) {
+      Json Out = serve::optimizationResultJson(Art, Budget, Input,
+                                               Ctrl->plan());
+      Json Control = Json::object();
+      Control.set("next_phase", Ctrl->nextPhase());
+      Control.set("spent_qos", Ctrl->spentQos());
+      Control.set("remaining_budget", Ctrl->remainingBudget());
+      Control.set("distrust_ratio", Ctrl->distrustRatio());
+      Control.set("distrusts", Stats.Distrusts);
+      Control.set("resolves", Stats.Resolves);
+      Control.set("corrections", Stats.Corrections);
+      Control.set("rejected_resolves", Stats.RejectedResolves);
+      Out.set("control", std::move(Control));
+      std::printf("%s\n", Out.dump(2).c_str());
+      return 0;
+    }
+    std::printf("%s (online control, %zu/%zu phases observed)\n",
+                Art.AppName.c_str(), Ctrl->nextPhase(), Art.numPhases());
+    std::printf("budget: %.3g%% degradation (spent %.3g%%, remaining "
+                "%.3g%%)\n",
+                Budget, Ctrl->spentQos(), Ctrl->remainingBudget());
+    std::printf("schedule: %s\n", Ctrl->schedule().toString().c_str());
+    std::printf("control: %zu distrusts, %zu re-solves, %zu corrections, "
+                "%zu rejected, distrust ratio %.3g\n",
+                Stats.Distrusts, Stats.Resolves, Stats.Corrections,
+                Stats.RejectedResolves, Ctrl->distrustRatio());
+    return 0;
+  }
+
   Expected<OptimizationResult> Optimized =
       Runtime->tryOptimizeDetailed(Input, Budget, Opts);
   if (!Optimized) {

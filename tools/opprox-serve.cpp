@@ -64,6 +64,7 @@ int main(int Argc, char **Argv) {
   long SlowWindow = 256;
   long SlowTop = 3;
   long SlowSeed = 42;
+  bool OnlineControl = false;
   TelemetryOptions Telemetry;
 
   FlagParser Flags;
@@ -110,6 +111,10 @@ int main(int Argc, char **Argv) {
   Flags.addFlag("slow-top", &SlowTop,
                 "Slowest requests logged per window, with their stage "
                 "breakdown");
+  Flags.addFlag("online-control", &OnlineControl,
+                "Accept the per-request 'feedback' member: observed phase "
+                "QoS replayed through an online controller, answering with "
+                "the corrected remaining-phase schedule");
   Flags.addFlag("slow-seed", &SlowSeed,
                 "Seed of the deterministic per-window spotlight sample");
   addTelemetryFlags(Flags, Telemetry);
@@ -171,6 +176,7 @@ int main(int Argc, char **Argv) {
   Opts.SlowRequestWindow = static_cast<size_t>(SlowWindow);
   Opts.SlowRequestTopN = static_cast<size_t>(SlowTop);
   Opts.SlowRequestSeed = static_cast<uint64_t>(SlowSeed);
+  Opts.OnlineControl = OnlineControl;
 
   // Install the signal plumbing before the server threads exist so every
   // thread inherits the disposition and signals land on the self-pipe.
